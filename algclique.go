@@ -1,0 +1,243 @@
+// Package algclique is a simulation library for the algebraic
+// congested-clique algorithms of Censor-Hillel, Kaski, Korhonen, Lenzen,
+// Paz and Suomela, "Algebraic Methods in the Congested Clique" (PODC 2015).
+//
+// The congested clique is a synchronous message-passing model: n nodes on a
+// complete network, one O(log n)-bit message per ordered pair per round.
+// This package runs the paper's algorithms on an exact simulator that
+// charges rounds precisely, and exposes:
+//
+//   - distributed matrix multiplication over semirings (O(n^{1/3}) rounds)
+//     and rings (O(n^{1-2/σ}) rounds via bilinear schemes — Theorem 1),
+//   - triangle and 4-cycle counting, k-cycle detection by colour-coding,
+//     and constant-round 4-cycle detection (Corollary 2, Theorems 3–4),
+//   - girth computation (Theorem 5 / Corollary 16),
+//   - exact, small-weight, and (1+ε)-approximate all-pairs shortest paths
+//     with routing tables (Corollaries 6–8, Theorem 9, §3.4 witnesses),
+//   - the combinatorial baselines of Table 1.
+//
+// Every entry point returns a Stats value with the measured round count
+// and a per-phase breakdown — the paper's "evaluation" reproduced as
+// measurements. Algorithms with algebraic size constraints (perfect-square
+// or perfect-cube clique sizes) transparently pad the instance with
+// isolated nodes unless WithoutPadding is set.
+package algclique
+
+import (
+	"fmt"
+
+	"github.com/algebraic-clique/algclique/internal/bilinear"
+	"github.com/algebraic-clique/algclique/internal/ccmm"
+	"github.com/algebraic-clique/algclique/internal/clique"
+	"github.com/algebraic-clique/algclique/internal/ring"
+)
+
+// Inf is the distance value meaning "unreachable" and the min-plus
+// semiring's additive identity.
+const Inf int64 = ring.Inf
+
+// NoHop marks a missing routing-table entry (unreachable pair).
+const NoHop int64 = ring.NoWitness
+
+// IsInf reports whether a distance value means "unreachable".
+func IsInf(d int64) bool { return ring.IsInf(d) }
+
+// Engine selects the distributed multiplication algorithm behind the
+// algebraic entry points.
+type Engine int
+
+const (
+	// Auto picks the fastest engine the (padded) clique size supports.
+	Auto Engine = iota
+	// Fast is the bilinear-scheme algorithm of §2.2 (Strassen-backed).
+	Fast
+	// Semiring3D is the 3D algorithm of §2.1.
+	Semiring3D
+	// Naive is the learn-everything baseline.
+	Naive
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string { return e.internal().String() }
+
+func (e Engine) internal() ccmm.Engine {
+	switch e {
+	case Fast:
+		return ccmm.EngineFast
+	case Semiring3D:
+		return ccmm.Engine3D
+	case Naive:
+		return ccmm.EngineNaive
+	default:
+		return ccmm.EngineAuto
+	}
+}
+
+// PhaseStat is the cost of one named algorithm phase.
+type PhaseStat struct {
+	Name   string
+	Rounds int64
+	Words  int64
+}
+
+// Stats reports the measured communication cost of one simulated run.
+type Stats struct {
+	// N is the clique size the algorithm ran on (after any padding).
+	N int
+	// PaddedFrom is the original instance size when padding was applied,
+	// and 0 otherwise.
+	PaddedFrom int
+	// Rounds is the total number of synchronous communication rounds.
+	Rounds int64
+	// Words is the total number of words carried by links.
+	Words int64
+	// Phases breaks the cost down by algorithm phase.
+	Phases []PhaseStat
+}
+
+func statsOf(net *clique.Network, orig int) Stats {
+	st := net.Stats()
+	out := Stats{N: st.N, Rounds: st.Rounds, Words: st.Words}
+	if st.N != orig {
+		out.PaddedFrom = orig
+	}
+	out.Phases = make([]PhaseStat, len(st.Phases))
+	for i, p := range st.Phases {
+		out.Phases[i] = PhaseStat{Name: p.Name, Rounds: p.Rounds, Words: p.Words}
+	}
+	return out
+}
+
+// Option configures a simulation run.
+type Option func(*config)
+
+type config struct {
+	engine     Engine
+	strict     bool
+	workers    int
+	seed       uint64
+	colourings int
+	delta      float64
+	maxCycle   int
+	roundLimit int64
+}
+
+func newConfig(opts []Option) config {
+	c := config{engine: Auto}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// WithEngine forces a specific multiplication engine.
+func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }
+
+// WithoutPadding fails instead of padding incompatible instance sizes.
+func WithoutPadding() Option { return func(c *config) { c.strict = true } }
+
+// WithWorkers bounds the simulator's local-computation worker pool.
+func WithWorkers(k int) Option { return func(c *config) { c.workers = k } }
+
+// WithSeed seeds all randomised components (colour-coding, witness
+// sampling); runs are reproducible for a fixed seed.
+func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+
+// WithColourings caps the number of colour-coding trials for cycle
+// detection and girth (default: the paper's ⌈e^k ln n⌉).
+func WithColourings(k int) Option { return func(c *config) { c.colourings = k } }
+
+// WithDelta sets the per-product rounding parameter of approximate APSP.
+func WithDelta(delta float64) Option { return func(c *config) { c.delta = delta } }
+
+// WithMaxCycleLen sets ℓ for the girth algorithm's dense branch.
+func WithMaxCycleLen(l int) Option { return func(c *config) { c.maxCycle = l } }
+
+// WithRoundLimit aborts the simulation once the algorithm has consumed
+// more than limit rounds; the entry point then returns a
+// *clique.RoundLimitError. Useful for bounding simulation cost and for
+// regression-testing round budgets.
+func WithRoundLimit(limit int64) Option { return func(c *config) { c.roundLimit = limit } }
+
+// captureRoundLimit converts the simulator's round-budget panic into the
+// entry point's error; any other panic is a genuine bug and propagates.
+func captureRoundLimit(err *error) {
+	if r := recover(); r != nil {
+		if rl, ok := r.(*clique.RoundLimitError); ok {
+			*err = rl
+			return
+		}
+		panic(r)
+	}
+}
+
+// sizeClass describes an algorithm's clique-size requirement.
+type sizeClass int
+
+const (
+	anySize  sizeClass = iota
+	ringSize           // a bilinear scheme or a cube must fit (ring products)
+	cubeSize           // perfect cube (semiring products)
+)
+
+// paddedSize returns the clique size to simulate for an instance of size n.
+func (c config) paddedSize(n int, class sizeClass) (int, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("algclique: empty instance: %w", ccmm.ErrSize)
+	}
+	want := n
+	switch class {
+	case anySize:
+		// No constraint.
+	case cubeSize:
+		want = nextCube(n)
+	case ringSize:
+		switch c.engine {
+		case Naive:
+			// No constraint.
+		case Semiring3D:
+			want = nextCube(n)
+		case Fast:
+			want = nextSchemeSize(n)
+		default: // Auto: the smaller compatible padding wins.
+			f, cu := nextSchemeSize(n), nextCube(n)
+			if cu < f {
+				want = cu
+			} else {
+				want = f
+			}
+		}
+	}
+	if c.strict && want != n {
+		return 0, fmt.Errorf("algclique: instance size %d needs padding to %d (engine %v); remove WithoutPadding or resize: %w",
+			n, want, c.engine, ccmm.ErrSize)
+	}
+	return want, nil
+}
+
+func (c config) network(n int) *clique.Network {
+	var opts []clique.Option
+	if c.workers > 0 {
+		opts = append(opts, clique.WithWorkers(c.workers))
+	}
+	if c.roundLimit > 0 {
+		opts = append(opts, clique.WithRoundLimit(c.roundLimit))
+	}
+	return clique.New(n, opts...)
+}
+
+func nextCube(n int) int {
+	c := 1
+	for c*c*c < n {
+		c++
+	}
+	return c * c * c
+}
+
+func nextSchemeSize(n int) int {
+	for m := n; ; m++ {
+		if _, err := bilinear.Pick(m); err == nil {
+			return m
+		}
+	}
+}

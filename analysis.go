@@ -1,0 +1,78 @@
+package algclique
+
+import (
+	"github.com/algebraic-clique/algclique/internal/baseline"
+	"github.com/algebraic-clique/algclique/internal/ccmm"
+	"github.com/algebraic-clique/algclique/internal/clique"
+)
+
+// TransitiveClosure computes reachability: out[u][v] = 1 iff a (directed)
+// path u→v exists or u = v, by ⌈log₂ n⌉ Boolean squarings of A ∨ I —
+// O(n^ρ log n) rounds. This is the reachability step of Corollary 8,
+// exposed on its own.
+func TransitiveClosure(g *Graph, opts ...Option) (reach [][]int64, stats Stats, err error) {
+	defer captureRoundLimit(&err)
+	c := newConfig(opts)
+	n, err := c.paddedSize(g.N(), ringSize)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	net := c.network(n)
+	padded := padGraph(g, n)
+	mat := ccmm.NewRowMat[int64](n)
+	for v := 0; v < n; v++ {
+		row := mat.Rows[v]
+		row[v] = 1
+		padded.Row(v).ForEach(func(u int) { row[u] = 1 })
+	}
+	for iter := 0; 1<<iter < n; iter++ {
+		mat, err = ccmm.MulBool(net, c.engine.internal(), mat, mat)
+		if err != nil {
+			return nil, statsOf(net, g.N()), err
+		}
+	}
+	return truncateRows(mat, g.N()), statsOf(net, g.N()), nil
+}
+
+// Diameter returns the unweighted diameter (the largest finite pairwise
+// distance) of an undirected graph via Seidel APSP, and whether the graph
+// is connected. For an edgeless or single-node graph the diameter is 0.
+func Diameter(g *Graph, opts ...Option) (diam int64, connected bool, stats Stats, err error) {
+	res, stats, err := APSPUnweighted(g, opts...)
+	if err != nil {
+		return 0, false, stats, err
+	}
+	connected = true
+	for u := range res.Dist {
+		for v := range res.Dist[u] {
+			d := res.Dist[u][v]
+			if IsInf(d) {
+				connected = false
+				continue
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam, connected, stats, nil
+}
+
+// MatMulBroadcast multiplies integer matrices on the *broadcast* congested
+// clique (each node sends one identical word to everyone per round), where
+// Ω̃(n) rounds are necessary for matrix multiplication (§4, Corollary 24).
+// Measured against MatMul it quantifies the unicast/broadcast separation
+// the paper's lower-bound section discusses.
+func MatMulBroadcast(a, b [][]int64) ([][]int64, Stats, error) {
+	n, err := squareSize(a, b)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	bnet := clique.NewBroadcast(n)
+	p, err := baseline.BroadcastMatMul(bnet, padMat(a, n, 0), padMat(b, n, 0))
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	stats := Stats{N: n, Rounds: bnet.Rounds(), Words: bnet.Words()}
+	return truncateRows(p, n), stats, nil
+}

@@ -1,0 +1,335 @@
+// Benchmarks reproducing Table 1 of "Algebraic Methods in the Congested
+// Clique" (PODC 2015) as measured round counts on the exact simulator.
+// Each benchmark corresponds to an experiment id in DESIGN.md §3 (T1.x),
+// and reports:
+//
+//	rounds — synchronous communication rounds of one full run
+//	words  — total words carried by links
+//
+// Wall-clock ns/op measures the *simulator*, not the model; rounds is the
+// quantity the paper bounds. cmd/ccbench prints the same data as tables
+// and fits the growth exponents recorded in EXPERIMENTS.md.
+package algclique_test
+
+import (
+	"fmt"
+	"testing"
+
+	cc "github.com/algebraic-clique/algclique"
+)
+
+func report(b *testing.B, stats cc.Stats) {
+	b.Helper()
+	b.ReportMetric(float64(stats.Rounds), "rounds")
+	b.ReportMetric(float64(stats.Words), "words")
+}
+
+func randSquare(n int, seed uint64) [][]int64 {
+	g := cc.RandomWeighted(n, 0.99, 100, true, seed)
+	out := make([][]int64, n)
+	for i := 0; i < n; i++ {
+		out[i] = make([]int64, n)
+		for j := 0; j < n; j++ {
+			if w := g.Weight(i, j); !cc.IsInf(w) {
+				out[i][j] = w
+			}
+		}
+	}
+	return out
+}
+
+// BenchmarkMatMulSemiring is experiment T1.1: Table 1 row "matrix
+// multiplication (semiring), O(n^{1/3}) rounds" on perfect-cube cliques.
+func BenchmarkMatMulSemiring(b *testing.B) {
+	for _, n := range []int{27, 64, 125, 216, 512} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			a := randSquare(n, 1)
+			c := randSquare(n, 2)
+			var stats cc.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, stats, err = cc.MatMul(a, c, cc.WithEngine(cc.Semiring3D))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			report(b, stats)
+		})
+	}
+}
+
+// BenchmarkMatMulFast is experiment T1.2: Table 1 row "matrix
+// multiplication (ring), O(n^ρ) rounds" via the Strassen-backed bilinear
+// simulation (σ = log₂7; the paper's exponent uses Le Gall's scheme).
+func BenchmarkMatMulFast(b *testing.B) {
+	for _, n := range []int{16, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			a := randSquare(n, 3)
+			c := randSquare(n, 4)
+			var stats cc.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, stats, err = cc.MatMul(a, c, cc.WithEngine(cc.Fast))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			report(b, stats)
+		})
+	}
+}
+
+// BenchmarkMatMulNaive anchors T1.1/T1.2 against the Θ(n)-round
+// learn-everything baseline.
+func BenchmarkMatMulNaive(b *testing.B) {
+	for _, n := range []int{27, 64, 216} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			a := randSquare(n, 5)
+			c := randSquare(n, 6)
+			var stats cc.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, stats, err = cc.MatMul(a, c, cc.WithEngine(cc.Naive))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			report(b, stats)
+		})
+	}
+}
+
+// BenchmarkTriangles is experiment T1.3: Table 1 row "triangle counting":
+// the algebraic O(n^ρ) algorithm versus the Dolev et al. O(n^{1/3})
+// combinatorial baseline on the same graphs.
+func BenchmarkTriangles(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		g := cc.GNP(n, 0.25, false, 7)
+		b.Run(fmt.Sprintf("algebraic/n=%d", n), func(b *testing.B) {
+			var stats cc.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, stats, err = cc.CountTriangles(g, cc.WithEngine(cc.Fast))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			report(b, stats)
+		})
+		b.Run(fmt.Sprintf("dolev/n=%d", n), func(b *testing.B) {
+			var stats cc.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, stats, err = cc.CountTrianglesDolev(g)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			report(b, stats)
+		})
+	}
+}
+
+// BenchmarkC4Detect is experiment T1.4: Table 1 row "4-cycle detection,
+// O(1) rounds" — rounds must stay flat as n grows.
+func BenchmarkC4Detect(b *testing.B) {
+	for _, n := range []int{16, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := cc.GNP(n, 3.0/float64(n), false, 8)
+			var stats cc.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, stats, err = cc.DetectFourCycle(g)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			report(b, stats)
+		})
+	}
+}
+
+// BenchmarkC4Count is experiment T1.5: Table 1 row "4-cycle counting,
+// O(n^ρ) rounds".
+func BenchmarkC4Count(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := cc.GNP(n, 0.2, false, 9)
+			var stats cc.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, stats, err = cc.CountFourCycles(g, cc.WithEngine(cc.Fast))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			report(b, stats)
+		})
+	}
+}
+
+// BenchmarkKCycle is experiment T1.6: Table 1 row "k-cycle detection,
+// 2^{O(k)} n^ρ rounds". Cycle-free instances with a fixed number of
+// colourings measure the deterministic per-colouring cost (a planted-cycle
+// search stops early after a random number of trials); rounds therefore
+// reads as "rounds per two colourings".
+func BenchmarkKCycle(b *testing.B) {
+	for _, k := range []int{3, 4, 5} {
+		for _, n := range []int{16, 64} {
+			b.Run(fmt.Sprintf("k=%d/n=%d", k, n), func(b *testing.B) {
+				g := cc.Tree(n, 10) // acyclic: every colouring runs fully
+				var stats cc.Stats
+				for i := 0; i < b.N; i++ {
+					found, s, err := cc.DetectCycle(g, k, cc.WithColourings(2), cc.WithSeed(11))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if found {
+						b.Fatal("false positive on a tree")
+					}
+					stats = s
+				}
+				report(b, stats)
+			})
+		}
+	}
+}
+
+// BenchmarkGirth is experiment T1.7: Table 1 row "girth, Õ(n^ρ)":
+// the dense branch (colour-coding), the sparse branch (full gather), and
+// the directed doubling algorithm.
+func BenchmarkGirth(b *testing.B) {
+	b.Run("dense/n=64", func(b *testing.B) {
+		g := cc.GNP(64, 0.5, false, 12)
+		var stats cc.Stats
+		for i := 0; i < b.N; i++ {
+			_, ok, s, err := cc.Girth(g, cc.WithColourings(40), cc.WithSeed(13))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				b.Fatal("dense graph reported acyclic")
+			}
+			stats = s
+		}
+		report(b, stats)
+	})
+	b.Run("sparse/n=64", func(b *testing.B) {
+		g := cc.Cycle(64, false)
+		var stats cc.Stats
+		for i := 0; i < b.N; i++ {
+			_, _, s, err := cc.Girth(g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			stats = s
+		}
+		report(b, stats)
+	})
+	b.Run("directed/n=64", func(b *testing.B) {
+		g := cc.GNP(64, 0.05, true, 14)
+		var stats cc.Stats
+		for i := 0; i < b.N; i++ {
+			_, _, s, err := cc.Girth(g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			stats = s
+		}
+		report(b, stats)
+	})
+}
+
+// BenchmarkAPSPSemiring is experiment T1.8: Table 1 row "weighted directed
+// APSP, O(n^{1/3} log n)" with routing tables.
+func BenchmarkAPSPSemiring(b *testing.B) {
+	for _, n := range []int{27, 64, 125} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := cc.RandomConnectedWeighted(n, 0.2, 50, true, 15)
+			var stats cc.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, stats, err = cc.APSP(g)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			report(b, stats)
+		})
+	}
+}
+
+// BenchmarkAPSPSmallWeights is experiment T1.9: Table 1 row "APSP with
+// weighted diameter U, Õ(U·n^ρ)": rounds grow with U at fixed n.
+func BenchmarkAPSPSmallWeights(b *testing.B) {
+	for _, maxW := range []int64{1, 4, 8} {
+		b.Run(fmt.Sprintf("n=64/maxW=%d", maxW), func(b *testing.B) {
+			g := cc.RandomConnectedWeighted(64, 0.15, maxW, true, 16)
+			var stats cc.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, stats, err = cc.APSPSmallWeights(g, cc.WithEngine(cc.Fast))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			report(b, stats)
+		})
+	}
+}
+
+// BenchmarkAPSPApprox is experiment T1.10: Table 1 row "(1+o(1))-approx
+// APSP, O(n^{ρ+o(1)})" — coarser δ trades stretch for rounds.
+func BenchmarkAPSPApprox(b *testing.B) {
+	for _, delta := range []float64{0.5, 0.25} {
+		b.Run(fmt.Sprintf("n=64/delta=%.2f", delta), func(b *testing.B) {
+			g := cc.RandomConnectedWeighted(64, 0.15, 40, true, 17)
+			var stats cc.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, _, stats, err = cc.APSPApprox(g, cc.WithEngine(cc.Fast), cc.WithDelta(delta))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			report(b, stats)
+		})
+	}
+}
+
+// BenchmarkAPSPSeidel is experiment T1.11: Table 1 row "unweighted
+// undirected APSP, O(n^ρ)" via Seidel's algorithm.
+func BenchmarkAPSPSeidel(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := cc.GNP(n, 0.15, false, 18)
+			var stats cc.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, stats, err = cc.APSPUnweighted(g, cc.WithEngine(cc.Fast))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			report(b, stats)
+		})
+	}
+}
+
+// BenchmarkAPSPNaive anchors T1.8–T1.11 against the Θ(n)-round baseline.
+func BenchmarkAPSPNaive(b *testing.B) {
+	for _, n := range []int{27, 64, 125} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := cc.RandomConnectedWeighted(n, 0.2, 50, true, 19)
+			var stats cc.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, stats, err = cc.APSPNaive(g)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			report(b, stats)
+		})
+	}
+}

@@ -1,0 +1,291 @@
+// Command ccrun runs one of the paper's algorithms on a graph from a file
+// (or a generated one) on the simulated congested clique and reports the
+// result together with the measured round cost.
+//
+// Usage:
+//
+//	ccrun -algo triangles -graph social.txt
+//	ccrun -algo girth -gen gnp:64:0.3:7
+//	ccrun -algo apsp -weighted -graph net.txt -from 0 -to 9
+//	ccrun -algo c4detect -gen torus:8:8
+//
+// Graph files use the edge-list format of algclique.WriteGraph /
+// WriteWeightedGraph. Algorithms: triangles, triangles-dolev, c4, c5, c6,
+// c4detect, kcycle (with -k), girth, diameter, reach, sparsesquare,
+// apsp, apsp-approx (with -delta), apsp-unweighted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"os"
+	"strconv"
+	"strings"
+
+	cc "github.com/algebraic-clique/algclique"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ccrun: ")
+	var (
+		algo       = flag.String("algo", "", "algorithm to run (see package doc)")
+		graphPath  = flag.String("graph", "", "edge-list file ('-' for stdin)")
+		gen        = flag.String("gen", "", "generate instead: gnp:<n>:<p>[:seed], torus:<r>:<c>, cycle:<n>, pa:<n>:<m>[:seed], petersen")
+		weighted   = flag.Bool("weighted", false, "parse the file as a weighted edge list")
+		engineName = flag.String("engine", "auto", "engine: auto, fast, 3d, naive")
+		seed       = flag.Uint64("seed", 1, "seed for randomised components")
+		colourings = flag.Int("colourings", 0, "colour-coding trials (0 = paper default)")
+		k          = flag.Int("k", 5, "cycle length for -algo kcycle")
+		delta      = flag.Float64("delta", 0.25, "rounding parameter for -algo apsp-approx")
+		from       = flag.Int("from", -1, "print the route from this node (apsp)")
+		to         = flag.Int("to", -1, "print the route to this node (apsp)")
+	)
+	flag.Parse()
+	if *algo == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	engine, err := parseEngine(*engineName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := []cc.Option{cc.WithEngine(engine), cc.WithSeed(*seed)}
+	if *colourings > 0 {
+		opts = append(opts, cc.WithColourings(*colourings))
+	}
+
+	var g *cc.Graph
+	var wg *cc.Weighted
+	switch {
+	case *gen != "":
+		g, err = generate(*gen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *weighted {
+			wg = cc.UnitWeights(g)
+		}
+	case *graphPath != "":
+		f := os.Stdin
+		if *graphPath != "-" {
+			f, err = os.Open(*graphPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+		}
+		if *weighted {
+			wg, err = cc.ReadWeightedGraph(f)
+		} else {
+			g, err = cc.ReadGraph(f)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatal("need -graph or -gen")
+	}
+	if g != nil {
+		fmt.Printf("graph: %d nodes, %d edges, directed=%v\n", g.N(), g.EdgeCount(), g.Directed())
+	} else {
+		fmt.Printf("weighted graph: %d nodes, directed=%v, max weight %d\n", wg.N(), wg.Directed(), wg.MaxWeight())
+	}
+
+	var stats cc.Stats
+	switch *algo {
+	case "triangles":
+		var count int64
+		count, stats, err = cc.CountTriangles(need(g), opts...)
+		describe(err, stats, "triangles: %d", count)
+	case "triangles-dolev":
+		var count int64
+		count, stats, err = cc.CountTrianglesDolev(need(g), opts...)
+		describe(err, stats, "triangles (Dolev baseline): %d", count)
+	case "c4":
+		var count int64
+		count, stats, err = cc.CountFourCycles(need(g), opts...)
+		describe(err, stats, "4-cycles: %d", count)
+	case "c5":
+		var count int64
+		count, stats, err = cc.CountFiveCycles(need(g), opts...)
+		describe(err, stats, "5-cycles: %d", count)
+	case "c6":
+		var count int64
+		count, stats, err = cc.CountSixCycles(need(g), opts...)
+		describe(err, stats, "6-cycles: %d", count)
+	case "c4detect":
+		var found bool
+		found, stats, err = cc.DetectFourCycle(need(g), opts...)
+		describe(err, stats, "contains a 4-cycle: %v", found)
+	case "kcycle":
+		var found bool
+		found, stats, err = cc.DetectCycle(need(g), *k, opts...)
+		describe(err, stats, "contains a %d-cycle: %v", *k, found)
+	case "girth":
+		var val int
+		var ok bool
+		val, ok, stats, err = cc.Girth(need(g), opts...)
+		if ok {
+			describe(err, stats, "girth: %d", val)
+		} else {
+			describe(err, stats, "acyclic")
+		}
+	case "diameter":
+		var diam int64
+		var connected bool
+		diam, connected, stats, err = cc.Diameter(need(g), opts...)
+		describe(err, stats, "diameter: %d (connected: %v)", diam, connected)
+	case "reach":
+		var m [][]int64
+		m, stats, err = cc.TransitiveClosure(need(g), opts...)
+		var pairs int64
+		for _, row := range m {
+			for _, x := range row {
+				pairs += x
+			}
+		}
+		describe(err, stats, "reachable ordered pairs (incl. self): %d", pairs)
+	case "sparsesquare":
+		var sq [][]int64
+		sq, stats, err = cc.SquareAdjacencySparse(need(g), opts...)
+		var walks int64
+		for _, row := range sq {
+			for _, x := range row {
+				walks += x
+			}
+		}
+		describe(err, stats, "2-walks: %d", walks)
+	case "apsp":
+		var res *cc.APSPResult
+		res, stats, err = cc.APSP(needW(wg), opts...)
+		describe(err, stats, "exact APSP with routing tables computed")
+		if err == nil && *from >= 0 && *to >= 0 {
+			fmt.Printf("route %d → %d: distance %d, path %v\n",
+				*from, *to, res.Dist[*from][*to], res.Path(*from, *to))
+		}
+	case "apsp-approx":
+		var stretch float64
+		_, stretch, stats, err = cc.APSPApprox(needW(wg), append(opts, cc.WithDelta(*delta))...)
+		describe(err, stats, "approximate APSP, stretch bound %.3f", stretch)
+	case "apsp-unweighted":
+		_, stats, err = cc.APSPUnweighted(need(g), opts...)
+		describe(err, stats, "unweighted APSP computed")
+	default:
+		log.Fatalf("unknown -algo %q", *algo)
+	}
+}
+
+func need(g *cc.Graph) *cc.Graph {
+	if g == nil {
+		log.Fatal("this algorithm needs an unweighted graph (drop -weighted)")
+	}
+	return g
+}
+
+func needW(g *cc.Weighted) *cc.Weighted {
+	if g == nil {
+		log.Fatal("this algorithm needs -weighted (or a weighted file)")
+	}
+	return g
+}
+
+func describe(err error, stats cc.Stats, format string, args ...any) {
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf(format+"\n", args...)
+	fmt.Printf("cost: %d rounds, %d words on an n=%d clique", stats.Rounds, stats.Words, stats.N)
+	if stats.PaddedFrom != 0 {
+		fmt.Printf(" (padded from %d)", stats.PaddedFrom)
+	}
+	fmt.Println()
+	for _, p := range stats.Phases {
+		fmt.Printf("  %-24s %6d rounds %12d words\n", p.Name, p.Rounds, p.Words)
+	}
+}
+
+func parseEngine(s string) (cc.Engine, error) {
+	switch s {
+	case "auto":
+		return cc.Auto, nil
+	case "fast":
+		return cc.Fast, nil
+	case "3d":
+		return cc.Semiring3D, nil
+	case "naive":
+		return cc.Naive, nil
+	default:
+		return cc.Auto, fmt.Errorf("unknown engine %q (auto, fast, 3d, naive)", s)
+	}
+}
+
+func generate(spec string) (*cc.Graph, error) {
+	parts := strings.Split(spec, ":")
+	atoi := func(i int) (int, error) {
+		if i >= len(parts) {
+			return 0, fmt.Errorf("generator %q: missing argument %d", spec, i)
+		}
+		return strconv.Atoi(parts[i])
+	}
+	switch parts[0] {
+	case "gnp":
+		n, err := atoi(1)
+		if err != nil {
+			return nil, err
+		}
+		p, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("generator %q: bad probability", spec)
+		}
+		seed := uint64(1)
+		if len(parts) > 3 {
+			s, err := strconv.ParseUint(parts[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("generator %q: bad seed", spec)
+			}
+			seed = s
+		}
+		return cc.GNP(n, p, false, seed), nil
+	case "torus":
+		r, err := atoi(1)
+		if err != nil {
+			return nil, err
+		}
+		c, err := atoi(2)
+		if err != nil {
+			return nil, err
+		}
+		return cc.Torus(r, c), nil
+	case "cycle":
+		n, err := atoi(1)
+		if err != nil {
+			return nil, err
+		}
+		return cc.Cycle(n, false), nil
+	case "pa":
+		n, err := atoi(1)
+		if err != nil {
+			return nil, err
+		}
+		m, err := atoi(2)
+		if err != nil {
+			return nil, err
+		}
+		seed := uint64(rand.Uint64())
+		if len(parts) > 3 {
+			s, err := strconv.ParseUint(parts[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("generator %q: bad seed", spec)
+			}
+			seed = s
+		}
+		return cc.PreferentialAttachment(n, m, seed), nil
+	case "petersen":
+		return cc.Petersen(), nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q", parts[0])
+	}
+}

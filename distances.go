@@ -1,0 +1,200 @@
+package algclique
+
+import (
+	"fmt"
+
+	"github.com/algebraic-clique/algclique/internal/baseline"
+	"github.com/algebraic-clique/algclique/internal/ccmm"
+	"github.com/algebraic-clique/algclique/internal/distance"
+	"github.com/algebraic-clique/algclique/internal/ring"
+)
+
+// APSPResult holds all-pairs shortest-path output. Dist[u][v] is the
+// distance (Inf when unreachable); Next, when non-nil, is the routing
+// table: Next[u][v] is the first hop after u on a shortest u→v path
+// (NoHop for unreachable pairs, u itself on the diagonal).
+type APSPResult struct {
+	Dist [][]int64
+	Next [][]int64
+}
+
+// Path reconstructs a shortest u→v path from the routing table, or nil if
+// v is unreachable or no routing table was computed.
+func (r *APSPResult) Path(u, v int) []int {
+	if r.Next == nil || u < 0 || v < 0 || u >= len(r.Next) || v >= len(r.Next) {
+		return nil
+	}
+	if ring.IsInf(r.Dist[u][v]) {
+		return nil
+	}
+	path := []int{u}
+	cur := u
+	for cur != v {
+		hop := r.Next[cur][v]
+		if hop < 0 || int(hop) >= len(r.Next) || len(path) > len(r.Next) {
+			return nil
+		}
+		cur = int(hop)
+		path = append(path, cur)
+	}
+	return path
+}
+
+func truncateResult(res *distance.Result, n int) *APSPResult {
+	out := &APSPResult{Dist: truncateRows(res.Dist, n)}
+	if res.Next != nil {
+		out.Next = truncateRows(res.Next, n)
+		// Padded nodes cannot occur on finite paths, so truncation is safe.
+	}
+	return out
+}
+
+func truncateRows(m *ccmm.RowMat[int64], n int) [][]int64 {
+	out := make([][]int64, n)
+	for v := 0; v < n; v++ {
+		row := make([]int64, n)
+		copy(row, m.Rows[v][:n])
+		out[v] = row
+	}
+	return out
+}
+
+// APSP computes exact all-pairs shortest paths and routing tables for
+// weighted directed graphs (integer weights, negative allowed, no negative
+// cycles) by min-plus iterated squaring on the 3D algorithm —
+// O(n^{1/3} log n) rounds (Corollary 6).
+func APSP(g *Weighted, opts ...Option) (res *APSPResult, stats Stats, err error) {
+	defer captureRoundLimit(&err)
+	c := newConfig(opts)
+	n, err := c.paddedSize(g.N(), cubeSize)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	net := c.network(n)
+	dres, err := distance.APSPSemiring(net, padWeighted(g, n))
+	if err != nil {
+		return nil, statsOf(net, g.N()), err
+	}
+	return truncateResult(dres, g.N()), statsOf(net, g.N()), nil
+}
+
+// APSPUnweighted computes exact all-pairs shortest paths of an unweighted
+// undirected graph by Seidel's algorithm — Õ(n^ρ) rounds (Corollary 7).
+// No routing table is produced; see APSPUnweightedWithRouting.
+func APSPUnweighted(g *Graph, opts ...Option) (res *APSPResult, stats Stats, err error) {
+	defer captureRoundLimit(&err)
+	c := newConfig(opts)
+	n, err := c.paddedSize(g.N(), ringSize)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	net := c.network(n)
+	d, err := distance.APSPSeidel(net, c.engine.internal(), padGraph(g, n))
+	if err != nil {
+		return nil, statsOf(net, g.N()), err
+	}
+	return &APSPResult{Dist: truncateRows(d, g.N())}, statsOf(net, g.N()), nil
+}
+
+// APSPUnweightedWithRouting runs Seidel's algorithm and then recovers a
+// routing table with the witness machinery of §3.4 (Lemma 21).
+func APSPUnweightedWithRouting(g *Graph, opts ...Option) (res *APSPResult, stats Stats, err error) {
+	defer captureRoundLimit(&err)
+	c := newConfig(opts)
+	n, err := c.paddedSize(g.N(), ringSize)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	net := c.network(n)
+	padded := padGraph(g, n)
+	d, err := distance.APSPSeidel(net, c.engine.internal(), padded)
+	if err != nil {
+		return nil, statsOf(net, g.N()), err
+	}
+	w := ccmm.NewRowMat[int64](n)
+	for u := 0; u < n; u++ {
+		row := w.Rows[u]
+		for v := 0; v < n; v++ {
+			switch {
+			case u == v:
+				row[v] = 0
+			case padded.HasEdge(u, v):
+				row[v] = 1
+			default:
+				row[v] = ring.Inf
+			}
+		}
+	}
+	oracle := distance.MinPlusOracle(net, c.engine.internal())
+	next, err := distance.RoutingFromDistances(net, oracle, w, d, distance.WitnessOpts{Seed: c.seed})
+	if err != nil {
+		return nil, statsOf(net, g.N()), err
+	}
+	out := &APSPResult{Dist: truncateRows(d, g.N()), Next: truncateRows(next, g.N())}
+	return out, statsOf(net, g.N()), nil
+}
+
+// APSPSmallWeights computes exact all-pairs shortest paths for directed
+// graphs with positive integer weights and weighted diameter U in
+// Õ(U·n^ρ) rounds (Corollary 8, via the Lemma 18 ring embedding).
+func APSPSmallWeights(g *Weighted, opts ...Option) (res *APSPResult, stats Stats, err error) {
+	defer captureRoundLimit(&err)
+	c := newConfig(opts)
+	n, err := c.paddedSize(g.N(), ringSize)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	net := c.network(n)
+	d, err := distance.APSPSmallWeights(net, c.engine.internal(), padWeighted(g, n))
+	if err != nil {
+		return nil, statsOf(net, g.N()), err
+	}
+	return &APSPResult{Dist: truncateRows(d, g.N())}, statsOf(net, g.N()), nil
+}
+
+// APSPApprox computes (1+ε)-approximate all-pairs shortest paths for
+// directed graphs with non-negative integer weights in O(n^{ρ+o(1)})
+// rounds (Theorem 9). The returned stretch is the proven bound
+// (1+δ)^⌈log₂ n⌉ for the δ in effect (see WithDelta); with the default δ
+// the stretch is 1+o(1).
+func APSPApprox(g *Weighted, opts ...Option) (res *APSPResult, stretch float64, stats Stats, err error) {
+	defer captureRoundLimit(&err)
+	c := newConfig(opts)
+	n, err := c.paddedSize(g.N(), ringSize)
+	if err != nil {
+		return nil, 0, Stats{}, err
+	}
+	net := c.network(n)
+	d, stretch, err := distance.APSPApprox(net, c.engine.internal(), padWeighted(g, n),
+		distance.ApproxOpts{Delta: c.delta})
+	if err != nil {
+		return nil, 0, statsOf(net, g.N()), err
+	}
+	return &APSPResult{Dist: truncateRows(d, g.N())}, stretch, statsOf(net, g.N()), nil
+}
+
+// APSPNaive is the Θ(n)-round learn-everything baseline (per-node
+// Dijkstra); non-negative weights only.
+func APSPNaive(g *Weighted, opts ...Option) (res *APSPResult, stats Stats, err error) {
+	defer captureRoundLimit(&err)
+	c := newConfig(opts)
+	if _, err := c.paddedSize(g.N(), anySize); err != nil {
+		return nil, Stats{}, err
+	}
+	net := c.network(g.N())
+	d, err := baseline.NaiveAPSP(net, g)
+	if err != nil {
+		return nil, statsOf(net, g.N()), err
+	}
+	return &APSPResult{Dist: truncateRows(d, g.N())}, statsOf(net, g.N()), nil
+}
+
+// ValidateRouting checks a distance matrix and routing table against the
+// graph: every recorded path must exist and realise its distance. Intended
+// for tests and examples.
+func ValidateRouting(g *Weighted, res *APSPResult) error {
+	if res.Next == nil {
+		return fmt.Errorf("algclique: no routing table to validate")
+	}
+	return distance.ValidateRouting(g, denseOf(res.Dist), denseOf(res.Next))
+}

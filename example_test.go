@@ -1,0 +1,108 @@
+package algclique_test
+
+import (
+	"fmt"
+
+	cc "github.com/algebraic-clique/algclique"
+)
+
+func ExampleMatMul() {
+	a := [][]int64{
+		{1, 2},
+		{3, 4},
+	}
+	b := [][]int64{
+		{5, 6},
+		{7, 8},
+	}
+	p, _, err := cc.MatMul(a, b)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p[0], p[1])
+	// Output: [19 22] [43 50]
+}
+
+func ExampleCountTriangles() {
+	g := cc.Complete(5, false) // K5 has C(5,3) = 10 triangles
+	count, stats, err := cc.CountTriangles(g)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d triangles on a %d-node clique\n", count, stats.N)
+	// Output: 10 triangles on a 8-node clique
+}
+
+func ExampleDetectFourCycle() {
+	square := cc.Cycle(4, false)
+	found, _, err := cc.DetectFourCycle(square)
+	if err != nil {
+		panic(err)
+	}
+	pentagon := cc.Cycle(5, false)
+	notFound, _, err := cc.DetectFourCycle(pentagon)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(found, notFound)
+	// Output: true false
+}
+
+func ExampleAPSP() {
+	g := cc.NewWeighted(4, true)
+	g.SetEdge(0, 1, 2)
+	g.SetEdge(1, 2, 3)
+	g.SetEdge(2, 3, 1)
+	g.SetEdge(0, 3, 10)
+	res, _, err := cc.APSP(g)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Dist[0][3], res.Path(0, 3))
+	// Output: 6 [0 1 2 3]
+}
+
+func ExampleGirth() {
+	g, ok, _, err := cc.Girth(cc.Petersen(), cc.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(g, ok)
+	// Output: 5 true
+}
+
+func ExampleDistanceProduct() {
+	inf := cc.Inf
+	w := [][]int64{
+		{0, 4, inf},
+		{inf, 0, 5},
+		{2, inf, 0},
+	}
+	p, _, err := cc.DistanceProduct(w, w)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p[0][2], p[2][1]) // 0→1→2 and 2→0→1
+	// Output: 9 6
+}
+
+func ExampleTransitiveClosure() {
+	g := cc.NewGraph(4, true)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	reach, _, err := cc.TransitiveClosure(g)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(reach[0][2], reach[2][0])
+	// Output: 1 0
+}
+
+func ExampleAPSPUnweighted() {
+	res, _, err := cc.APSPUnweighted(cc.Path(6, false))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Dist[0][5])
+	// Output: 5
+}

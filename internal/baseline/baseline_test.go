@@ -1,0 +1,109 @@
+package baseline_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/algebraic-clique/algclique/internal/baseline"
+	"github.com/algebraic-clique/algclique/internal/clique"
+	"github.com/algebraic-clique/algclique/internal/graphs"
+	"github.com/algebraic-clique/algclique/internal/matrix"
+	"github.com/algebraic-clique/algclique/internal/ring"
+)
+
+func TestDolevTrianglesMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	// Include non-cube clique sizes: the baseline handles any n.
+	for _, n := range []int{8, 15, 27, 40, 64} {
+		for trial := 0; trial < 3; trial++ {
+			g := graphs.GNP(n, rng.Float64()*0.5, false, rng.Uint64())
+			net := clique.New(n)
+			got, err := baseline.DolevTriangles(net, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := graphs.CountTrianglesRef(g); got != want {
+				t.Fatalf("n=%d: Dolev count = %d, want %d", n, got, want)
+			}
+		}
+	}
+}
+
+func TestDolevTrianglesKnownCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graphs.Graph
+		want int64
+	}{
+		{"K4", graphs.Complete(4, false), 4},
+		{"K6", graphs.Complete(6, false), 20},
+		{"C5", graphs.Cycle(5, false), 0},
+		{"petersen", graphs.Petersen(), 0},
+	}
+	for _, tc := range cases {
+		net := clique.New(tc.g.N())
+		got, err := baseline.DolevTriangles(net, tc.g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("%s: %d triangles, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestDolevTrianglesRejectsDirected(t *testing.T) {
+	net := clique.New(8)
+	if _, err := baseline.DolevTriangles(net, graphs.Cycle(8, true)); err == nil {
+		t.Error("directed graph accepted")
+	}
+}
+
+func TestDolevRoundsScaleSubLinearly(t *testing.T) {
+	rounds := map[int]int64{}
+	for _, n := range []int{27, 216} {
+		g := graphs.GNP(n, 0.3, false, 5)
+		net := clique.New(n)
+		if _, err := baseline.DolevTriangles(net, g); err != nil {
+			t.Fatal(err)
+		}
+		rounds[n] = net.Rounds()
+	}
+	// n grew 8×; O(n^{1/3}) predicts ~2× rounds. Allow generous slack but
+	// reject linear growth (8×).
+	if rounds[216] > 5*rounds[27] {
+		t.Errorf("Dolev rounds grew too fast: %v", rounds)
+	}
+}
+
+func TestNaiveAPSPMatchesFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	for _, n := range []int{10, 20, 33} {
+		g := graphs.RandomWeighted(n, 0.25, 20, rng.IntN(2) == 0, rng.Uint64())
+		net := clique.New(n)
+		d, err := baseline.NaiveAPSP(net, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := graphs.FloydWarshall(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matrix.Equal[int64](ring.MinPlus{}, d.Collect(), want) {
+			t.Fatalf("n=%d: naive APSP disagrees with Floyd–Warshall", n)
+		}
+		// Gathering n² words costs ≈ 2n rounds.
+		if net.Rounds() > int64(3*n+5) {
+			t.Errorf("n=%d: naive APSP used %d rounds", n, net.Rounds())
+		}
+	}
+}
+
+func TestNaiveAPSPRejectsNegative(t *testing.T) {
+	g := graphs.NewWeighted(8, true)
+	g.SetEdge(0, 1, -1)
+	net := clique.New(8)
+	if _, err := baseline.NaiveAPSP(net, g); err == nil {
+		t.Error("negative weight accepted by Dijkstra baseline")
+	}
+}

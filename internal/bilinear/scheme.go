@@ -1,0 +1,248 @@
+// Package bilinear represents bilinear matrix-multiplication schemes — the
+// ⟨d, d, d; m⟩ algorithms that compute a d×d matrix product with m scalar
+// multiplications — and their Kronecker (tensor) composition.
+//
+// A scheme is the data (α, β, λ) of §2.2 of the paper:
+//
+//	Ŝ(w) = Σ_{i,j} α_ijw · S_ij,   T̂(w) = Σ_{i,j} β_ijw · T_ij,
+//	P̂(w) = Ŝ(w) · T̂(w),           P_ij = Σ_w λ_ijw · P̂(w).
+//
+// The congested-clique fast multiplication (Lemma 10) runs one P̂(w) product
+// per node; the scheme's multiplication count m must therefore not exceed
+// the clique size n, and the block dimension d must divide √n.
+package bilinear
+
+import (
+	"fmt"
+
+	"github.com/algebraic-clique/algclique/internal/matrix"
+	"github.com/algebraic-clique/algclique/internal/ring"
+)
+
+// Term is one coefficient of a linear form over d×d block indices: the
+// block at (I, J) enters with integer coefficient C.
+type Term struct {
+	I, J int
+	C    int64
+}
+
+// Scheme is a bilinear matrix-multiplication algorithm for d×d block
+// matrices using M block multiplications. Alpha[w] and Beta[w] list the
+// non-zero terms of the w-th linear forms over S and T; Lambda[w] lists the
+// output blocks (I, J) to which P̂(w) contributes with coefficient C.
+type Scheme struct {
+	D      int
+	M      int
+	Alpha  [][]Term
+	Beta   [][]Term
+	Lambda [][]Term
+	name   string
+}
+
+// Name returns a human-readable description, e.g. "strassen^2⊗classical(3)".
+func (s *Scheme) Name() string { return s.name }
+
+// String implements fmt.Stringer.
+func (s *Scheme) String() string {
+	return fmt.Sprintf("%s ⟨d=%d, m=%d⟩", s.name, s.D, s.M)
+}
+
+// Classical returns the school-book ⟨d,d,d; d³⟩ scheme.
+func Classical(d int) *Scheme {
+	if d < 1 {
+		panic("bilinear: Classical dimension must be ≥ 1")
+	}
+	m := d * d * d
+	s := &Scheme{
+		D: d, M: m,
+		Alpha:  make([][]Term, m),
+		Beta:   make([][]Term, m),
+		Lambda: make([][]Term, m),
+		name:   fmt.Sprintf("classical(%d)", d),
+	}
+	w := 0
+	for i := 0; i < d; i++ {
+		for k := 0; k < d; k++ {
+			for j := 0; j < d; j++ {
+				s.Alpha[w] = []Term{{I: i, J: k, C: 1}}
+				s.Beta[w] = []Term{{I: k, J: j, C: 1}}
+				s.Lambda[w] = []Term{{I: i, J: j, C: 1}}
+				w++
+			}
+		}
+	}
+	return s
+}
+
+// Strassen returns Strassen's ⟨2,2,2;7⟩ scheme (Strassen 1969).
+func Strassen() *Scheme {
+	return &Scheme{
+		D: 2, M: 7,
+		// M1..M7 in the classical formulation.
+		Alpha: [][]Term{
+			{{0, 0, 1}, {1, 1, 1}},  // M1: (A11 + A22)
+			{{1, 0, 1}, {1, 1, 1}},  // M2: (A21 + A22)
+			{{0, 0, 1}},             // M3: A11
+			{{1, 1, 1}},             // M4: A22
+			{{0, 0, 1}, {0, 1, 1}},  // M5: (A11 + A12)
+			{{1, 0, 1}, {0, 0, -1}}, // M6: (A21 − A11)
+			{{0, 1, 1}, {1, 1, -1}}, // M7: (A12 − A22)
+		},
+		Beta: [][]Term{
+			{{0, 0, 1}, {1, 1, 1}},  // M1: (B11 + B22)
+			{{0, 0, 1}},             // M2: B11
+			{{0, 1, 1}, {1, 1, -1}}, // M3: (B12 − B22)
+			{{1, 0, 1}, {0, 0, -1}}, // M4: (B21 − B11)
+			{{1, 1, 1}},             // M5: B22
+			{{0, 0, 1}, {0, 1, 1}},  // M6: (B11 + B12)
+			{{1, 0, 1}, {1, 1, 1}},  // M7: (B21 + B22)
+		},
+		// C11 = M1 + M4 − M5 + M7; C12 = M3 + M5;
+		// C21 = M2 + M4;           C22 = M1 − M2 + M3 + M6.
+		Lambda: [][]Term{
+			{{0, 0, 1}, {1, 1, 1}},  // M1 → C11, C22
+			{{1, 0, 1}, {1, 1, -1}}, // M2 → C21, −C22
+			{{0, 1, 1}, {1, 1, 1}},  // M3 → C12, C22
+			{{0, 0, 1}, {1, 0, 1}},  // M4 → C11, C21
+			{{0, 0, -1}, {0, 1, 1}}, // M5 → −C11, C12
+			{{1, 1, 1}},             // M6 → C22
+			{{0, 0, 1}},             // M7 → C11
+		},
+		name: "strassen",
+	}
+}
+
+// Tensor returns the Kronecker product a⊗b: a ⟨Da·Db; Ma·Mb⟩ scheme that
+// runs a on Da×Da blocks whose entries are themselves Db×Db block matrices
+// multiplied by b. Block (i, j) of the tensor scheme is (ia·Db+ib, ja·Db+jb).
+func Tensor(a, b *Scheme) *Scheme {
+	d := a.D * b.D
+	m := a.M * b.M
+	s := &Scheme{
+		D: d, M: m,
+		Alpha:  make([][]Term, m),
+		Beta:   make([][]Term, m),
+		Lambda: make([][]Term, m),
+		name:   fmt.Sprintf("%s⊗%s", a.name, b.name),
+	}
+	cross := func(ta, tb []Term) []Term {
+		out := make([]Term, 0, len(ta)*len(tb))
+		for _, x := range ta {
+			for _, y := range tb {
+				out = append(out, Term{
+					I: x.I*b.D + y.I,
+					J: x.J*b.D + y.J,
+					C: x.C * y.C,
+				})
+			}
+		}
+		return out
+	}
+	for wa := 0; wa < a.M; wa++ {
+		for wb := 0; wb < b.M; wb++ {
+			w := wa*b.M + wb
+			s.Alpha[w] = cross(a.Alpha[wa], b.Alpha[wb])
+			s.Beta[w] = cross(a.Beta[wa], b.Beta[wb])
+			s.Lambda[w] = cross(a.Lambda[wa], b.Lambda[wb])
+		}
+	}
+	return s
+}
+
+// StrassenPower returns strassen^⊗k, the ⟨2^k; 7^k⟩ scheme. k = 0 yields
+// the trivial ⟨1;1⟩ scheme.
+func StrassenPower(k int) *Scheme {
+	if k < 0 {
+		panic("bilinear: negative Strassen power")
+	}
+	s := Classical(1)
+	base := Strassen()
+	for i := 0; i < k; i++ {
+		s = Tensor(s, base)
+	}
+	if k > 0 {
+		s.name = fmt.Sprintf("strassen^%d", k)
+	}
+	return s
+}
+
+// Validate checks structural well-formedness: indices in range, at least one
+// multiplication, and no empty linear forms.
+func (s *Scheme) Validate() error {
+	if s.D < 1 || s.M < 1 {
+		return fmt.Errorf("bilinear: degenerate scheme d=%d m=%d", s.D, s.M)
+	}
+	if len(s.Alpha) != s.M || len(s.Beta) != s.M || len(s.Lambda) != s.M {
+		return fmt.Errorf("bilinear: scheme %q has inconsistent term-table lengths", s.name)
+	}
+	for w := 0; w < s.M; w++ {
+		for _, tbl := range [][]Term{s.Alpha[w], s.Beta[w], s.Lambda[w]} {
+			for _, t := range tbl {
+				if t.I < 0 || t.I >= s.D || t.J < 0 || t.J >= s.D {
+					return fmt.Errorf("bilinear: scheme %q term (%d,%d) out of range at w=%d", s.name, t.I, t.J, w)
+				}
+				if t.C == 0 {
+					return fmt.Errorf("bilinear: scheme %q has zero coefficient at w=%d", s.name, w)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// MulBlocks multiplies two matrices of size (D·bs)×(D·bs) through the
+// scheme, treating them as D×D grids of bs×bs blocks over the ring. This is
+// the sequential reference for the distributed algorithm and the basis of
+// scheme verification.
+func MulBlocks[T any](s *Scheme, r ring.Ring[T], a, b *matrix.Dense[T], bs int) *matrix.Dense[T] {
+	n := s.D * bs
+	if a.Rows() != n || a.Cols() != n || b.Rows() != n || b.Cols() != n {
+		panic(fmt.Sprintf("bilinear: MulBlocks wants %d×%d operands, got %d×%d and %d×%d",
+			n, n, a.Rows(), a.Cols(), b.Rows(), b.Cols()))
+	}
+	block := func(m *matrix.Dense[T], i, j int) *matrix.Dense[T] {
+		return m.Sub(i*bs, (i+1)*bs, j*bs, (j+1)*bs)
+	}
+	out := matrix.Zeros[T](r, n, n)
+	for w := 0; w < s.M; w++ {
+		sh := matrix.Zeros[T](r, bs, bs)
+		for _, t := range s.Alpha[w] {
+			matrix.ScaleAddInto(r, sh, t.C, block(a, t.I, t.J))
+		}
+		th := matrix.Zeros[T](r, bs, bs)
+		for _, t := range s.Beta[w] {
+			matrix.ScaleAddInto(r, th, t.C, block(b, t.I, t.J))
+		}
+		ph := matrix.Mul[T](r, sh, th)
+		for _, t := range s.Lambda[w] {
+			dst := out.Sub(t.I*bs, (t.I+1)*bs, t.J*bs, (t.J+1)*bs)
+			matrix.ScaleAddInto(r, dst, t.C, ph)
+			out.SetSub(t.I*bs, t.J*bs, dst)
+		}
+	}
+	return out
+}
+
+// VerifyOver checks that the scheme computes correct products of random
+// scalar matrices over the given ring. gen supplies random elements.
+func VerifyOver[T any](s *Scheme, r ring.Ring[T], trials int, gen func() T) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	for trial := 0; trial < trials; trial++ {
+		a := matrix.New[T](s.D, s.D)
+		b := matrix.New[T](s.D, s.D)
+		for i := 0; i < s.D; i++ {
+			for j := 0; j < s.D; j++ {
+				a.Set(i, j, gen())
+				b.Set(i, j, gen())
+			}
+		}
+		got := MulBlocks(s, r, a, b, 1)
+		want := matrix.Mul[T](r, a, b)
+		if !matrix.Equal[T](r, got, want) {
+			return fmt.Errorf("bilinear: scheme %q computed a wrong product (trial %d)", s.name, trial)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package bilinear_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/algebraic-clique/algclique/internal/bilinear"
+	"github.com/algebraic-clique/algclique/internal/matrix"
+	"github.com/algebraic-clique/algclique/internal/ring"
+)
+
+func intGen(rng *rand.Rand) func() int64 {
+	return func() int64 { return rng.Int64N(41) - 20 }
+}
+
+func TestStrassenSchemeCorrect(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	s := bilinear.Strassen()
+	if s.D != 2 || s.M != 7 {
+		t.Fatalf("strassen scheme is ⟨%d;%d⟩, want ⟨2;7⟩", s.D, s.M)
+	}
+	if err := bilinear.VerifyOver[int64](s, ring.Int64{}, 100, intGen(rng)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassicalSchemeCorrect(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 1))
+	for d := 1; d <= 4; d++ {
+		s := bilinear.Classical(d)
+		if s.M != d*d*d {
+			t.Fatalf("classical(%d) has m=%d", d, s.M)
+		}
+		if err := bilinear.VerifyOver[int64](s, ring.Int64{}, 25, intGen(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTensorSchemesCorrect(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 1))
+	z := ring.NewZp(10007)
+	zgen := func() int64 { return rng.Int64N(10007) }
+	cases := []*bilinear.Scheme{
+		bilinear.StrassenPower(2),
+		bilinear.Tensor(bilinear.Strassen(), bilinear.Classical(3)),
+		bilinear.Tensor(bilinear.Classical(2), bilinear.Strassen()),
+		bilinear.Tensor(bilinear.StrassenPower(2), bilinear.Classical(2)),
+	}
+	for _, s := range cases {
+		if err := bilinear.VerifyOver[int64](s, z, 10, zgen); err != nil {
+			t.Errorf("%v: %v", s, err)
+		}
+	}
+}
+
+func TestStrassenPowerCounts(t *testing.T) {
+	for k := 0; k <= 3; k++ {
+		s := bilinear.StrassenPower(k)
+		wantD, wantM := 1, 1
+		for i := 0; i < k; i++ {
+			wantD *= 2
+			wantM *= 7
+		}
+		if s.D != wantD || s.M != wantM {
+			t.Errorf("strassen^%d is ⟨%d;%d⟩, want ⟨%d;%d⟩", k, s.D, s.M, wantD, wantM)
+		}
+		if err := s.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestMulBlocksWithLargerBlocks(t *testing.T) {
+	// The distributed algorithm applies the scheme to blocks that are
+	// matrices, not scalars; check block semantics directly.
+	rng := rand.New(rand.NewPCG(4, 1))
+	r := ring.Int64{}
+	s := bilinear.StrassenPower(2) // d = 4
+	bs := 3
+	n := s.D * bs
+	a, b := matrix.New[int64](n, n), matrix.New[int64](n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.Int64N(19)-9)
+			b.Set(i, j, rng.Int64N(19)-9)
+		}
+	}
+	got := bilinear.MulBlocks[int64](s, r, a, b, bs)
+	want := matrix.Mul[int64](r, a, b)
+	if !matrix.Equal[int64](r, got, want) {
+		t.Fatal("MulBlocks disagrees with school-book on block operands")
+	}
+}
+
+func TestMulBlocksPolyRing(t *testing.T) {
+	// The Lemma 18 embedding runs bilinear schemes over the polynomial
+	// ring; make sure nothing assumes scalar entries.
+	p := ring.NewPoly(6)
+	rng := rand.New(rand.NewPCG(5, 1))
+	gen := func() ring.PolyElem {
+		if rng.IntN(3) == 0 {
+			return nil
+		}
+		return p.Monomial(rng.Int64N(6))
+	}
+	if err := bilinear.VerifyOver[ring.PolyElem](bilinear.Strassen(), p, 50, gen); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPickSchemes(t *testing.T) {
+	cases := []struct {
+		n        int
+		wantD    int
+		maxMults int
+	}{
+		{16, 2, 16},   // q=4: d=2 (strassen, m=7)
+		{64, 4, 64},   // q=8: d=4 (strassen^2, m=49)
+		{256, 4, 256}, // q=16: d=4 (7^3=343 > 256)
+		{1024, 8, 1024},
+		{4096, 16, 4096},
+	}
+	for _, tc := range cases {
+		s, err := bilinear.Pick(tc.n)
+		if err != nil {
+			t.Errorf("Pick(%d): %v", tc.n, err)
+			continue
+		}
+		if s.D != tc.wantD {
+			t.Errorf("Pick(%d) chose d=%d (%v), want d=%d", tc.n, s.D, s, tc.wantD)
+		}
+		if s.M > tc.maxMults {
+			t.Errorf("Pick(%d) chose m=%d > n", tc.n, s.M)
+		}
+		q, _ := bilinear.Sqrt(tc.n)
+		if q%s.D != 0 {
+			t.Errorf("Pick(%d): d=%d does not divide q=%d", tc.n, s.D, q)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("Pick(%d): %v", tc.n, err)
+		}
+	}
+}
+
+func TestPickRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 5, 15, 99, 4} {
+		if _, err := bilinear.Pick(n); err == nil {
+			t.Errorf("Pick(%d) should fail", n)
+		}
+	}
+}
+
+func TestPickedSchemesMultiplyCorrectly(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 1))
+	for _, n := range []int{16, 64, 256} {
+		s, err := bilinear.Pick(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bilinear.VerifyOver[int64](s, ring.Int64{}, 5, intGen(rng)); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestValidCliqueSizes(t *testing.T) {
+	sizes := bilinear.ValidCliqueSizes(300)
+	want := map[int]bool{16: true, 64: true, 256: true}
+	for _, n := range sizes {
+		if q, ok := bilinear.Sqrt(n); !ok || q < 2 {
+			t.Errorf("invalid size %d listed", n)
+		}
+	}
+	found := map[int]bool{}
+	for _, n := range sizes {
+		found[n] = true
+	}
+	for n := range want {
+		if !found[n] {
+			t.Errorf("expected size %d in ValidCliqueSizes", n)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	s := bilinear.Strassen()
+	s.Alpha[0] = append(s.Alpha[0], bilinear.Term{I: 5, J: 0, C: 1})
+	if err := s.Validate(); err == nil {
+		t.Error("Validate accepted out-of-range index")
+	}
+	s = bilinear.Strassen()
+	s.Lambda[3] = append(s.Lambda[3], bilinear.Term{I: 0, J: 0, C: 0})
+	if err := s.Validate(); err == nil {
+		t.Error("Validate accepted zero coefficient")
+	}
+	s = bilinear.Strassen()
+	s.Beta = s.Beta[:5]
+	if err := s.Validate(); err == nil {
+		t.Error("Validate accepted truncated tables")
+	}
+}
+
+func TestSqrt(t *testing.T) {
+	for _, tc := range []struct {
+		n, q int
+		ok   bool
+	}{
+		{0, 0, true}, {1, 1, true}, {2, 1, false}, {4, 2, true},
+		{15, 3, false}, {16, 4, true}, {1 << 20, 1 << 10, true}, {-4, 0, false},
+	} {
+		q, ok := bilinear.Sqrt(tc.n)
+		if ok != tc.ok || (ok && q != tc.q) {
+			t.Errorf("Sqrt(%d) = (%d, %v), want (%d, %v)", tc.n, q, ok, tc.q, tc.ok)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package bilinear
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sqrt returns the integer square root of n and whether n is a perfect
+// square.
+func Sqrt(n int) (int, bool) {
+	if n < 0 {
+		return 0, false
+	}
+	q := int(math.Sqrt(float64(n)))
+	for q*q > n {
+		q--
+	}
+	for (q+1)*(q+1) <= n {
+		q++
+	}
+	return q, q*q == n
+}
+
+// Pick selects the best scheme for a congested clique of n nodes
+// multiplying n×n matrices: the Strassen-power⊗classical scheme with the
+// largest block dimension d such that
+//
+//	d divides q = √n  (the two-level grid of §2.2 must tile the index space),
+//	m(d) ≤ n          (one block product per node).
+//
+// Larger d means fewer words per node in the product-distribution steps
+// (O(n²/d²)), so maximising d minimises measured rounds. Among equal d the
+// scheme with fewer multiplications wins (idle nodes are free). Returns an
+// error when n is not a perfect square of an even number ≥ 4.
+func Pick(n int) (*Scheme, error) {
+	q, ok := Sqrt(n)
+	if !ok || q < 2 {
+		return nil, fmt.Errorf("bilinear: clique size %d is not a perfect square ≥ 4", n)
+	}
+	bestD, bestM, bestK, bestC := 0, math.MaxInt, 0, 0
+	for k := 0; pow(7, k) <= n; k++ {
+		p2 := pow(2, k)
+		for c := 1; p2*c <= q; c++ {
+			d := p2 * c
+			if q%d != 0 {
+				continue
+			}
+			m := pow(7, k) * c * c * c
+			if m > n {
+				continue
+			}
+			if d > bestD || (d == bestD && m < bestM) {
+				bestD, bestM, bestK, bestC = d, m, k, c
+			}
+		}
+	}
+	if bestD < 2 {
+		// d = 1 would make the "fast" algorithm degenerate (every node
+		// multiplies full matrices). q ≥ 2 always admits k=1,c=1 (d=2, m=7)
+		// when n ≥ 7, or classical(2) (m=8) when n ≥ 8; n = 4 admits neither.
+		return nil, fmt.Errorf("bilinear: no non-trivial scheme fits clique size %d", n)
+	}
+	s := StrassenPower(bestK)
+	if bestC > 1 {
+		s = Tensor(s, Classical(bestC))
+	}
+	return s, nil
+}
+
+// ValidCliqueSizes lists the perfect-square clique sizes up to max that Pick
+// accepts, in increasing order. Useful for sweeps and error messages.
+func ValidCliqueSizes(max int) []int {
+	var out []int
+	for q := 2; q*q <= max; q++ {
+		if _, err := Pick(q * q); err == nil {
+			out = append(out, q*q)
+		}
+	}
+	return out
+}
+
+func pow(b, e int) int {
+	out := 1
+	for i := 0; i < e; i++ {
+		if out > (math.MaxInt / b) {
+			return math.MaxInt
+		}
+		out *= b
+	}
+	return out
+}

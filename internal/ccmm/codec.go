@@ -1,0 +1,46 @@
+package ccmm
+
+import (
+	"github.com/algebraic-clique/algclique/internal/clique"
+	"github.com/algebraic-clique/algclique/internal/ring"
+)
+
+// encodeVec serialises vals into a fresh word vector using the codec.
+func encodeVec[T any](codec ring.Codec[T], vals []T) []clique.Word {
+	w := codec.Width()
+	out := make([]clique.Word, len(vals)*w)
+	for i, v := range vals {
+		codec.Encode(v, out[i*w:(i+1)*w])
+	}
+	return out
+}
+
+// appendEncoded serialises vals onto dst and returns the extended slice.
+func appendEncoded[T any](codec ring.Codec[T], dst []clique.Word, vals []T) []clique.Word {
+	w := codec.Width()
+	base := len(dst)
+	dst = append(dst, make([]clique.Word, len(vals)*w)...)
+	for i, v := range vals {
+		codec.Encode(v, dst[base+i*w:base+(i+1)*w])
+	}
+	return dst
+}
+
+// decodeVec deserialises count elements from ws.
+func decodeVec[T any](codec ring.Codec[T], ws []clique.Word, count int) []T {
+	w := codec.Width()
+	out := make([]T, count)
+	for i := range out {
+		out[i] = codec.Decode(ws[i*w : (i+1)*w])
+	}
+	return out
+}
+
+// emptyMsgs allocates an n×n exchange buffer.
+func emptyMsgs(n int) [][][]clique.Word {
+	m := make([][][]clique.Word, n)
+	for i := range m {
+		m[i] = make([][]clique.Word, n)
+	}
+	return m
+}

@@ -1,0 +1,54 @@
+package ccmm_test
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"github.com/algebraic-clique/algclique/internal/ccmm"
+	"github.com/algebraic-clique/algclique/internal/clique"
+	"github.com/algebraic-clique/algclique/internal/matrix"
+	"github.com/algebraic-clique/algclique/internal/ring"
+)
+
+// TestWorkerCountDoesNotAffectResults pins the parallel-execution
+// contract: node-local computation runs on a worker pool, but results and
+// accounting are identical for any pool size.
+func TestWorkerCountDoesNotAffectResults(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 7))
+	r := ring.Int64{}
+	n := 64
+	a, b := randIntMat(rng, n, 50), randIntMat(rng, n, 50)
+
+	type outcome struct {
+		product *matrix.Dense[int64]
+		stats   clique.Stats
+	}
+	run := func(workers int, fast bool) outcome {
+		net := clique.New(n, clique.WithWorkers(workers))
+		var p *ccmm.RowMat[int64]
+		var err error
+		if fast {
+			p, err = ccmm.FastBilinear[int64](net, r, r, nil, ccmm.Distribute(a), ccmm.Distribute(b))
+		} else {
+			p, err = ccmm.Semiring3D[int64](net, r, r, ccmm.Distribute(a), ccmm.Distribute(b))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome{product: p.Collect(), stats: net.Stats()}
+	}
+	for _, fast := range []bool{false, true} {
+		base := run(1, fast)
+		for _, workers := range []int{2, 8, 32} {
+			got := run(workers, fast)
+			if !matrix.Equal[int64](r, base.product, got.product) {
+				t.Fatalf("fast=%v workers=%d: product differs from sequential run", fast, workers)
+			}
+			if !reflect.DeepEqual(base.stats, got.stats) {
+				t.Fatalf("fast=%v workers=%d: accounting differs: %+v vs %+v",
+					fast, workers, base.stats, got.stats)
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package ccmm
+
+import (
+	"fmt"
+
+	"github.com/algebraic-clique/algclique/internal/bilinear"
+	"github.com/algebraic-clique/algclique/internal/clique"
+	"github.com/algebraic-clique/algclique/internal/ring"
+)
+
+// Engine selects which distributed multiplication algorithm executes a
+// product. The applications (§3 of the paper) are written against this
+// abstraction so each can run over the fast bilinear algorithm when the
+// clique size allows it and fall back otherwise.
+type Engine int
+
+const (
+	// EngineAuto picks FastBilinear when a scheme fits the clique size,
+	// then Semiring3D for perfect cubes, then NaiveGather.
+	EngineAuto Engine = iota
+	// EngineFast forces the bilinear-scheme algorithm (§2.2).
+	EngineFast
+	// Engine3D forces the semiring 3D algorithm (§2.1).
+	Engine3D
+	// EngineNaive forces the learn-everything baseline.
+	EngineNaive
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineFast:
+		return "fast-bilinear"
+	case Engine3D:
+		return "semiring-3d"
+	case EngineNaive:
+		return "naive-gather"
+	default:
+		return fmt.Sprintf("engine(%d)", int(e))
+	}
+}
+
+// Resolve maps EngineAuto to the best concrete engine for an n-node clique.
+// ringAlgebra reports whether the product algebra is a ring (only rings may
+// use the bilinear engine).
+func (e Engine) Resolve(n int, ringAlgebra bool) Engine {
+	if e != EngineAuto {
+		return e
+	}
+	if ringAlgebra {
+		if _, err := bilinear.Pick(n); err == nil {
+			return EngineFast
+		}
+	}
+	if c := icbrt(n); c*c*c == n {
+		return Engine3D
+	}
+	return EngineNaive
+}
+
+// MulRing multiplies two distributed matrices over a ring using the chosen
+// engine.
+func MulRing[T any](net *clique.Network, e Engine, rg ring.Ring[T], codec ring.Codec[T], s, t *RowMat[T]) (*RowMat[T], error) {
+	switch e.Resolve(net.N(), true) {
+	case EngineFast:
+		return FastBilinear[T](net, rg, codec, nil, s, t)
+	case Engine3D:
+		return Semiring3D[T](net, rg, codec, s, t)
+	case EngineNaive:
+		return NaiveGather[T](net, rg, codec, s, t)
+	default:
+		return nil, fmt.Errorf("ccmm: engine %v cannot multiply over a ring: %w", e, ErrSize)
+	}
+}
+
+// MulInt multiplies distributed int64 matrices over the integer ring.
+func MulInt(net *clique.Network, e Engine, s, t *RowMat[int64]) (*RowMat[int64], error) {
+	r := ring.Int64{}
+	return MulRing[int64](net, e, r, r, s, t)
+}
+
+// MulBool computes the Boolean matrix product. Over the bilinear engine the
+// product is computed in the integer ring and collapsed entrywise to 0/1
+// (the entries are walk counts ≤ n, and an entry is non-zero exactly when
+// the Boolean product is true — the standard embedding the paper uses in
+// §3.1). Semiring engines multiply over the Boolean semiring directly.
+// Inputs must be 0/1 matrices.
+func MulBool(net *clique.Network, e Engine, s, t *RowMat[int64]) (*RowMat[int64], error) {
+	n := net.N()
+	switch e.Resolve(n, true) {
+	case EngineFast:
+		p, err := MulInt(net, EngineFast, s, t)
+		if err != nil {
+			return nil, err
+		}
+		for v := range p.Rows {
+			row := p.Rows[v]
+			for j := range row {
+				if row[j] != 0 {
+					row[j] = 1
+				}
+			}
+		}
+		return p, nil
+	case Engine3D:
+		return mulBoolSemiring(net, Engine3D, s, t)
+	default:
+		return mulBoolSemiring(net, EngineNaive, s, t)
+	}
+}
+
+func mulBoolSemiring(net *clique.Network, e Engine, s, t *RowMat[int64]) (*RowMat[int64], error) {
+	br := ring.Bool{}
+	toBool := func(m *RowMat[int64]) *RowMat[bool] {
+		out := &RowMat[bool]{Rows: make([][]bool, len(m.Rows))}
+		for v, row := range m.Rows {
+			b := make([]bool, len(row))
+			for j, x := range row {
+				b[j] = x != 0
+			}
+			out.Rows[v] = b
+		}
+		return out
+	}
+	var p *RowMat[bool]
+	var err error
+	if e == Engine3D {
+		p, err = Semiring3D[bool](net, br, br, toBool(s), toBool(t))
+	} else {
+		p, err = NaiveGather[bool](net, br, br, toBool(s), toBool(t))
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &RowMat[int64]{Rows: make([][]int64, len(p.Rows))}
+	for v, row := range p.Rows {
+		ints := make([]int64, len(row))
+		for j, b := range row {
+			if b {
+				ints[j] = 1
+			}
+		}
+		out.Rows[v] = ints
+	}
+	return out, nil
+}
+
+// MulMinPlus computes the distance product over the (min, +) semiring.
+// The bilinear engine does not apply (min-plus is not a ring); EngineAuto
+// resolves to Semiring3D on perfect cubes and NaiveGather otherwise. For
+// the ring-embedded fast distance product with bounded entries, see the
+// distance package (Lemma 18).
+func MulMinPlus(net *clique.Network, e Engine, s, t *RowMat[int64]) (*RowMat[int64], error) {
+	mp := ring.MinPlus{}
+	switch e.Resolve(net.N(), false) {
+	case Engine3D:
+		return Semiring3D[int64](net, mp, mp, s, t)
+	case EngineNaive:
+		return NaiveGather[int64](net, mp, mp, s, t)
+	default:
+		return nil, fmt.Errorf("ccmm: engine %v cannot compute a min-plus product: %w", e, ErrSize)
+	}
+}

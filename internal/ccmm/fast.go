@@ -1,0 +1,220 @@
+package ccmm
+
+import (
+	"fmt"
+
+	"github.com/algebraic-clique/algclique/internal/bilinear"
+	"github.com/algebraic-clique/algclique/internal/clique"
+	"github.com/algebraic-clique/algclique/internal/matrix"
+	"github.com/algebraic-clique/algclique/internal/ring"
+	"github.com/algebraic-clique/algclique/internal/routing"
+)
+
+// FastBilinear computes P = S·T over a ring on an n-node clique with
+// n = q², using the bilinear-scheme simulation of §2.2 (Lemma 10): the n×n
+// matrices are viewed as d×d block matrices over the ring of (n/d)×(n/d)
+// matrices, the scheme's m ≤ n block products run one per node, and the
+// linear-combination steps are spread over the label grid [q]². Each node
+// sends and receives O(m·(n/(d·√n))²) = O(n^{2-2/σ}) words, delivered in
+// O(n^{1-2/σ}) rounds.
+//
+// A nil scheme selects bilinear.Pick(n). The scheme must satisfy m ≤ n and
+// d | q.
+func FastBilinear[T any](net *clique.Network, rg ring.Ring[T], codec ring.Codec[T], scheme *bilinear.Scheme, s, t *RowMat[T]) (*RowMat[T], error) {
+	n := net.N()
+	if err := s.validate(n); err != nil {
+		return nil, err
+	}
+	if err := t.validate(n); err != nil {
+		return nil, err
+	}
+	if scheme == nil {
+		var err error
+		scheme, err = bilinear.Pick(n)
+		if err != nil {
+			return nil, fmt.Errorf("ccmm: no bilinear scheme fits clique size %d (%v): %w", n, err, ErrSize)
+		}
+	}
+	if err := scheme.Validate(); err != nil {
+		return nil, err
+	}
+	if scheme.M > n {
+		return nil, fmt.Errorf("ccmm: scheme %v needs %d multiplication sites on %d nodes: %w",
+			scheme, scheme.M, n, ErrSize)
+	}
+	lay, err := newGridLayout(n, scheme.D)
+	if err != nil {
+		return nil, err
+	}
+	q, d, qd := lay.q, lay.d, lay.qd
+	m := scheme.M
+	width := codec.Width()
+
+	groups := make([][]int, q) // ∗x∗ ordered by (v1, v3)
+	for x := 0; x < q; x++ {
+		groups[x] = lay.groupSet(x)
+	}
+
+	// Step 1: node v sends S[v, ∗x2∗] and T[v, ∗x2∗] to the node labelled
+	// (v2, x2), for every x2 ∈ [q].
+	net.Phase("mmfast/distribute")
+	msgs := emptyMsgs(n)
+	net.ForEach(func(v int) {
+		_, v2, _ := lay.split(v)
+		srow, trow := s.Rows[v], t.Rows[v]
+		buf := make([]T, q)
+		for x2 := 0; x2 < q; x2++ {
+			u := lay.nodeAt(v2, x2)
+			for i, col := range groups[x2] {
+				buf[i] = srow[col]
+			}
+			msgs[v][u] = appendEncoded(codec, msgs[v][u], buf)
+			for i, col := range groups[x2] {
+				buf[i] = trow[col]
+			}
+			msgs[v][u] = appendEncoded(codec, msgs[v][u], buf)
+		}
+	})
+	in := routing.Exchange(net, routing.Auto, msgs)
+
+	// Step 2: node (x1, x2) assembles S[∗x1∗, ∗x2∗] and T[∗x1∗, ∗x2∗]
+	// (q×q, block-row order) and computes the scheme's linear combinations
+	// Ŝ(w)[x1∗, x2∗], T̂(w)[x1∗, x2∗] — one (q/d)×(q/d) piece per w.
+	net.Phase("mmfast/encode")
+	shat := make([][]*matrix.Dense[T], n) // shat[v][w]
+	that := make([][]*matrix.Dense[T], n)
+	net.ForEach(func(v int) {
+		x1, _ := lay.label(v)
+		sg := matrix.New[T](q, q)
+		tg := matrix.New[T](q, q)
+		for pos, sender := range groups[x1] {
+			ws := in[v][sender]
+			sg.SetRow(pos, decodeVec(codec, ws[:q*width], q))
+			tg.SetRow(pos, decodeVec(codec, ws[q*width:2*q*width], q))
+		}
+		block := func(g *matrix.Dense[T], i, j int) *matrix.Dense[T] {
+			return g.Sub(i*qd, (i+1)*qd, j*qd, (j+1)*qd)
+		}
+		shat[v] = make([]*matrix.Dense[T], m)
+		that[v] = make([]*matrix.Dense[T], m)
+		for w := 0; w < m; w++ {
+			sp := matrix.Zeros[T](rg, qd, qd)
+			for _, term := range scheme.Alpha[w] {
+				matrix.ScaleAddInto(rg, sp, term.C, block(sg, term.I, term.J))
+			}
+			tp := matrix.Zeros[T](rg, qd, qd)
+			for _, term := range scheme.Beta[w] {
+				matrix.ScaleAddInto(rg, tp, term.C, block(tg, term.I, term.J))
+			}
+			shat[v][w] = sp
+			that[v][w] = tp
+		}
+	})
+
+	// Step 3: every node sends its (q/d)² pieces of Ŝ(w), T̂(w) to node w.
+	net.Phase("mmfast/combine")
+	msgs = emptyMsgs(n)
+	net.ForEach(func(v int) {
+		for w := 0; w < m; w++ {
+			payload := make([]T, 0, 2*qd*qd)
+			for i := 0; i < qd; i++ {
+				payload = append(payload, shat[v][w].Row(i)...)
+			}
+			for i := 0; i < qd; i++ {
+				payload = append(payload, that[v][w].Row(i)...)
+			}
+			msgs[v][w] = encodeVec(codec, payload)
+		}
+	})
+	in = routing.Exchange(net, routing.Auto, msgs)
+
+	// Step 4: node w < m assembles Ŝ(w), T̂(w) ((n/d)×(n/d)) and multiplies.
+	net.Phase("mmfast/multiply")
+	nd := n / d
+	phat := make([]*matrix.Dense[T], n)
+	net.ForEach(func(w int) {
+		if w >= m {
+			return
+		}
+		sfull := matrix.New[T](nd, nd)
+		tfull := matrix.New[T](nd, nd)
+		for x1 := 0; x1 < q; x1++ {
+			for x2 := 0; x2 < q; x2++ {
+				sender := lay.nodeAt(x1, x2)
+				vals := decodeVec(codec, in[w][sender], 2*qd*qd)
+				for i := 0; i < qd; i++ {
+					for j := 0; j < qd; j++ {
+						sfull.Set(x1*qd+i, x2*qd+j, vals[i*qd+j])
+						tfull.Set(x1*qd+i, x2*qd+j, vals[qd*qd+i*qd+j])
+					}
+				}
+			}
+		}
+		phat[w] = matrix.Mul(rg, sfull, tfull)
+	})
+
+	// Step 5: node w returns P̂(w)[x1∗, x2∗] to the node labelled (x1, x2).
+	net.Phase("mmfast/products")
+	msgs = emptyMsgs(n)
+	net.ForEach(func(w int) {
+		if w >= m {
+			return
+		}
+		for x1 := 0; x1 < q; x1++ {
+			for x2 := 0; x2 < q; x2++ {
+				payload := make([]T, 0, qd*qd)
+				for i := 0; i < qd; i++ {
+					payload = append(payload, phat[w].Row(x1*qd + i)[x2*qd:(x2+1)*qd]...)
+				}
+				msgs[w][lay.nodeAt(x1, x2)] = encodeVec(codec, payload)
+			}
+		}
+	})
+	in = routing.Exchange(net, routing.Auto, msgs)
+
+	// Step 6: node (x1, x2) decodes the m pieces and accumulates
+	// P[i·x1∗, j·x2∗] = Σ_w λ_ijw P̂(w)[x1∗, x2∗], yielding P[∗x1∗, ∗x2∗].
+	net.Phase("mmfast/decode")
+	pg := make([]*matrix.Dense[T], n)
+	net.ForEach(func(v int) {
+		out := matrix.Zeros[T](rg, q, q)
+		for w := 0; w < m; w++ {
+			piece := matrix.New[T](qd, qd)
+			vals := decodeVec(codec, in[v][w], qd*qd)
+			for i := 0; i < qd; i++ {
+				copy(piece.Row(i), vals[i*qd:(i+1)*qd])
+			}
+			for _, term := range scheme.Lambda[w] {
+				dst := out.Sub(term.I*qd, (term.I+1)*qd, term.J*qd, (term.J+1)*qd)
+				matrix.ScaleAddInto(rg, dst, term.C, piece)
+				out.SetSub(term.I*qd, term.J*qd, dst)
+			}
+		}
+		pg[v] = out
+	})
+
+	// Step 7: node (x1, x2) sends P[u, ∗x2∗] to each row owner u ∈ ∗x1∗.
+	net.Phase("mmfast/assemble")
+	msgs = emptyMsgs(n)
+	net.ForEach(func(v int) {
+		x1, _ := lay.label(v)
+		for pos, u := range groups[x1] {
+			msgs[v][u] = encodeVec(codec, pg[v].Row(pos))
+		}
+	})
+	in = routing.Exchange(net, routing.Auto, msgs)
+
+	p := NewRowMat[T](n)
+	net.ForEach(func(u int) {
+		_, u2, _ := lay.split(u)
+		row := p.Rows[u]
+		for x2 := 0; x2 < q; x2++ {
+			sender := lay.nodeAt(u2, x2)
+			piece := decodeVec(codec, in[u][sender], q)
+			for i, col := range groups[x2] {
+				row[col] = piece[i]
+			}
+		}
+	})
+	return p, nil
+}

@@ -1,0 +1,51 @@
+package ccmm_test
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"github.com/algebraic-clique/algclique/internal/ccmm"
+	"github.com/algebraic-clique/algclique/internal/clique"
+	"github.com/algebraic-clique/algclique/internal/ring"
+)
+
+// TestRoundBudgetAbortsRunawayAlgorithm injects a round budget below what
+// the 3D algorithm needs and checks the typed abort surfaces mid-flight —
+// the mechanism tests use to catch complexity regressions.
+func TestRoundBudgetAbortsRunawayAlgorithm(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	r := ring.Int64{}
+	n := 27
+	a, b := randIntMat(rng, n, 10), randIntMat(rng, n, 10)
+	net := clique.New(n, clique.WithRoundLimit(5)) // 3D needs ~20 here
+
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("expected round-limit panic")
+		}
+		var lim *clique.RoundLimitError
+		err, ok := rec.(error)
+		if !ok || !errors.As(err, &lim) {
+			t.Fatalf("panic value %v (%T), want *RoundLimitError", rec, rec)
+		}
+		if lim.Limit != 5 || lim.Rounds <= 5 {
+			t.Errorf("unexpected limit error: %+v", lim)
+		}
+	}()
+	_, _ = ccmm.Semiring3D[int64](net, r, r, ccmm.Distribute(a), ccmm.Distribute(b))
+}
+
+// TestRoundBudgetPermitsCompliantAlgorithm pins the complement: a generous
+// budget lets the same computation finish.
+func TestRoundBudgetPermitsCompliantAlgorithm(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	r := ring.Int64{}
+	n := 27
+	a, b := randIntMat(rng, n, 10), randIntMat(rng, n, 10)
+	net := clique.New(n, clique.WithRoundLimit(500))
+	if _, err := ccmm.Semiring3D[int64](net, r, r, ccmm.Distribute(a), ccmm.Distribute(b)); err != nil {
+		t.Fatal(err)
+	}
+}

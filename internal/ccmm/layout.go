@@ -1,0 +1,118 @@
+package ccmm
+
+import "fmt"
+
+// cubeLayout realises the §2.1 index scheme: node v on an n = c³ clique is
+// the base-c three-digit tuple (v1, v2, v3).
+type cubeLayout struct {
+	c int // n^{1/3}
+}
+
+// newCubeLayout returns the layout for clique size n, or an error when n is
+// not a perfect cube.
+func newCubeLayout(n int) (cubeLayout, error) {
+	c := icbrt(n)
+	if c*c*c != n {
+		return cubeLayout{}, fmt.Errorf("ccmm: clique size %d is not a perfect cube: %w", n, ErrSize)
+	}
+	return cubeLayout{c: c}, nil
+}
+
+func icbrt(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	c := 0
+	for (c+1)*(c+1)*(c+1) <= n {
+		c++
+	}
+	return c
+}
+
+func (l cubeLayout) split(v int) (v1, v2, v3 int) {
+	return v / (l.c * l.c), (v / l.c) % l.c, v % l.c
+}
+
+func (l cubeLayout) join(v1, v2, v3 int) int {
+	return v1*l.c*l.c + v2*l.c + v3
+}
+
+// firstDigitSet returns x∗∗ = {v : v1 = x}, in increasing node order.
+func (l cubeLayout) firstDigitSet(x int) []int {
+	out := make([]int, 0, l.c*l.c)
+	for v2 := 0; v2 < l.c; v2++ {
+		for v3 := 0; v3 < l.c; v3++ {
+			out = append(out, l.join(x, v2, v3))
+		}
+	}
+	return out
+}
+
+// gridLayout realises the §2.2 two-level index scheme on an n = q² clique
+// with block dimension d | q: node v is the mixed-radix tuple (v1, v2, v3)
+// with v1 ∈ [d], v2 ∈ [q], v3 ∈ [q/d], and carries the secondary label
+// ℓ(v) = (x1, x2) ∈ [q]² with v = x1·q + x2.
+type gridLayout struct {
+	q  int // √n
+	d  int // scheme block dimension
+	qd int // q / d
+}
+
+func newGridLayout(n, d int) (gridLayout, error) {
+	q := isqrt(n)
+	if q*q != n {
+		return gridLayout{}, fmt.Errorf("ccmm: clique size %d is not a perfect square: %w", n, ErrSize)
+	}
+	if d < 1 || q%d != 0 {
+		return gridLayout{}, fmt.Errorf("ccmm: block dimension %d does not divide √n = %d: %w", d, q, ErrSize)
+	}
+	return gridLayout{q: q, d: d, qd: q / d}, nil
+}
+
+func isqrt(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	q := 0
+	for (q+1)*(q+1) <= n {
+		q++
+	}
+	return q
+}
+
+func (l gridLayout) split(v int) (v1, v2, v3 int) {
+	return v / (l.q * l.qd), (v / l.qd) % l.q, v % l.qd
+}
+
+func (l gridLayout) join(v1, v2, v3 int) int {
+	return v1*l.q*l.qd + v2*l.qd + v3
+}
+
+// label returns ℓ(v) = (x1, x2).
+func (l gridLayout) label(v int) (x1, x2 int) {
+	return v / l.q, v % l.q
+}
+
+// nodeAt returns the node with label (x1, x2).
+func (l gridLayout) nodeAt(x1, x2 int) int {
+	return x1*l.q + x2
+}
+
+// groupSet returns ∗x∗ = {v : v2 = x} ordered by (v1, v3); this ordering is
+// the block-row order used for the assembled q×q submatrices: index
+// i·(q/d) + u3 inside a block corresponds to global index join(i, x, u3).
+func (l gridLayout) groupSet(x int) []int {
+	out := make([]int, 0, l.q)
+	for v1 := 0; v1 < l.d; v1++ {
+		for v3 := 0; v3 < l.qd; v3++ {
+			out = append(out, l.join(v1, x, v3))
+		}
+	}
+	return out
+}
+
+// posInGroup returns the position of v within groupSet(v2): v1·(q/d) + v3.
+func (l gridLayout) posInGroup(v int) int {
+	v1, _, v3 := l.split(v)
+	return v1*l.qd + v3
+}

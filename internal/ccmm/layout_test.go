@@ -1,0 +1,149 @@
+package ccmm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestCubeLayoutBijection reproduces the Figure 1 index structure: the
+// node ↔ (v1, v2, v3) mapping is a bijection and the digit groups x∗∗
+// partition V.
+func TestCubeLayoutBijection(t *testing.T) {
+	for _, n := range []int{1, 8, 27, 64, 125} {
+		lay, err := newCubeLayout(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]bool, n)
+		for v := 0; v < n; v++ {
+			v1, v2, v3 := lay.split(v)
+			if v1 < 0 || v1 >= lay.c || v2 < 0 || v2 >= lay.c || v3 < 0 || v3 >= lay.c {
+				t.Fatalf("n=%d: split(%d) digits out of range", n, v)
+			}
+			if lay.join(v1, v2, v3) != v {
+				t.Fatalf("n=%d: join(split(%d)) != %d", n, v, v)
+			}
+			seen[v] = true
+		}
+		for v, s := range seen {
+			if !s {
+				t.Fatalf("node %d unmapped", v)
+			}
+		}
+		// Digit groups partition V.
+		covered := make([]bool, n)
+		for x := 0; x < lay.c; x++ {
+			set := lay.firstDigitSet(x)
+			if len(set) != lay.c*lay.c {
+				t.Fatalf("|%d∗∗| = %d, want c²", x, len(set))
+			}
+			for _, v := range set {
+				if covered[v] {
+					t.Fatalf("node %d in two digit groups", v)
+				}
+				covered[v] = true
+				if v1, _, _ := lay.split(v); v1 != x {
+					t.Fatalf("node %d in wrong group %d", v, x)
+				}
+			}
+		}
+		for v, c := range covered {
+			if !c {
+				t.Fatalf("node %d uncovered by digit groups", v)
+			}
+		}
+	}
+}
+
+func TestCubeLayoutRejectsNonCubes(t *testing.T) {
+	for _, n := range []int{2, 9, 26, 100} {
+		if _, err := newCubeLayout(n); err == nil {
+			t.Errorf("n=%d accepted as cube", n)
+		}
+	}
+}
+
+// TestGridLayoutBijection reproduces the Figure 2 index structure: the
+// mixed-radix node mapping, the label bijection, and the block-row order
+// of the groups ∗x∗.
+func TestGridLayoutBijection(t *testing.T) {
+	cases := []struct{ n, d int }{{16, 2}, {16, 4}, {64, 4}, {64, 8}, {256, 4}, {144, 6}}
+	for _, tc := range cases {
+		lay, err := newGridLayout(tc.n, tc.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := lay.q
+		seen := make([]bool, tc.n)
+		for v := 0; v < tc.n; v++ {
+			v1, v2, v3 := lay.split(v)
+			if v1 < 0 || v1 >= lay.d || v2 < 0 || v2 >= q || v3 < 0 || v3 >= lay.qd {
+				t.Fatalf("split(%d) out of range", v)
+			}
+			if lay.join(v1, v2, v3) != v {
+				t.Fatalf("join(split(%d)) != %d", v, v)
+			}
+			x1, x2 := lay.label(v)
+			if lay.nodeAt(x1, x2) != v {
+				t.Fatalf("label bijection broken at %d", v)
+			}
+			seen[v] = true
+		}
+		for v, s := range seen {
+			if !s {
+				t.Fatalf("node %d unmapped", v)
+			}
+		}
+		covered := make([]bool, tc.n)
+		for x := 0; x < q; x++ {
+			group := lay.groupSet(x)
+			if len(group) != q {
+				t.Fatalf("|∗%d∗| = %d, want q = %d", x, len(group), q)
+			}
+			for pos, v := range group {
+				if covered[v] {
+					t.Fatalf("node %d in two groups", v)
+				}
+				covered[v] = true
+				if _, v2, _ := lay.split(v); v2 != x {
+					t.Fatalf("node %d in wrong group", v)
+				}
+				if lay.posInGroup(v) != pos {
+					t.Fatalf("posInGroup(%d) = %d, want %d", v, lay.posInGroup(v), pos)
+				}
+				// Block-row order: position i·(q/d)+u3 is block i, row u3.
+				v1, _, v3 := lay.split(v)
+				if pos != v1*lay.qd+v3 {
+					t.Fatalf("group order violates block-row convention at %d", v)
+				}
+			}
+		}
+	}
+}
+
+func TestGridLayoutRejectsBadShapes(t *testing.T) {
+	if _, err := newGridLayout(15, 2); err == nil {
+		t.Error("non-square accepted")
+	}
+	if _, err := newGridLayout(16, 3); err == nil {
+		t.Error("non-divisor block dim accepted")
+	}
+	if _, err := newGridLayout(16, 0); err == nil {
+		t.Error("zero block dim accepted")
+	}
+}
+
+func TestGridLayoutQuick(t *testing.T) {
+	lay, err := newGridLayout(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTrip := func(raw uint16) bool {
+		v := int(raw) % 64
+		v1, v2, v3 := lay.split(v)
+		return lay.join(v1, v2, v3) == v
+	}
+	if err := quick.Check(roundTrip, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,52 @@
+package ccmm
+
+import (
+	"github.com/algebraic-clique/algclique/internal/clique"
+	"github.com/algebraic-clique/algclique/internal/ring"
+	"github.com/algebraic-clique/algclique/internal/routing"
+)
+
+// NaiveGather computes P = S·T by having every node learn the entire right
+// operand (Θ(n) rounds) and multiply its own row locally. It is the trivial
+// baseline against which the 3D and bilinear algorithms are measured, and
+// works on any clique size and semiring.
+func NaiveGather[T any](net *clique.Network, sr ring.Semiring[T], codec ring.Codec[T], s, t *RowMat[T]) (*RowMat[T], error) {
+	n := net.N()
+	if err := s.validate(n); err != nil {
+		return nil, err
+	}
+	if err := t.validate(n); err != nil {
+		return nil, err
+	}
+	net.Phase("mmnaive/gather")
+	vecs := make([][]clique.Word, n)
+	for v := 0; v < n; v++ {
+		vecs[v] = encodeVec(codec, t.Rows[v])
+	}
+	all := routing.AllGather(net, vecs)
+
+	net.Phase("mmnaive/multiply")
+	trows := make([][]T, n)
+	for v := 0; v < n; v++ {
+		trows[v] = decodeVec(codec, all[v], n)
+	}
+	p := NewRowMat[T](n)
+	net.ForEach(func(v int) {
+		srow := s.Rows[v]
+		out := p.Rows[v]
+		for j := 0; j < n; j++ {
+			out[j] = sr.Zero()
+		}
+		for k := 0; k < n; k++ {
+			sk := srow[k]
+			if sr.Equal(sk, sr.Zero()) {
+				continue
+			}
+			trow := trows[k]
+			for j := 0; j < n; j++ {
+				out[j] = sr.Add(out[j], sr.Mul(sk, trow[j]))
+			}
+		}
+	})
+	return p, nil
+}

@@ -1,0 +1,174 @@
+package ccmm
+
+import (
+	"github.com/algebraic-clique/algclique/internal/clique"
+	"github.com/algebraic-clique/algclique/internal/matrix"
+	"github.com/algebraic-clique/algclique/internal/ring"
+	"github.com/algebraic-clique/algclique/internal/routing"
+)
+
+// Semiring3D computes the distributed product P = S·T over an arbitrary
+// semiring on an n-node clique with n = c³ a perfect cube, following the 3D
+// algorithm of §2.1: the n³ elementary products are tiled into n subcubes of
+// side n^{2/3}, one per node. Each node sends and receives O(n^{4/3}) words,
+// which the routing layer delivers in O(n^{1/3}) rounds.
+//
+// Node v's subcube is v1∗∗ × v2∗∗ × v3∗∗ in the paper's notation; the
+// paper's step-1 description contains a small index slip for T (receiving
+// rows ∗v2∗ would not match the S columns v2∗∗), so T rows here are grouped
+// by their *first* digit: row w of T is needed by exactly the nodes u with
+// u2 = w1, keeping both middle-index sets equal to v2∗∗.
+func Semiring3D[T any](net *clique.Network, sr ring.Semiring[T], codec ring.Codec[T], s, t *RowMat[T]) (*RowMat[T], error) {
+	n := net.N()
+	if err := s.validate(n); err != nil {
+		return nil, err
+	}
+	if err := t.validate(n); err != nil {
+		return nil, err
+	}
+	lay, err := newCubeLayout(n)
+	if err != nil {
+		return nil, err
+	}
+	c := lay.c
+	c2 := c * c
+	width := codec.Width()
+
+	// Precompute the c index groups x∗∗ (shared, read-only).
+	groups := make([][]int, c)
+	for x := 0; x < c; x++ {
+		groups[x] = lay.firstDigitSet(x)
+	}
+
+	// Step 1: distribute entries. Node v sends S[v, u2∗∗] to each
+	// u ∈ v1∗∗ and T[v, u3∗∗] to each u with u2 = v1. When both apply to
+	// the same recipient the S part precedes the T part on the link.
+	net.Phase("mm3d/distribute")
+	msgs := emptyMsgs(n)
+	net.ForEach(func(v int) {
+		v1, _, _ := lay.split(v)
+		srow, trow := s.Rows[v], t.Rows[v]
+		buf := make([]T, c2)
+		for _, u := range groups[v1] {
+			_, u2, _ := lay.split(u)
+			for i, col := range groups[u2] {
+				buf[i] = srow[col]
+			}
+			msgs[v][u] = appendEncoded(codec, msgs[v][u], buf)
+		}
+		// Nodes with u2 = v1: iterate u1, u3 freely.
+		for u1 := 0; u1 < c; u1++ {
+			for u3 := 0; u3 < c; u3++ {
+				u := lay.join(u1, v1, u3)
+				for i, col := range groups[u3] {
+					buf[i] = trow[col]
+				}
+				msgs[v][u] = appendEncoded(codec, msgs[v][u], buf)
+			}
+		}
+	})
+	in := routing.Exchange(net, routing.Auto, msgs)
+
+	// Step 2: local multiplication of the received c²×c² blocks.
+	net.Phase("mm3d/multiply")
+	prod := make([]*matrix.Dense[T], n)
+	net.ForEach(func(u int) {
+		u1, u2, _ := lay.split(u)
+		sblk := matrix.New[T](c2, c2)
+		tblk := matrix.New[T](c2, c2)
+		for pos, v := range groups[u1] { // S row senders: v1 = u1
+			ws := in[u][v]
+			sblk.SetRow(pos, decodeVec(codec, ws[:c2*width], c2))
+		}
+		for pos, v := range groups[u2] { // T row senders: v1 = u2
+			ws := in[u][v]
+			if v1, _, _ := lay.split(v); v1 == u1 {
+				ws = ws[c2*width:] // S part precedes on shared links
+			}
+			tblk.SetRow(pos, decodeVec(codec, ws[:c2*width], c2))
+		}
+		prod[u] = matrix.Mul(sr, sblk, tblk)
+	})
+
+	// Step 3: distribute the partial products: node u sends
+	// P^{(u2)}[x, u3∗∗] to each row owner x ∈ u1∗∗.
+	net.Phase("mm3d/products")
+	msgs = emptyMsgs(n)
+	net.ForEach(func(u int) {
+		u1, _, _ := lay.split(u)
+		for pos, x := range groups[u1] {
+			msgs[u][x] = encodeVec(codec, prod[u].Row(pos))
+		}
+	})
+	in = routing.Exchange(net, routing.Auto, msgs)
+
+	// Step 4: assemble P[x, ∗] = Σ_w P^{(w)}[x, ∗].
+	net.Phase("mm3d/assemble")
+	p := NewRowMat[T](n)
+	net.ForEach(func(x int) {
+		x1, _, _ := lay.split(x)
+		row := p.Rows[x]
+		for j := range row {
+			row[j] = sr.Zero()
+		}
+		for _, u := range groups[x1] { // senders: u1 = x1
+			_, _, u3 := lay.split(u)
+			piece := decodeVec(codec, in[x][u][:c2*width], c2)
+			for i, col := range groups[u3] {
+				row[col] = sr.Add(row[col], piece[i])
+			}
+		}
+	})
+	return p, nil
+}
+
+// DistanceProduct3D computes the min-plus product P = S ⋆ T together with a
+// witness matrix Q: Q[u][v] = w certifies P[u][v] = S[u][w] + T[w][v]
+// (ring.NoWitness where P is infinite). This is the "easily modified"
+// semiring algorithm of §3.3: T's entries are tagged with their row index
+// and the tags ride through the min-plus algebra.
+func DistanceProduct3D(net *clique.Network, s, t *RowMat[int64]) (p, q *RowMat[int64], err error) {
+	n := net.N()
+	sw := &RowMat[ring.ValW]{Rows: make([][]ring.ValW, n)}
+	tw := &RowMat[ring.ValW]{Rows: make([][]ring.ValW, n)}
+	if err := s.validate(n); err != nil {
+		return nil, nil, err
+	}
+	if err := t.validate(n); err != nil {
+		return nil, nil, err
+	}
+	for v := 0; v < n; v++ {
+		srow := make([]ring.ValW, n)
+		trow := make([]ring.ValW, n)
+		for j := 0; j < n; j++ {
+			srow[j] = ring.ValW{V: s.Rows[v][j], W: ring.NoWitness}
+			tv := t.Rows[v][j]
+			if ring.IsInf(tv) {
+				trow[j] = ring.ValW{V: ring.Inf, W: ring.NoWitness}
+			} else {
+				trow[j] = ring.ValW{V: tv, W: int64(v)}
+			}
+		}
+		sw.Rows[v] = srow
+		tw.Rows[v] = trow
+	}
+	pw, err := Semiring3D[ring.ValW](net, ring.MinPlusW{}, ring.MinPlusW{}, sw, tw)
+	if err != nil {
+		return nil, nil, err
+	}
+	p = NewRowMat[int64](n)
+	q = NewRowMat[int64](n)
+	for v := 0; v < n; v++ {
+		for j := 0; j < n; j++ {
+			e := pw.Rows[v][j]
+			if ring.IsInf(e.V) {
+				p.Rows[v][j] = ring.Inf
+				q.Rows[v][j] = ring.NoWitness
+			} else {
+				p.Rows[v][j] = e.V
+				q.Rows[v][j] = e.W
+			}
+		}
+	}
+	return p, q, nil
+}

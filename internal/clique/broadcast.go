@@ -1,0 +1,64 @@
+package clique
+
+import "fmt"
+
+// BroadcastNetwork simulates the *broadcast* congested clique: in each
+// round every node must send the same O(log n)-bit word to all other
+// nodes. The paper's §4 (Corollary 24, after Holzer–Pinsker) shows matrix
+// multiplication and APSP need Ω̃(n) rounds in this model — the simulator
+// lets that separation be measured against the unicast clique.
+type BroadcastNetwork struct {
+	n      int
+	rounds int64
+	words  int64
+}
+
+// NewBroadcast returns a broadcast congested clique of n ≥ 1 nodes.
+func NewBroadcast(n int) *BroadcastNetwork {
+	if n < 1 {
+		panic(fmt.Sprintf("clique: broadcast network size %d < 1", n))
+	}
+	return &BroadcastNetwork{n: n}
+}
+
+// N returns the number of nodes.
+func (b *BroadcastNetwork) N() int { return b.n }
+
+// Rounds returns the rounds charged so far.
+func (b *BroadcastNetwork) Rounds() int64 { return b.rounds }
+
+// Words returns the total words transmitted (n-1 receivers each).
+func (b *BroadcastNetwork) Words() int64 { return b.words }
+
+// Round performs one broadcast round: node v contributes vals[v], and the
+// returned slice (indexed by sender) is what every node now knows.
+func (b *BroadcastNetwork) Round(vals []Word) []Word {
+	if len(vals) != b.n {
+		panic(fmt.Sprintf("clique: broadcast round wants %d values, got %d", b.n, len(vals)))
+	}
+	b.rounds++
+	b.words += int64(b.n) * int64(b.n-1)
+	out := make([]Word, b.n)
+	copy(out, vals)
+	return out
+}
+
+// Publish broadcasts a word vector from every node, one word per round:
+// max_v len(vecs[v]) rounds. The result is indexed by sender and shared by
+// all receivers (read-only by convention).
+func (b *BroadcastNetwork) Publish(vecs [][]Word) [][]Word {
+	if len(vecs) != b.n {
+		panic(fmt.Sprintf("clique: broadcast publish wants %d vectors, got %d", b.n, len(vecs)))
+	}
+	var maxLen int64
+	for _, v := range vecs {
+		if l := int64(len(v)); l > maxLen {
+			maxLen = l
+		}
+		b.words += int64(len(v)) * int64(b.n-1)
+	}
+	b.rounds += maxLen
+	out := make([][]Word, b.n)
+	copy(out, vecs)
+	return out
+}

@@ -1,0 +1,53 @@
+package clique_test
+
+import (
+	"testing"
+
+	"github.com/algebraic-clique/algclique/internal/clique"
+)
+
+func TestBroadcastNetworkRound(t *testing.T) {
+	b := clique.NewBroadcast(4)
+	got := b.Round([]clique.Word{1, 2, 3, 4})
+	if b.Rounds() != 1 {
+		t.Errorf("Rounds = %d, want 1", b.Rounds())
+	}
+	if b.Words() != 4*3 {
+		t.Errorf("Words = %d, want 12", b.Words())
+	}
+	for i, w := range got {
+		if w != clique.Word(i+1) {
+			t.Errorf("value %d corrupted", i)
+		}
+	}
+}
+
+func TestBroadcastNetworkPublish(t *testing.T) {
+	b := clique.NewBroadcast(3)
+	vecs := [][]clique.Word{{1, 2, 3}, {4}, nil}
+	all := b.Publish(vecs)
+	if b.Rounds() != 3 {
+		t.Errorf("Publish cost %d rounds, want max length 3", b.Rounds())
+	}
+	if len(all[0]) != 3 || all[1][0] != 4 || len(all[2]) != 0 {
+		t.Error("published vectors corrupted")
+	}
+}
+
+func TestBroadcastNetworkPanics(t *testing.T) {
+	cases := []func(){
+		func() { clique.NewBroadcast(0) },
+		func() { clique.NewBroadcast(2).Round([]clique.Word{1}) },
+		func() { clique.NewBroadcast(2).Publish(make([][]clique.Word, 3)) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,296 @@
+// Package clique simulates the congested clique model: n nodes on a
+// complete graph, computing in synchronous rounds, where in each round every
+// ordered pair of nodes may exchange one O(log n)-bit message (one 64-bit
+// word here).
+//
+// The simulator is phase-structured and exact: algorithms enqueue words on
+// directed links and call Flush, which charges exactly
+// max_{(u,v)} |queue(u,v)| rounds — the number of synchronous rounds needed
+// to drain all link queues at one word per link per round. Broadcast (the
+// same word from one node to all others) is a single round per word, as in
+// the model. Rounds, words, and per-phase breakdowns are recorded.
+//
+// Node-local computation is free in the model; the ForEach helper runs
+// per-node computation concurrently across a worker pool, but each node may
+// touch only its own state and send only from its own identifier, keeping
+// runs deterministic.
+package clique
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Word is one message payload: O(log n) bits in the model.
+type Word = uint64
+
+// RoundLimitError is raised (via panic) when a configured round budget is
+// exceeded; it signals runaway algorithms in tests and failure-injection
+// scenarios.
+type RoundLimitError struct {
+	Limit  int64
+	Rounds int64
+}
+
+// Error implements error.
+func (e *RoundLimitError) Error() string {
+	return fmt.Sprintf("clique: round limit %d exceeded (at %d rounds)", e.Limit, e.Rounds)
+}
+
+// PhaseStat records the cost of one named algorithm phase.
+type PhaseStat struct {
+	Name   string
+	Rounds int64
+	Words  int64
+}
+
+// Stats is a snapshot of a network's accounting.
+type Stats struct {
+	N       int
+	Rounds  int64
+	Words   int64
+	Flushes int64
+	Phases  []PhaseStat
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithWorkers sets the worker-pool size for ForEach. Values < 1 select
+// GOMAXPROCS.
+func WithWorkers(k int) Option {
+	return func(c *Network) {
+		if k >= 1 {
+			c.workers = k
+		}
+	}
+}
+
+// WithRoundLimit makes the network panic with *RoundLimitError once more
+// than limit rounds have been charged. Zero or negative means no limit.
+func WithRoundLimit(limit int64) Option {
+	return func(c *Network) { c.roundLimit = limit }
+}
+
+// Network is a simulated congested clique. It is not safe for concurrent
+// use except as documented on ForEach and Send.
+type Network struct {
+	n          int
+	queues     [][][]Word // queues[src][dst], dst == src used for free local delivery
+	rounds     int64
+	words      int64
+	flushes    int64
+	phases     []PhaseStat
+	workers    int
+	roundLimit int64
+}
+
+// New returns a network of n ≥ 1 nodes.
+func New(n int, opts ...Option) *Network {
+	if n < 1 {
+		panic(fmt.Sprintf("clique: network size %d < 1", n))
+	}
+	c := &Network{
+		n:       n,
+		queues:  newQueues(n),
+		workers: runtime.GOMAXPROCS(0),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+func newQueues(n int) [][][]Word {
+	q := make([][][]Word, n)
+	for i := range q {
+		q[i] = make([][]Word, n)
+	}
+	return q
+}
+
+// N returns the number of nodes.
+func (c *Network) N() int { return c.n }
+
+// Rounds returns the total rounds charged so far.
+func (c *Network) Rounds() int64 { return c.rounds }
+
+// Words returns the total words transmitted on links so far (local
+// self-delivery is free and uncounted).
+func (c *Network) Words() int64 { return c.words }
+
+// Stats returns a copy of the accounting snapshot.
+func (c *Network) Stats() Stats {
+	ph := make([]PhaseStat, len(c.phases))
+	copy(ph, c.phases)
+	return Stats{N: c.n, Rounds: c.rounds, Words: c.words, Flushes: c.flushes, Phases: ph}
+}
+
+// Phase begins a named accounting phase; subsequent costs are attributed to
+// it until the next call.
+func (c *Network) Phase(name string) {
+	c.phases = append(c.phases, PhaseStat{Name: name})
+}
+
+func (c *Network) charge(rounds, words int64) {
+	c.rounds += rounds
+	c.words += words
+	if len(c.phases) > 0 {
+		p := &c.phases[len(c.phases)-1]
+		p.Rounds += rounds
+		p.Words += words
+	}
+	if c.roundLimit > 0 && c.rounds > c.roundLimit {
+		panic(&RoundLimitError{Limit: c.roundLimit, Rounds: c.rounds})
+	}
+}
+
+func (c *Network) checkNode(v int) {
+	if v < 0 || v >= c.n {
+		panic(fmt.Sprintf("clique: node %d out of range [0, %d)", v, c.n))
+	}
+}
+
+// Send enqueues one word from src to dst for the next Flush. Sending to
+// oneself is legal and free. Send may be called concurrently from ForEach
+// workers provided each worker sends only from its own node.
+func (c *Network) Send(src, dst int, w Word) {
+	c.checkNode(src)
+	c.checkNode(dst)
+	c.queues[src][dst] = append(c.queues[src][dst], w)
+}
+
+// SendVec enqueues a vector of words from src to dst (copied).
+func (c *Network) SendVec(src, dst int, ws []Word) {
+	c.checkNode(src)
+	c.checkNode(dst)
+	c.queues[src][dst] = append(c.queues[src][dst], ws...)
+}
+
+// Mail is the result of a Flush: all words delivered in this exchange,
+// indexed by destination and source, in FIFO order per link.
+type Mail struct {
+	n     int
+	byDst [][][]Word // byDst[dst][src]
+}
+
+// From returns the words dst received from src (nil if none).
+func (m *Mail) From(dst, src int) []Word { return m.byDst[dst][src] }
+
+// Each calls f for every non-empty (src, words) pair delivered to dst, in
+// increasing source order.
+func (m *Mail) Each(dst int, f func(src int, words []Word)) {
+	for src, ws := range m.byDst[dst] {
+		if len(ws) > 0 {
+			f(src, ws)
+		}
+	}
+}
+
+// Flush delivers every queued word. The charged cost is the maximum link
+// load: the words on each directed link are delivered one per round in
+// parallel across links, exactly as the synchronous model allows.
+func (c *Network) Flush() *Mail {
+	var maxLoad, total int64
+	mail := &Mail{n: c.n, byDst: make([][][]Word, c.n)}
+	for dst := 0; dst < c.n; dst++ {
+		mail.byDst[dst] = make([][]Word, c.n)
+	}
+	for src := 0; src < c.n; src++ {
+		for dst, q := range c.queues[src] {
+			if len(q) == 0 {
+				continue
+			}
+			mail.byDst[dst][src] = q
+			if src != dst {
+				if l := int64(len(q)); l > maxLoad {
+					maxLoad = l
+				}
+				total += int64(len(q))
+			}
+		}
+	}
+	c.queues = newQueues(c.n)
+	c.flushes++
+	c.charge(maxLoad, total)
+	return mail
+}
+
+// PendingWords reports the number of words currently queued from src
+// (diagnostics and tests).
+func (c *Network) PendingWords(src int) int {
+	c.checkNode(src)
+	total := 0
+	for dst, q := range c.queues[src] {
+		if dst != src {
+			total += len(q)
+		}
+	}
+	return total
+}
+
+// Broadcast performs one broadcast round per word: node v transmits
+// vals[v] to every other node; all nodes receive all vectors. The cost is
+// max_v len(vals[v]) rounds (each round every node broadcasts one word).
+// The returned slice is indexed by the broadcasting node; receivers must
+// treat the shared slices as read-only.
+func (c *Network) Broadcast(vals [][]Word) [][]Word {
+	if len(vals) != c.n {
+		panic(fmt.Sprintf("clique: Broadcast wants %d vectors, got %d", c.n, len(vals)))
+	}
+	var maxLen, total int64
+	for _, v := range vals {
+		if l := int64(len(v)); l > maxLen {
+			maxLen = l
+		}
+		total += int64(len(v)) * int64(c.n-1)
+	}
+	c.charge(maxLen, total)
+	out := make([][]Word, c.n)
+	copy(out, vals)
+	return out
+}
+
+// BroadcastWord is Broadcast for a single word per node: one round.
+func (c *Network) BroadcastWord(vals []Word) []Word {
+	if len(vals) != c.n {
+		panic(fmt.Sprintf("clique: BroadcastWord wants %d values, got %d", c.n, len(vals)))
+	}
+	c.charge(1, int64(c.n)*int64(c.n-1))
+	out := make([]Word, c.n)
+	copy(out, vals)
+	return out
+}
+
+// ForEach runs f(v) for every node concurrently on the worker pool and
+// waits for completion. f must restrict itself to node v's state and may
+// send only from v.
+func (c *Network) ForEach(f func(v int)) {
+	workers := c.workers
+	if workers > c.n {
+		workers = c.n
+	}
+	if workers <= 1 {
+		for v := 0; v < c.n; v++ {
+			f(v)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for v := range next {
+				f(v)
+			}
+		}()
+	}
+	for v := 0; v < c.n; v++ {
+		next <- v
+	}
+	close(next)
+	wg.Wait()
+}

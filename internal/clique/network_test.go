@@ -1,0 +1,277 @@
+package clique_test
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sync/atomic"
+	"testing"
+
+	"github.com/algebraic-clique/algclique/internal/clique"
+)
+
+func TestFlushChargesMaxLinkLoad(t *testing.T) {
+	c := clique.New(4)
+	// Link (0,1) carries 3 words, (2,3) carries 1: cost is 3 rounds.
+	c.Send(0, 1, 10)
+	c.Send(0, 1, 11)
+	c.Send(0, 1, 12)
+	c.Send(2, 3, 99)
+	mail := c.Flush()
+	if got := c.Rounds(); got != 3 {
+		t.Errorf("Rounds = %d, want 3", got)
+	}
+	if got := c.Words(); got != 4 {
+		t.Errorf("Words = %d, want 4", got)
+	}
+	want := []clique.Word{10, 11, 12}
+	got := mail.From(1, 0)
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("mail.From(1,0) = %v, want %v", got, want)
+	}
+	if mail.From(3, 2)[0] != 99 {
+		t.Error("word on (2,3) lost")
+	}
+	if mail.From(1, 2) != nil {
+		t.Error("phantom delivery")
+	}
+}
+
+func TestFlushIsExactlyOnce(t *testing.T) {
+	c := clique.New(3)
+	c.Send(0, 2, 7)
+	first := c.Flush()
+	if len(first.From(2, 0)) != 1 {
+		t.Fatal("first flush lost the word")
+	}
+	second := c.Flush()
+	if second.From(2, 0) != nil {
+		t.Error("second flush re-delivered")
+	}
+	if c.Rounds() != 1 {
+		t.Errorf("empty flush charged rounds: %d", c.Rounds())
+	}
+}
+
+func TestSelfDeliveryIsFree(t *testing.T) {
+	c := clique.New(2)
+	c.Send(0, 0, 42)
+	mail := c.Flush()
+	if c.Rounds() != 0 || c.Words() != 0 {
+		t.Errorf("self delivery charged rounds=%d words=%d", c.Rounds(), c.Words())
+	}
+	if got := mail.From(0, 0); len(got) != 1 || got[0] != 42 {
+		t.Errorf("self delivery lost word: %v", got)
+	}
+}
+
+func TestSendVecCopies(t *testing.T) {
+	c := clique.New(2)
+	buf := []clique.Word{1, 2, 3}
+	c.SendVec(0, 1, buf)
+	buf[0] = 99
+	mail := c.Flush()
+	if got := mail.From(1, 0); got[0] != 1 {
+		t.Errorf("SendVec aliased caller buffer: %v", got)
+	}
+}
+
+func TestBroadcastCost(t *testing.T) {
+	n := 5
+	c := clique.New(n)
+	vals := make([]clique.Word, n)
+	for i := range vals {
+		vals[i] = clique.Word(i * i)
+	}
+	got := c.BroadcastWord(vals)
+	if c.Rounds() != 1 {
+		t.Errorf("single-word broadcast cost %d rounds, want 1", c.Rounds())
+	}
+	for i, v := range got {
+		if v != clique.Word(i*i) {
+			t.Errorf("broadcast value %d corrupted", i)
+		}
+	}
+	vecs := make([][]clique.Word, n)
+	for i := range vecs {
+		vecs[i] = make([]clique.Word, i) // node i broadcasts i words
+	}
+	c.Broadcast(vecs)
+	if c.Rounds() != 1+int64(n-1) {
+		t.Errorf("vector broadcast cost %d total rounds, want %d", c.Rounds(), 1+n-1)
+	}
+}
+
+func TestPhaseAccounting(t *testing.T) {
+	c := clique.New(3)
+	c.Phase("first")
+	c.Send(0, 1, 1)
+	c.Send(0, 1, 2)
+	c.Flush()
+	c.Phase("second")
+	c.BroadcastWord([]clique.Word{1, 2, 3})
+	st := c.Stats()
+	if len(st.Phases) != 2 {
+		t.Fatalf("got %d phases", len(st.Phases))
+	}
+	if st.Phases[0].Name != "first" || st.Phases[0].Rounds != 2 {
+		t.Errorf("phase 0 = %+v", st.Phases[0])
+	}
+	if st.Phases[1].Name != "second" || st.Phases[1].Rounds != 1 {
+		t.Errorf("phase 1 = %+v", st.Phases[1])
+	}
+	if st.Rounds != 3 || st.Flushes != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestMailEachOrdersBySource(t *testing.T) {
+	c := clique.New(4)
+	c.Send(3, 0, 30)
+	c.Send(1, 0, 10)
+	c.Send(2, 0, 20)
+	mail := c.Flush()
+	var srcs []int
+	mail.Each(0, func(src int, words []clique.Word) {
+		srcs = append(srcs, src)
+	})
+	if len(srcs) != 3 || srcs[0] != 1 || srcs[1] != 2 || srcs[2] != 3 {
+		t.Errorf("Each order = %v, want [1 2 3]", srcs)
+	}
+}
+
+func TestForEachVisitsAllOnce(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		c := clique.New(100, clique.WithWorkers(workers))
+		var count atomic.Int64
+		visited := make([]atomic.Bool, 100)
+		c.ForEach(func(v int) {
+			if visited[v].Swap(true) {
+				t.Errorf("node %d visited twice", v)
+			}
+			count.Add(1)
+		})
+		if count.Load() != 100 {
+			t.Errorf("workers=%d visited %d nodes", workers, count.Load())
+		}
+	}
+}
+
+func TestForEachConcurrentSends(t *testing.T) {
+	// Each node sends from itself concurrently; flush must see all words.
+	n := 64
+	c := clique.New(n, clique.WithWorkers(8))
+	c.ForEach(func(v int) {
+		for dst := 0; dst < n; dst++ {
+			c.Send(v, dst, clique.Word(v))
+		}
+	})
+	mail := c.Flush()
+	if c.Rounds() != 1 {
+		t.Errorf("all-to-all single word cost %d rounds, want 1", c.Rounds())
+	}
+	for dst := 0; dst < n; dst++ {
+		for src := 0; src < n; src++ {
+			if got := mail.From(dst, src); len(got) != 1 || got[0] != clique.Word(src) {
+				t.Fatalf("delivery (%d→%d) = %v", src, dst, got)
+			}
+		}
+	}
+}
+
+func TestRoundLimitPanics(t *testing.T) {
+	c := clique.New(2, clique.WithRoundLimit(2))
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected round-limit panic")
+		}
+		err, ok := r.(*clique.RoundLimitError)
+		if !ok {
+			t.Fatalf("panic value %T, want *RoundLimitError", r)
+		}
+		var target *clique.RoundLimitError
+		if !errors.As(error(err), &target) || target.Limit != 2 {
+			t.Errorf("unexpected error: %v", err)
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		c.Send(0, 1, 1)
+	}
+	c.Flush()
+}
+
+func TestMisusePanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"bad size", func() { clique.New(0) }},
+		{"send src", func() { clique.New(2).Send(-1, 0, 1) }},
+		{"send dst", func() { clique.New(2).Send(0, 2, 1) }},
+		{"broadcast len", func() { clique.New(2).BroadcastWord([]clique.Word{1}) }},
+		{"broadcast vec len", func() { clique.New(2).Broadcast(make([][]clique.Word, 3)) }},
+		{"pending range", func() { clique.New(2).PendingWords(5) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			tc.f()
+		})
+	}
+}
+
+func TestRandomTrafficConservation(t *testing.T) {
+	// Property: every word sent is delivered exactly once, and the charged
+	// rounds equal the maximum per-link count.
+	rng := rand.New(rand.NewPCG(42, 7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.IntN(10)
+		c := clique.New(n)
+		sent := make(map[[2]int][]clique.Word)
+		var wantMax int64
+		for m := 0; m < 200; m++ {
+			src, dst := rng.IntN(n), rng.IntN(n)
+			w := clique.Word(rng.Uint64())
+			c.Send(src, dst, w)
+			sent[[2]int{src, dst}] = append(sent[[2]int{src, dst}], w)
+		}
+		for k, ws := range sent {
+			if k[0] != k[1] && int64(len(ws)) > wantMax {
+				wantMax = int64(len(ws))
+			}
+		}
+		mail := c.Flush()
+		if c.Rounds() != wantMax {
+			t.Fatalf("rounds = %d, want %d", c.Rounds(), wantMax)
+		}
+		for k, ws := range sent {
+			got := mail.From(k[1], k[0])
+			if len(got) != len(ws) {
+				t.Fatalf("link %v delivered %d of %d words", k, len(got), len(ws))
+			}
+			for i := range ws {
+				if got[i] != ws[i] {
+					t.Fatalf("link %v word %d corrupted", k, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPendingWords(t *testing.T) {
+	c := clique.New(3)
+	c.Send(0, 1, 1)
+	c.Send(0, 2, 2)
+	c.Send(0, 0, 3) // self: not counted
+	if got := c.PendingWords(0); got != 2 {
+		t.Errorf("PendingWords = %d, want 2", got)
+	}
+	c.Flush()
+	if got := c.PendingWords(0); got != 0 {
+		t.Errorf("PendingWords after flush = %d", got)
+	}
+}

@@ -1,0 +1,108 @@
+// Package distance implements the paper's distance-computation algorithms
+// (§3.3–3.4):
+//
+//   - APSPSemiring: exact weighted directed APSP via min-plus iterated
+//     squaring with in-band witnesses and routing tables (Corollary 6).
+//   - APSPSeidel: exact unweighted undirected APSP (Corollary 7, Lemma 17).
+//   - DistanceProductSmall / APSPBounded / APSPSmallWeights: the
+//     polynomial-ring embedding for small weights (Lemma 18, Lemma 19,
+//     Corollary 8 with diameter doubling).
+//   - ApproxDistanceProduct / APSPApprox: the (1+o(1))-approximation by
+//     weight rounding (Lemma 20, Theorem 9).
+//   - FindWitnesses: witness recovery for arbitrary distance-product
+//     oracles (§3.4, Lemma 21) and routing-table construction from
+//     distances.
+package distance
+
+import (
+	"fmt"
+
+	"github.com/algebraic-clique/algclique/internal/ccmm"
+	"github.com/algebraic-clique/algclique/internal/clique"
+	"github.com/algebraic-clique/algclique/internal/graphs"
+	"github.com/algebraic-clique/algclique/internal/matrix"
+	"github.com/algebraic-clique/algclique/internal/ring"
+)
+
+// Result bundles the outputs of an APSP computation. Dist[u][v] is the
+// shortest-path distance (ring.Inf when unreachable). Next, when non-nil,
+// is the routing table: Next[u][v] is the first hop after u on a shortest
+// u→v path (the paper's R[u,v]), v itself for direct edges, u on the
+// diagonal, and ring.NoWitness for unreachable pairs.
+type Result struct {
+	Dist *ccmm.RowMat[int64]
+	Next *ccmm.RowMat[int64]
+}
+
+// weightRows distributes the weight matrix one row per node.
+func weightRows(g *graphs.Weighted) *ccmm.RowMat[int64] {
+	n := g.N()
+	out := &ccmm.RowMat[int64]{Rows: make([][]int64, n)}
+	for v := 0; v < n; v++ {
+		row := make([]int64, n)
+		copy(row, g.Matrix().Row(v))
+		out.Rows[v] = row
+	}
+	return out
+}
+
+func checkWeightedSize(net *clique.Network, g *graphs.Weighted) error {
+	if g.N() != net.N() {
+		return fmt.Errorf("distance: graph has %d nodes on an %d-node clique: %w",
+			g.N(), net.N(), ccmm.ErrSize)
+	}
+	return nil
+}
+
+// log2Ceil returns ⌈log₂ n⌉ for n ≥ 1.
+func log2Ceil(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}
+
+// ValidateRouting is a centralised test helper: it walks every routing-table
+// path and confirms it realises the claimed distance within n hops.
+func ValidateRouting(g *graphs.Weighted, dist, next *matrix.Dense[int64]) error {
+	n := g.N()
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			d := dist.At(u, v)
+			if u == v {
+				if d != 0 {
+					return fmt.Errorf("distance: d(%d,%d) = %d, want 0", u, u, d)
+				}
+				continue
+			}
+			if ring.IsInf(d) {
+				if next.At(u, v) != ring.NoWitness {
+					return fmt.Errorf("distance: unreachable pair (%d,%d) has next hop %d", u, v, next.At(u, v))
+				}
+				continue
+			}
+			cur := u
+			var total int64
+			for steps := 0; cur != v; steps++ {
+				if steps > n {
+					return fmt.Errorf("distance: routing loop on pair (%d,%d)", u, v)
+				}
+				hop := next.At(cur, v)
+				if hop < 0 || hop >= int64(n) {
+					return fmt.Errorf("distance: bad next hop %d at (%d,%d)", hop, cur, v)
+				}
+				w := g.Weight(cur, int(hop))
+				if ring.IsInf(w) {
+					return fmt.Errorf("distance: routing uses non-edge (%d,%d)", cur, hop)
+				}
+				total += w
+				cur = int(hop)
+			}
+			if total != d {
+				return fmt.Errorf("distance: path for (%d,%d) has weight %d, distance says %d", u, v, total, d)
+			}
+		}
+	}
+	return nil
+}

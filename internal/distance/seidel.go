@@ -1,0 +1,158 @@
+package distance
+
+import (
+	"fmt"
+
+	"github.com/algebraic-clique/algclique/internal/ccmm"
+	"github.com/algebraic-clique/algclique/internal/clique"
+	"github.com/algebraic-clique/algclique/internal/graphs"
+	"github.com/algebraic-clique/algclique/internal/ring"
+)
+
+// APSPSeidel computes exact all-pairs shortest-path distances for
+// unweighted undirected graphs (Corollary 7) by Seidel's recursion:
+// square the graph (one Boolean product), solve APSP on G² recursively,
+// and resolve the parity of each distance through the integer product
+// S = D·A and the degree test of Lemma 17. The recursion terminates after
+// O(log n) levels when G² = G (a disjoint union of cliques), so
+// disconnected graphs are handled and yield ring.Inf across components.
+func APSPSeidel(net *clique.Network, engine ccmm.Engine, g *graphs.Graph) (*ccmm.RowMat[int64], error) {
+	if g.Directed() {
+		return nil, fmt.Errorf("distance: Seidel's algorithm requires an undirected graph: %w", ccmm.ErrSize)
+	}
+	if g.N() != net.N() {
+		return nil, fmt.Errorf("distance: graph has %d nodes on an %d-node clique: %w",
+			g.N(), net.N(), ccmm.ErrSize)
+	}
+	n := net.N()
+	a := &ccmm.RowMat[int64]{Rows: make([][]int64, n)}
+	for v := 0; v < n; v++ {
+		row := make([]int64, n)
+		g.Row(v).ForEach(func(u int) { row[u] = 1 })
+		a.Rows[v] = row
+	}
+	return seidelRec(net, engine, a, 0, log2Ceil(n)+2)
+}
+
+func seidelRec(net *clique.Network, engine ccmm.Engine, a *ccmm.RowMat[int64], depth, maxDepth int) (*ccmm.RowMat[int64], error) {
+	if depth > maxDepth {
+		return nil, fmt.Errorf("distance: Seidel recursion exceeded depth %d (internal invariant)", maxDepth)
+	}
+	n := len(a.Rows)
+	net.Phase(fmt.Sprintf("seidel/square-%d", depth))
+	a2, err := ccmm.MulBool(net, engine, a, a)
+	if err != nil {
+		return nil, err
+	}
+	// B = adjacency of G²: d(u,v) ≤ 2, excluding the diagonal.
+	b := ccmm.NewRowMat[int64](n)
+	fixpoint := make([]bool, n)
+	net.ForEach(func(v int) {
+		brow, arow, a2row := b.Rows[v], a.Rows[v], a2.Rows[v]
+		same := true
+		for j := 0; j < n; j++ {
+			if j == v {
+				continue
+			}
+			if arow[j] != 0 || a2row[j] != 0 {
+				brow[j] = 1
+			}
+			if brow[j] != arow[j] {
+				same = false
+			}
+		}
+		fixpoint[v] = same
+	})
+	// One broadcast round agrees on the fixpoint globally.
+	flags := make([]clique.Word, n)
+	for v := 0; v < n; v++ {
+		if !fixpoint[v] {
+			flags[v] = 1
+		}
+	}
+	changed := false
+	for _, f := range net.BroadcastWord(flags) {
+		if f != 0 {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		// G is a disjoint union of cliques: distance 1 to neighbours,
+		// infinity across components.
+		d := ccmm.NewRowMat[int64](n)
+		net.ForEach(func(v int) {
+			row, arow := d.Rows[v], a.Rows[v]
+			for j := 0; j < n; j++ {
+				switch {
+				case j == v:
+					row[j] = 0
+				case arow[j] != 0:
+					row[j] = 1
+				default:
+					row[j] = ring.Inf
+				}
+			}
+		})
+		return d, nil
+	}
+
+	d2, err := seidelRec(net, engine, b, depth+1, maxDepth)
+	if err != nil {
+		return nil, err
+	}
+
+	// Degrees of G are broadcast once (one round).
+	net.Phase(fmt.Sprintf("seidel/parity-%d", depth))
+	degWords := make([]clique.Word, n)
+	for v := 0; v < n; v++ {
+		var deg int64
+		for _, x := range a.Rows[v] {
+			deg += x
+		}
+		degWords[v] = clique.Word(deg)
+	}
+	bc := net.BroadcastWord(degWords)
+	degs := make([]int64, n)
+	for v := 0; v < n; v++ {
+		degs[v] = int64(bc[v])
+	}
+
+	// S = D₂'·A over the integers, with infinities capped to n: the capped
+	// entries only involve cross-component pairs, whose output stays ∞, and
+	// capping keeps the product within int64 (true distances are < n).
+	capped := ccmm.NewRowMat[int64](n)
+	net.ForEach(func(v int) {
+		crow, drow := capped.Rows[v], d2.Rows[v]
+		for j := 0; j < n; j++ {
+			if ring.IsInf(drow[j]) {
+				crow[j] = int64(n)
+			} else {
+				crow[j] = drow[j]
+			}
+		}
+	})
+	s, err := ccmm.MulInt(net, engine, capped, a)
+	if err != nil {
+		return nil, err
+	}
+
+	// Lemma 17: d(u,v) = 2·d₂(u,v) − 1 exactly when S[u][v] < d₂(u,v)·deg(v).
+	d := ccmm.NewRowMat[int64](n)
+	net.ForEach(func(u int) {
+		row, d2row, srow := d.Rows[u], d2.Rows[u], s.Rows[u]
+		for v := 0; v < n; v++ {
+			switch {
+			case u == v:
+				row[v] = 0
+			case ring.IsInf(d2row[v]):
+				row[v] = ring.Inf
+			case srow[v] < d2row[v]*degs[v]:
+				row[v] = 2*d2row[v] - 1
+			default:
+				row[v] = 2 * d2row[v]
+			}
+		}
+	})
+	return d, nil
+}

@@ -1,0 +1,182 @@
+package girth_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/algebraic-clique/algclique/internal/ccmm"
+	"github.com/algebraic-clique/algclique/internal/clique"
+	"github.com/algebraic-clique/algclique/internal/girth"
+	"github.com/algebraic-clique/algclique/internal/graphs"
+	"github.com/algebraic-clique/algclique/internal/subgraph"
+)
+
+func padTo(g *graphs.Graph, n int) *graphs.Graph {
+	out := graphs.NewGraph(n, g.Directed())
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if g.Directed() || u < v {
+				out.AddEdge(u, v)
+			}
+		}
+	}
+	return out
+}
+
+func TestUndirectedGirthKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name  string
+		g     *graphs.Graph
+		girth int
+		ok    bool
+	}{
+		{"triangle", padTo(graphs.Cycle(3, false), 16), 3, true},
+		{"C4", padTo(graphs.Cycle(4, false), 16), 4, true},
+		{"C5", padTo(graphs.Cycle(5, false), 16), 5, true},
+		{"petersen", padTo(graphs.Petersen(), 16), 5, true},
+		{"heawood", padTo(graphs.Heawood(), 16), 6, true},
+		{"torus44", graphs.Torus(4, 4), 4, true},
+		{"K5", padTo(graphs.Complete(5, false), 16), 3, true},
+		{"tree", graphs.Tree(16, 1), 0, false},
+		{"path", graphs.Path(16, false), 0, false},
+		{"C9 sparse branch", padTo(graphs.Cycle(9, false), 16), 9, true},
+		{"two cycles", twoCycles(16), 4, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			net := clique.New(tc.g.N())
+			got, ok, err := girth.Undirected(net, ccmm.EngineAuto, tc.g, girth.Opts{
+				KCycle: subgraph.KCycleOpts{Colourings: 150, Seed: 7},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != tc.ok || (ok && got != tc.girth) {
+				t.Errorf("girth = (%d, %v), want (%d, %v)", got, ok, tc.girth, tc.ok)
+			}
+		})
+	}
+}
+
+// twoCycles builds a C7 and a C4 on disjoint node sets: girth 4.
+func twoCycles(n int) *graphs.Graph {
+	g := graphs.NewGraph(n, false)
+	for i := 0; i < 7; i++ {
+		g.AddEdge(i, (i+1)%7)
+	}
+	for i := 7; i < 11; i++ {
+		g.AddEdge(i, 7+(i-7+1)%4)
+	}
+	return g
+}
+
+func TestUndirectedGirthDenseTriggersColourCoding(t *testing.T) {
+	// A dense graph exceeds the Lemma 14 threshold, forcing the detection
+	// branch; dense G(n, 1/2) graphs have triangles whp.
+	g := graphs.GNP(16, 0.6, false, 3)
+	if graphs.CountTrianglesRef(g) == 0 {
+		t.Skip("unlucky dense graph without triangles")
+	}
+	net := clique.New(16)
+	got, ok, err := girth.Undirected(net, ccmm.EngineFast, g, girth.Opts{
+		KCycle: subgraph.KCycleOpts{Colourings: 100, Seed: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || got != 3 {
+		t.Errorf("dense girth = (%d, %v), want (3, true)", got, ok)
+	}
+}
+
+func TestUndirectedGirthRandomAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 31))
+	for trial := 0; trial < 10; trial++ {
+		n := []int{16, 25, 36}[rng.IntN(3)]
+		g := graphs.GNP(n, rng.Float64()*0.3, false, rng.Uint64())
+		net := clique.New(n)
+		got, ok, err := girth.Undirected(net, ccmm.EngineAuto, g, girth.Opts{
+			KCycle: subgraph.KCycleOpts{Colourings: 150, Seed: uint64(trial)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantOK := graphs.GirthRef(g)
+		if ok != wantOK || (ok && got != want) {
+			t.Fatalf("n=%d trial=%d: girth = (%d,%v), want (%d,%v)", n, trial, got, ok, want, wantOK)
+		}
+	}
+}
+
+func TestUndirectedGirthRejectsDirected(t *testing.T) {
+	net := clique.New(16)
+	if _, _, err := girth.Undirected(net, ccmm.EngineAuto, graphs.Cycle(16, true), girth.Opts{}); err == nil {
+		t.Error("directed graph accepted")
+	}
+}
+
+func TestDirectedGirthKnownGraphs(t *testing.T) {
+	two := graphs.NewGraph(16, true)
+	two.AddEdge(2, 9)
+	two.AddEdge(9, 2)
+
+	ham := graphs.Cycle(16, true) // girth exactly n
+
+	dag := graphs.NewGraph(16, true)
+	for u := 0; u < 16; u++ {
+		for v := u + 1; v < 16; v++ {
+			dag.AddEdge(u, v)
+		}
+	}
+
+	cases := []struct {
+		name  string
+		g     *graphs.Graph
+		girth int
+		ok    bool
+	}{
+		{"2-cycle", two, 2, true},
+		{"C3", padTo(graphs.Cycle(3, true), 16), 3, true},
+		{"C5", padTo(graphs.Cycle(5, true), 16), 5, true},
+		{"C7", padTo(graphs.Cycle(7, true), 16), 7, true},
+		{"hamiltonian", ham, 16, true},
+		{"dag", dag, 0, false},
+		{"empty", graphs.NewGraph(16, true), 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			net := clique.New(tc.g.N())
+			got, ok, err := girth.Directed(net, ccmm.EngineFast, tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != tc.ok || (ok && got != tc.girth) {
+				t.Errorf("girth = (%d, %v), want (%d, %v)", got, ok, tc.girth, tc.ok)
+			}
+		})
+	}
+}
+
+func TestDirectedGirthRandomAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 3))
+	for trial := 0; trial < 12; trial++ {
+		n := 16
+		g := graphs.GNP(n, rng.Float64()*0.15, true, rng.Uint64())
+		net := clique.New(n)
+		got, ok, err := girth.Directed(net, ccmm.EngineFast, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantOK := graphs.GirthRef(g)
+		if ok != wantOK || (ok && got != want) {
+			t.Fatalf("trial %d: girth = (%d,%v), want (%d,%v)", trial, got, ok, want, wantOK)
+		}
+	}
+}
+
+func TestDirectedGirthRejectsUndirected(t *testing.T) {
+	net := clique.New(16)
+	if _, _, err := girth.Directed(net, ccmm.EngineFast, graphs.Cycle(16, false)); err == nil {
+		t.Error("undirected graph accepted")
+	}
+}

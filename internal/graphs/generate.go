@@ -1,0 +1,223 @@
+package graphs
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// GNP returns an Erdős–Rényi G(n, p) graph drawn with the given seed.
+func GNP(n int, p float64, directed bool, seed uint64) *Graph {
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	g := NewGraph(n, directed)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			if !directed && u > v {
+				continue
+			}
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// Cycle returns the n-cycle 0-1-…-(n-1)-0 (directed: oriented forward).
+// n must be ≥ 3.
+func Cycle(n int, directed bool) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graphs: cycle needs ≥ 3 nodes, got %d", n))
+	}
+	g := NewGraph(n, directed)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+// Path returns the path 0-1-…-(n-1).
+func Path(n int, directed bool) *Graph {
+	g := NewGraph(n, directed)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Complete returns K_n (all ordered pairs when directed).
+func Complete(n int, directed bool) *Graph {
+	g := NewGraph(n, directed)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && (directed || u < v) {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b} on nodes 0..a-1 and a..a+b-1.
+// It contains 4-cycles whenever a, b ≥ 2 and no triangles or odd cycles.
+func CompleteBipartite(a, b int) *Graph {
+	g := NewGraph(a+b, false)
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Torus returns the rows×cols toroidal grid. Both dimensions must be ≥ 3;
+// the girth is then 4.
+func Torus(rows, cols int) *Graph {
+	if rows < 3 || cols < 3 {
+		panic(fmt.Sprintf("graphs: torus needs dimensions ≥ 3, got %d×%d", rows, cols))
+	}
+	g := NewGraph(rows*cols, false)
+	id := func(r, c int) int { return ((r+rows)%rows)*cols + (c+cols)%cols }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.AddEdge(id(r, c), id(r+1, c))
+			g.AddEdge(id(r, c), id(r, c+1))
+		}
+	}
+	return g
+}
+
+// Petersen returns the Petersen graph: 10 nodes, 15 edges, girth 5 — a
+// handy C4-free, triangle-free test instance.
+func Petersen() *Graph {
+	g := NewGraph(10, false)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, (i+1)%5)     // outer pentagon
+		g.AddEdge(5+i, 5+(i+2)%5) // inner pentagram
+		g.AddEdge(i, 5+i)         // spokes
+	}
+	return g
+}
+
+// Heawood returns the Heawood graph: the point–line incidence graph of the
+// Fano plane. 14 nodes, 3-regular, girth 6 — the smallest (3,6)-cage and an
+// extremal C4-free graph, the family behind the Lemma 14 edge bound.
+// Construction: a 14-cycle plus the chords {i, i+5 mod 14} for even i.
+func Heawood() *Graph {
+	g := NewGraph(14, false)
+	for i := 0; i < 14; i++ {
+		g.AddEdge(i, (i+1)%14)
+	}
+	for i := 0; i < 14; i += 2 {
+		if !g.HasEdge(i, (i+5)%14) {
+			g.AddEdge(i, (i+5)%14)
+		}
+	}
+	return g
+}
+
+// Tree returns a random tree on n nodes (uniform attachment), a C4- and
+// cycle-free instance.
+func Tree(n int, seed uint64) *Graph {
+	rng := rand.New(rand.NewPCG(seed, 0xda3e39cb94b95bdb))
+	g := NewGraph(n, false)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, rng.IntN(v))
+	}
+	return g
+}
+
+// PlantedCycle returns a sparse G(n, p) graph with a k-cycle planted on a
+// random node subset, plus the planted cycle's nodes in order.
+func PlantedCycle(n, k int, p float64, directed bool, seed uint64) (*Graph, []int) {
+	if k < 3 || k > n {
+		panic(fmt.Sprintf("graphs: cannot plant %d-cycle in %d nodes", k, n))
+	}
+	g := GNP(n, p, directed, seed)
+	rng := rand.New(rand.NewPCG(seed, 0xc2b2ae3d27d4eb4f))
+	perm := rng.Perm(n)[:k]
+	for i := 0; i < k; i++ {
+		u, v := perm[i], perm[(i+1)%k]
+		if !g.HasEdge(u, v) {
+			g.AddEdge(u, v)
+		}
+	}
+	return g, perm
+}
+
+// PreferentialAttachment returns a skew-degree undirected graph: each new
+// node attaches m edges to earlier nodes chosen proportionally to degree+1.
+func PreferentialAttachment(n, m int, seed uint64) *Graph {
+	if m < 1 {
+		panic("graphs: preferential attachment needs m ≥ 1")
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x165667b19e3779f9))
+	g := NewGraph(n, false)
+	deg := make([]int, n)
+	var totalDeg int
+	for v := 1; v < n; v++ {
+		edges := m
+		if edges > v {
+			edges = v
+		}
+		for e := 0; e < edges; e++ {
+			// Sample target ∝ degree+1 among nodes [0, v).
+			t := rng.IntN(totalDeg + v)
+			target := -1
+			acc := 0
+			for u := 0; u < v; u++ {
+				acc += deg[u] + 1
+				if t < acc {
+					target = u
+					break
+				}
+			}
+			if target >= 0 && !g.HasEdge(v, target) {
+				g.AddEdge(v, target)
+				deg[v]++
+				deg[target]++
+				totalDeg += 2
+			}
+		}
+	}
+	return g
+}
+
+// RandomWeighted returns a weighted G(n, p) graph with integer weights
+// drawn uniformly from [1, maxW].
+func RandomWeighted(n int, p float64, maxW int64, directed bool, seed uint64) *Weighted {
+	if maxW < 1 {
+		panic("graphs: maxW must be ≥ 1")
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x27d4eb2f165667c5))
+	g := NewWeighted(n, directed)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v || (!directed && u > v) {
+				continue
+			}
+			if rng.Float64() < p {
+				g.SetEdge(u, v, 1+rng.Int64N(maxW))
+			}
+		}
+	}
+	return g
+}
+
+// RandomConnectedWeighted returns a weighted graph guaranteed connected
+// (strongly connected when directed) by overlaying a random Hamiltonian
+// cycle on RandomWeighted.
+func RandomConnectedWeighted(n int, p float64, maxW int64, directed bool, seed uint64) *Weighted {
+	g := RandomWeighted(n, p, maxW, directed, seed)
+	rng := rand.New(rand.NewPCG(seed, 0x85ebca77c2b2ae63))
+	perm := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		u, v := perm[i], perm[(i+1)%n]
+		if !g.HasEdge(u, v) {
+			g.SetEdge(u, v, 1+rng.Int64N(maxW))
+		}
+	}
+	return g
+}

@@ -1,0 +1,329 @@
+package graphs
+
+import (
+	"fmt"
+
+	"github.com/algebraic-clique/algclique/internal/matrix"
+	"github.com/algebraic-clique/algclique/internal/ring"
+)
+
+// CountTrianglesRef counts triangles centrally. For undirected graphs a
+// triangle is an unordered node triple inducing three edges; for directed
+// graphs it is a directed 3-cycle u→v→w→u (each cycle counted once, not per
+// rotation). This is the ground truth for Corollary 2.
+func CountTrianglesRef(g *Graph) int64 {
+	var total int64
+	if !g.directed {
+		for u := 0; u < g.n; u++ {
+			g.adj[u].ForEach(func(v int) {
+				if v > u {
+					// Count common neighbours w > v to fix u < v < w once.
+					g.adj[u].ForEach(func(w int) {
+						if w > v && g.adj[v].Get(w) {
+							total++
+						}
+					})
+				}
+			})
+		}
+		return total
+	}
+	for u := 0; u < g.n; u++ {
+		g.adj[u].ForEach(func(v int) {
+			g.adj[v].ForEach(func(w int) {
+				if w != u && g.adj[w].Get(u) {
+					total++
+				}
+			})
+		})
+	}
+	return total / 3 // each directed 3-cycle found at each of its 3 rotations
+}
+
+// CountC4Ref counts 4-cycles centrally. Undirected: the number of C4
+// subgraphs; directed: the number of directed 4-cycles u→x→w→y→u on four
+// distinct nodes, counted once each. Implemented by brute force over node
+// tuples — slow but obviously correct.
+func CountC4Ref(g *Graph) int64 {
+	var total int64
+	if !g.directed {
+		// A C4 is determined by its two diagonal pairs; each cycle has two.
+		for u := 0; u < g.n; u++ {
+			for w := u + 1; w < g.n; w++ {
+				c := int64(g.adj[u].IntersectCount(g.adj[w]))
+				total += c * (c - 1) / 2
+			}
+		}
+		return total / 2
+	}
+	// Directed: ordered 4-tuples of distinct nodes forming u→x→w→y→u,
+	// divided by 4 rotations of the same cycle.
+	for u := 0; u < g.n; u++ {
+		g.adj[u].ForEach(func(x int) {
+			g.adj[x].ForEach(func(w int) {
+				if w == u {
+					return
+				}
+				g.adj[w].ForEach(func(y int) {
+					if y != u && y != x && g.adj[y].Get(u) {
+						total++
+					}
+				})
+			})
+		})
+	}
+	return total / 4
+}
+
+// CountC5Ref counts 5-cycles in an undirected graph by brute force over
+// ordered node tuples (each cycle counted once after dividing by the 10
+// traversals: 5 rotations × 2 directions). Ground truth for the k = 5
+// trace formula; O(n⁵), test-sized inputs only.
+func CountC5Ref(g *Graph) int64 {
+	var total int64
+	for a := 0; a < g.n; a++ {
+		g.adj[a].ForEach(func(b int) {
+			g.adj[b].ForEach(func(c int) {
+				if c == a {
+					return
+				}
+				g.adj[c].ForEach(func(d int) {
+					if d == a || d == b {
+						return
+					}
+					g.adj[d].ForEach(func(e int) {
+						if e != a && e != b && e != c && g.adj[e].Get(a) {
+							total++
+						}
+					})
+				})
+			})
+		})
+	}
+	return total / 10
+}
+
+// CountC6Ref counts 6-cycles in an undirected graph by brute force over
+// ordered walks with distinct nodes (each cycle counted 12 times: 6
+// rotations × 2 directions). Ground truth for the k = 6 trace census;
+// test-sized inputs only.
+func CountC6Ref(g *Graph) int64 {
+	var total int64
+	for a := 0; a < g.n; a++ {
+		g.adj[a].ForEach(func(b int) {
+			g.adj[b].ForEach(func(c int) {
+				if c == a {
+					return
+				}
+				g.adj[c].ForEach(func(d int) {
+					if d == a || d == b {
+						return
+					}
+					g.adj[d].ForEach(func(e int) {
+						if e == a || e == b || e == c {
+							return
+						}
+						g.adj[e].ForEach(func(f int) {
+							if f != a && f != b && f != c && f != d && g.adj[f].Get(a) {
+								total++
+							}
+						})
+					})
+				})
+			})
+		})
+	}
+	return total / 12
+}
+
+// HasC4Ref reports whether the graph (undirected) contains a 4-cycle:
+// equivalent to some node pair having ≥ 2 common neighbours.
+func HasC4Ref(g *Graph) bool {
+	for u := 0; u < g.n; u++ {
+		for w := u + 1; w < g.n; w++ {
+			if g.adj[u].IntersectCount(g.adj[w]) >= 2 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HasKCycleRef reports whether the graph contains a simple cycle of length
+// exactly k, by backtracking search. Works for directed and undirected
+// graphs; exponential in the worst case, intended for test-sized inputs.
+func HasKCycleRef(g *Graph, k int) bool {
+	if k < 3 || k > g.n {
+		return false
+	}
+	onPath := make([]bool, g.n)
+	var dfs func(start, cur, depth int) bool
+	dfs = func(start, cur, depth int) bool {
+		if depth == k {
+			return g.adj[cur].Get(start)
+		}
+		found := false
+		g.adj[cur].ForEach(func(next int) {
+			if found || onPath[next] || next < start {
+				// next < start keeps the smallest cycle node first, so each
+				// cycle is explored from a canonical starting point.
+				return
+			}
+			onPath[next] = true
+			if dfs(start, next, depth+1) {
+				found = true
+			}
+			onPath[next] = false
+		})
+		return found
+	}
+	for start := 0; start < g.n; start++ {
+		onPath[start] = true
+		if dfs(start, start, 1) {
+			return true
+		}
+		onPath[start] = false
+	}
+	return false
+}
+
+// GirthRef returns the girth of the graph and true, or (0, false) for an
+// acyclic graph. Undirected girth uses the standard per-root BFS bound;
+// directed girth searches the shortest directed cycle through each node.
+func GirthRef(g *Graph) (int, bool) {
+	best := -1
+	if !g.directed {
+		for root := 0; root < g.n; root++ {
+			dist := make([]int, g.n)
+			parent := make([]int, g.n)
+			for i := range dist {
+				dist[i] = -1
+				parent[i] = -1
+			}
+			dist[root] = 0
+			queue := []int{root}
+			for len(queue) > 0 {
+				u := queue[0]
+				queue = queue[1:]
+				g.adj[u].ForEach(func(v int) {
+					if dist[v] == -1 {
+						dist[v] = dist[u] + 1
+						parent[v] = u
+						queue = append(queue, v)
+					} else if v != parent[u] {
+						// Non-tree edge: the closed walk through the two tree
+						// paths has length dist[u]+dist[v]+1 ≥ girth, and for
+						// a root on a shortest cycle the bound is attained,
+						// so the minimum over all roots is exact.
+						c := dist[u] + dist[v] + 1
+						if best == -1 || c < best {
+							best = c
+						}
+					}
+				})
+			}
+		}
+	} else {
+		for root := 0; root < g.n; root++ {
+			// Shortest directed path root → u, then edge u → root.
+			dist := bfsDirected(g, root)
+			for u := 0; u < g.n; u++ {
+				if u != root && dist[u] >= 0 && g.adj[u].Get(root) {
+					c := dist[u] + 1
+					if best == -1 || c < best {
+						best = c
+					}
+				}
+			}
+		}
+	}
+	if best == -1 {
+		return 0, false
+	}
+	return best, true
+}
+
+func bfsDirected(g *Graph, root int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[root] = 0
+	queue := []int{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		g.adj[u].ForEach(func(v int) {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		})
+	}
+	return dist
+}
+
+// BFSAllPairs returns the unweighted distance matrix (ring.Inf where
+// unreachable), the reference for Corollary 7.
+func BFSAllPairs(g *Graph) *matrix.Dense[int64] {
+	d := matrix.NewFilled[int64](g.n, g.n, ring.Inf)
+	for root := 0; root < g.n; root++ {
+		dist := bfsDirected(g, root)
+		row := d.Row(root)
+		for v, dv := range dist {
+			if dv >= 0 {
+				row[v] = int64(dv)
+			}
+		}
+	}
+	return d
+}
+
+// FloydWarshall returns exact all-pairs distances of a weighted graph, the
+// reference for Corollaries 6 and 8 and Theorem 9. Negative-weight cycles
+// are rejected with an error (the paper's APSP algorithms assume their
+// absence; Corollary 6 allows negative weights but not negative cycles).
+func FloydWarshall(g *Weighted) (*matrix.Dense[int64], error) {
+	n := g.n
+	d := g.w.Clone()
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := d.At(i, k)
+			if ring.IsInf(dik) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if dkj := d.At(k, j); !ring.IsInf(dkj) && dik+dkj < d.At(i, j) {
+					d.Set(i, j, dik+dkj)
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if d.At(i, i) < 0 {
+			return nil, fmt.Errorf("graphs: negative cycle through node %d", i)
+		}
+	}
+	return d, nil
+}
+
+// DiameterOf returns the weighted diameter (max finite distance) of a
+// distance matrix, ignoring unreachable pairs; the second value reports
+// whether all pairs are reachable.
+func DiameterOf(d *matrix.Dense[int64]) (int64, bool) {
+	var diam int64
+	all := true
+	for i := 0; i < d.Rows(); i++ {
+		for j := 0; j < d.Cols(); j++ {
+			v := d.At(i, j)
+			if ring.IsInf(v) {
+				all = false
+				continue
+			}
+			if v > diam {
+				diam = v
+			}
+		}
+	}
+	return diam, all
+}

@@ -1,0 +1,48 @@
+package matrix_test
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"github.com/algebraic-clique/algclique/internal/matrix"
+	"github.com/algebraic-clique/algclique/internal/ring"
+)
+
+func benchMats(n int) (*matrix.Dense[int64], *matrix.Dense[int64]) {
+	rng := rand.New(rand.NewPCG(1, uint64(n)))
+	return randInt64Mat(rng, n, n, 100), randInt64Mat(rng, n, n, 100)
+}
+
+func BenchmarkMulSchoolbook(b *testing.B) {
+	r := ring.Int64{}
+	for _, n := range []int{64, 256} {
+		a, c := benchMats(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				matrix.Mul[int64](r, a, c)
+			}
+		})
+	}
+}
+
+func BenchmarkMulStrassen(b *testing.B) {
+	r := ring.Int64{}
+	for _, n := range []int{64, 256} {
+		a, c := benchMats(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				matrix.Strassen[int64](r, a, c, 32)
+			}
+		})
+	}
+}
+
+func BenchmarkMulMinPlus(b *testing.B) {
+	mp := ring.MinPlus{}
+	rng := rand.New(rand.NewPCG(2, 2))
+	a, c := randMinPlusMat(rng, 128, 128), randMinPlusMat(rng, 128, 128)
+	for i := 0; i < b.N; i++ {
+		matrix.Mul[int64](mp, a, c)
+	}
+}

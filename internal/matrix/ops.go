@@ -1,0 +1,250 @@
+package matrix
+
+import (
+	"fmt"
+
+	"github.com/algebraic-clique/algclique/internal/ring"
+)
+
+// Add returns a + b entry-wise over the semiring.
+func Add[T any](r ring.Semiring[T], a, b *Dense[T]) *Dense[T] {
+	shapeCheck("Add", a, b)
+	out := New[T](a.rows, a.cols)
+	for i := range a.e {
+		out.e[i] = r.Add(a.e[i], b.e[i])
+	}
+	return out
+}
+
+// AddInto accumulates b into a entry-wise: a[i] = a[i] + b[i].
+func AddInto[T any](r ring.Semiring[T], a, b *Dense[T]) {
+	shapeCheck("AddInto", a, b)
+	for i := range a.e {
+		a.e[i] = r.Add(a.e[i], b.e[i])
+	}
+}
+
+// Sub returns a - b entry-wise over the ring.
+func Sub[T any](r ring.Ring[T], a, b *Dense[T]) *Dense[T] {
+	shapeCheck("Sub", a, b)
+	out := New[T](a.rows, a.cols)
+	for i := range a.e {
+		out.e[i] = r.Sub(a.e[i], b.e[i])
+	}
+	return out
+}
+
+// Scale returns c*a entry-wise for a small integer coefficient c.
+func Scale[T any](r ring.Ring[T], c int64, a *Dense[T]) *Dense[T] {
+	out := New[T](a.rows, a.cols)
+	for i := range a.e {
+		out.e[i] = r.Scale(c, a.e[i])
+	}
+	return out
+}
+
+// ScaleAddInto accumulates c*b into a: a[i] = a[i] + c*b[i].
+func ScaleAddInto[T any](r ring.Ring[T], a *Dense[T], c int64, b *Dense[T]) {
+	shapeCheck("ScaleAddInto", a, b)
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i := range a.e {
+			a.e[i] = r.Add(a.e[i], b.e[i])
+		}
+		return
+	}
+	if c == -1 {
+		for i := range a.e {
+			a.e[i] = r.Sub(a.e[i], b.e[i])
+		}
+		return
+	}
+	for i := range a.e {
+		a.e[i] = r.Add(a.e[i], r.Scale(c, b.e[i]))
+	}
+}
+
+// Transpose returns the transpose of m.
+func Transpose[T any](m *Dense[T]) *Dense[T] {
+	out := New[T](m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		src := m.Row(i)
+		for j := 0; j < m.cols; j++ {
+			out.e[j*out.cols+i] = src[j]
+		}
+	}
+	return out
+}
+
+// Trace returns the sum (semiring Add) of the diagonal entries.
+func Trace[T any](r ring.Semiring[T], m *Dense[T]) T {
+	if m.rows != m.cols {
+		panic(fmt.Sprintf("matrix: Trace of non-square %d×%d", m.rows, m.cols))
+	}
+	acc := r.Zero()
+	for i := 0; i < m.rows; i++ {
+		acc = r.Add(acc, m.e[i*m.cols+i])
+	}
+	return acc
+}
+
+// Mul returns the school-book product a·b over the semiring, in i-k-j loop
+// order. Specialised inner loops handle the frequent algebras (integers,
+// Booleans, min-plus) without per-entry interface dispatch.
+func Mul[T any](r ring.Semiring[T], a, b *Dense[T]) *Dense[T] {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("matrix: Mul %d×%d by %d×%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	switch any(r).(type) {
+	case ring.Int64:
+		return any(mulInt64(any(a).(*Dense[int64]), any(b).(*Dense[int64]))).(*Dense[T])
+	case ring.Bool:
+		return any(mulBool(any(a).(*Dense[bool]), any(b).(*Dense[bool]))).(*Dense[T])
+	case ring.MinPlus:
+		return any(mulMinPlus(any(a).(*Dense[int64]), any(b).(*Dense[int64]))).(*Dense[T])
+	}
+	out := Zeros[T](r, a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < a.cols; k++ {
+			aik := arow[k]
+			if r.Equal(aik, r.Zero()) {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range orow {
+				orow[j] = r.Add(orow[j], r.Mul(aik, brow[j]))
+			}
+		}
+	}
+	return out
+}
+
+func mulInt64(a, b *Dense[int64]) *Dense[int64] {
+	out := New[int64](a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < a.cols; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += aik * bv
+			}
+		}
+	}
+	return out
+}
+
+func mulBool(a, b *Dense[bool]) *Dense[bool] {
+	out := New[bool](a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < a.cols; k++ {
+			if !arow[k] {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				if bv {
+					orow[j] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func mulMinPlus(a, b *Dense[int64]) *Dense[int64] {
+	out := NewFilled[int64](a.rows, b.cols, ring.Inf)
+	for i := 0; i < a.rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < a.cols; k++ {
+			aik := arow[k]
+			if ring.IsInf(aik) {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				if ring.IsInf(bv) {
+					continue
+				}
+				if s := aik + bv; s < orow[j] {
+					orow[j] = s
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DistanceProductWitness computes the min-plus product a⋆b together with a
+// witness matrix: w[i][j] is a k achieving out[i][j] = a[i][k] + b[k][j]
+// (the smallest such k), or ring.NoWitness where out[i][j] is infinite.
+// It is the centralised reference for the distributed witness machinery.
+func DistanceProductWitness(a, b *Dense[int64]) (prod *Dense[int64], wit *Dense[int64]) {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("matrix: DistanceProductWitness %d×%d by %d×%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	prod = NewFilled[int64](a.rows, b.cols, ring.Inf)
+	wit = NewFilled[int64](a.rows, b.cols, ring.NoWitness)
+	for i := 0; i < a.rows; i++ {
+		arow := a.Row(i)
+		prow := prod.Row(i)
+		wrow := wit.Row(i)
+		for k := 0; k < a.cols; k++ {
+			aik := arow[k]
+			if ring.IsInf(aik) {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				if ring.IsInf(bv) {
+					continue
+				}
+				if s := aik + bv; s < prow[j] {
+					prow[j] = s
+					wrow[j] = int64(k)
+				}
+			}
+		}
+	}
+	return prod, wit
+}
+
+// Pow returns m^k over the semiring via repeated squaring. k must be ≥ 1.
+func Pow[T any](r ring.Semiring[T], m *Dense[T], k int) *Dense[T] {
+	if m.rows != m.cols {
+		panic(fmt.Sprintf("matrix: Pow of non-square %d×%d", m.rows, m.cols))
+	}
+	if k < 1 {
+		panic("matrix: Pow exponent must be ≥ 1")
+	}
+	result := m.Clone()
+	k--
+	base := m
+	for k > 0 {
+		if k&1 == 1 {
+			result = Mul(r, result, base)
+		}
+		k >>= 1
+		if k > 0 {
+			base = Mul(r, base, base)
+		}
+	}
+	return result
+}
+
+func shapeCheck[T any](op string, a, b *Dense[T]) {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("matrix: %s shape mismatch %d×%d vs %d×%d", op, a.rows, a.cols, b.rows, b.cols))
+	}
+}

@@ -1,0 +1,80 @@
+package matrix
+
+import (
+	"fmt"
+
+	"github.com/algebraic-clique/algclique/internal/ring"
+)
+
+// DefaultStrassenCutoff is the block size below which Strassen recursion
+// falls back to the school-book product.
+const DefaultStrassenCutoff = 64
+
+// Strassen returns a·b over the ring using Strassen's O(n^2.807) algorithm
+// (Strassen 1969), the canonical bilinear scheme behind Theorem 1 part 2 of
+// the paper. Inputs must be square and of equal size; they are padded to the
+// next power of two internally. cutoff ≤ 0 selects DefaultStrassenCutoff.
+func Strassen[T any](r ring.Ring[T], a, b *Dense[T], cutoff int) *Dense[T] {
+	if a.rows != a.cols || b.rows != b.cols || a.rows != b.rows {
+		panic(fmt.Sprintf("matrix: Strassen needs equal square operands, got %d×%d and %d×%d",
+			a.rows, a.cols, b.rows, b.cols))
+	}
+	if cutoff <= 0 {
+		cutoff = DefaultStrassenCutoff
+	}
+	n := a.rows
+	if n == 0 {
+		return New[T](0, 0)
+	}
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	if p != n {
+		a = padTo(r, a, p)
+		b = padTo(r, b, p)
+	}
+	prod := strassenRec(r, a, b, cutoff)
+	if p != n {
+		prod = prod.Sub(0, n, 0, n)
+	}
+	return prod
+}
+
+func padTo[T any](r ring.Ring[T], m *Dense[T], p int) *Dense[T] {
+	out := Zeros[T](r, p, p)
+	out.SetSub(0, 0, m)
+	return out
+}
+
+func strassenRec[T any](r ring.Ring[T], a, b *Dense[T], cutoff int) *Dense[T] {
+	n := a.rows
+	if n <= cutoff || n%2 != 0 {
+		return Mul[T](r, a, b)
+	}
+	h := n / 2
+	a11, a12 := a.Sub(0, h, 0, h), a.Sub(0, h, h, n)
+	a21, a22 := a.Sub(h, n, 0, h), a.Sub(h, n, h, n)
+	b11, b12 := b.Sub(0, h, 0, h), b.Sub(0, h, h, n)
+	b21, b22 := b.Sub(h, n, 0, h), b.Sub(h, n, h, n)
+
+	m1 := strassenRec(r, Add[T](r, a11, a22), Add[T](r, b11, b22), cutoff)
+	m2 := strassenRec(r, Add[T](r, a21, a22), b11, cutoff)
+	m3 := strassenRec(r, a11, Sub[T](r, b12, b22), cutoff)
+	m4 := strassenRec(r, a22, Sub[T](r, b21, b11), cutoff)
+	m5 := strassenRec(r, Add[T](r, a11, a12), b22, cutoff)
+	m6 := strassenRec(r, Sub[T](r, a21, a11), Add[T](r, b11, b12), cutoff)
+	m7 := strassenRec(r, Sub[T](r, a12, a22), Add[T](r, b21, b22), cutoff)
+
+	c11 := Add[T](r, Sub[T](r, Add[T](r, m1, m4), m5), m7)
+	c12 := Add[T](r, m3, m5)
+	c21 := Add[T](r, m2, m4)
+	c22 := Add[T](r, Add[T](r, Sub[T](r, m1, m2), m3), m6)
+
+	out := New[T](n, n)
+	out.SetSub(0, 0, c11)
+	out.SetSub(0, h, c12)
+	out.SetSub(h, 0, c21)
+	out.SetSub(h, h, c22)
+	return out
+}

@@ -1,0 +1,47 @@
+package ring
+
+// Bool is the Boolean (OR, AND) semiring. It is the natural algebra for
+// reachability and adjacency products: (A·B)[u][v] = OR_w A[u][w] AND B[w][v].
+//
+// Bool is a semiring, not a ring: OR has no inverse. Fast (Strassen-like)
+// multiplication of Boolean matrices therefore goes through the integer
+// ring — see ccmm.BoolProductFast — exactly as in the paper (§3.1, the
+// colour-coding products are "computed over the ring Z").
+type Bool struct{}
+
+var _ Semiring[bool] = Bool{}
+var _ Codec[bool] = Bool{}
+
+// Zero returns false.
+func (Bool) Zero() bool { return false }
+
+// One returns true.
+func (Bool) One() bool { return true }
+
+// Add returns a OR b.
+func (Bool) Add(a, b bool) bool { return a || b }
+
+// Mul returns a AND b.
+func (Bool) Mul(a, b bool) bool { return a && b }
+
+// Equal reports a == b.
+func (Bool) Equal(a, b bool) bool { return a == b }
+
+// Width returns the one-word transport width of a bool.
+//
+// A single bit is sent as a full O(log n)-bit message, matching the model:
+// messages are not sub-divided. (Bit-packing would be a constant-factor
+// optimisation the paper does not use.)
+func (Bool) Width() int { return 1 }
+
+// Encode stores the bool as word 0 or 1.
+func (Bool) Encode(v bool, dst []Word) {
+	if v {
+		dst[0] = 1
+	} else {
+		dst[0] = 0
+	}
+}
+
+// Decode reads a bool encoded as a word.
+func (Bool) Decode(src []Word) bool { return src[0] != 0 }

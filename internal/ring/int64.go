@@ -1,0 +1,43 @@
+package ring
+
+// Int64 is the ring of 64-bit integers with wrap-around overflow semantics.
+// All quantities manipulated by the paper's algorithms (entry values,
+// path counts, traces) are bounded by n^O(1) for the simulated sizes, so no
+// overflow occurs in practice; tests pin the magnitudes.
+type Int64 struct{}
+
+var _ Ring[int64] = Int64{}
+var _ Codec[int64] = Int64{}
+
+// Zero returns 0.
+func (Int64) Zero() int64 { return 0 }
+
+// One returns 1.
+func (Int64) One() int64 { return 1 }
+
+// Add returns a + b.
+func (Int64) Add(a, b int64) int64 { return a + b }
+
+// Mul returns a * b.
+func (Int64) Mul(a, b int64) int64 { return a * b }
+
+// Neg returns -a.
+func (Int64) Neg(a int64) int64 { return -a }
+
+// Sub returns a - b.
+func (Int64) Sub(a, b int64) int64 { return a - b }
+
+// Scale returns c * a.
+func (Int64) Scale(c int64, a int64) int64 { return c * a }
+
+// Equal reports a == b.
+func (Int64) Equal(a, b int64) bool { return a == b }
+
+// Width returns the one-word transport width of an int64.
+func (Int64) Width() int { return 1 }
+
+// Encode stores a as a single word.
+func (Int64) Encode(v int64, dst []Word) { dst[0] = Word(v) }
+
+// Decode reads a single-word int64.
+func (Int64) Decode(src []Word) int64 { return int64(src[0]) }

@@ -1,0 +1,146 @@
+package ring
+
+import "math"
+
+// Inf is the additive identity of the min-plus semiring: "no path".
+// It is chosen so that Inf + Inf does not overflow int64.
+const Inf int64 = math.MaxInt64 / 4
+
+// IsInf reports whether a min-plus value represents "no path". Any value at
+// or above Inf is treated as infinite; sums of two finite distances stay
+// below Inf for all inputs the library accepts.
+func IsInf(a int64) bool { return a >= Inf }
+
+// MinPlus is the tropical (min, +) semiring over int64 with Inf as zero.
+// The matrix product over MinPlus is the distance product
+// (S ⋆ T)[u][v] = min_w S[u][w] + T[w][v] used by all APSP algorithms
+// (§3.3 of the paper).
+type MinPlus struct{}
+
+var _ Semiring[int64] = MinPlus{}
+var _ Codec[int64] = MinPlus{}
+
+// Zero returns Inf, the identity of min.
+func (MinPlus) Zero() int64 { return Inf }
+
+// One returns 0, the identity of +.
+func (MinPlus) One() int64 { return 0 }
+
+// Add returns min(a, b).
+func (MinPlus) Add(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Mul returns a + b, saturating at Inf.
+func (MinPlus) Mul(a, b int64) int64 {
+	if IsInf(a) || IsInf(b) {
+		return Inf
+	}
+	return a + b
+}
+
+// Equal reports equality, identifying all infinite values.
+func (MinPlus) Equal(a, b int64) bool {
+	if IsInf(a) && IsInf(b) {
+		return true
+	}
+	return a == b
+}
+
+// Width returns the one-word transport width.
+func (MinPlus) Width() int { return 1 }
+
+// Encode stores the value as a single word.
+func (MinPlus) Encode(v int64, dst []Word) { dst[0] = Word(v) }
+
+// Decode reads a single-word min-plus value.
+func (MinPlus) Decode(src []Word) int64 { return int64(src[0]) }
+
+// ValW is a min-plus value tagged with a witness: the index w that achieved
+// the minimum in a distance product. NoWitness marks untagged entries.
+type ValW struct {
+	V int64 // distance value
+	W int64 // witness index, or NoWitness
+}
+
+// NoWitness marks a ValW whose witness is unknown or not applicable.
+const NoWitness int64 = -1
+
+// MinPlusW is the min-plus semiring on witness-tagged values. It is how the
+// semiring (3D) matmul algorithm is "easily modified to produce witnesses"
+// (§3.3): seed the right operand's entries with their row index as witness;
+// multiplication propagates the right operand's tag, and addition keeps the
+// tag of the smaller value (ties broken toward the smaller witness so the
+// algebra stays associative and deterministic).
+type MinPlusW struct{}
+
+var _ Semiring[ValW] = MinPlusW{}
+var _ Codec[ValW] = MinPlusW{}
+
+// Zero returns (Inf, NoWitness).
+func (MinPlusW) Zero() ValW { return ValW{V: Inf, W: NoWitness} }
+
+// One returns (0, NoWitness).
+func (MinPlusW) One() ValW { return ValW{V: 0, W: NoWitness} }
+
+// Add returns the smaller of a and b, breaking value ties toward the
+// smaller witness (with NoWitness ordered last).
+func (MinPlusW) Add(a, b ValW) ValW {
+	if less(a, b) {
+		return a
+	}
+	return b
+}
+
+func less(a, b ValW) bool {
+	if a.V != b.V {
+		return a.V < b.V
+	}
+	// Order witnesses with NoWitness last so real witnesses win ties.
+	aw, bw := a.W, b.W
+	if aw == NoWitness {
+		return false
+	}
+	if bw == NoWitness {
+		return true
+	}
+	return aw < bw
+}
+
+// Mul adds values and keeps the right operand's witness, falling back to the
+// left one when the right operand is untagged.
+func (MinPlusW) Mul(a, b ValW) ValW {
+	if IsInf(a.V) || IsInf(b.V) {
+		return ValW{V: Inf, W: NoWitness}
+	}
+	w := b.W
+	if w == NoWitness {
+		w = a.W
+	}
+	return ValW{V: a.V + b.V, W: w}
+}
+
+// Equal compares values and witnesses, identifying all infinities.
+func (MinPlusW) Equal(a, b ValW) bool {
+	if IsInf(a.V) && IsInf(b.V) {
+		return true
+	}
+	return a == b
+}
+
+// Width returns the two-word transport width (value + witness).
+func (MinPlusW) Width() int { return 2 }
+
+// Encode stores value then witness.
+func (MinPlusW) Encode(v ValW, dst []Word) {
+	dst[0] = Word(v.V)
+	dst[1] = Word(v.W)
+}
+
+// Decode reads a (value, witness) pair.
+func (MinPlusW) Decode(src []Word) ValW {
+	return ValW{V: int64(src[0]), W: int64(src[1])}
+}

@@ -1,0 +1,184 @@
+package ring
+
+// Poly is the truncated polynomial ring Z[X] / X^cap with int64
+// coefficients. It implements the embedding of the distance product into a
+// ring product (Lemma 18 of the paper): a min-plus entry w becomes the
+// monomial X^w, values ≥ cap (in particular Inf) become the zero polynomial,
+// and after an ordinary ring product the distance-product entry is recovered
+// as the degree of the lowest non-zero monomial.
+//
+// A Poly element costs cap words on the wire, which is exactly the paper's
+// O(M) bandwidth factor for entries bounded by M (Lemma 18 uses degree ≤ 2M,
+// i.e. cap = 2M+1).
+type Poly struct {
+	cap int
+}
+
+// NewPoly returns the ring Z[X]/X^cap. cap must be positive.
+func NewPoly(cap int) Poly {
+	if cap <= 0 {
+		panic("ring: polynomial capacity must be positive")
+	}
+	return Poly{cap: cap}
+}
+
+// PolyElem is a dense coefficient vector of length cap. A nil slice is the
+// zero polynomial (its coefficients are all zero); operations normalise.
+type PolyElem []int64
+
+var _ Ring[PolyElem] = Poly{}
+var _ Codec[PolyElem] = Poly{}
+
+// Cap returns the truncation capacity (maximum degree + 1).
+func (p Poly) Cap() int { return p.cap }
+
+// Zero returns the zero polynomial.
+func (p Poly) Zero() PolyElem { return nil }
+
+// One returns the constant polynomial 1.
+func (p Poly) One() PolyElem {
+	e := make(PolyElem, p.cap)
+	e[0] = 1
+	return e
+}
+
+// Monomial returns X^deg, or the zero polynomial if deg is out of range.
+// Pass a min-plus value directly: infinite values exceed any cap and map to
+// zero, as Lemma 18 requires.
+func (p Poly) Monomial(deg int64) PolyElem {
+	if deg < 0 || deg >= int64(p.cap) {
+		return nil
+	}
+	e := make(PolyElem, p.cap)
+	e[deg] = 1
+	return e
+}
+
+// MinDegree returns the degree of the lowest non-zero monomial and true, or
+// (0, false) for the zero polynomial. This recovers the distance-product
+// value from an embedded product.
+func (p Poly) MinDegree(e PolyElem) (int64, bool) {
+	for i, c := range e {
+		if c != 0 {
+			return int64(i), true
+		}
+	}
+	return 0, false
+}
+
+func (p Poly) coeff(e PolyElem, i int) int64 {
+	if i < len(e) {
+		return e[i]
+	}
+	return 0
+}
+
+// Add returns a + b coefficient-wise.
+func (p Poly) Add(a, b PolyElem) PolyElem {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(PolyElem, p.cap)
+	for i := range out {
+		out[i] = p.coeff(a, i) + p.coeff(b, i)
+	}
+	return out
+}
+
+// Mul returns the convolution a*b truncated to degree < cap.
+func (p Poly) Mul(a, b PolyElem) PolyElem {
+	if a == nil || b == nil {
+		return nil
+	}
+	out := make(PolyElem, p.cap)
+	for i, ca := range a {
+		if ca == 0 {
+			continue
+		}
+		hi := p.cap - i
+		if hi > len(b) {
+			hi = len(b)
+		}
+		for j := 0; j < hi; j++ {
+			if cb := b[j]; cb != 0 {
+				out[i+j] += ca * cb
+			}
+		}
+	}
+	return out
+}
+
+// Neg returns -a.
+func (p Poly) Neg(a PolyElem) PolyElem {
+	if a == nil {
+		return nil
+	}
+	out := make(PolyElem, p.cap)
+	for i := range a {
+		out[i] = -a[i]
+	}
+	return out
+}
+
+// Sub returns a - b.
+func (p Poly) Sub(a, b PolyElem) PolyElem {
+	if b == nil {
+		return a
+	}
+	out := make(PolyElem, p.cap)
+	for i := range out {
+		out[i] = p.coeff(a, i) - p.coeff(b, i)
+	}
+	return out
+}
+
+// Scale returns c*a.
+func (p Poly) Scale(c int64, a PolyElem) PolyElem {
+	if c == 0 || a == nil {
+		return nil
+	}
+	out := make(PolyElem, p.cap)
+	for i := range a {
+		out[i] = c * a[i]
+	}
+	return out
+}
+
+// Equal compares polynomials coefficient-wise (zero-padded).
+func (p Poly) Equal(a, b PolyElem) bool {
+	for i := 0; i < p.cap; i++ {
+		if p.coeff(a, i) != p.coeff(b, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Width returns cap: one word per coefficient.
+func (p Poly) Width() int { return p.cap }
+
+// Encode writes the zero-padded coefficient vector.
+func (p Poly) Encode(v PolyElem, dst []Word) {
+	for i := 0; i < p.cap; i++ {
+		dst[i] = Word(p.coeff(v, i))
+	}
+}
+
+// Decode reads a coefficient vector, normalising all-zero to nil.
+func (p Poly) Decode(src []Word) PolyElem {
+	allZero := true
+	out := make(PolyElem, p.cap)
+	for i := 0; i < p.cap; i++ {
+		out[i] = int64(src[i])
+		if out[i] != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		return nil
+	}
+	return out
+}

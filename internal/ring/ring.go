@@ -1,0 +1,59 @@
+// Package ring provides the algebraic structures used throughout the
+// library: semirings, rings, and transport codecs that serialise ring
+// elements into 64-bit words for the congested-clique network.
+//
+// The matrix-multiplication algorithms of Censor-Hillel et al. (PODC 2015)
+// are parameterised by the algebra: the 3D algorithm (Theorem 1, part 1)
+// works over any semiring, while the fast bilinear algorithm (Theorem 1,
+// part 2) requires a ring, because bilinear schemes such as Strassen's use
+// subtraction.
+package ring
+
+// Semiring describes a commutative-addition semiring over element type T.
+//
+// Implementations must satisfy the usual laws: (Add, Zero) is a commutative
+// monoid, (Mul, One) is a monoid, Mul distributes over Add, and Zero
+// annihilates under Mul. The laws are checked by property tests in this
+// package for every shipped instance.
+type Semiring[T any] interface {
+	// Zero returns the additive identity.
+	Zero() T
+	// One returns the multiplicative identity.
+	One() T
+	// Add returns a + b.
+	Add(a, b T) T
+	// Mul returns a * b.
+	Mul(a, b T) T
+	// Equal reports whether two elements are equal.
+	Equal(a, b T) bool
+}
+
+// Ring extends Semiring with additive inverses, as required by bilinear
+// (Strassen-like) matrix-multiplication schemes.
+type Ring[T any] interface {
+	Semiring[T]
+	// Neg returns -a.
+	Neg(a T) T
+	// Sub returns a - b.
+	Sub(a, b T) T
+	// Scale returns c*a for a small integer c. Bilinear schemes store their
+	// coefficients as machine integers; Scale lets them act on any ring.
+	Scale(c int64, a T) T
+}
+
+// Word is the transport unit of the congested-clique model: one O(log n)-bit
+// message. It mirrors clique.Word; the duplication avoids a dependency cycle.
+type Word = uint64
+
+// Codec serialises ring elements into fixed-width word vectors for network
+// transport. Elements that need b bits cost ceil(b/64) words per message,
+// which realises the paper's "factor b / log n" bandwidth overhead (e.g. the
+// polynomial-ring embedding of Lemma 18).
+type Codec[T any] interface {
+	// Width returns the number of words used to encode one element.
+	Width() int
+	// Encode writes the encoding of v into dst, which has length Width().
+	Encode(v T, dst []Word)
+	// Decode reads an element from src, which has length Width().
+	Decode(src []Word) T
+}

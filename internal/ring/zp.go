@@ -1,0 +1,74 @@
+package ring
+
+// Zp is the prime field Z/pZ. It is used by the test suite to exercise
+// bilinear schemes and Strassen recursion over a ring where overflow is
+// impossible, and for fingerprint-style equality checks.
+//
+// Elements are canonical residues in [0, p). The modulus must be a prime
+// below 2^31 so that products fit in int64 before reduction.
+type Zp struct {
+	p int64
+}
+
+// NewZp returns the field Z/pZ. p must be in [2, 2^31); primality is the
+// caller's responsibility (composite p yields a ring, not a field, which is
+// still a valid Ring instance).
+func NewZp(p int64) Zp {
+	if p < 2 || p >= 1<<31 {
+		panic("ring: Zp modulus out of range")
+	}
+	return Zp{p: p}
+}
+
+var _ Ring[int64] = Zp{}
+var _ Codec[int64] = Zp{}
+
+// Modulus returns p.
+func (z Zp) Modulus() int64 { return z.p }
+
+// Norm maps any int64 to its canonical residue in [0, p).
+func (z Zp) Norm(a int64) int64 {
+	a %= z.p
+	if a < 0 {
+		a += z.p
+	}
+	return a
+}
+
+// Zero returns 0.
+func (z Zp) Zero() int64 { return 0 }
+
+// One returns 1 (mod p).
+func (z Zp) One() int64 { return 1 % z.p }
+
+// Add returns a + b (mod p).
+func (z Zp) Add(a, b int64) int64 { return (a + b) % z.p }
+
+// Mul returns a * b (mod p).
+func (z Zp) Mul(a, b int64) int64 { return a * b % z.p }
+
+// Neg returns -a (mod p).
+func (z Zp) Neg(a int64) int64 {
+	if a == 0 {
+		return 0
+	}
+	return z.p - a
+}
+
+// Sub returns a - b (mod p).
+func (z Zp) Sub(a, b int64) int64 { return z.Norm(a - b) }
+
+// Scale returns c * a (mod p).
+func (z Zp) Scale(c int64, a int64) int64 { return z.Mul(z.Norm(c), a) }
+
+// Equal reports a == b as residues.
+func (z Zp) Equal(a, b int64) bool { return a == b }
+
+// Width returns the one-word transport width.
+func (Zp) Width() int { return 1 }
+
+// Encode stores the residue as a single word.
+func (Zp) Encode(v int64, dst []Word) { dst[0] = Word(v) }
+
+// Decode reads a single-word residue.
+func (Zp) Decode(src []Word) int64 { return int64(src[0]) }

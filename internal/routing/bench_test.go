@@ -1,0 +1,137 @@
+package routing_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/algebraic-clique/algclique/internal/clique"
+	"github.com/algebraic-clique/algclique/internal/routing"
+)
+
+// Ablation: the routing substrate is load-bearing for the paper's round
+// bounds. These benchmarks compare Direct vs TwoPhase vs Auto on the three
+// traffic shapes the algorithms generate; "rounds" is the metric.
+
+func benchPattern(b *testing.B, n int, build func() [][][]clique.Word) {
+	for _, strat := range []routing.Strategy{routing.Direct, routing.TwoPhase, routing.Auto} {
+		b.Run(strat.String(), func(b *testing.B) {
+			msgs := build()
+			var rounds int64
+			for i := 0; i < b.N; i++ {
+				net := clique.New(n)
+				routing.Exchange(net, strat, msgs)
+				rounds = net.Rounds()
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkRoutingSkewed: one node ships n²/4 words to √n receivers — the
+// shape of matmul step 1 (few heavy receivers per sender).
+func BenchmarkRoutingSkewed(b *testing.B) {
+	const n = 64
+	benchPattern(b, n, func() [][][]clique.Word {
+		msgs := make([][][]clique.Word, n)
+		for s := range msgs {
+			msgs[s] = make([][]clique.Word, n)
+		}
+		for s := 0; s < n; s++ {
+			for d := 0; d < 8; d++ {
+				vec := make([]clique.Word, n/2)
+				for i := range vec {
+					vec[i] = clique.Word(s*n + i)
+				}
+				msgs[s][(s+d*7)%n] = vec
+			}
+		}
+		return msgs
+	})
+}
+
+// BenchmarkRoutingUniform: balanced all-to-all — direct should win
+// (two-phase pays a second hop for nothing).
+func BenchmarkRoutingUniform(b *testing.B) {
+	const n = 64
+	benchPattern(b, n, func() [][][]clique.Word {
+		msgs := make([][][]clique.Word, n)
+		for s := range msgs {
+			msgs[s] = make([][]clique.Word, n)
+			for d := 0; d < n; d++ {
+				if s != d {
+					msgs[s][d] = []clique.Word{1, 2, 3}
+				}
+			}
+		}
+		return msgs
+	})
+}
+
+// BenchmarkRoutingGatherHotspot: everyone sends to a few hot nodes — the
+// fast-matmul step 3 shape when m < n (reception-bound; no router can beat
+// the per-link floor, Auto must not do worse than direct).
+func BenchmarkRoutingGatherHotspot(b *testing.B) {
+	const n = 64
+	benchPattern(b, n, func() [][][]clique.Word {
+		msgs := make([][][]clique.Word, n)
+		for s := range msgs {
+			msgs[s] = make([][]clique.Word, n)
+			for d := 0; d < 8; d++ {
+				msgs[s][d] = make([]clique.Word, 16)
+			}
+		}
+		return msgs
+	})
+}
+
+func TestAutoNeverWorseThanEither(t *testing.T) {
+	// Auto must match the better of the two strategies on every pattern
+	// above (it computes both exact costs).
+	patterns := map[string]func() [][][]clique.Word{}
+	n := 64
+	patterns["skewed"] = func() [][][]clique.Word {
+		msgs := emptyMsgs(n)
+		for s := 0; s < n; s++ {
+			vec := make([]clique.Word, n)
+			msgs[s][(s+1)%n] = vec
+		}
+		return msgs
+	}
+	patterns["uniform"] = func() [][][]clique.Word {
+		msgs := emptyMsgs(n)
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s != d {
+					msgs[s][d] = []clique.Word{7}
+				}
+			}
+		}
+		return msgs
+	}
+	for name, build := range patterns {
+		rounds := map[routing.Strategy]int64{}
+		for _, strat := range []routing.Strategy{routing.Direct, routing.TwoPhase, routing.Auto} {
+			net := clique.New(n)
+			routing.Exchange(net, strat, build())
+			rounds[strat] = net.Rounds()
+		}
+		best := rounds[routing.Direct]
+		if rounds[routing.TwoPhase] < best {
+			best = rounds[routing.TwoPhase]
+		}
+		if rounds[routing.Auto] != best {
+			t.Errorf("%s: auto = %d, best of direct/two-phase = %d (%v)",
+				name, rounds[routing.Auto], best, rounds)
+		}
+	}
+}
+
+func ExampleExchange() {
+	net := clique.New(4)
+	msgs := emptyMsgs(4)
+	msgs[0][3] = []clique.Word{10, 11}
+	msgs[2][1] = []clique.Word{20}
+	in := routing.Exchange(net, routing.Auto, msgs)
+	fmt.Println(in[3][0], in[1][2], net.Rounds())
+	// Output: [10 11] [20] 2
+}

@@ -1,0 +1,286 @@
+package subgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/algebraic-clique/algclique/internal/ccmm"
+	"github.com/algebraic-clique/algclique/internal/clique"
+	"github.com/algebraic-clique/algclique/internal/graphs"
+	"github.com/algebraic-clique/algclique/internal/routing"
+)
+
+// Tile is the square A(y)×B(y) allocated to node y by Lemma 12: rows
+// [Row, Row+F) index the nodes of A(y) and columns [Col, Col+F) the nodes
+// of B(y).
+type Tile struct {
+	Y         int // owning node
+	F         int // side length (power of two), ≥ max(1, deg(y)/8)
+	Row, Col  int
+	allocated bool
+}
+
+// A returns the node set A(y) = {Row, …, Row+F-1}.
+func (t Tile) A() []int { return seq(t.Row, t.F) }
+
+// B returns the node set B(y) = {Col, …, Col+F-1}.
+func (t Tile) B() []int { return seq(t.Col, t.F) }
+
+func seq(start, count int) []int {
+	out := make([]int, count)
+	for i := range out {
+		out[i] = start + i
+	}
+	return out
+}
+
+// AllocateTiles implements Lemma 12: given all degrees (globally known
+// after a one-round broadcast), every node deterministically computes
+// disjoint tiles A(y)×B(y) ⊆ [k]×[k] with side f(y) = max(1, 2^⌊log₂
+// (deg(y)/4)⌋) for every y with deg(y) ≥ 1, where k is n rounded down to a
+// power of two. Placement is a buddy-style quadtree fill in decreasing size
+// order, which succeeds whenever Σ f(y)² ≤ k² — guaranteed by the phase-1
+// degree bound Σ deg(y)² < 2n² for n ≥ 8 (see package doc for the deg ≤ 3
+// adjustment versus the paper).
+func AllocateTiles(degs []int, n int) ([]Tile, error) {
+	k := pow2floor(n)
+	tiles := make([]Tile, len(degs))
+	order := make([]int, 0, len(degs))
+	var area int
+	for y, d := range degs {
+		tiles[y] = Tile{Y: y}
+		if d < 1 {
+			continue
+		}
+		f := 1
+		if d/4 >= 1 {
+			f = pow2floor(d / 4)
+		}
+		tiles[y].F = f
+		order = append(order, y)
+		area += f * f
+	}
+	if area > k*k {
+		return nil, fmt.Errorf("subgraph: tile area %d exceeds %d² (degree bound violated)", area, k)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if tiles[a].F != tiles[b].F {
+			return tiles[a].F > tiles[b].F
+		}
+		return a < b
+	})
+
+	// Buddy allocator over the k×k square: free lists of empty s×s blocks.
+	free := make(map[int][][2]int)
+	free[k] = [][2]int{{0, 0}}
+	place := func(s int) ([2]int, bool) {
+		sz := s
+		for sz <= k && len(free[sz]) == 0 {
+			sz *= 2
+		}
+		if sz > k {
+			return [2]int{}, false
+		}
+		blk := free[sz][len(free[sz])-1]
+		free[sz] = free[sz][:len(free[sz])-1]
+		for sz > s {
+			sz /= 2
+			r, c := blk[0], blk[1]
+			free[sz] = append(free[sz], [2]int{r + sz, c}, [2]int{r, c + sz}, [2]int{r + sz, c + sz})
+		}
+		return blk, true
+	}
+	for _, y := range order {
+		blk, ok := place(tiles[y].F)
+		if !ok {
+			return nil, fmt.Errorf("subgraph: tile packing failed for node %d (internal invariant)", y)
+		}
+		tiles[y].Row, tiles[y].Col = blk[0], blk[1]
+		tiles[y].allocated = true
+	}
+	return tiles, nil
+}
+
+func pow2floor(x int) int {
+	p := 1
+	for p*2 <= x {
+		p *= 2
+	}
+	return p
+}
+
+// chunk returns the i-th of f near-equal contiguous pieces of xs, each of
+// size ≤ ⌈len(xs)/f⌉ ≤ 8 for Lemma 12 tiles.
+func chunk(xs []int, f, i int) []int {
+	per := (len(xs) + f - 1) / f
+	lo := i * per
+	if lo >= len(xs) {
+		return nil
+	}
+	hi := lo + per
+	if hi > len(xs) {
+		hi = len(xs)
+	}
+	return xs[lo:hi]
+}
+
+// DetectC4 reports whether an undirected graph contains a 4-cycle in O(1)
+// rounds (Theorem 4). Phase 1 broadcasts degrees; a node x with
+// |P(x,∗,∗)| = Σ_{y∈N(x)} deg(y) ≥ 2n−1 certifies a 4-cycle by pigeonhole.
+// Otherwise Σ_y deg(y)² < 2n², the Lemma 12 tiles exist, and the 2-walk set
+// P(∗,∗,∗) is repartitioned via the tiles so every node b holds W(b) with
+// |W(b)| ≤ 64n (Lemma 13); a final routed gather hands every x its own
+// 2-walks P(x,∗,∗) (≤ 2n−2 of them), where a repeated endpoint z ≠ x
+// reveals the cycle.
+func DetectC4(net *clique.Network, g *graphs.Graph) (bool, error) {
+	if err := checkGraphSize(net, g); err != nil {
+		return false, err
+	}
+	if g.Directed() {
+		return false, fmt.Errorf("subgraph: DetectC4 requires an undirected graph: %w", ccmm.ErrSize)
+	}
+	n := net.N()
+	if n < 8 {
+		return detectC4Small(net, g)
+	}
+
+	// Phase 1: degree broadcast and the pigeonhole shortcut.
+	net.Phase("c4detect/degrees")
+	degWords := make([]clique.Word, n)
+	for v := 0; v < n; v++ {
+		degWords[v] = clique.Word(g.OutDegree(v))
+	}
+	bc := net.BroadcastWord(degWords)
+	degs := make([]int, n)
+	for v := 0; v < n; v++ {
+		degs[v] = int(bc[v])
+	}
+	flags := make([]bool, n)
+	net.ForEach(func(x int) {
+		var walks int64
+		g.Row(x).ForEach(func(y int) { walks += int64(degs[y]) })
+		flags[x] = walks >= int64(2*n-1)
+	})
+	if orBroadcast(net, flags) {
+		return true, nil
+	}
+
+	// Phase 2: every node computes the same tile allocation locally.
+	tiles, err := AllocateTiles(degs, n)
+	if err != nil {
+		return false, err
+	}
+	// Reverse indices: which tiles have node a in A(y) / node b in B(y).
+	inA := make([][]int, n)
+	inB := make([][]int, n)
+	for _, t := range tiles {
+		if !t.allocated {
+			continue
+		}
+		for _, a := range t.A() {
+			inA[a] = append(inA[a], t.Y)
+		}
+		for _, b := range t.B() {
+			inB[b] = append(inB[b], t.Y)
+		}
+	}
+
+	// Step 1: y sends NA(y,a) to each a ∈ A(y); ≤ 8 words per link.
+	net.Phase("c4detect/spread")
+	for _, t := range tiles {
+		if !t.allocated {
+			continue
+		}
+		nbrs := g.Neighbors(t.Y)
+		for i, a := range t.A() {
+			for _, x := range chunk(nbrs, t.F, i) {
+				net.Send(t.Y, a, clique.Word(x))
+			}
+		}
+	}
+	mailA := net.Flush()
+
+	// Step 2: a forwards NA(y,a) to every b ∈ B(y); the tile (a,b) belongs
+	// to is unique by disjointness, so ≤ 8 words per link again.
+	for a := 0; a < n; a++ {
+		for _, y := range inA[a] {
+			part := mailA.From(a, y)
+			for _, b := range tiles[y].B() {
+				net.SendVec(a, b, part)
+			}
+		}
+	}
+	mailB := net.Flush()
+
+	// Local: b reassembles N(y) for each tile with b ∈ B(y), forms
+	// W(y,b) = N(y) × {y} × NB(y,b), and addresses each walk (x,y,z) to x.
+	net.Phase("c4detect/gather")
+	msgs := make([][][]clique.Word, n)
+	for i := range msgs {
+		msgs[i] = make([][]clique.Word, n)
+	}
+	net.ForEach(func(b int) {
+		for _, y := range inB[b] {
+			t := tiles[y]
+			nbrs := make([]int, 0, degs[y])
+			for _, a := range t.A() {
+				for _, w := range mailB.From(b, a) {
+					nbrs = append(nbrs, int(w))
+				}
+			}
+			zs := chunk(nbrs, t.F, b-t.Col)
+			for _, x := range nbrs {
+				for _, z := range zs {
+					msgs[b][x] = append(msgs[b][x], clique.Word(z))
+				}
+			}
+		}
+	})
+	in := routing.Exchange(net, routing.Auto, msgs)
+
+	// Check: x received all of P(x,∗,∗); a duplicate endpoint z ≠ x means
+	// two distinct middle nodes, i.e. a 4-cycle.
+	net.Phase("c4detect/check")
+	found := make([]bool, n)
+	net.ForEach(func(x int) {
+		seen := make(map[int]bool, 2*n)
+		for src := 0; src < n; src++ {
+			for _, w := range in[x][src] {
+				z := int(w)
+				if z == x {
+					continue
+				}
+				if seen[z] {
+					found[x] = true
+					return
+				}
+				seen[z] = true
+			}
+		}
+	})
+	return orBroadcast(net, found), nil
+}
+
+// detectC4Small handles cliques below the Lemma 12 packing threshold by
+// learning the whole (constant-size) graph: still O(1) rounds.
+func detectC4Small(net *clique.Network, g *graphs.Graph) (bool, error) {
+	net.Phase("c4detect/small")
+	n := net.N()
+	vecs := make([][]clique.Word, n)
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(v) {
+			vecs[v] = append(vecs[v], clique.Word(u))
+		}
+	}
+	all := routing.AllGather(net, vecs)
+	rebuilt := graphs.NewGraph(n, false)
+	for v := 0; v < n; v++ {
+		for _, w := range all[v] {
+			if int(w) != v && !rebuilt.HasEdge(v, int(w)) {
+				rebuilt.AddEdge(v, int(w))
+			}
+		}
+	}
+	return graphs.HasC4Ref(rebuilt), nil
+}

@@ -1,0 +1,70 @@
+package subgraph_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/algebraic-clique/algclique/internal/ccmm"
+	"github.com/algebraic-clique/algclique/internal/clique"
+	"github.com/algebraic-clique/algclique/internal/graphs"
+	"github.com/algebraic-clique/algclique/internal/subgraph"
+)
+
+func TestCountC5KnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graphs.Graph
+		want int64
+	}{
+		{"C5", padTo(graphs.Cycle(5, false), 16), 1},
+		{"C6", padTo(graphs.Cycle(6, false), 16), 0},
+		{"K4", padTo(graphs.Complete(4, false), 16), 0},
+		{"K5", padTo(graphs.Complete(5, false), 16), 12},
+		{"K6", padTo(graphs.Complete(6, false), 16), 72},
+		{"petersen", padTo(graphs.Petersen(), 16), 12},
+		{"tree", graphs.Tree(16, 3), 0},
+		{"K23", padTo(graphs.CompleteBipartite(2, 3), 16), 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if ref := graphs.CountC5Ref(tc.g); ref != tc.want {
+				t.Fatalf("reference says %d, expected %d — test expectation wrong", ref, tc.want)
+			}
+			net := clique.New(tc.g.N())
+			got, err := subgraph.CountC5(net, ccmm.EngineFast, tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("CountC5 = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestCountC5RandomAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 51))
+	engines := []ccmm.Engine{ccmm.EngineFast, ccmm.Engine3D, ccmm.EngineNaive}
+	sizes := []int{16, 27, 20}
+	for i, engine := range engines {
+		n := sizes[i]
+		for trial := 0; trial < 5; trial++ {
+			g := graphs.GNP(n, 0.25+rng.Float64()*0.2, false, rng.Uint64())
+			net := clique.New(n)
+			got, err := subgraph.CountC5(net, engine, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := graphs.CountC5Ref(g); got != want {
+				t.Fatalf("engine %v n=%d: CountC5 = %d, want %d", engine, n, got, want)
+			}
+		}
+	}
+}
+
+func TestCountC5RejectsDirected(t *testing.T) {
+	net := clique.New(16)
+	if _, err := subgraph.CountC5(net, ccmm.EngineFast, graphs.Cycle(16, true)); err == nil {
+		t.Error("directed graph accepted")
+	}
+}

@@ -1,0 +1,137 @@
+package subgraph_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/algebraic-clique/algclique/internal/ccmm"
+	"github.com/algebraic-clique/algclique/internal/clique"
+	"github.com/algebraic-clique/algclique/internal/graphs"
+	"github.com/algebraic-clique/algclique/internal/subgraph"
+)
+
+// TestClosedWalkShapeConstants pins the machine-enumerated census behind
+// CountC6: the number of closed 6-walks on each shape that traverse every
+// edge, and the impossibility of the remaining candidate shapes.
+func TestClosedWalkShapeConstants(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges [][2]int
+		want  int
+	}{
+		{"K2", 2, [][2]int{{0, 1}}, 2},
+		{"P3", 3, [][2]int{{0, 1}, {1, 2}}, 12},
+		{"P4", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}}, 6},
+		{"K13", 4, [][2]int{{0, 1}, {0, 2}, {0, 3}}, 12},
+		{"C3", 3, [][2]int{{0, 1}, {1, 2}, {2, 0}}, 24},
+		{"C4", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}, 48},
+		{"diamond", 4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}}, 36},
+		{"tadpole", 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 4}}, 12},
+		{"C6", 6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}}, 12},
+		{"bowtie", 5, [][2]int{{0, 1}, {1, 2}, {2, 0}, {0, 3}, {3, 4}, {4, 0}}, 24},
+		{"paw (impossible)", 4, [][2]int{{0, 1}, {1, 2}, {2, 0}, {0, 3}}, 0},
+		{"P5 (impossible)", 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}, 0},
+		{"theta222 (impossible)", 5, [][2]int{{0, 2}, {2, 1}, {0, 3}, {3, 1}, {0, 4}, {4, 1}}, 0},
+		{"K4 (impossible)", 4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}, 0},
+	}
+	for _, tc := range cases {
+		if got := coveringWalks6(tc.n, tc.edges); got != tc.want {
+			t.Errorf("%s: %d covering 6-walks, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// coveringWalks6 counts closed 6-walks using every edge of the shape.
+func coveringWalks6(n int, edges [][2]int) int {
+	adj := make([][]int, n) // adj[u][v] = 1+edge index, 0 = absent
+	for i := range adj {
+		adj[i] = make([]int, n)
+	}
+	for i, e := range edges {
+		adj[e[0]][e[1]] = i + 1
+		adj[e[1]][e[0]] = i + 1
+	}
+	count := 0
+	var rec func(start, cur, depth, used int)
+	rec = func(start, cur, depth, used int) {
+		if depth == 6 {
+			if cur == start && used == 1<<len(edges)-1 {
+				count++
+			}
+			return
+		}
+		for next := 0; next < n; next++ {
+			if e := adj[cur][next]; e != 0 {
+				rec(start, next, depth+1, used|1<<(e-1))
+			}
+		}
+	}
+	for s := 0; s < n; s++ {
+		rec(s, s, 0, 0)
+	}
+	return count
+}
+
+func TestCountC6KnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graphs.Graph
+		want int64
+	}{
+		{"C6", padTo(graphs.Cycle(6, false), 16), 1},
+		{"C7", padTo(graphs.Cycle(7, false), 16), 0},
+		{"C5", padTo(graphs.Cycle(5, false), 16), 0},
+		{"K4", padTo(graphs.Complete(4, false), 16), 0},
+		{"K5", padTo(graphs.Complete(5, false), 16), 0},
+		{"K6", padTo(graphs.Complete(6, false), 16), 60},
+		{"petersen", padTo(graphs.Petersen(), 16), 10},
+		{"heawood", padTo(graphs.Heawood(), 16), 28},
+		{"K33", padTo(graphs.CompleteBipartite(3, 3), 16), 6},
+		{"torus44", graphs.Torus(4, 4), 128},
+		{"tree", graphs.Tree(16, 5), 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := graphs.CountC6Ref(tc.g)
+			net := clique.New(tc.g.N())
+			got, err := subgraph.CountC6(net, ccmm.EngineFast, tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != ref {
+				t.Errorf("CountC6 = %d, brute force = %d", got, ref)
+			}
+			if tc.want >= 0 && ref != tc.want {
+				t.Errorf("reference = %d, expected %d — expectation wrong?", ref, tc.want)
+			}
+		})
+	}
+}
+
+func TestCountC6RandomAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(71, 71))
+	engines := []ccmm.Engine{ccmm.EngineFast, ccmm.Engine3D, ccmm.EngineNaive}
+	sizes := []int{16, 27, 14}
+	for i, engine := range engines {
+		n := sizes[i]
+		for trial := 0; trial < 5; trial++ {
+			g := graphs.GNP(n, 0.2+rng.Float64()*0.2, false, rng.Uint64())
+			net := clique.New(n)
+			got, err := subgraph.CountC6(net, engine, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := graphs.CountC6Ref(g); got != want {
+				t.Fatalf("engine %v n=%d trial=%d: CountC6 = %d, want %d", engine, n, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestCountC6RejectsDirected(t *testing.T) {
+	net := clique.New(16)
+	if _, err := subgraph.CountC6(net, ccmm.EngineFast, graphs.Cycle(16, true)); err == nil {
+		t.Error("directed graph accepted")
+	}
+}

@@ -1,0 +1,123 @@
+package algclique
+
+import (
+	"fmt"
+
+	"github.com/algebraic-clique/algclique/internal/ccmm"
+	"github.com/algebraic-clique/algclique/internal/matrix"
+)
+
+// MatMul multiplies two n×n integer matrices on a simulated congested
+// clique (row v of each operand is node v's input) and returns the product
+// with measured communication stats. The default engine is the fast
+// bilinear algorithm — O(n^{1-2/log₂7}) ≈ O(n^{0.29}) rounds with the
+// Strassen scheme (Theorem 1; the paper's O(n^{0.158}) uses the
+// impracticable Le Gall scheme, see DESIGN.md).
+func MatMul(a, b [][]int64, opts ...Option) (prod [][]int64, stats Stats, err error) {
+	defer captureRoundLimit(&err)
+	c := newConfig(opts)
+	orig, err := squareSize(a, b)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	n, err := c.paddedSize(orig, ringSize)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	net := c.network(n)
+	p, err := ccmm.MulInt(net, c.engine.internal(), padMat(a, n, 0), padMat(b, n, 0))
+	if err != nil {
+		return nil, statsOf(net, orig), err
+	}
+	return truncateRows(p, orig), statsOf(net, orig), nil
+}
+
+// DistanceProduct computes the min-plus (tropical) product
+// P[u][v] = min_w A[u][w] + B[w][v] with Inf as "no entry" — the primitive
+// behind all APSP algorithms. Runs on the semiring 3D engine (O(n^{1/3})
+// rounds); for bounded entries the ring-embedded fast product is used by
+// the small-weight APSP entry points.
+func DistanceProduct(a, b [][]int64, opts ...Option) (prod [][]int64, stats Stats, err error) {
+	defer captureRoundLimit(&err)
+	c := newConfig(opts)
+	orig, err := squareSize(a, b)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	n, err := c.paddedSize(orig, cubeSize)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	net := c.network(n)
+	eng := c.engine.internal()
+	if eng == ccmm.EngineFast {
+		return nil, Stats{}, fmt.Errorf("algclique: min-plus is not a ring; use Auto, Semiring3D or Naive: %w", ccmm.ErrSize)
+	}
+	p, err := ccmm.MulMinPlus(net, eng, padMat(a, n, Inf), padMat(b, n, Inf))
+	if err != nil {
+		return nil, statsOf(net, orig), err
+	}
+	return truncateRows(p, orig), statsOf(net, orig), nil
+}
+
+// MatMulBool computes the Boolean matrix product of 0/1 matrices
+// (reachability composition), over the integers on the fast engine.
+func MatMulBool(a, b [][]int64, opts ...Option) (prod [][]int64, stats Stats, err error) {
+	defer captureRoundLimit(&err)
+	c := newConfig(opts)
+	orig, err := squareSize(a, b)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	n, err := c.paddedSize(orig, ringSize)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	net := c.network(n)
+	p, err := ccmm.MulBool(net, c.engine.internal(), padMat(a, n, 0), padMat(b, n, 0))
+	if err != nil {
+		return nil, statsOf(net, orig), err
+	}
+	return truncateRows(p, orig), statsOf(net, orig), nil
+}
+
+func squareSize(a, b [][]int64) (int, error) {
+	n := len(a)
+	if len(b) != n {
+		return 0, fmt.Errorf("algclique: operand sizes %d and %d differ: %w", n, len(b), ccmm.ErrSize)
+	}
+	for i, row := range a {
+		if len(row) != n {
+			return 0, fmt.Errorf("algclique: left operand row %d has %d entries, want %d: %w", i, len(row), n, ccmm.ErrSize)
+		}
+	}
+	for i, row := range b {
+		if len(row) != n {
+			return 0, fmt.Errorf("algclique: right operand row %d has %d entries, want %d: %w", i, len(row), n, ccmm.ErrSize)
+		}
+	}
+	return n, nil
+}
+
+// padMat embeds rows into an n×n distributed matrix, filling new entries
+// with the algebra's zero (0 for rings, Inf for min-plus) so the padded
+// product restricted to the original block is unchanged.
+func padMat(rows [][]int64, n int, zero int64) *ccmm.RowMat[int64] {
+	out := ccmm.NewRowMat[int64](n)
+	for v := 0; v < n; v++ {
+		dst := out.Rows[v]
+		if zero != 0 {
+			for j := range dst {
+				dst[j] = zero
+			}
+		}
+		if v < len(rows) {
+			copy(dst, rows[v])
+		}
+	}
+	return out
+}
+
+func denseOf(rows [][]int64) *matrix.Dense[int64] {
+	return matrix.FromRows(rows)
+}

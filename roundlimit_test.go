@@ -1,0 +1,61 @@
+package algclique_test
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	cc "github.com/algebraic-clique/algclique"
+	"github.com/algebraic-clique/algclique/internal/clique"
+)
+
+func TestWithRoundLimitReturnsTypedError(t *testing.T) {
+	g := cc.RandomConnectedWeighted(27, 0.3, 20, true, 1)
+	// Exact APSP needs ~190 rounds at n = 27; a 10-round budget must abort
+	// cleanly with the typed error, not a panic.
+	_, _, err := cc.APSP(g, cc.WithRoundLimit(10))
+	var lim *clique.RoundLimitError
+	if !errors.As(err, &lim) {
+		t.Fatalf("err = %v, want *clique.RoundLimitError", err)
+	}
+	if lim.Limit != 10 {
+		t.Errorf("limit = %d, want 10", lim.Limit)
+	}
+
+	// A generous budget must succeed.
+	if _, _, err := cc.APSP(g, cc.WithRoundLimit(100000)); err != nil {
+		t.Fatalf("generous budget failed: %v", err)
+	}
+}
+
+func TestWithRoundLimitAcrossEntryPoints(t *testing.T) {
+	g := cc.GNP(64, 0.3, false, 2)
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"triangles", func() error { _, _, err := cc.CountTriangles(g, cc.WithRoundLimit(3)); return err }},
+		{"c4count", func() error { _, _, err := cc.CountFourCycles(g, cc.WithRoundLimit(3)); return err }},
+		{"seidel", func() error { _, _, err := cc.APSPUnweighted(g, cc.WithRoundLimit(3)); return err }},
+		{"matmul", func() error {
+			a := randMat(nil2rand(), 64, 5)
+			_, _, err := cc.MatMul(a, a, cc.WithRoundLimit(2))
+			return err
+		}},
+		{"girth", func() error {
+			_, _, _, err := cc.Girth(g, cc.WithRoundLimit(3), cc.WithColourings(5))
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var lim *clique.RoundLimitError
+			if err := tc.run(); !errors.As(err, &lim) {
+				t.Errorf("err = %v, want round-limit error", err)
+			}
+		})
+	}
+}
+
+// nil2rand returns a fresh deterministic rand for test-matrix construction.
+func nil2rand() *rand.Rand { return rand.New(rand.NewPCG(9, 9)) }

@@ -1,0 +1,165 @@
+package algclique
+
+import (
+	"fmt"
+
+	"github.com/algebraic-clique/algclique/internal/baseline"
+	"github.com/algebraic-clique/algclique/internal/ccmm"
+	"github.com/algebraic-clique/algclique/internal/girth"
+	"github.com/algebraic-clique/algclique/internal/subgraph"
+)
+
+// CountTriangles counts the graph's triangles (directed 3-cycles for
+// directed graphs) via the trace formula and one distributed matrix
+// product — O(n^ρ) rounds (Corollary 2).
+func CountTriangles(g *Graph, opts ...Option) (count int64, stats Stats, err error) {
+	defer captureRoundLimit(&err)
+	c := newConfig(opts)
+	n, err := c.paddedSize(g.N(), ringSize)
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	net := c.network(n)
+	count, err = subgraph.CountTriangles(net, c.engine.internal(), padGraph(g, n))
+	return count, statsOf(net, g.N()), err
+}
+
+// CountFourCycles counts the graph's 4-cycles via the Alon–Yuster–Zwick
+// trace formula — O(n^ρ) rounds (Corollary 2).
+func CountFourCycles(g *Graph, opts ...Option) (count int64, stats Stats, err error) {
+	defer captureRoundLimit(&err)
+	c := newConfig(opts)
+	n, err := c.paddedSize(g.N(), ringSize)
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	net := c.network(n)
+	count, err = subgraph.CountC4(net, c.engine.internal(), padGraph(g, n))
+	return count, statsOf(net, g.N()), err
+}
+
+// CountFiveCycles counts the 5-cycles of an undirected graph via the
+// k = 5 trace formula the paper points to in §3.1 (Alon–Yuster–Zwick):
+// two distributed products — O(n^ρ) rounds.
+func CountFiveCycles(g *Graph, opts ...Option) (count int64, stats Stats, err error) {
+	defer captureRoundLimit(&err)
+	c := newConfig(opts)
+	n, err := c.paddedSize(g.N(), ringSize)
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	net := c.network(n)
+	count, err = subgraph.CountC5(net, c.engine.internal(), padGraph(g, n))
+	return count, statsOf(net, g.N()), err
+}
+
+// CountSixCycles counts the 6-cycles of an undirected graph via the k = 6
+// closed-walk census (ten image shapes with machine-enumerated walk
+// constants; see internal/subgraph.CountC6): two distributed products —
+// O(n^ρ) rounds.
+func CountSixCycles(g *Graph, opts ...Option) (count int64, stats Stats, err error) {
+	defer captureRoundLimit(&err)
+	c := newConfig(opts)
+	n, err := c.paddedSize(g.N(), ringSize)
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	net := c.network(n)
+	count, err = subgraph.CountC6(net, c.engine.internal(), padGraph(g, n))
+	return count, statsOf(net, g.N()), err
+}
+
+// DetectFourCycle reports whether an undirected graph contains a 4-cycle
+// in O(1) rounds (Theorem 4) — no matrix multiplication involved.
+func DetectFourCycle(g *Graph, opts ...Option) (found bool, stats Stats, err error) {
+	defer captureRoundLimit(&err)
+	c := newConfig(opts)
+	n, err := c.paddedSize(g.N(), anySize)
+	if err != nil {
+		return false, Stats{}, err
+	}
+	net := c.network(n)
+	found, err = subgraph.DetectC4(net, g)
+	return found, statsOf(net, g.N()), err
+}
+
+// DetectCycle reports whether the graph contains a simple cycle of length
+// exactly k, by randomised colour-coding — 2^{O(k)}·n^ρ·log n rounds
+// (Theorem 3). There are no false positives; the detection probability per
+// colouring is ≥ k!/k^k, amplified by the (configurable) trial count.
+func DetectCycle(g *Graph, k int, opts ...Option) (found bool, stats Stats, err error) {
+	defer captureRoundLimit(&err)
+	c := newConfig(opts)
+	n, err := c.paddedSize(g.N(), ringSize)
+	if err != nil {
+		return false, Stats{}, err
+	}
+	net := c.network(n)
+	found, _, err = subgraph.DetectKCycle(net, c.engine.internal(), padGraph(g, n), k,
+		subgraph.KCycleOpts{Colourings: c.colourings, Seed: c.seed})
+	return found, statsOf(net, g.N()), err
+}
+
+// Girth computes the length of the graph's shortest cycle — Õ(n^ρ) rounds
+// (Theorem 5 for undirected graphs, Corollary 16 for directed ones).
+// ok = false reports an acyclic graph.
+func Girth(g *Graph, opts ...Option) (value int, ok bool, stats Stats, err error) {
+	defer captureRoundLimit(&err)
+	c := newConfig(opts)
+	n, err := c.paddedSize(g.N(), ringSize)
+	if err != nil {
+		return 0, false, Stats{}, err
+	}
+	net := c.network(n)
+	padded := padGraph(g, n)
+	if g.Directed() {
+		value, ok, err = girth.Directed(net, c.engine.internal(), padded)
+	} else {
+		value, ok, err = girth.Undirected(net, c.engine.internal(), padded, girth.Opts{
+			MaxCycleLen: c.maxCycle,
+			KCycle:      subgraph.KCycleOpts{Colourings: c.colourings, Seed: c.seed},
+		})
+	}
+	return value, ok, statsOf(net, g.N()), err
+}
+
+// SquareAdjacencySparse computes every row of A² (2-walk counts) in O(1)
+// rounds for undirected graphs with Σ deg² < 2n² — the sparse
+// matrix-multiplication reading of the Theorem 4 machinery (§1.2 of the
+// paper). Returns subgraph.ErrTooDense (wrapped) when the degree condition
+// fails; use MatMul on the adjacency matrix then.
+func SquareAdjacencySparse(g *Graph, opts ...Option) (sq [][]int64, stats Stats, err error) {
+	defer captureRoundLimit(&err)
+	c := newConfig(opts)
+	n, err := c.paddedSize(g.N(), anySize)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if n < 8 {
+		n = 8 // the Lemma 12 packing bound needs a few extra idle nodes
+		if c.strict {
+			return nil, Stats{}, fmt.Errorf("algclique: sparse square needs n ≥ 8: %w", ccmm.ErrSize)
+		}
+	}
+	net := c.network(n)
+	rows, err := subgraph.SparseSquare(net, padGraph(g, n))
+	if err != nil {
+		return nil, statsOf(net, g.N()), err
+	}
+	return truncateRows(rows, g.N()), statsOf(net, g.N()), nil
+}
+
+// CountTrianglesDolev counts triangles with the deterministic
+// O(n^{1/3})-round combinatorial algorithm of Dolev, Lenzen and Peled
+// (DISC 2012) — the prior-work baseline of Table 1.
+func CountTrianglesDolev(g *Graph, opts ...Option) (count int64, stats Stats, err error) {
+	defer captureRoundLimit(&err)
+	c := newConfig(opts)
+	n, err := c.paddedSize(g.N(), anySize)
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	net := c.network(n)
+	count, err = baseline.DolevTriangles(net, g)
+	return count, statsOf(net, g.N()), err
+}
