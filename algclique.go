@@ -18,9 +18,11 @@
 //
 // Every entry point returns a Stats value with the measured round count
 // and a per-phase breakdown — the paper's "evaluation" reproduced as
-// measurements. Algorithms with algebraic size constraints (perfect-square
-// or perfect-cube clique sizes) transparently pad the instance with
-// isolated nodes unless WithoutPadding is set.
+// measurements. Semiring (3D) products run on any clique size via a padded
+// cube layout, so min-plus entry points never pad; the bilinear engine
+// still needs perfect-square clique sizes, and those entry points
+// transparently pad the instance with isolated nodes unless WithoutPadding
+// is set.
 package algclique
 
 import (
@@ -175,12 +177,16 @@ func captureRoundLimit(err *error) {
 type sizeClass int
 
 const (
-	anySize  sizeClass = iota
-	ringSize           // a bilinear scheme or a cube must fit (ring products)
-	cubeSize           // perfect cube (semiring products)
+	anySize  sizeClass = iota // every engine runs unpadded (semiring products)
+	ringSize                  // the bilinear engine wants a scheme-compatible size
 )
 
 // paddedSize returns the clique size to simulate for an instance of size n.
+// Semiring products (anySize) never pad: the 3D algorithm's cube layout
+// handles arbitrary n. Ring products pad only for the bilinear engine,
+// whose two-level grid needs a scheme-compatible perfect square; under
+// EngineAuto the smaller of the scheme padding and the cube padding wins
+// (on a cube the 3D engine runs with no multiplexing overhead).
 func (c config) paddedSize(n int, class sizeClass) (int, error) {
 	if n < 1 {
 		return 0, fmt.Errorf("algclique: empty instance: %w", ccmm.ErrSize)
@@ -189,17 +195,20 @@ func (c config) paddedSize(n int, class sizeClass) (int, error) {
 	switch class {
 	case anySize:
 		// No constraint.
-	case cubeSize:
-		want = nextCube(n)
 	case ringSize:
 		switch c.engine {
-		case Naive:
-			// No constraint.
-		case Semiring3D:
-			want = nextCube(n)
+		case Naive, Semiring3D:
+			// No constraint: both semiring engines run on any size.
 		case Fast:
 			want = nextSchemeSize(n)
-		default: // Auto: the smaller compatible padding wins.
+		default:
+			// Auto: padding is a performance choice, never a requirement —
+			// the engine resolution falls back to the 3D (or naive)
+			// algorithm, which runs any size unpadded. Strict runs stay at
+			// n; otherwise the smaller compatible padding wins.
+			if c.strict {
+				break
+			}
 			f, cu := nextSchemeSize(n), nextCube(n)
 			if cu < f {
 				want = cu
@@ -227,10 +236,7 @@ func (c config) network(n int) *clique.Network {
 }
 
 func nextCube(n int) int {
-	c := 1
-	for c*c*c < n {
-		c++
-	}
+	c := ccmm.CbrtCeil(n)
 	return c * c * c
 }
 

@@ -59,10 +59,29 @@ func mulRef(a, b [][]int64) [][]int64 {
 	return out
 }
 
-func TestMatMulStrictRejectsPadding(t *testing.T) {
+func TestMatMulStrictSemantics(t *testing.T) {
+	// Under Auto, WithoutPadding never fails: engine resolution falls back
+	// to the 3D (or naive) algorithm, which runs any size unpadded.
 	a := randMat(rand.New(rand.NewPCG(2, 1)), 10, 5)
-	if _, _, err := cc.MatMul(a, a, cc.WithoutPadding()); err == nil {
-		t.Error("padding-required size accepted under WithoutPadding")
+	p, stats, err := cc.MatMul(a, a, cc.WithoutPadding())
+	if err != nil {
+		t.Fatalf("strict auto run rejected: %v", err)
+	}
+	if stats.N != 10 || stats.PaddedFrom != 0 {
+		t.Errorf("strict run not unpadded: %+v", stats)
+	}
+	want := mulRef(a, a)
+	for i := range want {
+		for j := range want[i] {
+			if p[i][j] != want[i][j] {
+				t.Fatalf("strict product wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Forcing the bilinear engine still rejects scheme-incompatible sizes
+	// under WithoutPadding, and accepts compatible ones.
+	if _, _, err := cc.MatMul(a, a, cc.WithEngine(cc.Fast), cc.WithoutPadding()); err == nil {
+		t.Error("scheme-incompatible size accepted by strict fast engine")
 	}
 	b := randMat(rand.New(rand.NewPCG(2, 2)), 16, 5)
 	if _, _, err := cc.MatMul(b, b, cc.WithoutPadding()); err != nil {
@@ -83,8 +102,9 @@ func TestDistanceProduct(t *testing.T) {
 	if p[0][2] != 7 || p[2][1] != 4 || p[0][0] != 0 {
 		t.Errorf("distance product wrong: %v", p)
 	}
-	if stats.PaddedFrom != 3 {
-		t.Errorf("expected padding from 3, got %+v", stats)
+	// Min-plus products run unpadded: the 3D engine takes any clique size.
+	if stats.N != 3 || stats.PaddedFrom != 0 {
+		t.Errorf("expected unpadded 3-node run, got %+v", stats)
 	}
 	if _, _, err := cc.DistanceProduct(a, a, cc.WithEngine(cc.Fast)); err == nil {
 		t.Error("fast engine accepted for min-plus")
@@ -215,8 +235,9 @@ func TestAPSPAPIs(t *testing.T) {
 		t.Fatal(err)
 	}
 	check("semiring", exact)
-	if stats.PaddedFrom != 20 || stats.N != 27 {
-		t.Errorf("APSP padding stats %+v", stats)
+	// The semiring APSP runs unpadded on the instance's own 20-node clique.
+	if stats.PaddedFrom != 0 || stats.N != 20 {
+		t.Errorf("APSP expected unpadded 20-node stats, got %+v", stats)
 	}
 	if err := cc.ValidateRouting(g, exact); err != nil {
 		t.Fatal(err)

@@ -39,7 +39,9 @@ func randSquare(n int, seed uint64) [][]int64 {
 }
 
 // BenchmarkMatMulSemiring is experiment T1.1: Table 1 row "matrix
-// multiplication (semiring), O(n^{1/3}) rounds" on perfect-cube cliques.
+// multiplication (semiring), O(n^{1/3}) rounds" on perfect-cube cliques,
+// where the 3D layout has no multiplexing overhead (non-cube sizes are
+// covered by BenchmarkDistanceProductNonCube).
 func BenchmarkMatMulSemiring(b *testing.B) {
 	for _, n := range []int{27, 64, 125, 216, 512} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
@@ -76,6 +78,30 @@ func BenchmarkMatMulFast(b *testing.B) {
 			}
 			report(b, stats)
 		})
+	}
+}
+
+// BenchmarkDistanceProductNonCube compares the padded 3D engine against
+// the naive baseline for min-plus products on non-cube clique sizes — the
+// sizes that used to fall back to the Θ(n)-round gather. The ccbench
+// x4-mm-padded experiment emits the same comparison as JSON.
+func BenchmarkDistanceProductNonCube(b *testing.B) {
+	for _, n := range []int{60, 100, 200} {
+		a := randSquare(n, 41)
+		c := randSquare(n, 42)
+		for _, eng := range []cc.Engine{cc.Semiring3D, cc.Naive} {
+			b.Run(fmt.Sprintf("%v/n=%d", eng, n), func(b *testing.B) {
+				var stats cc.Stats
+				for i := 0; i < b.N; i++ {
+					var err error
+					_, stats, err = cc.DistanceProduct(a, c, cc.WithEngine(eng))
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				report(b, stats)
+			})
+		}
 	}
 }
 

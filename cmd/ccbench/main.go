@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"os"
@@ -41,6 +42,7 @@ func main() {
 		{"t1-apsp-seidel", "T1.11 unweighted undirected APSP — O(n^ρ)", apspSeidel},
 		{"x2-broadcast", "X2 broadcast-clique separation (§4, Corollary 24)", broadcastGap},
 		{"x3-sparsesquare", "X3 sparse A² in O(1) rounds (§1.2 remark)", sparseSquare},
+		{"x4-mm-padded", "X4 padded 3D vs naive min-plus on non-cube n (JSON)", mmPadded},
 		{"table1", "Table 1 summary at n = 64", table1},
 	}
 	if len(os.Args) < 2 || os.Args[1] == "list" {
@@ -318,6 +320,64 @@ func sparseSquare() {
 		fmt.Printf("%5d %12d %21d\n", n, ss.Rounds, sm.Rounds)
 	}
 	fmt.Println("   on sparse graphs the Theorem 4 machinery squares A in O(1) rounds")
+}
+
+// mmPadded compares the padded 3D engine against the naive baseline for
+// min-plus products on non-cube clique sizes — the sizes that, before the
+// padded cube layout, silently fell back to the Θ(n)-round gather. The
+// results are emitted as one JSON object so future changes can track the
+// round-count trajectory mechanically.
+func mmPadded() {
+	type row struct {
+		N           int     `json:"n"`
+		Rounds3D    int64   `json:"rounds_3d"`
+		Words3D     int64   `json:"words_3d"`
+		RoundsNaive int64   `json:"rounds_naive"`
+		WordsNaive  int64   `json:"words_naive"`
+		Speedup     float64 `json:"round_speedup"`
+		Match       bool    `json:"results_match"`
+	}
+	report := struct {
+		Experiment string `json:"experiment"`
+		Metric     string `json:"metric"`
+		Results    []row  `json:"results"`
+	}{
+		Experiment: "mm3d-padded-vs-naive",
+		Metric:     "min-plus product rounds on non-cube clique sizes",
+	}
+	for _, n := range []int{50, 60, 100, 150, 200, 300} {
+		a, b := randSquare(n, 41), randSquare(n, 42)
+		p3, s3, err := cc.DistanceProduct(a, b, cc.WithEngine(cc.Semiring3D))
+		check(err)
+		pn, sn, err := cc.DistanceProduct(a, b, cc.WithEngine(cc.Naive))
+		check(err)
+		match := true
+		for i := 0; i < n && match; i++ {
+			for j := 0; j < n; j++ {
+				if p3[i][j] != pn[i][j] {
+					match = false
+					break
+				}
+			}
+		}
+		if !match || s3.Rounds >= sn.Rounds {
+			check(fmt.Errorf("x4-mm-padded: regression at n=%d (match=%v, 3d=%d rounds, naive=%d rounds)",
+				n, match, s3.Rounds, sn.Rounds))
+		}
+		report.Results = append(report.Results, row{
+			N:           n,
+			Rounds3D:    s3.Rounds,
+			Words3D:     s3.Words,
+			RoundsNaive: sn.Rounds,
+			WordsNaive:  sn.Words,
+			Speedup:     float64(sn.Rounds) / float64(s3.Rounds),
+			Match:       match,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("   ", "  ")
+	check(enc.Encode(report))
+	fmt.Println("   the 3D engine must match naive exactly and charge fewer rounds for n ≥ 50")
 }
 
 // table1 prints a compact reproduction of Table 1 at n = 64.

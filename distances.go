@@ -62,11 +62,12 @@ func truncateRows(m *ccmm.RowMat[int64], n int) [][]int64 {
 // APSP computes exact all-pairs shortest paths and routing tables for
 // weighted directed graphs (integer weights, negative allowed, no negative
 // cycles) by min-plus iterated squaring on the 3D algorithm —
-// O(n^{1/3} log n) rounds (Corollary 6).
+// O(n^{1/3} log n) rounds (Corollary 6). The 3D algorithm runs on any
+// clique size, so the instance is simulated unpadded.
 func APSP(g *Weighted, opts ...Option) (res *APSPResult, stats Stats, err error) {
 	defer captureRoundLimit(&err)
 	c := newConfig(opts)
-	n, err := c.paddedSize(g.N(), cubeSize)
+	n, err := c.paddedSize(g.N(), anySize)
 	if err != nil {
 		return nil, Stats{}, err
 	}

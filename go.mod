@@ -1,0 +1,3 @@
+module github.com/algebraic-clique/algclique
+
+go 1.24

@@ -42,7 +42,7 @@ func DolevTriangles(net *clique.Network, g *graphs.Graph) (int64, error) {
 	if n == 1 {
 		return 0, nil
 	}
-	c := icbrtCeil(n)
+	c := ccmm.CbrtCeil(n)
 	per := (n + c - 1) / c
 	part := func(v int) int { return v / per }
 	partRange := func(i int) (int, int) {
@@ -176,14 +176,6 @@ func dedupe(xs []int) []int {
 		}
 	}
 	return out
-}
-
-func icbrtCeil(n int) int {
-	c := 1
-	for c*c*c < n {
-		c++
-	}
-	return c
 }
 
 // NaiveAPSP gathers the whole weight matrix at every node (Θ(n) rounds)

@@ -107,19 +107,118 @@ func TestSemiring3DRoundScaling(t *testing.T) {
 			t.Errorf("n=%d: %d rounds exceeds O(n^{1/3}) budget %d", n, net.Rounds(), bound)
 		}
 	}
-}
-
-func TestSemiring3DRejectsBadSizes(t *testing.T) {
-	r := ring.Int64{}
-	for _, n := range []int{2, 10, 26} {
+	// Non-cube sizes pay a constant multiplexing factor (≤ ⌈c³/n⌉ virtual
+	// nodes per real node) but must keep the O(n^{1/3}) shape.
+	for _, n := range []int{28, 60, 100, 150, 200} {
+		a, b := randIntMat(rng, n, 5), randIntMat(rng, n, 5)
 		net := clique.New(n)
-		a := ccmm.NewRowMat[int64](n)
-		_, err := ccmm.Semiring3D[int64](net, r, r, a, a)
-		if !errors.Is(err, ccmm.ErrSize) {
-			t.Errorf("n=%d: err = %v, want ErrSize", n, err)
+		if _, err := ccmm.Semiring3D[int64](net, r, r, ccmm.Distribute(a), ccmm.Distribute(b)); err != nil {
+			t.Fatal(err)
+		}
+		cbrt := math.Cbrt(float64(n))
+		bound := int64(24*cbrt + 15)
+		if net.Rounds() > bound {
+			t.Errorf("n=%d: %d rounds exceeds padded O(n^{1/3}) budget %d", n, net.Rounds(), bound)
 		}
 	}
-	// Mismatched row count.
+}
+
+// awkwardSizes are the clique sizes the padded cube layout must handle:
+// tiny, just-below/at/above a cube, and the acceptance sizes 60 and 100.
+var awkwardSizes = []int{2, 5, 7, 26, 27, 28, 60, 100}
+
+// TestSemiring3DArbitrarySizesInt64 pins the tentpole contract: the 3D
+// algorithm accepts every clique size, not just perfect cubes, and agrees
+// with the local reference product.
+func TestSemiring3DArbitrarySizesInt64(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 1))
+	r := ring.Int64{}
+	for _, n := range awkwardSizes {
+		a, b := randIntMat(rng, n, 30), randIntMat(rng, n, 30)
+		net := clique.New(n)
+		p, err := ccmm.Semiring3D[int64](net, r, r, ccmm.Distribute(a), ccmm.Distribute(b))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !matrix.Equal[int64](r, p.Collect(), matrix.Mul[int64](r, a, b)) {
+			t.Fatalf("n=%d: padded 3D product wrong", n)
+		}
+	}
+}
+
+func TestSemiring3DArbitrarySizesMinPlus(t *testing.T) {
+	rng := rand.New(rand.NewPCG(22, 1))
+	mp := ring.MinPlus{}
+	for _, n := range awkwardSizes {
+		a, b := randMinPlusMat(rng, n), randMinPlusMat(rng, n)
+		net := clique.New(n)
+		p, err := ccmm.Semiring3D[int64](net, mp, mp, ccmm.Distribute(a), ccmm.Distribute(b))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !matrix.Equal[int64](mp, p.Collect(), matrix.Mul[int64](mp, a, b)) {
+			t.Fatalf("n=%d: padded min-plus 3D product wrong", n)
+		}
+	}
+}
+
+func TestSemiring3DArbitrarySizesBool(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 1))
+	br := ring.Bool{}
+	for _, n := range awkwardSizes {
+		a, b := matrix.New[bool](n, n), matrix.New[bool](n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.IntN(3) == 0)
+				b.Set(i, j, rng.IntN(3) == 0)
+			}
+		}
+		net := clique.New(n)
+		p, err := ccmm.Semiring3D[bool](net, br, br, ccmm.Distribute(a), ccmm.Distribute(b))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !matrix.Equal[bool](br, p.Collect(), matrix.Mul[bool](br, a, b)) {
+			t.Fatalf("n=%d: padded boolean 3D product wrong", n)
+		}
+	}
+}
+
+// TestDistanceProduct3DArbitrarySizes runs the witness-producing variant on
+// non-cube sizes: values must match the reference and every finite entry
+// must carry a certifying witness.
+func TestDistanceProduct3DArbitrarySizes(t *testing.T) {
+	rng := rand.New(rand.NewPCG(24, 1))
+	mp := ring.MinPlus{}
+	for _, n := range []int{5, 26, 28, 60} {
+		a, b := randMinPlusMat(rng, n), randMinPlusMat(rng, n)
+		net := clique.New(n)
+		p, q, err := ccmm.DistanceProduct3D(net, ccmm.Distribute(a), ccmm.Distribute(b))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !matrix.Equal[int64](mp, p.Collect(), matrix.Mul[int64](mp, a, b)) {
+			t.Fatalf("n=%d: distance product values wrong", n)
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if ring.IsInf(p.Rows[u][v]) {
+					continue
+				}
+				w := q.Rows[u][v]
+				if w < 0 || w >= int64(n) {
+					t.Fatalf("n=%d: witness out of range at (%d,%d): %d", n, u, v, w)
+				}
+				if a.At(u, int(w))+b.At(int(w), v) != p.Rows[u][v] {
+					t.Fatalf("n=%d: witness %d does not certify (%d,%d)", n, w, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestSemiring3DRejectsRowMismatch(t *testing.T) {
+	r := ring.Int64{}
 	net := clique.New(8)
 	_, err := ccmm.Semiring3D[int64](net, r, r, ccmm.NewRowMat[int64](7), ccmm.NewRowMat[int64](8))
 	if !errors.Is(err, ccmm.ErrSize) {

@@ -52,3 +52,33 @@ func TestWorkerCountDoesNotAffectResults(t *testing.T) {
 		}
 	}
 }
+
+// TestSemiring3DPaddedDeterminism pins determinism of the padded (non-cube)
+// layout: the same seed yields an identical product and identical Stats —
+// rounds, words, and per-phase breakdown — run after run and across worker
+// pool sizes.
+func TestSemiring3DPaddedDeterminism(t *testing.T) {
+	mp := ring.MinPlus{}
+	for _, n := range []int{28, 60} {
+		run := func(workers int) (*matrix.Dense[int64], clique.Stats) {
+			rng := rand.New(rand.NewPCG(42, uint64(n)))
+			a, b := randMinPlusMat(rng, n), randMinPlusMat(rng, n)
+			net := clique.New(n, clique.WithWorkers(workers))
+			p, err := ccmm.Semiring3D[int64](net, mp, mp, ccmm.Distribute(a), ccmm.Distribute(b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p.Collect(), net.Stats()
+		}
+		baseP, baseS := run(1)
+		for _, workers := range []int{1, 4, 16} {
+			p, s := run(workers)
+			if !matrix.Equal[int64](mp, baseP, p) {
+				t.Fatalf("n=%d workers=%d: product not deterministic", n, workers)
+			}
+			if !reflect.DeepEqual(baseS, s) {
+				t.Fatalf("n=%d workers=%d: stats not deterministic: %+v vs %+v", n, workers, baseS, s)
+			}
+		}
+	}
+}

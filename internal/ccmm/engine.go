@@ -16,7 +16,8 @@ type Engine int
 
 const (
 	// EngineAuto picks FastBilinear when a scheme fits the clique size,
-	// then Semiring3D for perfect cubes, then NaiveGather.
+	// then Semiring3D (which runs on any n via the padded cube layout)
+	// for n ≥ 8, then NaiveGather for tiny cliques.
 	EngineAuto Engine = iota
 	// EngineFast forces the bilinear-scheme algorithm (§2.2).
 	EngineFast
@@ -44,7 +45,10 @@ func (e Engine) String() string {
 
 // Resolve maps EngineAuto to the best concrete engine for an n-node clique.
 // ringAlgebra reports whether the product algebra is a ring (only rings may
-// use the bilinear engine).
+// use the bilinear engine). Semiring3D handles every clique size via the
+// padded cube layout, so the O(n)-round NaiveGather is chosen only for
+// cliques too small (n < 8, other than the trivial cube n = 1) for the 3D
+// multiplexing overhead to pay off.
 func (e Engine) Resolve(n int, ringAlgebra bool) Engine {
 	if e != EngineAuto {
 		return e
@@ -54,7 +58,7 @@ func (e Engine) Resolve(n int, ringAlgebra bool) Engine {
 			return EngineFast
 		}
 	}
-	if c := icbrt(n); c*c*c == n {
+	if n >= 8 || n == 1 {
 		return Engine3D
 	}
 	return EngineNaive
@@ -149,9 +153,10 @@ func mulBoolSemiring(net *clique.Network, e Engine, s, t *RowMat[int64]) (*RowMa
 
 // MulMinPlus computes the distance product over the (min, +) semiring.
 // The bilinear engine does not apply (min-plus is not a ring); EngineAuto
-// resolves to Semiring3D on perfect cubes and NaiveGather otherwise. For
-// the ring-embedded fast distance product with bounded entries, see the
-// distance package (Lemma 18).
+// resolves to Semiring3D — O(n^{1/3}) rounds on any clique size n ≥ 8 —
+// and to NaiveGather only on tiny cliques. For the ring-embedded fast
+// distance product with bounded entries, see the distance package
+// (Lemma 18).
 func MulMinPlus(net *clique.Network, e Engine, s, t *RowMat[int64]) (*RowMat[int64], error) {
 	mp := ring.MinPlus{}
 	switch e.Resolve(net.N(), false) {

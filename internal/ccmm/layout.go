@@ -2,31 +2,55 @@ package ccmm
 
 import "fmt"
 
-// cubeLayout realises the §2.1 index scheme: node v on an n = c³ clique is
-// the base-c three-digit tuple (v1, v2, v3).
+// cubeLayout realises the §2.1 index scheme on an arbitrary n-node clique
+// by padding to the next cube: with c = ⌈n^{1/3}⌉ the layout addresses
+// vn = c³ ≥ n virtual nodes, each the base-c three-digit tuple (v1, v2, v3),
+// and real node v mod n simulates virtual node v (≤ ⌈c³/n⌉ ≤ 8 virtual
+// nodes per real node, so the asymptotic round bound is unchanged). On a
+// perfect cube the layout is the paper's: vn = n and every node simulates
+// exactly itself.
 type cubeLayout struct {
-	c int // n^{1/3}
+	c  int // ⌈n^{1/3}⌉, the cube side
+	n  int // real clique size
+	vn int // c³ virtual nodes
 }
 
-// newCubeLayout returns the layout for clique size n, or an error when n is
-// not a perfect cube.
-func newCubeLayout(n int) (cubeLayout, error) {
-	c := icbrt(n)
-	if c*c*c != n {
-		return cubeLayout{}, fmt.Errorf("ccmm: clique size %d is not a perfect cube: %w", n, ErrSize)
+// newCubeLayout returns the (possibly padded) layout for clique size n ≥ 1.
+func newCubeLayout(n int) cubeLayout {
+	if n < 1 {
+		panic(fmt.Sprintf("ccmm: clique size %d < 1", n))
 	}
-	return cubeLayout{c: c}, nil
+	c := CbrtCeil(n)
+	return cubeLayout{c: c, n: n, vn: c * c * c}
 }
 
-func icbrt(n int) int {
-	if n <= 0 {
-		return 0
-	}
-	c := 0
-	for (c+1)*(c+1)*(c+1) <= n {
+// CbrtCeil returns ⌈n^{1/3}⌉ for n ≥ 1 — the side of the smallest cube
+// holding n. It is the one cube-root helper shared by the cube layout, the
+// combinatorial baselines, and the public padding logic.
+func CbrtCeil(n int) int {
+	c := 1
+	for c*c*c < n {
 		c++
 	}
 	return c
+}
+
+// real returns the real node simulating virtual node v. Virtual nodes
+// v < n are simulated by themselves, so matrix rows never move: row v of
+// the input lives at real node v, which is exactly virtual node v's host.
+func (l cubeLayout) real(v int) int { return v % l.n }
+
+// liveDigits returns the number of digit values d whose group d∗∗ contains
+// a real matrix index (< n). All three digits of a subcube owner (u1, u2,
+// u3) select first-digit groups of matrix indices — output rows, middle
+// indices, and output columns respectively — so a subcube carries real
+// data only when every digit is below this bound: a dead u1 means all its
+// output rows are padding, a dead u2 means the S columns/T rows are all
+// zero (the block product is the zero matrix), and a dead u3 means every
+// output column is discarded. Dead subcubes are neither fed nor computed.
+func (l cubeLayout) liveDigits() int {
+	c2 := l.c * l.c
+	return (l.n + c2 - 1) / c2
 }
 
 func (l cubeLayout) split(v int) (v1, v2, v3 int) {

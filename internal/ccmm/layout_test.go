@@ -5,17 +5,18 @@ import (
 	"testing/quick"
 )
 
-// TestCubeLayoutBijection reproduces the Figure 1 index structure: the
-// node ↔ (v1, v2, v3) mapping is a bijection and the digit groups x∗∗
-// partition V.
+// TestCubeLayoutBijection reproduces the Figure 1 index structure on the
+// padded cube: the virtual node ↔ (v1, v2, v3) mapping is a bijection over
+// the c³ virtual nodes and the digit groups x∗∗ partition them. Non-cube
+// sizes exercise the padding.
 func TestCubeLayoutBijection(t *testing.T) {
-	for _, n := range []int{1, 8, 27, 64, 125} {
-		lay, err := newCubeLayout(n)
-		if err != nil {
-			t.Fatal(err)
+	for _, n := range []int{1, 2, 5, 8, 26, 27, 28, 64, 100, 125} {
+		lay := newCubeLayout(n)
+		if lay.vn != lay.c*lay.c*lay.c || lay.vn < n || (lay.c-1)*(lay.c-1)*(lay.c-1) >= n {
+			t.Fatalf("n=%d: bad padded cube c=%d vn=%d", n, lay.c, lay.vn)
 		}
-		seen := make([]bool, n)
-		for v := 0; v < n; v++ {
+		seen := make([]bool, lay.vn)
+		for v := 0; v < lay.vn; v++ {
 			v1, v2, v3 := lay.split(v)
 			if v1 < 0 || v1 >= lay.c || v2 < 0 || v2 >= lay.c || v3 < 0 || v3 >= lay.c {
 				t.Fatalf("n=%d: split(%d) digits out of range", n, v)
@@ -27,11 +28,11 @@ func TestCubeLayoutBijection(t *testing.T) {
 		}
 		for v, s := range seen {
 			if !s {
-				t.Fatalf("node %d unmapped", v)
+				t.Fatalf("virtual node %d unmapped", v)
 			}
 		}
-		// Digit groups partition V.
-		covered := make([]bool, n)
+		// Digit groups partition the virtual cube.
+		covered := make([]bool, lay.vn)
 		for x := 0; x < lay.c; x++ {
 			set := lay.firstDigitSet(x)
 			if len(set) != lay.c*lay.c {
@@ -55,10 +56,29 @@ func TestCubeLayoutBijection(t *testing.T) {
 	}
 }
 
-func TestCubeLayoutRejectsNonCubes(t *testing.T) {
-	for _, n := range []int{2, 9, 26, 100} {
-		if _, err := newCubeLayout(n); err == nil {
-			t.Errorf("n=%d accepted as cube", n)
+// TestCubeLayoutHostAssignment pins the virtual → real simulation map:
+// virtual nodes below n host themselves (input rows never move), every real
+// node simulates at most ⌈c³/n⌉ virtual nodes, and every virtual node has a
+// valid host.
+func TestCubeLayoutHostAssignment(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 7, 26, 28, 60, 100} {
+		lay := newCubeLayout(n)
+		load := make([]int, n)
+		for v := 0; v < lay.vn; v++ {
+			r := lay.real(v)
+			if r < 0 || r >= n {
+				t.Fatalf("n=%d: virtual %d hosted by out-of-range %d", n, v, r)
+			}
+			if v < n && r != v {
+				t.Fatalf("n=%d: virtual %d < n hosted by %d, want itself", n, v, r)
+			}
+			load[r]++
+		}
+		maxLoad := (lay.vn + n - 1) / n
+		for r, l := range load {
+			if l > maxLoad {
+				t.Fatalf("n=%d: real node %d simulates %d virtual nodes, max ⌈c³/n⌉ = %d", n, r, l, maxLoad)
+			}
 		}
 	}
 }

@@ -16,9 +16,8 @@ import (
 // the input matrices.
 func TestMatMulIsOblivious(t *testing.T) {
 	r := ring.Int64{}
-	run3D := func(seed uint64) []clique.PhaseStat {
+	run3D := func(n int, seed uint64) []clique.PhaseStat {
 		rng := rand.New(rand.NewPCG(seed, 0))
-		n := 27
 		a, b := randIntMat(rng, n, 50), randIntMat(rng, n, 50)
 		net := clique.New(n)
 		if _, err := ccmm.Semiring3D[int64](net, r, r, ccmm.Distribute(a), ccmm.Distribute(b)); err != nil {
@@ -26,8 +25,12 @@ func TestMatMulIsOblivious(t *testing.T) {
 		}
 		return net.Stats().Phases
 	}
-	if !reflect.DeepEqual(run3D(1), run3D(999)) {
-		t.Error("semiring 3D communication pattern depends on matrix values")
+	// Both the exact-cube and the padded (non-cube) layouts must be
+	// oblivious.
+	for _, n := range []int{27, 28} {
+		if !reflect.DeepEqual(run3D(n, 1), run3D(n, 999)) {
+			t.Errorf("n=%d: semiring 3D communication pattern depends on matrix values", n)
+		}
 	}
 
 	runFast := func(seed uint64, sparse bool) []clique.PhaseStat {

@@ -4,20 +4,25 @@ import (
 	"github.com/algebraic-clique/algclique/internal/clique"
 	"github.com/algebraic-clique/algclique/internal/matrix"
 	"github.com/algebraic-clique/algclique/internal/ring"
-	"github.com/algebraic-clique/algclique/internal/routing"
 )
 
 // Semiring3D computes the distributed product P = S·T over an arbitrary
-// semiring on an n-node clique with n = c³ a perfect cube, following the 3D
-// algorithm of §2.1: the n³ elementary products are tiled into n subcubes of
-// side n^{2/3}, one per node. Each node sends and receives O(n^{4/3}) words,
-// which the routing layer delivers in O(n^{1/3}) rounds.
+// semiring on an n-node clique for any n ≥ 1, following the 3D algorithm of
+// §2.1. The index cube has side c = ⌈n^{1/3}⌉: the c³ virtual nodes each own
+// one c²×c² product subcube, and real node v mod n simulates virtual node v
+// (≤ ⌈c³/n⌉ ≤ 8 virtual nodes per real node). Rows and columns beyond n are
+// padded with the semiring zero, which annihilates under multiplication, so
+// the product restricted to the real n×n block is unchanged — and all-zero
+// rows are never transmitted. Each real node sends and receives O(n^{4/3})
+// words, which the routing layer delivers in O(n^{1/3}) rounds; on a perfect
+// cube the virtual and real cliques coincide and the algorithm is exactly
+// the paper's.
 //
-// Node v's subcube is v1∗∗ × v2∗∗ × v3∗∗ in the paper's notation; the
-// paper's step-1 description contains a small index slip for T (receiving
-// rows ∗v2∗ would not match the S columns v2∗∗), so T rows here are grouped
-// by their *first* digit: row w of T is needed by exactly the nodes u with
-// u2 = w1, keeping both middle-index sets equal to v2∗∗.
+// Virtual node v's subcube is v1∗∗ × v2∗∗ × v3∗∗ in the paper's notation;
+// the paper's step-1 description contains a small index slip for T
+// (receiving rows ∗v2∗ would not match the S columns v2∗∗), so T rows here
+// are grouped by their *first* digit: row w of T is needed by exactly the
+// nodes u with u2 = w1, keeping both middle-index sets equal to v2∗∗.
 func Semiring3D[T any](net *clique.Network, sr ring.Semiring[T], codec ring.Codec[T], s, t *RowMat[T]) (*RowMat[T], error) {
 	n := net.N()
 	if err := s.validate(n); err != nil {
@@ -26,13 +31,18 @@ func Semiring3D[T any](net *clique.Network, sr ring.Semiring[T], codec ring.Code
 	if err := t.validate(n); err != nil {
 		return nil, err
 	}
-	lay, err := newCubeLayout(n)
-	if err != nil {
-		return nil, err
-	}
-	c := lay.c
+	lay := newCubeLayout(n)
+	c, vn := lay.c, lay.vn
 	c2 := c * c
 	width := codec.Width()
+	zero := sr.Zero()
+	live := lay.liveDigits()
+	// alive reports whether virtual node u's subcube touches real data;
+	// dead subcubes receive nothing and compute nothing (see liveDigits).
+	alive := func(u int) bool {
+		u1, u2, u3 := lay.split(u)
+		return u1 < live && u2 < live && u3 < live
+	}
 
 	// Precompute the c index groups x∗∗ (shared, read-only).
 	groups := make([][]int, c)
@@ -40,82 +50,131 @@ func Semiring3D[T any](net *clique.Network, sr ring.Semiring[T], codec ring.Code
 		groups[x] = lay.firstDigitSet(x)
 	}
 
-	// Step 1: distribute entries. Node v sends S[v, u2∗∗] to each
-	// u ∈ v1∗∗ and T[v, u3∗∗] to each u with u2 = v1. When both apply to
-	// the same recipient the S part precedes the T part on the link.
+	// Step 1: distribute entries. Virtual node v < n sends S[v, u2∗∗] to
+	// each u ∈ v1∗∗ and T[v, u3∗∗] to each u with u2 = v1; column indices
+	// ≥ n read as the semiring zero. Virtual nodes v ≥ n own all-zero
+	// padding rows, which every node can synthesise locally, so they send
+	// nothing. When both an S and a T part go to the same recipient the S
+	// part precedes the T part.
 	net.Phase("mm3d/distribute")
-	msgs := emptyMsgs(n)
+	vmsgs := emptyMsgs(vn)
 	net.ForEach(func(v int) {
+		// The sending virtual nodes are exactly v < n, each hosted by
+		// real node v itself: every real node ships its own row slices.
 		v1, _, _ := lay.split(v)
 		srow, trow := s.Rows[v], t.Rows[v]
 		buf := make([]T, c2)
 		for _, u := range groups[v1] {
+			if !alive(u) {
+				continue
+			}
 			_, u2, _ := lay.split(u)
 			for i, col := range groups[u2] {
-				buf[i] = srow[col]
+				if col < n {
+					buf[i] = srow[col]
+				} else {
+					buf[i] = zero
+				}
 			}
-			msgs[v][u] = appendEncoded(codec, msgs[v][u], buf)
+			vmsgs[v][u] = appendEncoded(codec, vmsgs[v][u], buf)
 		}
-		// Nodes with u2 = v1: iterate u1, u3 freely.
-		for u1 := 0; u1 < c; u1++ {
-			for u3 := 0; u3 < c; u3++ {
+		// Nodes with u2 = v1: iterate u1 and u3 over the live digits only
+		// (v1 < live already, since v < n) — dead subcubes get no T rows.
+		for u1 := 0; u1 < live; u1++ {
+			for u3 := 0; u3 < live; u3++ {
 				u := lay.join(u1, v1, u3)
 				for i, col := range groups[u3] {
-					buf[i] = trow[col]
+					if col < n {
+						buf[i] = trow[col]
+					} else {
+						buf[i] = zero
+					}
 				}
-				msgs[v][u] = appendEncoded(codec, msgs[v][u], buf)
+				vmsgs[v][u] = appendEncoded(codec, vmsgs[v][u], buf)
 			}
 		}
 	})
-	in := routing.Exchange(net, routing.Auto, msgs)
+	in := lay.exchangeVirtual(net, vmsgs)
 
-	// Step 2: local multiplication of the received c²×c² blocks.
+	// Step 2: local multiplication of the received c²×c² blocks. Rows from
+	// padding senders (v ≥ n) are the semiring zero.
 	net.Phase("mm3d/multiply")
-	prod := make([]*matrix.Dense[T], n)
-	net.ForEach(func(u int) {
-		u1, u2, _ := lay.split(u)
-		sblk := matrix.New[T](c2, c2)
-		tblk := matrix.New[T](c2, c2)
-		for pos, v := range groups[u1] { // S row senders: v1 = u1
-			ws := in[u][v]
-			sblk.SetRow(pos, decodeVec(codec, ws[:c2*width], c2))
-		}
-		for pos, v := range groups[u2] { // T row senders: v1 = u2
-			ws := in[u][v]
-			if v1, _, _ := lay.split(v); v1 == u1 {
-				ws = ws[c2*width:] // S part precedes on shared links
+	prod := make([]*matrix.Dense[T], vn)
+	zeroRow := make([]T, c2)
+	for i := range zeroRow {
+		zeroRow[i] = zero
+	}
+	net.ForEach(func(r int) {
+		for u := r; u < vn; u += n {
+			if !alive(u) {
+				continue
 			}
-			tblk.SetRow(pos, decodeVec(codec, ws[:c2*width], c2))
+			u1, u2, _ := lay.split(u)
+			sblk := matrix.New[T](c2, c2)
+			tblk := matrix.New[T](c2, c2)
+			for pos, v := range groups[u1] { // S row senders: v1 = u1
+				if v >= n {
+					sblk.SetRow(pos, zeroRow)
+					continue
+				}
+				ws := in[u][v]
+				sblk.SetRow(pos, decodeVec(codec, ws[:c2*width], c2))
+			}
+			for pos, v := range groups[u2] { // T row senders: v1 = u2
+				if v >= n {
+					tblk.SetRow(pos, zeroRow)
+					continue
+				}
+				ws := in[u][v]
+				if v1, _, _ := lay.split(v); v1 == u1 {
+					ws = ws[c2*width:] // S part precedes on shared links
+				}
+				tblk.SetRow(pos, decodeVec(codec, ws[:c2*width], c2))
+			}
+			prod[u] = matrix.Mul(sr, sblk, tblk)
 		}
-		prod[u] = matrix.Mul(sr, sblk, tblk)
 	})
 
-	// Step 3: distribute the partial products: node u sends
-	// P^{(u2)}[x, u3∗∗] to each row owner x ∈ u1∗∗.
+	// Step 3: distribute the partial products: virtual node u sends
+	// P^{(u2)}[x, u3∗∗] to each real row owner x ∈ u1∗∗ with x < n
+	// (padding rows of the output are discarded, so they never travel).
 	net.Phase("mm3d/products")
-	msgs = emptyMsgs(n)
-	net.ForEach(func(u int) {
-		u1, _, _ := lay.split(u)
-		for pos, x := range groups[u1] {
-			msgs[u][x] = encodeVec(codec, prod[u].Row(pos))
+	vmsgs = emptyMsgs(vn)
+	net.ForEach(func(r int) {
+		for u := r; u < vn; u += n {
+			if !alive(u) {
+				continue // prod[u] was never built
+			}
+			u1, _, _ := lay.split(u)
+			for pos, x := range groups[u1] {
+				if x < n {
+					vmsgs[u][x] = encodeVec(codec, prod[u].Row(pos))
+				}
+			}
 		}
 	})
-	in = routing.Exchange(net, routing.Auto, msgs)
+	in = lay.exchangeVirtual(net, vmsgs)
 
-	// Step 4: assemble P[x, ∗] = Σ_w P^{(w)}[x, ∗].
+	// Step 4: assemble P[x, ∗] = Σ_w P^{(w)}[x, ∗]. Output row owners are
+	// the virtual nodes x < n, each hosted by real node x itself.
 	net.Phase("mm3d/assemble")
 	p := NewRowMat[T](n)
 	net.ForEach(func(x int) {
 		x1, _, _ := lay.split(x)
 		row := p.Rows[x]
 		for j := range row {
-			row[j] = sr.Zero()
+			row[j] = zero
 		}
-		for _, u := range groups[x1] { // senders: u1 = x1
+		for _, u := range groups[x1] { // senders: the live u with u1 = x1
+			if !alive(u) {
+				continue
+			}
 			_, _, u3 := lay.split(u)
 			piece := decodeVec(codec, in[x][u][:c2*width], c2)
 			for i, col := range groups[u3] {
-				row[col] = sr.Add(row[col], piece[i])
+				if col < n {
+					row[col] = sr.Add(row[col], piece[i])
+				}
 			}
 		}
 	})

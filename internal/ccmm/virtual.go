@@ -1,0 +1,58 @@
+package ccmm
+
+import (
+	"github.com/algebraic-clique/algclique/internal/clique"
+	"github.com/algebraic-clique/algclique/internal/routing"
+)
+
+// exchangeVirtual delivers per-virtual-pair word vectors over the real
+// clique: vmsgs[v][u] travels from virtual node v to virtual node u, i.e.
+// from real node v mod n to real node u mod n. Pairs hosted on the same
+// real node are delivered locally (free in the model, like any self-send).
+// The remaining traffic is multiplexed onto the real links in (virtual
+// source, virtual destination) order and split back apart at the receiver.
+//
+// The algorithms using this helper are oblivious: every message length is
+// fixed by (n, c) alone, so the split points are globally computable by
+// every node and no headers travel on the wire — the same out-of-band
+// addressing convention the routing layer documents.
+func (l cubeLayout) exchangeVirtual(net *clique.Network, vmsgs [][][]clique.Word) [][][]clique.Word {
+	n := l.n
+	msgs := emptyMsgs(n)
+	for v := range vmsgs {
+		rv := l.real(v)
+		for u, vec := range vmsgs[v] {
+			if len(vec) == 0 {
+				continue
+			}
+			if ru := l.real(u); ru != rv {
+				msgs[rv][ru] = append(msgs[rv][ru], vec...)
+			}
+		}
+	}
+	in := routing.Exchange(net, routing.Auto, msgs)
+
+	vin := make([][][]clique.Word, l.vn)
+	for v := range vin {
+		vin[v] = make([][]clique.Word, l.vn)
+	}
+	offs := make([]int, n*n) // consumed words per real link [src*n + dst]
+	for v := range vmsgs {
+		rv := l.real(v)
+		for u, vec := range vmsgs[v] {
+			ln := len(vec)
+			if ln == 0 {
+				continue
+			}
+			ru := l.real(u)
+			if ru == rv {
+				vin[u][v] = vec
+				continue
+			}
+			o := offs[rv*n+ru]
+			vin[u][v] = in[ru][rv][o : o+ln]
+			offs[rv*n+ru] = o + ln
+		}
+	}
+	return vin
+}

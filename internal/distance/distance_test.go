@@ -22,6 +22,8 @@ func TestAPSPSemiringMatchesFloydWarshall(t *testing.T) {
 		{"sparse27", graphs.RandomWeighted(27, 0.1, 50, true, 2)},
 		{"undirected8", graphs.RandomWeighted(8, 0.5, 9, false, 3)},
 		{"connected27", graphs.RandomConnectedWeighted(27, 0.15, 30, true, 4)},
+		{"noncube20", graphs.RandomWeighted(20, 0.25, 25, true, 23)},
+		{"noncube30", graphs.RandomConnectedWeighted(30, 0.2, 40, true, 24)},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			net := clique.New(tc.g.N())
@@ -74,11 +76,25 @@ func TestAPSPSemiringNegativeCycleRejected(t *testing.T) {
 	}
 }
 
-func TestAPSPSemiringRequiresCube(t *testing.T) {
+// TestAPSPSemiringNonCubeSize pins the padded-layout generalisation: the
+// semiring APSP runs on non-cube cliques (the seed rejected n = 10 with
+// ErrSize), while a graph/clique size mismatch is still an error.
+func TestAPSPSemiringNonCubeSize(t *testing.T) {
 	g := graphs.RandomWeighted(10, 0.3, 5, true, 5)
 	net := clique.New(10)
-	if _, err := distance.APSPSemiring(net, g); !errors.Is(err, ccmm.ErrSize) {
-		t.Fatalf("err = %v, want ErrSize", err)
+	res, err := distance.APSPSemiring(net, g)
+	if err != nil {
+		t.Fatalf("non-cube n=10: %v", err)
+	}
+	want, err := graphs.FloydWarshall(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal[int64](ring.MinPlus{}, res.Dist.Collect(), want) {
+		t.Fatal("non-cube distances disagree with Floyd–Warshall")
+	}
+	if _, err := distance.APSPSemiring(clique.New(11), g); !errors.Is(err, ccmm.ErrSize) {
+		t.Fatalf("size mismatch: err = %v, want ErrSize", err)
 	}
 }
 

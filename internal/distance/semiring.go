@@ -12,9 +12,9 @@ import (
 // APSPSemiring computes exact all-pairs shortest paths and routing tables
 // for weighted directed graphs by iterated squaring of the weight matrix
 // over the min-plus semiring (Corollary 6): ⌈log₂ n⌉ distance products on
-// the 3D algorithm, each O(n^{1/3}) rounds, witnesses riding in-band.
-// Weights may be negative; negative cycles are detected and rejected.
-// Requires a perfect-cube clique size.
+// the 3D algorithm, each O(n^{1/3}) rounds on any clique size (the padded
+// cube layout), witnesses riding in-band. Weights may be negative;
+// negative cycles are detected and rejected.
 func APSPSemiring(net *clique.Network, g *graphs.Weighted) (*Result, error) {
 	if err := checkWeightedSize(net, g); err != nil {
 		return nil, err

@@ -34,9 +34,11 @@ func MatMul(a, b [][]int64, opts ...Option) (prod [][]int64, stats Stats, err er
 
 // DistanceProduct computes the min-plus (tropical) product
 // P[u][v] = min_w A[u][w] + B[w][v] with Inf as "no entry" — the primitive
-// behind all APSP algorithms. Runs on the semiring 3D engine (O(n^{1/3})
-// rounds); for bounded entries the ring-embedded fast product is used by
-// the small-weight APSP entry points.
+// behind all APSP algorithms. Runs unpadded on the semiring 3D engine for
+// any instance size — O(n^{1/3}) rounds on the instance's own clique
+// (tiny instances below 8 nodes use the naive engine); for bounded entries
+// the ring-embedded fast product is used by the small-weight APSP entry
+// points.
 func DistanceProduct(a, b [][]int64, opts ...Option) (prod [][]int64, stats Stats, err error) {
 	defer captureRoundLimit(&err)
 	c := newConfig(opts)
@@ -44,7 +46,7 @@ func DistanceProduct(a, b [][]int64, opts ...Option) (prod [][]int64, stats Stat
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	n, err := c.paddedSize(orig, cubeSize)
+	n, err := c.paddedSize(orig, anySize)
 	if err != nil {
 		return nil, Stats{}, err
 	}
