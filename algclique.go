@@ -16,8 +16,14 @@
 //     with routing tables (Corollaries 6–8, Theorem 9, §3.4 witnesses),
 //   - the combinatorial baselines of Table 1.
 //
-// Every entry point returns a Stats value with the measured round count
-// and a per-phase breakdown — the paper's "evaluation" reproduced as
+// The primary entry point is the session API: NewClique builds a reusable
+// simulated clique whose engine plan, networks, and buffers persist across
+// operations, and every algorithm is a method on it (see Clique and
+// DESIGN.md). The package-level functions are one-shot conveniences that
+// build a throwaway session per call.
+//
+// Every operation returns a Stats value with the measured round count and a
+// per-phase breakdown — the paper's "evaluation" reproduced as
 // measurements. Semiring (3D) products run on any clique size via a padded
 // cube layout, so min-plus entry points never pad; the bilinear engine
 // still needs perfect-square clique sizes, and those entry points
@@ -26,6 +32,7 @@
 package algclique
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/algebraic-clique/algclique/internal/bilinear"
@@ -43,6 +50,10 @@ const NoHop int64 = ring.NoWitness
 
 // IsInf reports whether a distance value means "unreachable".
 func IsInf(d int64) bool { return ring.IsInf(d) }
+
+// Mat is a square dense matrix in row-major [][]int64 form, the input and
+// output type of the matrix entry points.
+type Mat = [][]int64
 
 // Engine selects the distributed multiplication algorithm behind the
 // algebraic entry points.
@@ -97,8 +108,9 @@ type Stats struct {
 	Phases []PhaseStat
 }
 
-func statsOf(net *clique.Network, orig int) Stats {
-	st := net.Stats()
+// statsFrom converts a simulator accounting snapshot into the public Stats
+// for an instance originally of size orig.
+func statsFrom(st clique.Stats, orig int) Stats {
 	out := Stats{N: st.N, Rounds: st.Rounds, Words: st.Words}
 	if st.N != orig {
 		out.PaddedFrom = orig
@@ -110,8 +122,41 @@ func statsOf(net *clique.Network, orig int) Stats {
 	return out
 }
 
-// Option configures a simulation run.
-type Option func(*config)
+// Option configures a simulation. Options come in two scopes: SessionOption
+// values configure a session for its whole lifetime (engine, padding
+// policy, worker pool), CallOption values configure one operation (seed,
+// delta, round limit, context, …). The package-level one-shot functions
+// accept both kinds; NewClique accepts session options and Clique methods
+// accept call options.
+type Option interface {
+	apply(*config)
+}
+
+// SessionOption is an Option fixed for a session's lifetime: it selects the
+// engine plan, the padding policy, and the simulator worker pool, which are
+// resolved once at NewClique and shared by every subsequent operation.
+type SessionOption interface {
+	Option
+	sessionOption()
+}
+
+// CallOption is an Option scoped to a single operation: randomisation
+// seeds, approximation and colour-coding parameters, round budgets, and
+// cancellation contexts.
+type CallOption interface {
+	Option
+	callOption()
+}
+
+type sessionOpt func(*config)
+
+func (o sessionOpt) apply(c *config) { o(c) }
+func (o sessionOpt) sessionOption()  {}
+
+type callOpt func(*config)
+
+func (o callOpt) apply(c *config) { o(c) }
+func (o callOpt) callOption()     {}
 
 type config struct {
 	engine     Engine
@@ -122,55 +167,67 @@ type config struct {
 	delta      float64
 	maxCycle   int
 	roundLimit int64
+	ctx        context.Context
 }
 
 func newConfig(opts []Option) config {
 	c := config{engine: Auto}
 	for _, o := range opts {
-		o(&c)
+		o.apply(&c)
 	}
 	return c
 }
 
 // WithEngine forces a specific multiplication engine.
-func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }
+func WithEngine(e Engine) SessionOption { return sessionOpt(func(c *config) { c.engine = e }) }
 
 // WithoutPadding fails instead of padding incompatible instance sizes.
-func WithoutPadding() Option { return func(c *config) { c.strict = true } }
+func WithoutPadding() SessionOption { return sessionOpt(func(c *config) { c.strict = true }) }
 
 // WithWorkers bounds the simulator's local-computation worker pool.
-func WithWorkers(k int) Option { return func(c *config) { c.workers = k } }
+func WithWorkers(k int) SessionOption { return sessionOpt(func(c *config) { c.workers = k }) }
 
 // WithSeed seeds all randomised components (colour-coding, witness
 // sampling); runs are reproducible for a fixed seed.
-func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+func WithSeed(seed uint64) CallOption { return callOpt(func(c *config) { c.seed = seed }) }
 
 // WithColourings caps the number of colour-coding trials for cycle
 // detection and girth (default: the paper's ⌈e^k ln n⌉).
-func WithColourings(k int) Option { return func(c *config) { c.colourings = k } }
+func WithColourings(k int) CallOption { return callOpt(func(c *config) { c.colourings = k }) }
 
 // WithDelta sets the per-product rounding parameter of approximate APSP.
-func WithDelta(delta float64) Option { return func(c *config) { c.delta = delta } }
+func WithDelta(delta float64) CallOption { return callOpt(func(c *config) { c.delta = delta }) }
 
 // WithMaxCycleLen sets ℓ for the girth algorithm's dense branch.
-func WithMaxCycleLen(l int) Option { return func(c *config) { c.maxCycle = l } }
+func WithMaxCycleLen(l int) CallOption { return callOpt(func(c *config) { c.maxCycle = l }) }
 
 // WithRoundLimit aborts the simulation once the algorithm has consumed
 // more than limit rounds; the entry point then returns a
 // *clique.RoundLimitError. Useful for bounding simulation cost and for
-// regression-testing round budgets.
-func WithRoundLimit(limit int64) Option { return func(c *config) { c.roundLimit = limit } }
+// regression-testing round budgets. On a session the limit applies to the
+// single operation it is passed to.
+func WithRoundLimit(limit int64) CallOption {
+	return callOpt(func(c *config) { c.roundLimit = limit })
+}
 
-// captureRoundLimit converts the simulator's round-budget panic into the
-// entry point's error; any other panic is a genuine bug and propagates.
-func captureRoundLimit(err *error) {
-	if r := recover(); r != nil {
-		if rl, ok := r.(*clique.RoundLimitError); ok {
-			*err = rl
-			return
-		}
-		panic(r)
+// WithContext attaches a cancellation context to the operation: once ctx is
+// cancelled, the simulation aborts at the next synchronous-round boundary
+// and the entry point returns an error satisfying
+// errors.Is(err, ctx.Err()). A nil ctx is ignored.
+func WithContext(ctx context.Context) CallOption {
+	return callOpt(func(c *config) { c.ctx = ctx })
+}
+
+// abortError reports whether a recovered panic value is one of the
+// simulator's controlled aborts.
+func abortError(r any) (error, bool) {
+	switch e := r.(type) {
+	case *clique.RoundLimitError:
+		return e, true
+	case *clique.CanceledError:
+		return e, true
 	}
+	return nil, false
 }
 
 // sizeClass describes an algorithm's clique-size requirement.
@@ -222,17 +279,6 @@ func (c config) paddedSize(n int, class sizeClass) (int, error) {
 			n, want, c.engine, ccmm.ErrSize)
 	}
 	return want, nil
-}
-
-func (c config) network(n int) *clique.Network {
-	var opts []clique.Option
-	if c.workers > 0 {
-		opts = append(opts, clique.WithWorkers(c.workers))
-	}
-	if c.roundLimit > 0 {
-		opts = append(opts, clique.WithRoundLimit(c.roundLimit))
-	}
-	return clique.New(n, opts...)
 }
 
 func nextCube(n int) int {

@@ -2,43 +2,58 @@ package algclique
 
 import (
 	"github.com/algebraic-clique/algclique/internal/baseline"
-	"github.com/algebraic-clique/algclique/internal/ccmm"
-	"github.com/algebraic-clique/algclique/internal/clique"
 )
 
 // TransitiveClosure computes reachability: out[u][v] = 1 iff a (directed)
 // path u→v exists or u = v, by ⌈log₂ n⌉ Boolean squarings of A ∨ I —
 // O(n^ρ log n) rounds. This is the reachability step of Corollary 8,
 // exposed on its own.
-func TransitiveClosure(g *Graph, opts ...Option) (reach [][]int64, stats Stats, err error) {
-	defer captureRoundLimit(&err)
-	c := newConfig(opts)
-	n, err := c.paddedSize(g.N(), ringSize)
+func (s *Clique) TransitiveClosure(g *Graph, opts ...CallOption) (reach Mat, stats Stats, err error) {
+	r, err := s.begin("TransitiveClosure", g.N(), ringSize, opts)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	net := c.network(n)
-	padded := padGraph(g, n)
-	mat := ccmm.NewRowMat[int64](n)
-	for v := 0; v < n; v++ {
+	defer r.end(&stats, &err)
+	padded := padGraph(g, r.n)
+	mat := r.s.getMat(r.n)
+	r.borrowed = append(r.borrowed, mat)
+	for v := 0; v < r.n; v++ {
 		row := mat.Rows[v]
+		for j := range row {
+			row[j] = 0
+		}
 		row[v] = 1
 		padded.Row(v).ForEach(func(u int) { row[u] = 1 })
 	}
-	for iter := 0; 1<<iter < n; iter++ {
-		mat, err = ccmm.MulBool(net, c.engine.internal(), mat, mat)
-		if err != nil {
-			return nil, statsOf(net, g.N()), err
+	cur := mat
+	for iter := 0; 1<<iter < r.n; iter++ {
+		next, merr := r.plan.MulBoolPlanned(r.net, cur, cur)
+		if merr != nil {
+			err = merr
+			return
 		}
+		r.recycle(next)
+		cur = next
 	}
-	return truncateRows(mat, g.N()), statsOf(net, g.N()), nil
+	reach = truncateRows(cur, r.orig)
+	return
+}
+
+// TransitiveClosure is the one-shot form of Clique.TransitiveClosure.
+func TransitiveClosure(g *Graph, opts ...Option) (Mat, Stats, error) {
+	s, err := oneShot(g.N(), opts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	defer s.Close()
+	return s.TransitiveClosure(g)
 }
 
 // Diameter returns the unweighted diameter (the largest finite pairwise
 // distance) of an undirected graph via Seidel APSP, and whether the graph
 // is connected. For an edgeless or single-node graph the diameter is 0.
-func Diameter(g *Graph, opts ...Option) (diam int64, connected bool, stats Stats, err error) {
-	res, stats, err := APSPUnweighted(g, opts...)
+func (s *Clique) Diameter(g *Graph, opts ...CallOption) (diam int64, connected bool, stats Stats, err error) {
+	res, stats, err := s.apspUnweighted("Diameter", g, opts)
 	if err != nil {
 		return 0, false, stats, err
 	}
@@ -58,21 +73,49 @@ func Diameter(g *Graph, opts ...Option) (diam int64, connected bool, stats Stats
 	return diam, connected, stats, nil
 }
 
+// Diameter is the one-shot form of Clique.Diameter.
+func Diameter(g *Graph, opts ...Option) (int64, bool, Stats, error) {
+	s, err := oneShot(g.N(), opts)
+	if err != nil {
+		return 0, false, Stats{}, err
+	}
+	defer s.Close()
+	return s.Diameter(g)
+}
+
 // MatMulBroadcast multiplies integer matrices on the *broadcast* congested
 // clique (each node sends one identical word to everyone per round), where
 // Ω̃(n) rounds are necessary for matrix multiplication (§4, Corollary 24).
 // Measured against MatMul it quantifies the unicast/broadcast separation
-// the paper's lower-bound section discusses.
-func MatMulBroadcast(a, b [][]int64) ([][]int64, Stats, error) {
-	n, err := squareSize(a, b)
+// the paper's lower-bound section discusses. It goes through the same
+// option/stats machinery as every other entry point: round limits,
+// cancellation contexts, and per-phase breakdowns all apply.
+func (s *Clique) MatMulBroadcast(a, b Mat, opts ...CallOption) (prod Mat, stats Stats, err error) {
+	orig, err := squareSize(a, b)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	bnet := clique.NewBroadcast(n)
-	p, err := baseline.BroadcastMatMul(bnet, padMat(a, n, 0), padMat(b, n, 0))
+	r, err := s.beginBroadcast("MatMulBroadcast", orig, opts)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	stats := Stats{N: n, Rounds: bnet.Rounds(), Words: bnet.Words()}
-	return truncateRows(p, n), stats, nil
+	defer r.end(&stats, &err)
+	p, merr := baseline.BroadcastMatMul(r.bnet, r.borrow(a, 0), r.borrow(b, 0))
+	if merr != nil {
+		err = merr
+		return
+	}
+	prod = truncateRows(p, orig)
+	return
+}
+
+// MatMulBroadcast is the one-shot form of Clique.MatMulBroadcast.
+func MatMulBroadcast(a, b Mat, opts ...Option) (Mat, Stats, error) {
+	n := len(a)
+	s, err := oneShot(n, opts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	defer s.Close()
+	return s.MatMulBroadcast(a, b)
 }

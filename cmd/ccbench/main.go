@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"time"
 
 	cc "github.com/algebraic-clique/algclique"
@@ -43,6 +44,7 @@ func main() {
 		{"x2-broadcast", "X2 broadcast-clique separation (§4, Corollary 24)", broadcastGap},
 		{"x3-sparsesquare", "X3 sparse A² in O(1) rounds (§1.2 remark)", sparseSquare},
 		{"x4-mm-padded", "X4 padded 3D vs naive min-plus on non-cube n (JSON)", mmPadded},
+		{"session-reuse", "X5 session API: amortised vs one-shot setup (JSON)", sessionReuse},
 		{"table1", "Table 1 summary at n = 64", table1},
 	}
 	if len(os.Args) < 2 || os.Args[1] == "list" {
@@ -380,7 +382,104 @@ func mmPadded() {
 	fmt.Println("   the 3D engine must match naive exactly and charge fewer rounds for n ≥ 50")
 }
 
-// table1 prints a compact reproduction of Table 1 at n = 64.
+// sessionReuse measures what the session API amortises: a k-operation
+// batch on one session (engine/scheme resolution, network construction,
+// and operand buffers paid once) against k independent one-shot calls.
+// Wall-clock and heap-allocation counts are emitted as one JSON object so
+// regressions in the session fast path are mechanically trackable.
+func sessionReuse() {
+	const n, k = 64, 10
+	pairs := make([][2][][]int64, k)
+	for i := range pairs {
+		pairs[i] = [2][][]int64{randSquare(n, uint64(51+2*i)), randSquare(n, uint64(52+2*i))}
+	}
+
+	mallocs := func() uint64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.Mallocs
+	}
+
+	// One-shot: every call rebuilds the network and re-resolves the plan.
+	m0, t0 := mallocs(), time.Now()
+	oneShot := make([][][]int64, k)
+	for i, pair := range pairs {
+		p, _, err := cc.DistanceProduct(pair[0], pair[1])
+		check(err)
+		oneShot[i] = p
+	}
+	oneShotTime, oneShotAllocs := time.Since(t0), mallocs()-m0
+
+	// Session: setup once, then the batch.
+	m1, t1 := mallocs(), time.Now()
+	sess, err := cc.NewClique(n)
+	check(err)
+	setupTime := time.Since(t1)
+	m2, t2 := mallocs(), time.Now()
+	batch, stats, err := sess.DistanceProducts(pairs)
+	check(err)
+	batchTime, batchAllocs := time.Since(t2), mallocs()-m2
+	setupAllocs := m2 - m1
+	check(sess.Close())
+
+	for i := range batch {
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if batch[i][u][v] != oneShot[i][u][v] {
+					check(fmt.Errorf("session-reuse: product %d mismatch at (%d,%d)", i, u, v))
+				}
+			}
+		}
+	}
+	ledger := sess.Stats()
+	if len(ledger.Ops) != k || len(stats) != k {
+		check(fmt.Errorf("session-reuse: ledger has %d ops, want %d", len(ledger.Ops), k))
+	}
+	// The whole point of the session: paying setup once must beat paying it
+	// k times, so the amortised per-op cost has to come in under one-shot.
+	if batchAllocs/uint64(k) >= oneShotAllocs/uint64(k) {
+		check(fmt.Errorf("session-reuse: regression: session batch allocates %d/op, one-shot %d/op",
+			batchAllocs/uint64(k), oneShotAllocs/uint64(k)))
+	}
+
+	report := struct {
+		Experiment      string  `json:"experiment"`
+		N               int     `json:"n"`
+		Ops             int     `json:"ops"`
+		OneShotMs       float64 `json:"oneshot_total_ms"`
+		OneShotAllocsOp uint64  `json:"oneshot_allocs_per_op"`
+		SetupMs         float64 `json:"session_setup_ms"`
+		SetupAllocs     uint64  `json:"session_setup_allocs"`
+		BatchMs         float64 `json:"session_batch_ms"`
+		SessionAllocsOp uint64  `json:"session_allocs_per_op"`
+		LedgerRounds    int64   `json:"ledger_rounds"`
+		TimeRatio       float64 `json:"session_over_oneshot_time"`
+		AllocRatio      float64 `json:"session_over_oneshot_allocs"`
+	}{
+		Experiment:      "session-reuse",
+		N:               n,
+		Ops:             k,
+		OneShotMs:       float64(oneShotTime.Microseconds()) / 1000,
+		OneShotAllocsOp: oneShotAllocs / uint64(k),
+		SetupMs:         float64(setupTime.Microseconds()) / 1000,
+		SetupAllocs:     setupAllocs,
+		BatchMs:         float64(batchTime.Microseconds()) / 1000,
+		SessionAllocsOp: batchAllocs / uint64(k),
+		LedgerRounds:    ledger.Rounds,
+		TimeRatio:       float64((setupTime + batchTime).Nanoseconds()) / float64(oneShotTime.Nanoseconds()),
+		AllocRatio:      float64(setupAllocs+batchAllocs) / float64(oneShotAllocs),
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("   ", "  ")
+	check(enc.Encode(report))
+	fmt.Printf("   %d-op batch: setup paid once (%d allocs) instead of %d times; amortised allocs %d/op vs %d/op one-shot\n",
+		k, setupAllocs, k, report.SessionAllocsOp, report.OneShotAllocsOp)
+}
+
+// table1 prints a compact reproduction of Table 1 at n = 64. All runs at
+// one instance size share two sessions (one per engine selection), so the
+// whole table reuses two networks and the cumulative ledgers total the
+// reproduction's cost.
 func table1() {
 	type row struct {
 		problem string
@@ -392,48 +491,55 @@ func table1() {
 		rows = append(rows, row{problem, rounds, prior})
 	}
 
+	auto, err := cc.NewClique(64)
+	check(err)
+	defer auto.Close()
+	fast, err := cc.NewClique(64, cc.WithEngine(cc.Fast))
+	check(err)
+	defer fast.Close()
+
 	a, b := randSquare(64, 21), randSquare(64, 22)
 	_, s3, err := cc.MatMul(a, b, cc.WithEngine(cc.Semiring3D))
 	check(err)
 	add("matrix multiplication (semiring)", s3.Rounds, "—")
-	_, sf, err := cc.MatMul(a, b, cc.WithEngine(cc.Fast))
+	_, sf, err := fast.MatMul(a, b)
 	check(err)
 	add("matrix multiplication (ring)", sf.Rounds, "—")
 
 	g := cc.GNP(64, 0.25, false, 23)
-	_, st, err := cc.CountTriangles(g, cc.WithEngine(cc.Fast))
+	_, st, err := fast.CountTriangles(g)
 	check(err)
-	_, sd, err := cc.CountTrianglesDolev(g)
+	_, sd, err := auto.CountTrianglesDolev(g)
 	check(err)
 	add("triangle counting", st.Rounds, fmt.Sprintf("%d (Dolev et al.)", sd.Rounds))
 
-	_, s4, err := cc.DetectFourCycle(cc.GNP(64, 0.05, false, 24))
+	_, s4, err := auto.DetectFourCycle(cc.GNP(64, 0.05, false, 24))
 	check(err)
 	add("4-cycle detection", s4.Rounds, "—")
-	_, sc, err := cc.CountFourCycles(g, cc.WithEngine(cc.Fast))
+	_, sc, err := fast.CountFourCycles(g)
 	check(err)
 	add("4-cycle counting", sc.Rounds, "—")
 
-	_, sk, err := cc.DetectCycle(cc.Tree(64, 25), 5, cc.WithColourings(1))
+	_, sk, err := auto.DetectCycle(cc.Tree(64, 25), 5, cc.WithColourings(1))
 	check(err)
 	add("5-cycle detection (per colouring)", sk.Rounds, "—")
 
-	_, _, sg, err := cc.Girth(cc.GNP(64, 0.5, false, 26), cc.WithColourings(40), cc.WithSeed(2))
+	_, _, sg, err := auto.Girth(cc.GNP(64, 0.5, false, 26), cc.WithColourings(40), cc.WithSeed(2))
 	check(err)
 	add("girth", sg.Rounds, "—")
 
 	wg := cc.RandomConnectedWeighted(64, 0.2, 50, true, 27)
-	_, se, err := cc.APSP(wg)
+	_, se, err := auto.APSP(wg)
 	check(err)
-	_, sn, err := cc.APSPNaive(wg)
+	_, sn, err := auto.APSPNaive(wg)
 	check(err)
 	add("weighted directed APSP (exact)", se.Rounds, fmt.Sprintf("%d (naive)", sn.Rounds))
 
-	_, _, sa, err := cc.APSPApprox(wg, cc.WithEngine(cc.Fast), cc.WithDelta(0.25))
+	_, _, sa, err := fast.APSPApprox(wg, cc.WithDelta(0.25))
 	check(err)
 	add("weighted APSP (1+δ approx, δ=.25)", sa.Rounds, "—")
 
-	_, su, err := cc.APSPUnweighted(cc.GNP(64, 0.15, false, 28), cc.WithEngine(cc.Fast))
+	_, su, err := fast.APSPUnweighted(cc.GNP(64, 0.15, false, 28))
 	check(err)
 	add("unweighted undirected APSP", su.Rounds, "—")
 
@@ -441,4 +547,7 @@ func table1() {
 	for _, r := range rows {
 		fmt.Printf("   %-36s %6d   %s\n", r.problem, r.rounds, r.prior)
 	}
+	as, fs := auto.Stats(), fast.Stats()
+	fmt.Printf("   session ledgers: auto %d ops / %d rounds, fast %d ops / %d rounds\n",
+		len(as.Ops), as.Rounds, len(fs.Ops), fs.Rounds)
 }

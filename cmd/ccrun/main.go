@@ -52,7 +52,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := []cc.Option{cc.WithEngine(engine), cc.WithSeed(*seed)}
+	opts := []cc.CallOption{cc.WithSeed(*seed)}
 	if *colourings > 0 {
 		opts = append(opts, cc.WithColourings(*colourings))
 	}
@@ -88,46 +88,57 @@ func main() {
 	default:
 		log.Fatal("need -graph or -gen")
 	}
+	var size int
 	if g != nil {
 		fmt.Printf("graph: %d nodes, %d edges, directed=%v\n", g.N(), g.EdgeCount(), g.Directed())
+		size = g.N()
 	} else {
 		fmt.Printf("weighted graph: %d nodes, directed=%v, max weight %d\n", wg.N(), wg.Directed(), wg.MaxWeight())
+		size = wg.N()
 	}
+
+	// One session serves the run: the engine is a session-scoped choice,
+	// seeds and algorithm parameters are per call.
+	sess, err := cc.NewClique(size, cc.WithEngine(engine))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
 
 	var stats cc.Stats
 	switch *algo {
 	case "triangles":
 		var count int64
-		count, stats, err = cc.CountTriangles(need(g), opts...)
+		count, stats, err = sess.CountTriangles(need(g), opts...)
 		describe(err, stats, "triangles: %d", count)
 	case "triangles-dolev":
 		var count int64
-		count, stats, err = cc.CountTrianglesDolev(need(g), opts...)
+		count, stats, err = sess.CountTrianglesDolev(need(g), opts...)
 		describe(err, stats, "triangles (Dolev baseline): %d", count)
 	case "c4":
 		var count int64
-		count, stats, err = cc.CountFourCycles(need(g), opts...)
+		count, stats, err = sess.CountFourCycles(need(g), opts...)
 		describe(err, stats, "4-cycles: %d", count)
 	case "c5":
 		var count int64
-		count, stats, err = cc.CountFiveCycles(need(g), opts...)
+		count, stats, err = sess.CountFiveCycles(need(g), opts...)
 		describe(err, stats, "5-cycles: %d", count)
 	case "c6":
 		var count int64
-		count, stats, err = cc.CountSixCycles(need(g), opts...)
+		count, stats, err = sess.CountSixCycles(need(g), opts...)
 		describe(err, stats, "6-cycles: %d", count)
 	case "c4detect":
 		var found bool
-		found, stats, err = cc.DetectFourCycle(need(g), opts...)
+		found, stats, err = sess.DetectFourCycle(need(g), opts...)
 		describe(err, stats, "contains a 4-cycle: %v", found)
 	case "kcycle":
 		var found bool
-		found, stats, err = cc.DetectCycle(need(g), *k, opts...)
+		found, stats, err = sess.DetectCycle(need(g), *k, opts...)
 		describe(err, stats, "contains a %d-cycle: %v", *k, found)
 	case "girth":
 		var val int
 		var ok bool
-		val, ok, stats, err = cc.Girth(need(g), opts...)
+		val, ok, stats, err = sess.Girth(need(g), opts...)
 		if ok {
 			describe(err, stats, "girth: %d", val)
 		} else {
@@ -136,11 +147,11 @@ func main() {
 	case "diameter":
 		var diam int64
 		var connected bool
-		diam, connected, stats, err = cc.Diameter(need(g), opts...)
+		diam, connected, stats, err = sess.Diameter(need(g), opts...)
 		describe(err, stats, "diameter: %d (connected: %v)", diam, connected)
 	case "reach":
 		var m [][]int64
-		m, stats, err = cc.TransitiveClosure(need(g), opts...)
+		m, stats, err = sess.TransitiveClosure(need(g), opts...)
 		var pairs int64
 		for _, row := range m {
 			for _, x := range row {
@@ -150,7 +161,7 @@ func main() {
 		describe(err, stats, "reachable ordered pairs (incl. self): %d", pairs)
 	case "sparsesquare":
 		var sq [][]int64
-		sq, stats, err = cc.SquareAdjacencySparse(need(g), opts...)
+		sq, stats, err = sess.SquareAdjacencySparse(need(g), opts...)
 		var walks int64
 		for _, row := range sq {
 			for _, x := range row {
@@ -160,7 +171,7 @@ func main() {
 		describe(err, stats, "2-walks: %d", walks)
 	case "apsp":
 		var res *cc.APSPResult
-		res, stats, err = cc.APSP(needW(wg), opts...)
+		res, stats, err = sess.APSP(needW(wg), opts...)
 		describe(err, stats, "exact APSP with routing tables computed")
 		if err == nil && *from >= 0 && *to >= 0 {
 			fmt.Printf("route %d → %d: distance %d, path %v\n",
@@ -168,10 +179,10 @@ func main() {
 		}
 	case "apsp-approx":
 		var stretch float64
-		_, stretch, stats, err = cc.APSPApprox(needW(wg), append(opts, cc.WithDelta(*delta))...)
+		_, stretch, stats, err = sess.APSPApprox(needW(wg), append(opts, cc.WithDelta(*delta))...)
 		describe(err, stats, "approximate APSP, stretch bound %.3f", stretch)
 	case "apsp-unweighted":
-		_, stats, err = cc.APSPUnweighted(need(g), opts...)
+		_, stats, err = sess.APSPUnweighted(need(g), opts...)
 		describe(err, stats, "unweighted APSP computed")
 	default:
 		log.Fatalf("unknown -algo %q", *algo)

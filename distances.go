@@ -64,58 +64,83 @@ func truncateRows(m *ccmm.RowMat[int64], n int) [][]int64 {
 // cycles) by min-plus iterated squaring on the 3D algorithm —
 // O(n^{1/3} log n) rounds (Corollary 6). The 3D algorithm runs on any
 // clique size, so the instance is simulated unpadded.
-func APSP(g *Weighted, opts ...Option) (res *APSPResult, stats Stats, err error) {
-	defer captureRoundLimit(&err)
-	c := newConfig(opts)
-	n, err := c.paddedSize(g.N(), anySize)
+func (s *Clique) APSP(g *Weighted, opts ...CallOption) (res *APSPResult, stats Stats, err error) {
+	r, err := s.begin("APSP", g.N(), anySize, opts)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	net := c.network(n)
-	dres, err := distance.APSPSemiring(net, padWeighted(g, n))
-	if err != nil {
-		return nil, statsOf(net, g.N()), err
+	defer r.end(&stats, &err)
+	dres, derr := distance.APSPSemiring(r.net, padWeighted(g, r.n))
+	if derr != nil {
+		err = derr
+		return
 	}
-	return truncateResult(dres, g.N()), statsOf(net, g.N()), nil
+	res = truncateResult(dres, r.orig)
+	return
+}
+
+// APSP is the one-shot form of Clique.APSP.
+func APSP(g *Weighted, opts ...Option) (*APSPResult, Stats, error) {
+	s, err := oneShot(g.N(), opts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	defer s.Close()
+	return s.APSP(g)
 }
 
 // APSPUnweighted computes exact all-pairs shortest paths of an unweighted
 // undirected graph by Seidel's algorithm — Õ(n^ρ) rounds (Corollary 7).
 // No routing table is produced; see APSPUnweightedWithRouting.
-func APSPUnweighted(g *Graph, opts ...Option) (res *APSPResult, stats Stats, err error) {
-	defer captureRoundLimit(&err)
-	c := newConfig(opts)
-	n, err := c.paddedSize(g.N(), ringSize)
+func (s *Clique) APSPUnweighted(g *Graph, opts ...CallOption) (*APSPResult, Stats, error) {
+	return s.apspUnweighted("APSPUnweighted", g, opts)
+}
+
+func (s *Clique) apspUnweighted(op string, g *Graph, opts []CallOption) (res *APSPResult, stats Stats, err error) {
+	r, err := s.begin(op, g.N(), ringSize, opts)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	net := c.network(n)
-	d, err := distance.APSPSeidel(net, c.engine.internal(), padGraph(g, n))
-	if err != nil {
-		return nil, statsOf(net, g.N()), err
+	defer r.end(&stats, &err)
+	d, derr := distance.APSPSeidel(r.net, r.engine(), padGraph(g, r.n))
+	if derr != nil {
+		err = derr
+		return
 	}
-	return &APSPResult{Dist: truncateRows(d, g.N())}, statsOf(net, g.N()), nil
+	res = &APSPResult{Dist: truncateRows(d, r.orig)}
+	r.recycle(d)
+	return
+}
+
+// APSPUnweighted is the one-shot form of Clique.APSPUnweighted.
+func APSPUnweighted(g *Graph, opts ...Option) (*APSPResult, Stats, error) {
+	s, err := oneShot(g.N(), opts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	defer s.Close()
+	return s.APSPUnweighted(g)
 }
 
 // APSPUnweightedWithRouting runs Seidel's algorithm and then recovers a
 // routing table with the witness machinery of §3.4 (Lemma 21).
-func APSPUnweightedWithRouting(g *Graph, opts ...Option) (res *APSPResult, stats Stats, err error) {
-	defer captureRoundLimit(&err)
-	c := newConfig(opts)
-	n, err := c.paddedSize(g.N(), ringSize)
+func (s *Clique) APSPUnweightedWithRouting(g *Graph, opts ...CallOption) (res *APSPResult, stats Stats, err error) {
+	r, err := s.begin("APSPUnweightedWithRouting", g.N(), ringSize, opts)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	net := c.network(n)
-	padded := padGraph(g, n)
-	d, err := distance.APSPSeidel(net, c.engine.internal(), padded)
-	if err != nil {
-		return nil, statsOf(net, g.N()), err
+	defer r.end(&stats, &err)
+	padded := padGraph(g, r.n)
+	d, derr := distance.APSPSeidel(r.net, r.engine(), padded)
+	if derr != nil {
+		err = derr
+		return
 	}
-	w := ccmm.NewRowMat[int64](n)
-	for u := 0; u < n; u++ {
+	w := r.s.getMat(r.n)
+	r.borrowed = append(r.borrowed, w)
+	for u := 0; u < r.n; u++ {
 		row := w.Rows[u]
-		for v := 0; v < n; v++ {
+		for v := 0; v < r.n; v++ {
 			switch {
 			case u == v:
 				row[v] = 0
@@ -126,31 +151,56 @@ func APSPUnweightedWithRouting(g *Graph, opts ...Option) (res *APSPResult, stats
 			}
 		}
 	}
-	oracle := distance.MinPlusOracle(net, c.engine.internal())
-	next, err := distance.RoutingFromDistances(net, oracle, w, d, distance.WitnessOpts{Seed: c.seed})
-	if err != nil {
-		return nil, statsOf(net, g.N()), err
+	oracle := distance.MinPlusOracle(r.net, r.engine())
+	next, derr := distance.RoutingFromDistances(r.net, oracle, w, d, distance.WitnessOpts{Seed: r.cfg.seed})
+	if derr != nil {
+		err = derr
+		return
 	}
-	out := &APSPResult{Dist: truncateRows(d, g.N()), Next: truncateRows(next, g.N())}
-	return out, statsOf(net, g.N()), nil
+	res = &APSPResult{Dist: truncateRows(d, r.orig), Next: truncateRows(next, r.orig)}
+	r.recycle(d)
+	r.recycle(next)
+	return
+}
+
+// APSPUnweightedWithRouting is the one-shot form of
+// Clique.APSPUnweightedWithRouting.
+func APSPUnweightedWithRouting(g *Graph, opts ...Option) (*APSPResult, Stats, error) {
+	s, err := oneShot(g.N(), opts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	defer s.Close()
+	return s.APSPUnweightedWithRouting(g)
 }
 
 // APSPSmallWeights computes exact all-pairs shortest paths for directed
 // graphs with positive integer weights and weighted diameter U in
 // Õ(U·n^ρ) rounds (Corollary 8, via the Lemma 18 ring embedding).
-func APSPSmallWeights(g *Weighted, opts ...Option) (res *APSPResult, stats Stats, err error) {
-	defer captureRoundLimit(&err)
-	c := newConfig(opts)
-	n, err := c.paddedSize(g.N(), ringSize)
+func (s *Clique) APSPSmallWeights(g *Weighted, opts ...CallOption) (res *APSPResult, stats Stats, err error) {
+	r, err := s.begin("APSPSmallWeights", g.N(), ringSize, opts)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	net := c.network(n)
-	d, err := distance.APSPSmallWeights(net, c.engine.internal(), padWeighted(g, n))
-	if err != nil {
-		return nil, statsOf(net, g.N()), err
+	defer r.end(&stats, &err)
+	d, derr := distance.APSPSmallWeights(r.net, r.engine(), padWeighted(g, r.n))
+	if derr != nil {
+		err = derr
+		return
 	}
-	return &APSPResult{Dist: truncateRows(d, g.N())}, statsOf(net, g.N()), nil
+	res = &APSPResult{Dist: truncateRows(d, r.orig)}
+	r.recycle(d)
+	return
+}
+
+// APSPSmallWeights is the one-shot form of Clique.APSPSmallWeights.
+func APSPSmallWeights(g *Weighted, opts ...Option) (*APSPResult, Stats, error) {
+	s, err := oneShot(g.N(), opts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	defer s.Close()
+	return s.APSPSmallWeights(g)
 }
 
 // APSPApprox computes (1+ε)-approximate all-pairs shortest paths for
@@ -158,36 +208,63 @@ func APSPSmallWeights(g *Weighted, opts ...Option) (res *APSPResult, stats Stats
 // rounds (Theorem 9). The returned stretch is the proven bound
 // (1+δ)^⌈log₂ n⌉ for the δ in effect (see WithDelta); with the default δ
 // the stretch is 1+o(1).
-func APSPApprox(g *Weighted, opts ...Option) (res *APSPResult, stretch float64, stats Stats, err error) {
-	defer captureRoundLimit(&err)
-	c := newConfig(opts)
-	n, err := c.paddedSize(g.N(), ringSize)
+func (s *Clique) APSPApprox(g *Weighted, opts ...CallOption) (res *APSPResult, stretch float64, stats Stats, err error) {
+	r, err := s.begin("APSPApprox", g.N(), ringSize, opts)
 	if err != nil {
 		return nil, 0, Stats{}, err
 	}
-	net := c.network(n)
-	d, stretch, err := distance.APSPApprox(net, c.engine.internal(), padWeighted(g, n),
-		distance.ApproxOpts{Delta: c.delta})
-	if err != nil {
-		return nil, 0, statsOf(net, g.N()), err
+	defer r.end(&stats, &err)
+	d, str, derr := distance.APSPApprox(r.net, r.engine(), padWeighted(g, r.n),
+		distance.ApproxOpts{Delta: r.cfg.delta})
+	if derr != nil {
+		err = derr
+		return
 	}
-	return &APSPResult{Dist: truncateRows(d, g.N())}, stretch, statsOf(net, g.N()), nil
+	res = &APSPResult{Dist: truncateRows(d, r.orig)}
+	stretch = str
+	r.recycle(d)
+	return
+}
+
+// APSPApprox is the one-shot form of Clique.APSPApprox.
+func APSPApprox(g *Weighted, opts ...Option) (*APSPResult, float64, Stats, error) {
+	s, err := oneShot(g.N(), opts)
+	if err != nil {
+		return nil, 0, Stats{}, err
+	}
+	defer s.Close()
+	return s.APSPApprox(g)
 }
 
 // APSPNaive is the Θ(n)-round learn-everything baseline (per-node
-// Dijkstra); non-negative weights only.
-func APSPNaive(g *Weighted, opts ...Option) (res *APSPResult, stats Stats, err error) {
-	defer captureRoundLimit(&err)
-	c := newConfig(opts)
-	if _, err := c.paddedSize(g.N(), anySize); err != nil {
+// Dijkstra); non-negative weights only. Like the other semiring entry
+// points it runs on the instance's own clique size (anySize never pads),
+// but the padded size is resolved through the same session machinery so
+// engine and padding options behave consistently across all APSP variants.
+func (s *Clique) APSPNaive(g *Weighted, opts ...CallOption) (res *APSPResult, stats Stats, err error) {
+	r, err := s.begin("APSPNaive", g.N(), anySize, opts)
+	if err != nil {
 		return nil, Stats{}, err
 	}
-	net := c.network(g.N())
-	d, err := baseline.NaiveAPSP(net, g)
-	if err != nil {
-		return nil, statsOf(net, g.N()), err
+	defer r.end(&stats, &err)
+	d, derr := baseline.NaiveAPSP(r.net, padWeighted(g, r.n))
+	if derr != nil {
+		err = derr
+		return
 	}
-	return &APSPResult{Dist: truncateRows(d, g.N())}, statsOf(net, g.N()), nil
+	res = &APSPResult{Dist: truncateRows(d, r.orig)}
+	r.recycle(d)
+	return
+}
+
+// APSPNaive is the one-shot form of Clique.APSPNaive.
+func APSPNaive(g *Weighted, opts ...Option) (*APSPResult, Stats, error) {
+	s, err := oneShot(g.N(), opts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	defer s.Close()
+	return s.APSPNaive(g)
 }
 
 // ValidateRouting checks a distance matrix and routing table against the

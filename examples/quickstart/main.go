@@ -1,5 +1,6 @@
-// Quickstart: count triangles in a small graph on a simulated congested
-// clique and inspect the communication cost.
+// Quickstart: open a session (a reusable simulated congested clique), run
+// several of the paper's algorithms on it, and inspect both per-operation
+// and cumulative communication costs.
 //
 //	go run ./examples/quickstart
 package main
@@ -26,7 +27,17 @@ func main() {
 		g.AddEdge(e[0], e[1])
 	}
 
-	count, stats, err := cc.CountTriangles(g)
+	// A session owns the simulated network, the resolved engine plan, and
+	// reusable buffers; every operation below shares them. Session options
+	// (engine, padding, workers) are fixed here; per-call options (seed,
+	// round limits, contexts) go to the individual methods.
+	sess, err := cc.NewClique(g.N())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	count, stats, err := sess.CountTriangles(g)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,8 +49,28 @@ func main() {
 		fmt.Printf("  phase %-18s %3d rounds %8d words\n", p.Name, p.Rounds, p.Words)
 	}
 
-	// The same computation on the learn-everything baseline costs Θ(n)
-	// rounds — compare.
+	// More questions on the same session — the network and engine plan are
+	// reused, not rebuilt.
+	c4, _, err := sess.CountFourCycles(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	girth, ok, _, err := sess.Girth(g, cc.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("4-cycles: %d; girth: %d (cyclic: %v)\n", c4, girth, ok)
+
+	// The session ledger totals the whole pipeline.
+	ledger := sess.Stats()
+	fmt.Printf("session total: %d operations, %d rounds, %d words\n",
+		len(ledger.Ops), ledger.Rounds, ledger.Words)
+	for _, op := range ledger.Ops {
+		fmt.Printf("  %-18s %5d rounds %9d words\n", op.Op, op.Rounds, op.Words)
+	}
+
+	// One-shot helpers remain for single measurements: here the Θ(n)-round
+	// learn-everything baseline for comparison.
 	_, naive, err := cc.CountTriangles(g, cc.WithEngine(cc.Naive))
 	if err != nil {
 		log.Fatal(err)

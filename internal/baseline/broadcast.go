@@ -20,6 +20,7 @@ func BroadcastMatMul(bnet *clique.BroadcastNetwork, s, t *ccmm.RowMat[int64]) (*
 	if s.N() != n || t.N() != n {
 		return nil, fmt.Errorf("baseline: matrices %d×· on %d-node broadcast clique: %w", s.N(), n, ccmm.ErrSize)
 	}
+	bnet.Phase("bcastmm/publish")
 	vecs := make([][]clique.Word, n)
 	for v := 0; v < n; v++ {
 		vec := make([]clique.Word, 0, 2*n)
@@ -33,6 +34,7 @@ func BroadcastMatMul(bnet *clique.BroadcastNetwork, s, t *ccmm.RowMat[int64]) (*
 	}
 	all := bnet.Publish(vecs)
 
+	bnet.Phase("bcastmm/multiply")
 	a := matrix.New[int64](n, n)
 	b := matrix.New[int64](n, n)
 	for v := 0; v < n; v++ {

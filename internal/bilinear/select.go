@@ -3,6 +3,7 @@ package bilinear
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Sqrt returns the integer square root of n and whether n is a perfect
@@ -33,6 +34,26 @@ func Sqrt(n int) (int, bool) {
 // scheme with fewer multiplications wins (idle nodes are free). Returns an
 // error when n is not a perfect square of an even number ≥ 4.
 func Pick(n int) (*Scheme, error) {
+	if v, ok := pickCache.Load(n); ok {
+		c := v.(pickResult)
+		return c.s, c.err
+	}
+	s, err := pick(n)
+	pickCache.Store(n, pickResult{s, err})
+	return s, err
+}
+
+// pickResult memoises Pick: schemes are immutable after construction, so the
+// session layer (and every engine resolution) can share one instance per
+// clique size instead of re-deriving it on each product.
+type pickResult struct {
+	s   *Scheme
+	err error
+}
+
+var pickCache sync.Map // int → pickResult
+
+func pick(n int) (*Scheme, error) {
 	q, ok := Sqrt(n)
 	if !ok || q < 2 {
 		return nil, fmt.Errorf("bilinear: clique size %d is not a perfect square ≥ 4", n)

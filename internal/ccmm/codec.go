@@ -44,3 +44,15 @@ func emptyMsgs(n int) [][][]clique.Word {
 	}
 	return m
 }
+
+// clearMsgs nils every entry so an exchange buffer can be refilled for the
+// next step without reallocating the n+1 index arrays. Exchange copies the
+// payload words onto the links, so dropping the references here is safe.
+func clearMsgs(msgs [][][]clique.Word) [][][]clique.Word {
+	for _, row := range msgs {
+		for i := range row {
+			row[i] = nil
+		}
+	}
+	return msgs
+}

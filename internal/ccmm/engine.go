@@ -65,18 +65,9 @@ func (e Engine) Resolve(n int, ringAlgebra bool) Engine {
 }
 
 // MulRing multiplies two distributed matrices over a ring using the chosen
-// engine.
+// engine (resolved through the memoised plan cache).
 func MulRing[T any](net *clique.Network, e Engine, rg ring.Ring[T], codec ring.Codec[T], s, t *RowMat[T]) (*RowMat[T], error) {
-	switch e.Resolve(net.N(), true) {
-	case EngineFast:
-		return FastBilinear[T](net, rg, codec, nil, s, t)
-	case Engine3D:
-		return Semiring3D[T](net, rg, codec, s, t)
-	case EngineNaive:
-		return NaiveGather[T](net, rg, codec, s, t)
-	default:
-		return nil, fmt.Errorf("ccmm: engine %v cannot multiply over a ring: %w", e, ErrSize)
-	}
+	return MulRingPlanned[T](net, PlanFor(net.N(), e), rg, codec, s, t)
 }
 
 // MulInt multiplies distributed int64 matrices over the integer ring.
@@ -92,27 +83,7 @@ func MulInt(net *clique.Network, e Engine, s, t *RowMat[int64]) (*RowMat[int64],
 // §3.1). Semiring engines multiply over the Boolean semiring directly.
 // Inputs must be 0/1 matrices.
 func MulBool(net *clique.Network, e Engine, s, t *RowMat[int64]) (*RowMat[int64], error) {
-	n := net.N()
-	switch e.Resolve(n, true) {
-	case EngineFast:
-		p, err := MulInt(net, EngineFast, s, t)
-		if err != nil {
-			return nil, err
-		}
-		for v := range p.Rows {
-			row := p.Rows[v]
-			for j := range row {
-				if row[j] != 0 {
-					row[j] = 1
-				}
-			}
-		}
-		return p, nil
-	case Engine3D:
-		return mulBoolSemiring(net, Engine3D, s, t)
-	default:
-		return mulBoolSemiring(net, EngineNaive, s, t)
-	}
+	return PlanFor(net.N(), e).MulBoolPlanned(net, s, t)
 }
 
 func mulBoolSemiring(net *clique.Network, e Engine, s, t *RowMat[int64]) (*RowMat[int64], error) {
@@ -158,13 +129,5 @@ func mulBoolSemiring(net *clique.Network, e Engine, s, t *RowMat[int64]) (*RowMa
 // distance product with bounded entries, see the distance package
 // (Lemma 18).
 func MulMinPlus(net *clique.Network, e Engine, s, t *RowMat[int64]) (*RowMat[int64], error) {
-	mp := ring.MinPlus{}
-	switch e.Resolve(net.N(), false) {
-	case Engine3D:
-		return Semiring3D[int64](net, mp, mp, s, t)
-	case EngineNaive:
-		return NaiveGather[int64](net, mp, mp, s, t)
-	default:
-		return nil, fmt.Errorf("ccmm: engine %v cannot compute a min-plus product: %w", e, ErrSize)
-	}
+	return PlanFor(net.N(), e).MulMinPlusPlanned(net, s, t)
 }

@@ -113,7 +113,7 @@ func FastBilinear[T any](net *clique.Network, rg ring.Ring[T], codec ring.Codec[
 
 	// Step 3: every node sends its (q/d)² pieces of Ŝ(w), T̂(w) to node w.
 	net.Phase("mmfast/combine")
-	msgs = emptyMsgs(n)
+	msgs = clearMsgs(msgs)
 	net.ForEach(func(v int) {
 		for w := 0; w < m; w++ {
 			payload := make([]T, 0, 2*qd*qd)
@@ -155,7 +155,7 @@ func FastBilinear[T any](net *clique.Network, rg ring.Ring[T], codec ring.Codec[
 
 	// Step 5: node w returns P̂(w)[x1∗, x2∗] to the node labelled (x1, x2).
 	net.Phase("mmfast/products")
-	msgs = emptyMsgs(n)
+	msgs = clearMsgs(msgs)
 	net.ForEach(func(w int) {
 		if w >= m {
 			return
@@ -195,7 +195,7 @@ func FastBilinear[T any](net *clique.Network, rg ring.Ring[T], codec ring.Codec[
 
 	// Step 7: node (x1, x2) sends P[u, ∗x2∗] to each row owner u ∈ ∗x1∗.
 	net.Phase("mmfast/assemble")
-	msgs = emptyMsgs(n)
+	msgs = clearMsgs(msgs)
 	net.ForEach(func(v int) {
 		x1, _ := lay.label(v)
 		for pos, u := range groups[x1] {

@@ -1,0 +1,142 @@
+package ccmm
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/algebraic-clique/algclique/internal/bilinear"
+	"github.com/algebraic-clique/algclique/internal/clique"
+	"github.com/algebraic-clique/algclique/internal/ring"
+)
+
+// Plan is the per-clique-size resolution of an Engine request: the concrete
+// engine for ring and semiring algebras plus the bilinear scheme when the
+// fast engine applies. Plans are immutable and memoised, so a session (or a
+// pipeline of iterated products) resolves engine and scheme once instead of
+// on every multiplication.
+type Plan struct {
+	// N is the clique size the plan was resolved for.
+	N int
+	// Requested is the engine selection the plan resolves.
+	Requested Engine
+	// RingEngine is the concrete engine used for ring products.
+	RingEngine Engine
+	// SemiringEngine is the concrete engine used for semiring (min-plus,
+	// Boolean) products.
+	SemiringEngine Engine
+	// Scheme is the bilinear scheme backing RingEngine == EngineFast; nil
+	// when no scheme fits (forcing EngineFast then fails at multiply time,
+	// exactly as the unplanned path does).
+	Scheme *bilinear.Scheme
+}
+
+type planKey struct {
+	n int
+	e Engine
+}
+
+var planCache sync.Map // planKey → *Plan
+
+// PlanFor resolves (and memoises) the plan for an n-node clique under the
+// given engine selection.
+func PlanFor(n int, e Engine) *Plan {
+	key := planKey{n, e}
+	if v, ok := planCache.Load(key); ok {
+		return v.(*Plan)
+	}
+	p := &Plan{
+		N:              n,
+		Requested:      e,
+		RingEngine:     e.Resolve(n, true),
+		SemiringEngine: e.Resolve(n, false),
+	}
+	if p.RingEngine == EngineFast {
+		if s, err := bilinear.Pick(n); err == nil {
+			p.Scheme = s
+		}
+	}
+	v, _ := planCache.LoadOrStore(key, p)
+	return v.(*Plan)
+}
+
+// String implements fmt.Stringer.
+func (p *Plan) String() string {
+	return fmt.Sprintf("plan(n=%d ring=%v semiring=%v)", p.N, p.RingEngine, p.SemiringEngine)
+}
+
+func (p *Plan) check(net *clique.Network) error {
+	if p.N != net.N() {
+		return fmt.Errorf("ccmm: plan for n=%d used on an %d-node clique: %w", p.N, net.N(), ErrSize)
+	}
+	return nil
+}
+
+// MulRingPlanned multiplies two distributed matrices over a ring using an
+// already-resolved plan.
+func MulRingPlanned[T any](net *clique.Network, p *Plan, rg ring.Ring[T], codec ring.Codec[T], s, t *RowMat[T]) (*RowMat[T], error) {
+	if err := p.check(net); err != nil {
+		return nil, err
+	}
+	switch p.RingEngine {
+	case EngineFast:
+		return FastBilinear[T](net, rg, codec, p.Scheme, s, t)
+	case Engine3D:
+		return Semiring3D[T](net, rg, codec, s, t)
+	case EngineNaive:
+		return NaiveGather[T](net, rg, codec, s, t)
+	default:
+		return nil, fmt.Errorf("ccmm: engine %v cannot multiply over a ring: %w", p.RingEngine, ErrSize)
+	}
+}
+
+// MulIntPlanned multiplies distributed int64 matrices over the integer ring
+// with an already-resolved plan.
+func (p *Plan) MulIntPlanned(net *clique.Network, s, t *RowMat[int64]) (*RowMat[int64], error) {
+	r := ring.Int64{}
+	return MulRingPlanned[int64](net, p, r, r, s, t)
+}
+
+// MulBoolPlanned computes the Boolean matrix product with an
+// already-resolved plan (see MulBool for the embedding).
+func (p *Plan) MulBoolPlanned(net *clique.Network, s, t *RowMat[int64]) (*RowMat[int64], error) {
+	if err := p.check(net); err != nil {
+		return nil, err
+	}
+	switch p.RingEngine {
+	case EngineFast:
+		prod, err := p.MulIntPlanned(net, s, t)
+		if err != nil {
+			return nil, err
+		}
+		for v := range prod.Rows {
+			row := prod.Rows[v]
+			for j := range row {
+				if row[j] != 0 {
+					row[j] = 1
+				}
+			}
+		}
+		return prod, nil
+	case Engine3D:
+		return mulBoolSemiring(net, Engine3D, s, t)
+	default:
+		return mulBoolSemiring(net, EngineNaive, s, t)
+	}
+}
+
+// MulMinPlusPlanned computes the distance product with an already-resolved
+// plan; the bilinear engine does not apply (min-plus is not a ring).
+func (p *Plan) MulMinPlusPlanned(net *clique.Network, s, t *RowMat[int64]) (*RowMat[int64], error) {
+	if err := p.check(net); err != nil {
+		return nil, err
+	}
+	mp := ring.MinPlus{}
+	switch p.SemiringEngine {
+	case Engine3D:
+		return Semiring3D[int64](net, mp, mp, s, t)
+	case EngineNaive:
+		return NaiveGather[int64](net, mp, mp, s, t)
+	default:
+		return nil, fmt.Errorf("ccmm: engine %v cannot compute a min-plus product: %w", p.SemiringEngine, ErrSize)
+	}
+}

@@ -139,7 +139,7 @@ func Semiring3D[T any](net *clique.Network, sr ring.Semiring[T], codec ring.Code
 	// P^{(u2)}[x, u3∗∗] to each real row owner x ∈ u1∗∗ with x < n
 	// (padding rows of the output are discarded, so they never travel).
 	net.Phase("mm3d/products")
-	vmsgs = emptyMsgs(vn)
+	vmsgs = clearMsgs(vmsgs)
 	net.ForEach(func(r int) {
 		for u := r; u < vn; u += n {
 			if !alive(u) {

@@ -1,16 +1,26 @@
 package clique
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // BroadcastNetwork simulates the *broadcast* congested clique: in each
 // round every node must send the same O(log n)-bit word to all other
 // nodes. The paper's §4 (Corollary 24, after Holzer–Pinsker) shows matrix
 // multiplication and APSP need Ω̃(n) rounds in this model — the simulator
 // lets that separation be measured against the unicast clique.
+//
+// Like Network it records per-phase accounting, honours a round limit and a
+// cancellation context, and is reusable via Reset, so broadcast-model
+// algorithms go through the same stats/abort machinery as unicast ones.
 type BroadcastNetwork struct {
-	n      int
-	rounds int64
-	words  int64
+	n          int
+	rounds     int64
+	words      int64
+	phases     []PhaseStat
+	roundLimit int64
+	ctx        context.Context
 }
 
 // NewBroadcast returns a broadcast congested clique of n ≥ 1 nodes.
@@ -30,14 +40,59 @@ func (b *BroadcastNetwork) Rounds() int64 { return b.rounds }
 // Words returns the total words transmitted (n-1 receivers each).
 func (b *BroadcastNetwork) Words() int64 { return b.words }
 
+// Stats returns a copy of the accounting snapshot.
+func (b *BroadcastNetwork) Stats() Stats {
+	ph := make([]PhaseStat, len(b.phases))
+	copy(ph, b.phases)
+	return Stats{N: b.n, Rounds: b.rounds, Words: b.words, Phases: ph}
+}
+
+// Phase begins a named accounting phase; subsequent costs are attributed to
+// it until the next call.
+func (b *BroadcastNetwork) Phase(name string) {
+	b.phases = append(b.phases, PhaseStat{Name: name})
+}
+
+// SetRoundLimit rearms (or, with limit ≤ 0, disarms) the round budget.
+func (b *BroadcastNetwork) SetRoundLimit(limit int64) { b.roundLimit = limit }
+
+// SetContext attaches a cancellation context checked at every charged cost;
+// nil detaches.
+func (b *BroadcastNetwork) SetContext(ctx context.Context) { b.ctx = ctx }
+
+// Reset zeroes the accounting for a fresh run and detaches the per-run
+// context; the clique size and round limit are kept.
+func (b *BroadcastNetwork) Reset() {
+	b.rounds, b.words = 0, 0
+	b.phases = b.phases[:0]
+	b.ctx = nil
+}
+
+func (b *BroadcastNetwork) charge(rounds, words int64) {
+	if b.ctx != nil {
+		if err := b.ctx.Err(); err != nil {
+			panic(&CanceledError{Cause: err, Rounds: b.rounds})
+		}
+	}
+	b.rounds += rounds
+	b.words += words
+	if len(b.phases) > 0 {
+		p := &b.phases[len(b.phases)-1]
+		p.Rounds += rounds
+		p.Words += words
+	}
+	if b.roundLimit > 0 && b.rounds > b.roundLimit {
+		panic(&RoundLimitError{Limit: b.roundLimit, Rounds: b.rounds})
+	}
+}
+
 // Round performs one broadcast round: node v contributes vals[v], and the
 // returned slice (indexed by sender) is what every node now knows.
 func (b *BroadcastNetwork) Round(vals []Word) []Word {
 	if len(vals) != b.n {
 		panic(fmt.Sprintf("clique: broadcast round wants %d values, got %d", b.n, len(vals)))
 	}
-	b.rounds++
-	b.words += int64(b.n) * int64(b.n-1)
+	b.charge(1, int64(b.n)*int64(b.n-1))
 	out := make([]Word, b.n)
 	copy(out, vals)
 	return out
@@ -50,14 +105,14 @@ func (b *BroadcastNetwork) Publish(vecs [][]Word) [][]Word {
 	if len(vecs) != b.n {
 		panic(fmt.Sprintf("clique: broadcast publish wants %d vectors, got %d", b.n, len(vecs)))
 	}
-	var maxLen int64
+	var maxLen, total int64
 	for _, v := range vecs {
 		if l := int64(len(v)); l > maxLen {
 			maxLen = l
 		}
-		b.words += int64(len(v)) * int64(b.n-1)
+		total += int64(len(v)) * int64(b.n-1)
 	}
-	b.rounds += maxLen
+	b.charge(maxLen, total)
 	out := make([][]Word, b.n)
 	copy(out, vecs)
 	return out

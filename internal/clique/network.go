@@ -14,9 +14,16 @@
 // per-node computation concurrently across a worker pool, but each node may
 // touch only its own state and send only from its own identifier, keeping
 // runs deterministic.
+//
+// Networks are reusable: Reset clears all queued traffic and zeroes the
+// accounting so the same network (and its worker pool) can run another
+// algorithm, which is how algclique sessions amortise construction across
+// operations. SetRoundLimit and SetContext rearm the per-run abort
+// conditions between runs.
 package clique
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -37,6 +44,23 @@ type RoundLimitError struct {
 func (e *RoundLimitError) Error() string {
 	return fmt.Sprintf("clique: round limit %d exceeded (at %d rounds)", e.Limit, e.Rounds)
 }
+
+// CanceledError is raised (via panic) when the context attached to the
+// network via SetContext is cancelled mid-simulation. It unwraps to the
+// context's error, so errors.Is(err, context.Canceled) (or
+// context.DeadlineExceeded) works on the error surfaced by entry points.
+type CanceledError struct {
+	Cause  error
+	Rounds int64
+}
+
+// Error implements error.
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("clique: simulation cancelled after %d rounds: %v", e.Rounds, e.Cause)
+}
+
+// Unwrap exposes the underlying context error.
+func (e *CanceledError) Unwrap() error { return e.Cause }
 
 // PhaseStat records the cost of one named algorithm phase.
 type PhaseStat struct {
@@ -84,6 +108,8 @@ type Network struct {
 	phases     []PhaseStat
 	workers    int
 	roundLimit int64
+	ctx        context.Context
+	pool       *workerPool
 }
 
 // New returns a network of n ≥ 1 nodes.
@@ -127,6 +153,32 @@ func (c *Network) Stats() Stats {
 	return Stats{N: c.n, Rounds: c.rounds, Words: c.words, Flushes: c.flushes, Phases: ph}
 }
 
+// SetRoundLimit rearms (or, with limit ≤ 0, disarms) the round budget for
+// the next run. Unlike the WithRoundLimit construction option it can be
+// changed between runs on a reused network.
+func (c *Network) SetRoundLimit(limit int64) { c.roundLimit = limit }
+
+// SetContext attaches a cancellation context to the network: once ctx is
+// cancelled, the next charged cost panics with *CanceledError (recovered by
+// the algclique entry points into an error). A nil ctx detaches. The check
+// happens at synchronous-round boundaries (Flush/Broadcast), so cancellation
+// latency is one communication phase.
+func (c *Network) SetContext(ctx context.Context) { c.ctx = ctx }
+
+// Reset drops all queued traffic and zeroes rounds, words, flushes, and
+// phases so the network can run a fresh algorithm. The clique size, worker
+// pool, and configured limits are kept; the per-run context is detached.
+func (c *Network) Reset() {
+	for _, row := range c.queues {
+		for dst := range row {
+			row[dst] = nil
+		}
+	}
+	c.rounds, c.words, c.flushes = 0, 0, 0
+	c.phases = c.phases[:0]
+	c.ctx = nil
+}
+
 // Phase begins a named accounting phase; subsequent costs are attributed to
 // it until the next call.
 func (c *Network) Phase(name string) {
@@ -134,6 +186,11 @@ func (c *Network) Phase(name string) {
 }
 
 func (c *Network) charge(rounds, words int64) {
+	if c.ctx != nil {
+		if err := c.ctx.Err(); err != nil {
+			panic(&CanceledError{Cause: err, Rounds: c.rounds})
+		}
+	}
 	c.rounds += rounds
 	c.words += words
 	if len(c.phases) > 0 {
@@ -190,7 +247,9 @@ func (m *Mail) Each(dst int, f func(src int, words []Word)) {
 
 // Flush delivers every queued word. The charged cost is the maximum link
 // load: the words on each directed link are delivered one per round in
-// parallel across links, exactly as the synchronous model allows.
+// parallel across links, exactly as the synchronous model allows. The queue
+// arrays are retained for reuse (only the delivered word vectors move to the
+// Mail), so a flush allocates no per-link state beyond the mailboxes.
 func (c *Network) Flush() *Mail {
 	var maxLoad, total int64
 	mail := &Mail{n: c.n, byDst: make([][][]Word, c.n)}
@@ -198,11 +257,13 @@ func (c *Network) Flush() *Mail {
 		mail.byDst[dst] = make([][]Word, c.n)
 	}
 	for src := 0; src < c.n; src++ {
-		for dst, q := range c.queues[src] {
+		row := c.queues[src]
+		for dst, q := range row {
 			if len(q) == 0 {
 				continue
 			}
 			mail.byDst[dst][src] = q
+			row[dst] = nil
 			if src != dst {
 				if l := int64(len(q)); l > maxLoad {
 					maxLoad = l
@@ -211,7 +272,6 @@ func (c *Network) Flush() *Mail {
 			}
 		}
 	}
-	c.queues = newQueues(c.n)
 	c.flushes++
 	c.charge(maxLoad, total)
 	return mail
@@ -263,9 +323,41 @@ func (c *Network) BroadcastWord(vals []Word) []Word {
 	return out
 }
 
+// poolTask is one unit of ForEach work handed to a persistent worker.
+type poolTask struct {
+	f  func(v int)
+	v  int
+	wg *sync.WaitGroup
+}
+
+// workerPool is a set of persistent goroutines fed over a channel, so a
+// reused network pays goroutine startup once rather than per ForEach.
+type workerPool struct {
+	tasks chan poolTask
+	stop  sync.Once
+}
+
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{tasks: make(chan poolTask, workers)}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for t := range p.tasks {
+				t.f(t.v)
+				t.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// shutdown stops the workers; safe to call more than once.
+func (p *workerPool) shutdown() { p.stop.Do(func() { close(p.tasks) }) }
+
 // ForEach runs f(v) for every node concurrently on the worker pool and
 // waits for completion. f must restrict itself to node v's state and may
-// send only from v.
+// send only from v. The pool is started lazily on first use and persists
+// across runs until Close (a cleanup also stops it when the network is
+// garbage collected, so unclosed networks do not leak goroutines forever).
 func (c *Network) ForEach(f func(v int)) {
 	workers := c.workers
 	if workers > c.n {
@@ -277,20 +369,24 @@ func (c *Network) ForEach(f func(v int)) {
 		}
 		return
 	}
+	if c.pool == nil {
+		c.pool = newWorkerPool(workers)
+		runtime.AddCleanup(c, func(p *workerPool) { p.shutdown() }, c.pool)
+	}
 	var wg sync.WaitGroup
-	next := make(chan int)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for v := range next {
-				f(v)
-			}
-		}()
-	}
+	wg.Add(c.n)
 	for v := 0; v < c.n; v++ {
-		next <- v
+		c.pool.tasks <- poolTask{f: f, v: v, wg: &wg}
 	}
-	close(next)
 	wg.Wait()
+}
+
+// Close releases the persistent worker pool. The network remains usable —
+// a later ForEach starts a fresh pool — but sessions call Close when done
+// so idle workers do not outlive them.
+func (c *Network) Close() {
+	if c.pool != nil {
+		c.pool.shutdown()
+		c.pool = nil
+	}
 }

@@ -7,29 +7,42 @@ import (
 	"github.com/algebraic-clique/algclique/internal/matrix"
 )
 
-// MatMul multiplies two n×n integer matrices on a simulated congested
-// clique (row v of each operand is node v's input) and returns the product
-// with measured communication stats. The default engine is the fast
-// bilinear algorithm — O(n^{1-2/log₂7}) ≈ O(n^{0.29}) rounds with the
+// MatMul multiplies two n×n integer matrices on the session's simulated
+// congested clique (row v of each operand is node v's input) and returns
+// the product with measured communication stats. The default engine is the
+// fast bilinear algorithm — O(n^{1-2/log₂7}) ≈ O(n^{0.29}) rounds with the
 // Strassen scheme (Theorem 1; the paper's O(n^{0.158}) uses the
 // impracticable Le Gall scheme, see DESIGN.md).
-func MatMul(a, b [][]int64, opts ...Option) (prod [][]int64, stats Stats, err error) {
-	defer captureRoundLimit(&err)
-	c := newConfig(opts)
+func (s *Clique) MatMul(a, b Mat, opts ...CallOption) (prod Mat, stats Stats, err error) {
 	orig, err := squareSize(a, b)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	n, err := c.paddedSize(orig, ringSize)
+	r, err := s.begin("MatMul", orig, ringSize, opts)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	net := c.network(n)
-	p, err := ccmm.MulInt(net, c.engine.internal(), padMat(a, n, 0), padMat(b, n, 0))
-	if err != nil {
-		return nil, statsOf(net, orig), err
+	defer r.end(&stats, &err)
+	p, merr := r.plan.MulIntPlanned(r.net, r.borrow(a, 0), r.borrow(b, 0))
+	if merr != nil {
+		err = merr
+		return
 	}
-	return truncateRows(p, orig), statsOf(net, orig), nil
+	prod = truncateRows(p, orig)
+	r.recycle(p)
+	return
+}
+
+// MatMul is the one-shot form of Clique.MatMul: it simulates the product on
+// a throwaway session.
+func MatMul(a, b Mat, opts ...Option) (Mat, Stats, error) {
+	n := len(a)
+	s, err := oneShot(n, opts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	defer s.Close()
+	return s.MatMul(a, b)
 }
 
 // DistanceProduct computes the min-plus (tropical) product
@@ -39,51 +52,74 @@ func MatMul(a, b [][]int64, opts ...Option) (prod [][]int64, stats Stats, err er
 // (tiny instances below 8 nodes use the naive engine); for bounded entries
 // the ring-embedded fast product is used by the small-weight APSP entry
 // points.
-func DistanceProduct(a, b [][]int64, opts ...Option) (prod [][]int64, stats Stats, err error) {
-	defer captureRoundLimit(&err)
-	c := newConfig(opts)
+func (s *Clique) DistanceProduct(a, b Mat, opts ...CallOption) (prod Mat, stats Stats, err error) {
 	orig, err := squareSize(a, b)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	n, err := c.paddedSize(orig, anySize)
+	if s.cfg.engine == Fast {
+		return nil, Stats{}, fmt.Errorf("algclique: min-plus is not a ring; use Auto, Semiring3D or Naive: %w", ccmm.ErrSize)
+	}
+	r, err := s.begin("DistanceProduct", orig, anySize, opts)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	net := c.network(n)
-	eng := c.engine.internal()
-	if eng == ccmm.EngineFast {
-		return nil, Stats{}, fmt.Errorf("algclique: min-plus is not a ring; use Auto, Semiring3D or Naive: %w", ccmm.ErrSize)
+	defer r.end(&stats, &err)
+	p, merr := r.plan.MulMinPlusPlanned(r.net, r.borrow(a, Inf), r.borrow(b, Inf))
+	if merr != nil {
+		err = merr
+		return
 	}
-	p, err := ccmm.MulMinPlus(net, eng, padMat(a, n, Inf), padMat(b, n, Inf))
+	prod = truncateRows(p, orig)
+	r.recycle(p)
+	return
+}
+
+// DistanceProduct is the one-shot form of Clique.DistanceProduct.
+func DistanceProduct(a, b Mat, opts ...Option) (Mat, Stats, error) {
+	n := len(a)
+	s, err := oneShot(n, opts)
 	if err != nil {
-		return nil, statsOf(net, orig), err
+		return nil, Stats{}, err
 	}
-	return truncateRows(p, orig), statsOf(net, orig), nil
+	defer s.Close()
+	return s.DistanceProduct(a, b)
 }
 
 // MatMulBool computes the Boolean matrix product of 0/1 matrices
 // (reachability composition), over the integers on the fast engine.
-func MatMulBool(a, b [][]int64, opts ...Option) (prod [][]int64, stats Stats, err error) {
-	defer captureRoundLimit(&err)
-	c := newConfig(opts)
+func (s *Clique) MatMulBool(a, b Mat, opts ...CallOption) (prod Mat, stats Stats, err error) {
 	orig, err := squareSize(a, b)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	n, err := c.paddedSize(orig, ringSize)
+	r, err := s.begin("MatMulBool", orig, ringSize, opts)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	net := c.network(n)
-	p, err := ccmm.MulBool(net, c.engine.internal(), padMat(a, n, 0), padMat(b, n, 0))
-	if err != nil {
-		return nil, statsOf(net, orig), err
+	defer r.end(&stats, &err)
+	p, merr := r.plan.MulBoolPlanned(r.net, r.borrow(a, 0), r.borrow(b, 0))
+	if merr != nil {
+		err = merr
+		return
 	}
-	return truncateRows(p, orig), statsOf(net, orig), nil
+	prod = truncateRows(p, orig)
+	r.recycle(p)
+	return
 }
 
-func squareSize(a, b [][]int64) (int, error) {
+// MatMulBool is the one-shot form of Clique.MatMulBool.
+func MatMulBool(a, b Mat, opts ...Option) (Mat, Stats, error) {
+	n := len(a)
+	s, err := oneShot(n, opts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	defer s.Close()
+	return s.MatMulBool(a, b)
+}
+
+func squareSize(a, b Mat) (int, error) {
 	n := len(a)
 	if len(b) != n {
 		return 0, fmt.Errorf("algclique: operand sizes %d and %d differ: %w", n, len(b), ccmm.ErrSize)
@@ -101,25 +137,24 @@ func squareSize(a, b [][]int64) (int, error) {
 	return n, nil
 }
 
-// padMat embeds rows into an n×n distributed matrix, filling new entries
-// with the algebra's zero (0 for rings, Inf for min-plus) so the padded
-// product restricted to the original block is unchanged.
-func padMat(rows [][]int64, n int, zero int64) *ccmm.RowMat[int64] {
-	out := ccmm.NewRowMat[int64](n)
-	for v := 0; v < n; v++ {
-		dst := out.Rows[v]
-		if zero != 0 {
-			for j := range dst {
-				dst[j] = zero
-			}
-		}
+// padMatInto embeds rows into an existing n×n distributed matrix, filling
+// all other entries with the algebra's zero (0 for rings, Inf for min-plus)
+// so the padded product restricted to the original block is unchanged.
+// Every entry is overwritten, so pooled buffers with stale contents are
+// safe.
+func padMatInto(dst *ccmm.RowMat[int64], rows Mat, zero int64) {
+	for v, r := range dst.Rows {
+		var src []int64
 		if v < len(rows) {
-			copy(dst, rows[v])
+			src = rows[v]
+		}
+		k := copy(r, src)
+		for j := k; j < len(r); j++ {
+			r[j] = zero
 		}
 	}
-	return out
 }
 
-func denseOf(rows [][]int64) *matrix.Dense[int64] {
+func denseOf(rows Mat) *matrix.Dense[int64] {
 	return matrix.FromRows(rows)
 }

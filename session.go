@@ -1,0 +1,403 @@
+package algclique
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/algebraic-clique/algclique/internal/ccmm"
+	"github.com/algebraic-clique/algclique/internal/clique"
+)
+
+// ErrSessionClosed is returned by operations on a closed session.
+var ErrSessionClosed = errors.New("algclique: session is closed")
+
+// Clique is a reusable simulated congested clique for instances of one
+// fixed size n: a session. It owns everything that is expensive to set up
+// and identical across operations —
+//
+//   - the simulated network(s), reset and reused instead of rebuilt,
+//     including their local-computation worker pools,
+//   - the resolved engine plan (engine selection, bilinear scheme, and
+//     padding decisions are computed once at construction),
+//   - reusable row-matrix buffers for padding operands,
+//
+// and every algorithm in the package is a method on it. Construction
+// options (engine, padding policy, workers) are fixed for the session's
+// lifetime; per-operation options (seed, delta, round limit, context) are
+// passed to each call. Methods may be called from multiple goroutines; the
+// session serialises them, since a congested clique runs one algorithm at a
+// time.
+//
+// The session keeps a cumulative ledger of every completed operation —
+// Stats returns it, ResetStats clears it — so a pipeline's total
+// communication cost (with per-operation phase breakdowns) is measured for
+// free. Close releases the worker pools; the package-level one-shot
+// functions are thin wrappers that build a session, run one operation, and
+// close it.
+type Clique struct {
+	mu  sync.Mutex
+	n   int
+	cfg config
+
+	nAny    int // clique size for semiring (never-padded) operations
+	nRing   int // clique size for ring operations (scheme padding)
+	ringErr error
+
+	nets    map[int]*clique.Network
+	bnet    *clique.BroadcastNetwork
+	matPool map[int][]*ccmm.RowMat[int64]
+	closed  bool
+
+	ledger      []OpStats
+	totalRounds int64
+	totalWords  int64
+}
+
+// OpStats is one completed operation in a session's ledger.
+type OpStats struct {
+	// Op names the operation ("MatMul", "APSP", …).
+	Op string
+	Stats
+}
+
+// SessionStats is a session's cumulative communication ledger.
+type SessionStats struct {
+	// N is the instance size the session serves.
+	N int
+	// Rounds and Words total the cost of all operations since the last
+	// ResetStats, including aborted ones (their partial cost was charged).
+	Rounds int64
+	Words  int64
+	// Ops lists every operation in order, each with its full Stats
+	// including the per-phase breakdown.
+	Ops []OpStats
+}
+
+// NewClique builds a session simulating congested-clique algorithms on
+// instances of size n ≥ 1. Engine resolution, bilinear-scheme selection,
+// and padding decisions happen here, once; the session's networks and
+// buffers are then reused by every operation.
+func NewClique(n int, opts ...SessionOption) (*Clique, error) {
+	cfg := config{engine: Auto}
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	return newSession(n, cfg)
+}
+
+// newSession builds a session from an already-merged config; the one-shot
+// wrappers use it to honour call options passed through the flat Option
+// list.
+func newSession(n int, cfg config) (*Clique, error) {
+	nAny, err := cfg.paddedSize(n, anySize)
+	if err != nil {
+		return nil, err
+	}
+	s := &Clique{
+		n:       n,
+		cfg:     cfg,
+		nAny:    nAny,
+		nets:    make(map[int]*clique.Network),
+		matPool: make(map[int][]*ccmm.RowMat[int64]),
+	}
+	s.nRing, s.ringErr = cfg.paddedSize(n, ringSize)
+	return s, nil
+}
+
+// oneShot builds the throwaway session behind a package-level function.
+func oneShot(n int, opts []Option) (*Clique, error) {
+	return newSession(n, newConfig(opts))
+}
+
+// N returns the instance size the session serves.
+func (s *Clique) N() int { return s.n }
+
+// Engine returns the session's engine selection.
+func (s *Clique) Engine() Engine { return s.cfg.engine }
+
+// Close releases the session's simulator resources (worker pools). The
+// ledger remains readable; further operations return ErrSessionClosed.
+// Close is idempotent.
+func (s *Clique) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	for _, net := range s.nets {
+		net.Close()
+	}
+	return nil
+}
+
+// Stats returns a copy of the session's cumulative ledger (deep enough
+// that mutating the snapshot, including phase entries, cannot corrupt the
+// session).
+func (s *Clique) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := SessionStats{N: s.n, Rounds: s.totalRounds, Words: s.totalWords}
+	out.Ops = make([]OpStats, len(s.ledger))
+	for i, op := range s.ledger {
+		out.Ops[i] = op
+		out.Ops[i].Phases = append([]PhaseStat(nil), op.Phases...)
+	}
+	return out
+}
+
+// ResetStats clears the cumulative ledger.
+func (s *Clique) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ledger = nil
+	s.totalRounds, s.totalWords = 0, 0
+}
+
+// record appends a completed operation to the ledger (mu held). The phase
+// slice is copied: the same Stats value is returned to the operation's
+// caller, who is free to mutate it.
+func (s *Clique) record(op string, st Stats) {
+	st.Phases = append([]PhaseStat(nil), st.Phases...)
+	s.ledger = append(s.ledger, OpStats{Op: op, Stats: st})
+	s.totalRounds += st.Rounds
+	s.totalWords += st.Words
+}
+
+// sizeFor maps an algorithm's size class to the session's padded clique
+// size for it.
+func (s *Clique) sizeFor(class sizeClass) (int, error) {
+	if class == ringSize {
+		if s.ringErr != nil {
+			return 0, s.ringErr
+		}
+		return s.nRing, nil
+	}
+	return s.nAny, nil
+}
+
+// networkFor returns the session's persistent network of the given size,
+// building it on first use (mu held).
+func (s *Clique) networkFor(n int) *clique.Network {
+	if net, ok := s.nets[n]; ok {
+		return net
+	}
+	var opts []clique.Option
+	if s.cfg.workers > 0 {
+		opts = append(opts, clique.WithWorkers(s.cfg.workers))
+	}
+	net := clique.New(n, opts...)
+	s.nets[n] = net
+	return net
+}
+
+// getMat borrows an n×n row-matrix buffer from the pool (mu held). The
+// contents are stale; callers must overwrite every entry (padMatInto does).
+func (s *Clique) getMat(n int) *ccmm.RowMat[int64] {
+	free := s.matPool[n]
+	if k := len(free); k > 0 {
+		m := free[k-1]
+		s.matPool[n] = free[:k-1]
+		return m
+	}
+	return ccmm.NewRowMat[int64](n)
+}
+
+// maxPooledMats bounds the per-size buffer pool: enough for the operands
+// and results in flight during one operation. Engines allocate their
+// results outside the pool, so without a cap a long-lived session would
+// retain one surplus matrix per operation; beyond the cap buffers go to
+// the GC instead.
+const maxPooledMats = 4
+
+// putMat returns a buffer to the pool, or drops it at capacity (mu held).
+func (s *Clique) putMat(m *ccmm.RowMat[int64]) {
+	n := m.N()
+	if len(s.matPool[n]) < maxPooledMats {
+		s.matPool[n] = append(s.matPool[n], m)
+	}
+}
+
+// simNetwork is the accounting/abort surface shared by the unicast and
+// broadcast simulators, which lets one run harness serve both.
+type simNetwork interface {
+	Stats() clique.Stats
+	Reset()
+	SetRoundLimit(limit int64)
+	SetContext(ctx context.Context)
+}
+
+// opRun is the per-operation harness: it holds the session lock, the reset
+// network, the merged per-call config, and the buffers borrowed for the
+// run. begin acquires it; end (deferred) converts abort panics to errors,
+// snapshots the operation's Stats, records the ledger entry, returns
+// buffers, and releases the lock.
+type opRun struct {
+	s        *Clique
+	op       string
+	cfg      config
+	sim      simNetwork
+	net      *clique.Network          // non-nil for unicast runs
+	bnet     *clique.BroadcastNetwork // non-nil for broadcast runs
+	plan     *ccmm.Plan
+	n        int // padded clique size for this run
+	orig     int // original instance size
+	borrowed []*ccmm.RowMat[int64]
+}
+
+// acquire locks the session and merges the per-call config; on error the
+// lock is released.
+func (s *Clique) acquire(orig int, opts []CallOption) (config, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return config{}, ErrSessionClosed
+	}
+	if orig != s.n {
+		s.mu.Unlock()
+		return config{}, fmt.Errorf("algclique: instance size %d on a session for n=%d: %w", orig, s.n, ccmm.ErrSize)
+	}
+	cfg := s.cfg
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	return cfg, nil
+}
+
+// beginAt starts an operation on a clique of the given (padded) size.
+func (s *Clique) beginAt(op string, orig, n int, opts []CallOption) (*opRun, error) {
+	cfg, err := s.acquire(orig, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.newRun(op, cfg, orig, n), nil
+}
+
+// newRun builds and arms the per-operation harness (mu held).
+func (s *Clique) newRun(op string, cfg config, orig, n int) *opRun {
+	net := s.networkFor(n)
+	r := &opRun{s: s, op: op, cfg: cfg, sim: net, net: net,
+		plan: ccmm.PlanFor(n, cfg.engine.internal()), n: n, orig: orig}
+	r.arm()
+	return r
+}
+
+// arm resets the run's simulator and applies the per-call abort settings.
+func (r *opRun) arm() {
+	r.sim.Reset()
+	r.sim.SetRoundLimit(r.cfg.roundLimit)
+	r.sim.SetContext(r.cfg.ctx)
+}
+
+// begin starts an operation whose clique size follows from the algorithm's
+// size class. The closed/size checks in acquire take precedence over the
+// deferred ring-padding error.
+func (s *Clique) begin(op string, orig int, class sizeClass, opts []CallOption) (*opRun, error) {
+	cfg, err := s.acquire(orig, opts)
+	if err != nil {
+		return nil, err
+	}
+	n, err := s.sizeFor(class)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	return s.newRun(op, cfg, orig, n), nil
+}
+
+// end completes the operation; it must be deferred immediately after a
+// successful begin, with the method's named stats and error results.
+func (r *opRun) end(stats *Stats, err *error) {
+	s := r.s
+	if rec := recover(); rec != nil {
+		e, ok := abortError(rec)
+		if !ok {
+			s.mu.Unlock()
+			panic(rec)
+		}
+		*err = e
+	}
+	*stats = statsFrom(r.sim.Stats(), r.orig)
+	r.sim.SetContext(nil)
+	r.sim.SetRoundLimit(0)
+	for _, m := range r.borrowed {
+		s.putMat(m)
+	}
+	r.borrowed = nil
+	s.record(r.op, *stats)
+	s.mu.Unlock()
+}
+
+// borrow pads rows into a pooled n×n distributed matrix, filling missing
+// entries with the algebra's zero; the buffer returns to the pool when the
+// operation ends.
+func (r *opRun) borrow(rows Mat, zero int64) *ccmm.RowMat[int64] {
+	m := r.s.getMat(r.n)
+	padMatInto(m, rows, zero)
+	r.borrowed = append(r.borrowed, m)
+	return m
+}
+
+// recycle hands an engine-produced matrix (whose contents have been copied
+// out) to the pool when the operation ends.
+func (r *opRun) recycle(m *ccmm.RowMat[int64]) {
+	if m != nil && m.N() == r.n {
+		r.borrowed = append(r.borrowed, m)
+	}
+}
+
+// engine returns the run's requested engine for the application-layer
+// algorithms (their inner products resolve through the memoised plan
+// cache).
+func (r *opRun) engine() ccmm.Engine { return r.cfg.engine.internal() }
+
+// beginBroadcast starts an operation on the session's broadcast-model
+// network (built on first use; broadcast algorithms never pad).
+func (s *Clique) beginBroadcast(op string, orig int, opts []CallOption) (*opRun, error) {
+	cfg, err := s.acquire(orig, opts)
+	if err != nil {
+		return nil, err
+	}
+	if s.bnet == nil {
+		s.bnet = clique.NewBroadcast(s.n)
+	}
+	r := &opRun{s: s, op: op, cfg: cfg, sim: s.bnet, bnet: s.bnet, n: s.n, orig: orig}
+	r.arm()
+	return r, nil
+}
+
+// batch runs mul over every pair, amortising session setup across the
+// whole batch; it stops at the first error, returning the already-computed
+// results alongside it.
+func (s *Clique) batch(pairs [][2]Mat, opts []CallOption,
+	mul func(a, b Mat, opts ...CallOption) (Mat, Stats, error)) ([]Mat, []Stats, error) {
+	prods := make([]Mat, 0, len(pairs))
+	stats := make([]Stats, 0, len(pairs))
+	for _, pair := range pairs {
+		p, st, err := mul(pair[0], pair[1], opts...)
+		if err != nil {
+			return prods, stats, err
+		}
+		prods = append(prods, p)
+		stats = append(stats, st)
+	}
+	return prods, stats, nil
+}
+
+// MatMuls runs a batch of integer matrix products on the session,
+// amortising setup across the whole batch. It returns one product and one
+// Stats per pair, stopping at the first error (already-computed results are
+// returned alongside it).
+func (s *Clique) MatMuls(pairs [][2]Mat, opts ...CallOption) ([]Mat, []Stats, error) {
+	return s.batch(pairs, opts, s.MatMul)
+}
+
+// DistanceProducts runs a batch of min-plus products on the session,
+// amortising setup across the whole batch. It returns one product and one
+// Stats per pair, stopping at the first error (already-computed results are
+// returned alongside it).
+func (s *Clique) DistanceProducts(pairs [][2]Mat, opts ...CallOption) ([]Mat, []Stats, error) {
+	return s.batch(pairs, opts, s.DistanceProduct)
+}

@@ -1,0 +1,493 @@
+package algclique_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	cc "github.com/algebraic-clique/algclique"
+	"github.com/algebraic-clique/algclique/internal/clique"
+)
+
+func sessionTestMat(n int, seed int64) cc.Mat {
+	m := make(cc.Mat, n)
+	x := seed
+	for i := range m {
+		m[i] = make([]int64, n)
+		for j := range m[i] {
+			x = (x*6364136223846793005 + 1442695040888963407) % 97
+			m[i][j] = x % 5
+		}
+	}
+	return m
+}
+
+// Two sequential operations on one session must give results identical to
+// two independent one-shot calls.
+func TestSessionReuseIdenticalResults(t *testing.T) {
+	const n = 16
+	a, b := sessionTestMat(n, 1), sessionTestMat(n, 2)
+
+	want1, ws1, err := cc.MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2, _, err := cc.MatMul(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := cc.NewClique(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	got1, gs1, err := sess.MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, _, err := sess.MatMul(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got1, want1) || !reflect.DeepEqual(got2, want2) {
+		t.Fatal("session results differ from one-shot results")
+	}
+	if gs1.Rounds != ws1.Rounds || gs1.Words != ws1.Words || gs1.N != ws1.N {
+		t.Errorf("session stats %+v differ from one-shot stats %+v", gs1, ws1)
+	}
+	// The same holds for graph algorithms sharing the session.
+	g := cc.GNP(n, 0.4, false, 3)
+	wantTri, _, err := cc.CountTriangles(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTri, _, err := sess.CountTriangles(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotTri != wantTri {
+		t.Errorf("session triangles = %d, one-shot = %d", gotTri, wantTri)
+	}
+}
+
+// A session operation must allocate strictly less than the equivalent
+// one-shot call: the network, engine plan, and padded operand buffers are
+// reused instead of rebuilt. Workers are pinned to 1 so the measurement is
+// deterministic.
+func TestSessionFewerAllocations(t *testing.T) {
+	const n = 16
+	a, b := sessionTestMat(n, 4), sessionTestMat(n, 5)
+
+	oneShot := testing.AllocsPerRun(10, func() {
+		if _, _, err := cc.MatMul(a, b, cc.WithWorkers(1)); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	sess, err := cc.NewClique(n, cc.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	inSession := testing.AllocsPerRun(10, func() {
+		if _, _, err := sess.MatMul(a, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if inSession >= oneShot {
+		t.Errorf("session MatMul allocates %.0f allocs/op, one-shot %.0f — session must be strictly cheaper", inSession, oneShot)
+	}
+	t.Logf("allocs/op: one-shot %.0f, session %.0f", oneShot, inSession)
+}
+
+// cancelAfterCalls implements context.Context with an Err that flips to
+// Canceled after a fixed number of polls, so cancellation hits
+// deterministically mid-simulation.
+type cancelAfterCalls struct {
+	context.Context
+	remaining int
+}
+
+func (c *cancelAfterCalls) Err() error {
+	if c.remaining <= 0 {
+		return context.Canceled
+	}
+	c.remaining--
+	return nil
+}
+
+func TestSessionCancellation(t *testing.T) {
+	g := cc.RandomConnectedWeighted(27, 0.3, 20, true, 7)
+	sess, err := cc.NewClique(27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	// A context cancelled mid-simulation surfaces as context.Canceled.
+	ctx := &cancelAfterCalls{Context: context.Background(), remaining: 3}
+	_, _, err = sess.APSP(g, cc.WithContext(ctx))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var canc *clique.CanceledError
+	if !errors.As(err, &canc) {
+		t.Fatalf("err = %v, want *clique.CanceledError", err)
+	}
+
+	// An already-cancelled context aborts at the first round boundary.
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := sess.APSP(g, cc.WithContext(pre)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled: err = %v, want context.Canceled", err)
+	}
+
+	// The session stays usable after a cancelled operation.
+	res, _, err := sess.APSP(g)
+	if err != nil {
+		t.Fatalf("session unusable after cancellation: %v", err)
+	}
+	if err := cc.ValidateRouting(g, res); err != nil {
+		t.Fatalf("post-cancellation result invalid: %v", err)
+	}
+}
+
+func TestSessionRoundLimitPerCall(t *testing.T) {
+	g := cc.RandomConnectedWeighted(27, 0.3, 20, true, 1)
+	sess, err := cc.NewClique(27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	_, _, err = sess.APSP(g, cc.WithRoundLimit(10))
+	var lim *clique.RoundLimitError
+	if !errors.As(err, &lim) {
+		t.Fatalf("err = %v, want *clique.RoundLimitError", err)
+	}
+	// The limit is per call: the next call runs without it.
+	if _, _, err := sess.APSP(g); err != nil {
+		t.Fatalf("round limit leaked into the next call: %v", err)
+	}
+}
+
+func TestSessionBatchedDistanceProducts(t *testing.T) {
+	const n = 20
+	pairs := make([][2]cc.Mat, 4)
+	for i := range pairs {
+		pairs[i] = [2]cc.Mat{sessionTestMat(n, int64(10+i)), sessionTestMat(n, int64(20+i))}
+	}
+	sess, err := cc.NewClique(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	prods, stats, err := sess.DistanceProducts(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prods) != len(pairs) || len(stats) != len(pairs) {
+		t.Fatalf("got %d products / %d stats, want %d", len(prods), len(stats), len(pairs))
+	}
+	var wantRounds int64
+	for i, pair := range pairs {
+		want, st, err := cc.DistanceProduct(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(prods[i], want) {
+			t.Fatalf("batched product %d differs from one-shot", i)
+		}
+		wantRounds += st.Rounds
+	}
+	ledger := sess.Stats()
+	if len(ledger.Ops) != len(pairs) {
+		t.Fatalf("ledger has %d ops, want %d", len(ledger.Ops), len(pairs))
+	}
+	if ledger.Rounds != wantRounds {
+		t.Errorf("ledger rounds = %d, want %d", ledger.Rounds, wantRounds)
+	}
+}
+
+func TestSessionLedger(t *testing.T) {
+	const n = 16
+	sess, err := cc.NewClique(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	g := cc.GNP(n, 0.4, false, 9)
+	if _, _, err := sess.CountTriangles(g); err != nil {
+		t.Fatal(err)
+	}
+	a := sessionTestMat(n, 3)
+	if _, _, err := sess.MatMul(a, a); err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Stats()
+	if st.N != n {
+		t.Errorf("ledger N = %d, want %d", st.N, n)
+	}
+	if len(st.Ops) != 2 || st.Ops[0].Op != "CountTriangles" || st.Ops[1].Op != "MatMul" {
+		t.Fatalf("ledger ops = %+v, want [CountTriangles MatMul]", st.Ops)
+	}
+	var sum int64
+	for _, op := range st.Ops {
+		if len(op.Phases) == 0 {
+			t.Errorf("op %s has no phase breakdown", op.Op)
+		}
+		sum += op.Rounds
+	}
+	if st.Rounds != sum || st.Rounds == 0 {
+		t.Errorf("cumulative rounds %d != per-op sum %d (or zero)", st.Rounds, sum)
+	}
+	sess.ResetStats()
+	if st := sess.Stats(); len(st.Ops) != 0 || st.Rounds != 0 || st.Words != 0 {
+		t.Errorf("ResetStats left %+v", st)
+	}
+}
+
+// The ledger snapshot must be insulated from callers: mutating a returned
+// snapshot (or a returned operation's Stats) cannot corrupt the session.
+func TestSessionLedgerSnapshotIsolated(t *testing.T) {
+	const n = 16
+	sess, err := cc.NewClique(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	a := sessionTestMat(n, 3)
+	_, opStats, err := sess.MatMul(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sess.Stats()
+	opStats.Phases[0].Rounds = -999 // the caller owns its Stats value
+	snap := sess.Stats()
+	snap.Ops[0].Phases[0].Rounds = -111
+	snap.Ops[0].Rounds = -111
+	got := sess.Stats()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ledger corrupted through a snapshot: %+v != %+v", got, want)
+	}
+}
+
+// The buffer pool must not grow with operation count: engines allocate
+// results outside the pool and recycle them into it, so an uncapped pool
+// would retain one matrix per operation forever. Measured as live-heap
+// growth across many operations on one session.
+func TestSessionPoolBounded(t *testing.T) {
+	const n, ops = 32, 300
+	sess, err := cc.NewClique(n, cc.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	a := sessionTestMat(n, 4)
+	heap := func() uint64 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+	for i := 0; i < 10; i++ { // warm the pool, networks, and plan caches
+		if _, _, err := sess.DistanceProduct(a, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := heap()
+	for i := 0; i < ops; i++ {
+		if _, _, err := sess.DistanceProduct(a, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := heap()
+	// An unbounded pool would retain ≥ ops n×n matrices (~8.5 KB each at
+	// n=32, ≈ 2.5 MB); a bounded pool's steady state stays within noise.
+	// The ledger legitimately grows (~100 B/op), so allow 1 MB.
+	if growth := int64(after) - int64(before); growth > 1<<20 {
+		t.Errorf("live heap grew %d bytes over %d ops — buffer pool is retaining per-op garbage", growth, ops)
+	}
+}
+
+// Closed-session errors take precedence over the session's deferred
+// ring-padding error.
+func TestSessionClosedBeatsDeferredPaddingError(t *testing.T) {
+	sess, err := cc.NewClique(60, cc.WithEngine(cc.Fast), cc.WithoutPadding())
+	if err != nil {
+		t.Fatal(err) // the ring-size error is deferred to ring-class calls
+	}
+	a := sessionTestMat(60, 1)
+	if _, _, err := sess.MatMul(a, a); err == nil {
+		t.Fatal("strict Fast at n=60 must fail")
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.MatMul(a, a); !errors.Is(err, cc.ErrSessionClosed) {
+		t.Errorf("err = %v, want ErrSessionClosed", err)
+	}
+}
+
+func TestSessionClosedAndSizeMismatch(t *testing.T) {
+	sess, err := cc.NewClique(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sessionTestMat(8, 1)
+	if _, _, err := sess.MatMul(a, a); err == nil {
+		t.Error("8×8 operands on an n=16 session must fail")
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("Close must be idempotent, got %v", err)
+	}
+	b := sessionTestMat(16, 1)
+	if _, _, err := sess.MatMul(b, b); !errors.Is(err, cc.ErrSessionClosed) {
+		t.Errorf("err = %v, want ErrSessionClosed", err)
+	}
+	if _, err := cc.NewClique(0); err == nil {
+		t.Error("NewClique(0) must fail")
+	}
+}
+
+// Sessions serialise concurrent callers; results must match the
+// single-threaded ones. This is the test the -race CI job gates.
+func TestSessionConcurrentUse(t *testing.T) {
+	const n = 16
+	sess, err := cc.NewClique(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	g := cc.GNP(n, 0.4, false, 11)
+	wantTri, _, err := cc.CountTriangles(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sessionTestMat(n, 6)
+	wantProd, _, err := cc.MatMul(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			tri, _, err := sess.CountTriangles(g)
+			if err == nil && tri != wantTri {
+				err = fmt.Errorf("triangles = %d, want %d", tri, wantTri)
+			}
+			if err != nil {
+				errc <- err
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			p, _, err := sess.MatMul(a, a)
+			if err == nil && !reflect.DeepEqual(p, wantProd) {
+				err = fmt.Errorf("concurrent MatMul result differs")
+			}
+			if err != nil {
+				errc <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if ops := len(sess.Stats().Ops); ops != 8 {
+		t.Errorf("ledger recorded %d ops, want 8", ops)
+	}
+}
+
+// MatMulBroadcast now rides the same option/stats machinery as every other
+// entry point: round limits and phase breakdowns apply.
+func TestBroadcastThroughConfigPath(t *testing.T) {
+	const n = 8
+	a, b := sessionTestMat(n, 1), sessionTestMat(n, 2)
+	want, _, err := cc.MatMul(a, b, cc.WithEngine(cc.Naive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, stats, err := cc.MatMulBroadcast(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, want) {
+		t.Fatal("broadcast product differs from unicast product")
+	}
+	if len(stats.Phases) == 0 {
+		t.Error("broadcast stats have no phase breakdown")
+	}
+	if stats.N != n || stats.Rounds < int64(n) {
+		t.Errorf("broadcast stats = %+v, want N=%d and ≥ %d rounds", stats, n, n)
+	}
+	_, _, err = cc.MatMulBroadcast(a, b, cc.WithRoundLimit(3))
+	var lim *clique.RoundLimitError
+	if !errors.As(err, &lim) {
+		t.Errorf("broadcast round limit: err = %v, want *clique.RoundLimitError", err)
+	}
+}
+
+// The one-shot wrappers accept both option scopes in one flat list.
+func TestOptionScopesInteroperate(t *testing.T) {
+	g := cc.Petersen()
+	opts := []cc.Option{cc.WithEngine(cc.Fast), cc.WithSeed(2), cc.WithColourings(150)}
+	v, ok, _, err := cc.Girth(g, opts...)
+	if err != nil || !ok || v != 5 {
+		t.Fatalf("girth = %d, %v, %v; want 5", v, ok, err)
+	}
+	// Session scope: engine on the session, seed on the call.
+	sess, err := cc.NewClique(g.N(), cc.WithEngine(cc.Fast))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	v, ok, _, err = sess.Girth(g, cc.WithSeed(2), cc.WithColourings(150))
+	if err != nil || !ok || v != 5 {
+		t.Fatalf("session girth = %d, %v, %v; want 5", v, ok, err)
+	}
+}
+
+// BenchmarkOneShotDistanceProduct and BenchmarkSessionDistanceProduct
+// quantify the amortisation the session buys: the session path skips
+// network construction, engine/scheme resolution, and operand allocation.
+func BenchmarkOneShotDistanceProduct(b *testing.B) {
+	const n = 27
+	x, y := sessionTestMat(n, 1), sessionTestMat(n, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cc.DistanceProduct(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSessionDistanceProduct(b *testing.B) {
+	const n = 27
+	x, y := sessionTestMat(n, 1), sessionTestMat(n, 2)
+	sess, err := cc.NewClique(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sess.DistanceProduct(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -12,115 +12,171 @@ import (
 // CountTriangles counts the graph's triangles (directed 3-cycles for
 // directed graphs) via the trace formula and one distributed matrix
 // product — O(n^ρ) rounds (Corollary 2).
-func CountTriangles(g *Graph, opts ...Option) (count int64, stats Stats, err error) {
-	defer captureRoundLimit(&err)
-	c := newConfig(opts)
-	n, err := c.paddedSize(g.N(), ringSize)
+func (s *Clique) CountTriangles(g *Graph, opts ...CallOption) (count int64, stats Stats, err error) {
+	r, err := s.begin("CountTriangles", g.N(), ringSize, opts)
 	if err != nil {
 		return 0, Stats{}, err
 	}
-	net := c.network(n)
-	count, err = subgraph.CountTriangles(net, c.engine.internal(), padGraph(g, n))
-	return count, statsOf(net, g.N()), err
+	defer r.end(&stats, &err)
+	count, err = subgraph.CountTriangles(r.net, r.engine(), padGraph(g, r.n))
+	return
+}
+
+// CountTriangles is the one-shot form of Clique.CountTriangles.
+func CountTriangles(g *Graph, opts ...Option) (int64, Stats, error) {
+	s, err := oneShot(g.N(), opts)
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	defer s.Close()
+	return s.CountTriangles(g)
 }
 
 // CountFourCycles counts the graph's 4-cycles via the Alon–Yuster–Zwick
 // trace formula — O(n^ρ) rounds (Corollary 2).
-func CountFourCycles(g *Graph, opts ...Option) (count int64, stats Stats, err error) {
-	defer captureRoundLimit(&err)
-	c := newConfig(opts)
-	n, err := c.paddedSize(g.N(), ringSize)
+func (s *Clique) CountFourCycles(g *Graph, opts ...CallOption) (count int64, stats Stats, err error) {
+	r, err := s.begin("CountFourCycles", g.N(), ringSize, opts)
 	if err != nil {
 		return 0, Stats{}, err
 	}
-	net := c.network(n)
-	count, err = subgraph.CountC4(net, c.engine.internal(), padGraph(g, n))
-	return count, statsOf(net, g.N()), err
+	defer r.end(&stats, &err)
+	count, err = subgraph.CountC4(r.net, r.engine(), padGraph(g, r.n))
+	return
+}
+
+// CountFourCycles is the one-shot form of Clique.CountFourCycles.
+func CountFourCycles(g *Graph, opts ...Option) (int64, Stats, error) {
+	s, err := oneShot(g.N(), opts)
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	defer s.Close()
+	return s.CountFourCycles(g)
 }
 
 // CountFiveCycles counts the 5-cycles of an undirected graph via the
 // k = 5 trace formula the paper points to in §3.1 (Alon–Yuster–Zwick):
 // two distributed products — O(n^ρ) rounds.
-func CountFiveCycles(g *Graph, opts ...Option) (count int64, stats Stats, err error) {
-	defer captureRoundLimit(&err)
-	c := newConfig(opts)
-	n, err := c.paddedSize(g.N(), ringSize)
+func (s *Clique) CountFiveCycles(g *Graph, opts ...CallOption) (count int64, stats Stats, err error) {
+	r, err := s.begin("CountFiveCycles", g.N(), ringSize, opts)
 	if err != nil {
 		return 0, Stats{}, err
 	}
-	net := c.network(n)
-	count, err = subgraph.CountC5(net, c.engine.internal(), padGraph(g, n))
-	return count, statsOf(net, g.N()), err
+	defer r.end(&stats, &err)
+	count, err = subgraph.CountC5(r.net, r.engine(), padGraph(g, r.n))
+	return
+}
+
+// CountFiveCycles is the one-shot form of Clique.CountFiveCycles.
+func CountFiveCycles(g *Graph, opts ...Option) (int64, Stats, error) {
+	s, err := oneShot(g.N(), opts)
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	defer s.Close()
+	return s.CountFiveCycles(g)
 }
 
 // CountSixCycles counts the 6-cycles of an undirected graph via the k = 6
 // closed-walk census (ten image shapes with machine-enumerated walk
 // constants; see internal/subgraph.CountC6): two distributed products —
 // O(n^ρ) rounds.
-func CountSixCycles(g *Graph, opts ...Option) (count int64, stats Stats, err error) {
-	defer captureRoundLimit(&err)
-	c := newConfig(opts)
-	n, err := c.paddedSize(g.N(), ringSize)
+func (s *Clique) CountSixCycles(g *Graph, opts ...CallOption) (count int64, stats Stats, err error) {
+	r, err := s.begin("CountSixCycles", g.N(), ringSize, opts)
 	if err != nil {
 		return 0, Stats{}, err
 	}
-	net := c.network(n)
-	count, err = subgraph.CountC6(net, c.engine.internal(), padGraph(g, n))
-	return count, statsOf(net, g.N()), err
+	defer r.end(&stats, &err)
+	count, err = subgraph.CountC6(r.net, r.engine(), padGraph(g, r.n))
+	return
+}
+
+// CountSixCycles is the one-shot form of Clique.CountSixCycles.
+func CountSixCycles(g *Graph, opts ...Option) (int64, Stats, error) {
+	s, err := oneShot(g.N(), opts)
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	defer s.Close()
+	return s.CountSixCycles(g)
 }
 
 // DetectFourCycle reports whether an undirected graph contains a 4-cycle
 // in O(1) rounds (Theorem 4) — no matrix multiplication involved.
-func DetectFourCycle(g *Graph, opts ...Option) (found bool, stats Stats, err error) {
-	defer captureRoundLimit(&err)
-	c := newConfig(opts)
-	n, err := c.paddedSize(g.N(), anySize)
+func (s *Clique) DetectFourCycle(g *Graph, opts ...CallOption) (found bool, stats Stats, err error) {
+	r, err := s.begin("DetectFourCycle", g.N(), anySize, opts)
 	if err != nil {
 		return false, Stats{}, err
 	}
-	net := c.network(n)
-	found, err = subgraph.DetectC4(net, g)
-	return found, statsOf(net, g.N()), err
+	defer r.end(&stats, &err)
+	found, err = subgraph.DetectC4(r.net, g)
+	return
+}
+
+// DetectFourCycle is the one-shot form of Clique.DetectFourCycle.
+func DetectFourCycle(g *Graph, opts ...Option) (bool, Stats, error) {
+	s, err := oneShot(g.N(), opts)
+	if err != nil {
+		return false, Stats{}, err
+	}
+	defer s.Close()
+	return s.DetectFourCycle(g)
 }
 
 // DetectCycle reports whether the graph contains a simple cycle of length
 // exactly k, by randomised colour-coding — 2^{O(k)}·n^ρ·log n rounds
 // (Theorem 3). There are no false positives; the detection probability per
 // colouring is ≥ k!/k^k, amplified by the (configurable) trial count.
-func DetectCycle(g *Graph, k int, opts ...Option) (found bool, stats Stats, err error) {
-	defer captureRoundLimit(&err)
-	c := newConfig(opts)
-	n, err := c.paddedSize(g.N(), ringSize)
+func (s *Clique) DetectCycle(g *Graph, k int, opts ...CallOption) (found bool, stats Stats, err error) {
+	r, err := s.begin("DetectCycle", g.N(), ringSize, opts)
 	if err != nil {
 		return false, Stats{}, err
 	}
-	net := c.network(n)
-	found, _, err = subgraph.DetectKCycle(net, c.engine.internal(), padGraph(g, n), k,
-		subgraph.KCycleOpts{Colourings: c.colourings, Seed: c.seed})
-	return found, statsOf(net, g.N()), err
+	defer r.end(&stats, &err)
+	found, _, err = subgraph.DetectKCycle(r.net, r.engine(), padGraph(g, r.n), k,
+		subgraph.KCycleOpts{Colourings: r.cfg.colourings, Seed: r.cfg.seed})
+	return
+}
+
+// DetectCycle is the one-shot form of Clique.DetectCycle.
+func DetectCycle(g *Graph, k int, opts ...Option) (bool, Stats, error) {
+	s, err := oneShot(g.N(), opts)
+	if err != nil {
+		return false, Stats{}, err
+	}
+	defer s.Close()
+	return s.DetectCycle(g, k)
 }
 
 // Girth computes the length of the graph's shortest cycle — Õ(n^ρ) rounds
 // (Theorem 5 for undirected graphs, Corollary 16 for directed ones).
 // ok = false reports an acyclic graph.
-func Girth(g *Graph, opts ...Option) (value int, ok bool, stats Stats, err error) {
-	defer captureRoundLimit(&err)
-	c := newConfig(opts)
-	n, err := c.paddedSize(g.N(), ringSize)
+func (s *Clique) Girth(g *Graph, opts ...CallOption) (value int, ok bool, stats Stats, err error) {
+	r, err := s.begin("Girth", g.N(), ringSize, opts)
 	if err != nil {
 		return 0, false, Stats{}, err
 	}
-	net := c.network(n)
-	padded := padGraph(g, n)
+	defer r.end(&stats, &err)
+	padded := padGraph(g, r.n)
 	if g.Directed() {
-		value, ok, err = girth.Directed(net, c.engine.internal(), padded)
+		value, ok, err = girth.Directed(r.net, r.engine(), padded)
 	} else {
-		value, ok, err = girth.Undirected(net, c.engine.internal(), padded, girth.Opts{
-			MaxCycleLen: c.maxCycle,
-			KCycle:      subgraph.KCycleOpts{Colourings: c.colourings, Seed: c.seed},
+		value, ok, err = girth.Undirected(r.net, r.engine(), padded, girth.Opts{
+			MaxCycleLen: r.cfg.maxCycle,
+			KCycle:      subgraph.KCycleOpts{Colourings: r.cfg.colourings, Seed: r.cfg.seed},
 		})
 	}
-	return value, ok, statsOf(net, g.N()), err
+	return
+}
+
+// Girth is the one-shot form of Clique.Girth.
+func Girth(g *Graph, opts ...Option) (int, bool, Stats, error) {
+	s, err := oneShot(g.N(), opts)
+	if err != nil {
+		return 0, false, Stats{}, err
+	}
+	defer s.Close()
+	return s.Girth(g)
 }
 
 // SquareAdjacencySparse computes every row of A² (2-walk counts) in O(1)
@@ -128,38 +184,59 @@ func Girth(g *Graph, opts ...Option) (value int, ok bool, stats Stats, err error
 // matrix-multiplication reading of the Theorem 4 machinery (§1.2 of the
 // paper). Returns subgraph.ErrTooDense (wrapped) when the degree condition
 // fails; use MatMul on the adjacency matrix then.
-func SquareAdjacencySparse(g *Graph, opts ...Option) (sq [][]int64, stats Stats, err error) {
-	defer captureRoundLimit(&err)
-	c := newConfig(opts)
-	n, err := c.paddedSize(g.N(), anySize)
+func (s *Clique) SquareAdjacencySparse(g *Graph, opts ...CallOption) (sq Mat, stats Stats, err error) {
+	n := s.nAny
+	if n < 8 {
+		// The Lemma 12 packing bound needs a few extra idle nodes.
+		if s.cfg.strict {
+			return nil, Stats{}, fmt.Errorf("algclique: sparse square needs n ≥ 8: %w", ccmm.ErrSize)
+		}
+		n = 8
+	}
+	r, err := s.beginAt("SquareAdjacencySparse", g.N(), n, opts)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	if n < 8 {
-		n = 8 // the Lemma 12 packing bound needs a few extra idle nodes
-		if c.strict {
-			return nil, Stats{}, fmt.Errorf("algclique: sparse square needs n ≥ 8: %w", ccmm.ErrSize)
-		}
+	defer r.end(&stats, &err)
+	rows, serr := subgraph.SparseSquare(r.net, padGraph(g, r.n))
+	if serr != nil {
+		err = serr
+		return
 	}
-	net := c.network(n)
-	rows, err := subgraph.SparseSquare(net, padGraph(g, n))
+	sq = truncateRows(rows, r.orig)
+	r.recycle(rows)
+	return
+}
+
+// SquareAdjacencySparse is the one-shot form of Clique.SquareAdjacencySparse.
+func SquareAdjacencySparse(g *Graph, opts ...Option) (Mat, Stats, error) {
+	s, err := oneShot(g.N(), opts)
 	if err != nil {
-		return nil, statsOf(net, g.N()), err
+		return nil, Stats{}, err
 	}
-	return truncateRows(rows, g.N()), statsOf(net, g.N()), nil
+	defer s.Close()
+	return s.SquareAdjacencySparse(g)
 }
 
 // CountTrianglesDolev counts triangles with the deterministic
 // O(n^{1/3})-round combinatorial algorithm of Dolev, Lenzen and Peled
 // (DISC 2012) — the prior-work baseline of Table 1.
-func CountTrianglesDolev(g *Graph, opts ...Option) (count int64, stats Stats, err error) {
-	defer captureRoundLimit(&err)
-	c := newConfig(opts)
-	n, err := c.paddedSize(g.N(), anySize)
+func (s *Clique) CountTrianglesDolev(g *Graph, opts ...CallOption) (count int64, stats Stats, err error) {
+	r, err := s.begin("CountTrianglesDolev", g.N(), anySize, opts)
 	if err != nil {
 		return 0, Stats{}, err
 	}
-	net := c.network(n)
-	count, err = baseline.DolevTriangles(net, g)
-	return count, statsOf(net, g.N()), err
+	defer r.end(&stats, &err)
+	count, err = baseline.DolevTriangles(r.net, g)
+	return
+}
+
+// CountTrianglesDolev is the one-shot form of Clique.CountTrianglesDolev.
+func CountTrianglesDolev(g *Graph, opts ...Option) (int64, Stats, error) {
+	s, err := oneShot(g.N(), opts)
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	defer s.Close()
+	return s.CountTrianglesDolev(g)
 }
