@@ -27,7 +27,7 @@ func (s *Clique) TransitiveClosure(g *Graph, opts ...CallOption) (reach Mat, sta
 	}
 	cur := mat
 	for iter := 0; 1<<iter < r.n; iter++ {
-		next, merr := r.plan.MulBoolPlanned(r.net, cur, cur)
+		next, merr := r.plan.MulBoolScratch(r.net, r.sc, cur, cur)
 		if merr != nil {
 			err = merr
 			return

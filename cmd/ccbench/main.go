@@ -45,6 +45,7 @@ func main() {
 		{"x3-sparsesquare", "X3 sparse A² in O(1) rounds (§1.2 remark)", sparseSquare},
 		{"x4-mm-padded", "X4 padded 3D vs naive min-plus on non-cube n (JSON)", mmPadded},
 		{"session-reuse", "X5 session API: amortised vs one-shot setup (JSON)", sessionReuse},
+		{"matmul", "X6 multiply-and-message hot path: bulk codecs, scratch pools, packed booleans (JSON, gated)", matmulBench},
 		{"table1", "Table 1 summary at n = 64", table1},
 	}
 	if len(os.Args) < 2 || os.Args[1] == "list" {

@@ -1,0 +1,272 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"time"
+
+	cc "github.com/algebraic-clique/algclique"
+	"github.com/algebraic-clique/algclique/internal/ccmm"
+	"github.com/algebraic-clique/algclique/internal/clique"
+	"github.com/algebraic-clique/algclique/internal/ring"
+)
+
+// The matmul experiment measures the simulator's multiply-and-message hot
+// path — the substrate every algorithm in the library stands on — and
+// maintains the BENCH_matmul.json trajectory file:
+//
+//   - amortised per-product cost of repeated session DistanceProduct /
+//     MatMul calls (rounds, words, allocs/op, ns/op) at n ∈ {27, 64, 100},
+//   - Boolean products through the bit-packed transport versus the
+//     unpacked reference, on the 3D engine and the naive gather.
+//
+// Regressions are gated on the deterministic, machine-independent metrics:
+// round counts, word counts, allocs/op, and the packed/unpacked round
+// ratio, each within benchTolerance of the committed baseline. Wall-clock
+// ns/op is recorded for the trajectory but not gated — CI hardware varies,
+// and every wall-clock regression on this path shows up in allocs or
+// message volume first.
+
+const (
+	benchBaselinePath = "BENCH_matmul.json"
+	benchTolerance    = 0.10 // fail on >10% regression
+	benchWarmups      = 2
+	benchOps          = 6
+)
+
+// benchProductStats is one measured product configuration.
+type benchProductStats struct {
+	Rounds   int64   `json:"rounds"`
+	Words    int64   `json:"words"`
+	AllocsOp uint64  `json:"allocs_op"`
+	NsOp     float64 `json:"ns_op"`
+}
+
+// benchBoolStats compares packed and unpacked Boolean transports.
+type benchBoolStats struct {
+	Engine         string  `json:"engine"`
+	N              int     `json:"n"`
+	RoundsPacked   int64   `json:"rounds_packed"`
+	RoundsUnpacked int64   `json:"rounds_unpacked"`
+	WordsPacked    int64   `json:"words_packed"`
+	WordsUnpacked  int64   `json:"words_unpacked"`
+	RoundRatio     float64 `json:"round_ratio"`
+	WordRatio      float64 `json:"word_ratio"`
+}
+
+// benchSnapshot is one full measurement of the hot path.
+type benchSnapshot struct {
+	SessionDistanceProduct map[string]benchProductStats `json:"session_distance_product"`
+	SessionMatMul          map[string]benchProductStats `json:"session_matmul"`
+	Bool                   []benchBoolStats             `json:"bool_packed_vs_unpacked"`
+}
+
+// benchFile is the committed trajectory: the pre-optimisation numbers
+// (fixed at the commit that introduced the experiment) and the current
+// baseline the gate compares against.
+type benchFile struct {
+	Experiment string         `json:"experiment"`
+	Note       string         `json:"note"`
+	Before     *benchSnapshot `json:"before,omitempty"`
+	BeforeNote string         `json:"before_note,omitempty"`
+	After      *benchSnapshot `json:"after"`
+}
+
+func mallocCount() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// measureSession runs warmups + benchOps products on one session and
+// reports the amortised steady-state cost.
+func measureSession(n int, mul func(s *cc.Clique, a, b [][]int64) (cc.Stats, error)) benchProductStats {
+	a, b := randSquare(n, 71), randSquare(n, 72)
+	s, err := cc.NewClique(n)
+	check(err)
+	defer s.Close()
+	var last cc.Stats
+	for i := 0; i < benchWarmups; i++ {
+		last, err = mul(s, a, b)
+		check(err)
+	}
+	m0, t0 := mallocCount(), time.Now()
+	for i := 0; i < benchOps; i++ {
+		last, err = mul(s, a, b)
+		check(err)
+	}
+	dt, dm := time.Since(t0), mallocCount()-m0
+	return benchProductStats{
+		Rounds:   last.Rounds,
+		Words:    last.Words,
+		AllocsOp: dm / benchOps,
+		NsOp:     float64(dt.Nanoseconds()) / benchOps,
+	}
+}
+
+// measureBool runs the same Boolean product through the packed and
+// unpacked transports on the chosen semiring engine.
+func measureBool(engine string, n int) benchBoolStats {
+	rng := rand.New(rand.NewPCG(73, uint64(n)))
+	rows := make([][]bool, n)
+	for i := range rows {
+		rows[i] = make([]bool, n)
+		for j := range rows[i] {
+			rows[i][j] = rng.IntN(2) == 1
+		}
+	}
+	s := &ccmm.RowMat[bool]{Rows: rows}
+	br := ring.Bool{}
+	run := func(codec ring.BulkCodec[bool]) (rounds, words int64, p *ccmm.RowMat[bool]) {
+		net := clique.New(n)
+		defer net.Close()
+		var err error
+		if engine == "naive-gather" {
+			p, err = ccmm.NaiveGather[bool](net, br, codec, s, s)
+		} else {
+			p, err = ccmm.Semiring3D[bool](net, br, codec, s, s)
+		}
+		check(err)
+		return net.Rounds(), net.Words(), p
+	}
+	ru, wu, pu := run(ring.AsBulk[bool](br))
+	rp, wp, pp := run(ring.PackedBool{})
+	for v := range pu.Rows {
+		for j := range pu.Rows[v] {
+			if pu.Rows[v][j] != pp.Rows[v][j] {
+				check(fmt.Errorf("matmul: packed Boolean product differs from unpacked at (%d,%d), n=%d", v, j, n))
+			}
+		}
+	}
+	return benchBoolStats{
+		Engine:         engine,
+		N:              n,
+		RoundsPacked:   rp,
+		RoundsUnpacked: ru,
+		WordsPacked:    wp,
+		WordsUnpacked:  wu,
+		RoundRatio:     float64(ru) / float64(rp),
+		WordRatio:      float64(wu) / float64(wp),
+	}
+}
+
+func measureSnapshot() *benchSnapshot {
+	snap := &benchSnapshot{
+		SessionDistanceProduct: map[string]benchProductStats{},
+		SessionMatMul:          map[string]benchProductStats{},
+	}
+	for _, n := range []int{27, 64, 100} {
+		key := fmt.Sprintf("%d", n)
+		snap.SessionDistanceProduct[key] = measureSession(n, func(s *cc.Clique, a, b [][]int64) (cc.Stats, error) {
+			_, st, err := s.DistanceProduct(a, b)
+			return st, err
+		})
+		snap.SessionMatMul[key] = measureSession(n, func(s *cc.Clique, a, b [][]int64) (cc.Stats, error) {
+			_, st, err := s.MatMul(a, b)
+			return st, err
+		})
+	}
+	snap.Bool = []benchBoolStats{
+		measureBool("semiring-3d", 64),
+		measureBool("semiring-3d", 512),
+		measureBool("naive-gather", 512),
+	}
+	return snap
+}
+
+// gate compares a current snapshot against the committed baseline and
+// returns every violated bound.
+func gate(base, cur *benchSnapshot) []string {
+	var fails []string
+	worse := func(now, then float64) bool {
+		return float64(now) > float64(then)*(1+benchTolerance)
+	}
+	checkProducts := func(kind string, base, cur map[string]benchProductStats) {
+		for key, b := range base {
+			c, ok := cur[key]
+			if !ok {
+				fails = append(fails, fmt.Sprintf("%s n=%s: missing from current run", kind, key))
+				continue
+			}
+			if worse(float64(c.Rounds), float64(b.Rounds)) {
+				fails = append(fails, fmt.Sprintf("%s n=%s: rounds %d > baseline %d", kind, key, c.Rounds, b.Rounds))
+			}
+			if worse(float64(c.Words), float64(b.Words)) {
+				fails = append(fails, fmt.Sprintf("%s n=%s: words %d > baseline %d", kind, key, c.Words, b.Words))
+			}
+			// Small absolute slack keeps one-off runtime allocations (pool
+			// growth, map rehash) from tripping the relative bound.
+			if float64(c.AllocsOp) > float64(b.AllocsOp)*(1+benchTolerance)+64 {
+				fails = append(fails, fmt.Sprintf("%s n=%s: allocs/op %d > baseline %d", kind, key, c.AllocsOp, b.AllocsOp))
+			}
+		}
+	}
+	checkProducts("session-distance-product", base.SessionDistanceProduct, cur.SessionDistanceProduct)
+	checkProducts("session-matmul", base.SessionMatMul, cur.SessionMatMul)
+	baseBool := map[string]benchBoolStats{}
+	for _, b := range base.Bool {
+		baseBool[fmt.Sprintf("%s/%d", b.Engine, b.N)] = b
+	}
+	for _, c := range cur.Bool {
+		b, ok := baseBool[fmt.Sprintf("%s/%d", c.Engine, c.N)]
+		if !ok {
+			continue
+		}
+		if worse(float64(c.RoundsPacked), float64(b.RoundsPacked)) {
+			fails = append(fails, fmt.Sprintf("bool %s n=%d: packed rounds %d > baseline %d",
+				c.Engine, c.N, c.RoundsPacked, b.RoundsPacked))
+		}
+		if c.RoundRatio < b.RoundRatio*(1-benchTolerance) {
+			fails = append(fails, fmt.Sprintf("bool %s n=%d: packed/unpacked round ratio %.1f < baseline %.1f",
+				c.Engine, c.N, c.RoundRatio, b.RoundRatio))
+		}
+	}
+	return fails
+}
+
+// matmulBench is the `ccbench matmul` experiment entry point.
+func matmulBench() {
+	cur := measureSnapshot()
+
+	var committed benchFile
+	gated := false
+	if raw, err := os.ReadFile(benchBaselinePath); err == nil {
+		check(json.Unmarshal(raw, &committed))
+		if committed.After != nil {
+			gated = true
+			if fails := gate(committed.After, cur); len(fails) > 0 {
+				for _, f := range fails {
+					fmt.Fprintln(os.Stderr, "   REGRESSION:", f)
+				}
+				check(fmt.Errorf("matmul: %d hot-path regression(s) versus %s", len(fails), benchBaselinePath))
+			}
+		}
+	}
+
+	out := benchFile{
+		Experiment: "matmul-hotpath",
+		Note: "amortised session products and packed Boolean transport; gated on rounds/words/allocs " +
+			"and the packed round ratio (ns_op recorded, not gated — hardware varies)",
+		Before:     committed.Before,
+		BeforeNote: committed.BeforeNote,
+		After:      cur,
+	}
+	raw, err := json.MarshalIndent(out, "", "  ")
+	check(err)
+	raw = append(raw, '\n')
+	check(os.WriteFile(benchBaselinePath, raw, 0o644))
+	fmt.Printf("   wrote %s\n", benchBaselinePath)
+	if gated {
+		fmt.Printf("   no regression > %.0f%% versus committed baseline\n", benchTolerance*100)
+	} else {
+		fmt.Printf("   no committed baseline found at %s; snapshot printed only\n", benchBaselinePath)
+	}
+	for _, b := range cur.Bool {
+		fmt.Printf("   bool %s n=%d: %d → %d rounds (%.1fx), %d → %d words (%.1fx)\n",
+			b.Engine, b.N, b.RoundsUnpacked, b.RoundsPacked, b.RoundRatio,
+			b.WordsUnpacked, b.WordsPacked, b.WordRatio)
+	}
+}

@@ -226,6 +226,21 @@ func TestSemiring3DRejectsRowMismatch(t *testing.T) {
 	}
 }
 
+// TestMulBoolRejectsMalformedOperands pins that the semiring Boolean path
+// validates shapes before its pooled operand conversion: malformed inputs
+// must come back as ErrSize, not a panic out of a pooled buffer.
+func TestMulBoolRejectsMalformedOperands(t *testing.T) {
+	net := clique.New(8)
+	ragged := ccmm.NewRowMat[int64](8)
+	ragged.Rows[3] = make([]int64, 12) // longer than the clique size
+	if _, err := ccmm.MulBool(net, ccmm.Engine3D, ragged, ccmm.NewRowMat[int64](8)); !errors.Is(err, ccmm.ErrSize) {
+		t.Errorf("ragged left operand: err = %v, want ErrSize", err)
+	}
+	if _, err := ccmm.MulBool(net, ccmm.Engine3D, ccmm.NewRowMat[int64](8), ccmm.NewRowMat[int64](9)); !errors.Is(err, ccmm.ErrSize) {
+		t.Errorf("oversized right operand: err = %v, want ErrSize", err)
+	}
+}
+
 func TestDistanceProduct3DWitnesses(t *testing.T) {
 	rng := rand.New(rand.NewPCG(5, 1))
 	mp := ring.MinPlus{}

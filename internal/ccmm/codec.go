@@ -1,58 +1,16 @@
 package ccmm
 
-import (
-	"github.com/algebraic-clique/algclique/internal/clique"
-	"github.com/algebraic-clique/algclique/internal/ring"
-)
-
-// encodeVec serialises vals into a fresh word vector using the codec.
-func encodeVec[T any](codec ring.Codec[T], vals []T) []clique.Word {
-	w := codec.Width()
-	out := make([]clique.Word, len(vals)*w)
-	for i, v := range vals {
-		codec.Encode(v, out[i*w:(i+1)*w])
-	}
-	return out
-}
-
-// appendEncoded serialises vals onto dst and returns the extended slice.
-func appendEncoded[T any](codec ring.Codec[T], dst []clique.Word, vals []T) []clique.Word {
-	w := codec.Width()
-	base := len(dst)
-	dst = append(dst, make([]clique.Word, len(vals)*w)...)
-	for i, v := range vals {
-		codec.Encode(v, dst[base+i*w:base+(i+1)*w])
-	}
-	return dst
-}
-
-// decodeVec deserialises count elements from ws.
-func decodeVec[T any](codec ring.Codec[T], ws []clique.Word, count int) []T {
-	w := codec.Width()
-	out := make([]T, count)
-	for i := range out {
-		out[i] = codec.Decode(ws[i*w : (i+1)*w])
-	}
-	return out
-}
-
-// emptyMsgs allocates an n×n exchange buffer.
-func emptyMsgs(n int) [][][]clique.Word {
-	m := make([][][]clique.Word, n)
-	for i := range m {
-		m[i] = make([][]clique.Word, n)
-	}
-	return m
-}
-
-// clearMsgs nils every entry so an exchange buffer can be refilled for the
-// next step without reallocating the n+1 index arrays. Exchange copies the
-// payload words onto the links, so dropping the references here is safe.
-func clearMsgs(msgs [][][]clique.Word) [][][]clique.Word {
-	for _, row := range msgs {
-		for i := range row {
-			row[i] = nil
+// gatherCols fills buf[i] with row[cols[i]] for every in-range column and
+// the semiring zero for padding columns (index ≥ n). It is the gather step
+// in front of every bulk encode: the engines assemble a block row into a
+// scratch buffer and ship it through one EncodeSlice call, with no
+// per-element codec dispatch anywhere on the path.
+func gatherCols[T any](buf []T, row []T, cols []int, n int, zero T) {
+	for i, col := range cols {
+		if col < n {
+			buf[i] = row[col]
+		} else {
+			buf[i] = zero
 		}
 	}
-	return msgs
 }

@@ -70,41 +70,79 @@ func MulRing[T any](net *clique.Network, e Engine, rg ring.Ring[T], codec ring.C
 	return MulRingPlanned[T](net, PlanFor(net.N(), e), rg, codec, s, t)
 }
 
+// MulRingWith is MulRing with caller-owned scratch pools — the form every
+// iterated-product pipeline uses so repeated products share one working
+// set.
+func MulRingWith[T any](net *clique.Network, e Engine, sc *Scratch, rg ring.Ring[T], codec ring.Codec[T], s, t *RowMat[T]) (*RowMat[T], error) {
+	return MulRingScratch[T](net, PlanFor(net.N(), e), sc, rg, codec, s, t)
+}
+
 // MulInt multiplies distributed int64 matrices over the integer ring.
 func MulInt(net *clique.Network, e Engine, s, t *RowMat[int64]) (*RowMat[int64], error) {
-	r := ring.Int64{}
-	return MulRing[int64](net, e, r, r, s, t)
+	return MulIntWith(net, e, nil, s, t)
+}
+
+// MulIntWith is MulInt with caller-owned scratch pools.
+func MulIntWith(net *clique.Network, e Engine, sc *Scratch, s, t *RowMat[int64]) (*RowMat[int64], error) {
+	return PlanFor(net.N(), e).MulIntScratch(net, sc, s, t)
+}
+
+// MulBoolWith is MulBool with caller-owned scratch pools.
+func MulBoolWith(net *clique.Network, e Engine, sc *Scratch, s, t *RowMat[int64]) (*RowMat[int64], error) {
+	return PlanFor(net.N(), e).MulBoolScratch(net, sc, s, t)
+}
+
+// MulMinPlusWith is MulMinPlus with caller-owned scratch pools.
+func MulMinPlusWith(net *clique.Network, e Engine, sc *Scratch, s, t *RowMat[int64]) (*RowMat[int64], error) {
+	return PlanFor(net.N(), e).MulMinPlusScratch(net, sc, s, t)
 }
 
 // MulBool computes the Boolean matrix product. Over the bilinear engine the
 // product is computed in the integer ring and collapsed entrywise to 0/1
 // (the entries are walk counts ≤ n, and an entry is non-zero exactly when
 // the Boolean product is true — the standard embedding the paper uses in
-// §3.1). Semiring engines multiply over the Boolean semiring directly.
+// §3.1). Semiring engines multiply over the Boolean semiring directly,
+// shipped through the bit-packed transport (ring.PackedBool): 64 entries
+// per word, cutting Boolean-product bandwidth and rounds ~64×.
 // Inputs must be 0/1 matrices.
 func MulBool(net *clique.Network, e Engine, s, t *RowMat[int64]) (*RowMat[int64], error) {
-	return PlanFor(net.N(), e).MulBoolPlanned(net, s, t)
+	return PlanFor(net.N(), e).MulBoolScratch(net, nil, s, t)
 }
 
-func mulBoolSemiring(net *clique.Network, e Engine, s, t *RowMat[int64]) (*RowMat[int64], error) {
+func mulBoolSemiring(net *clique.Network, e Engine, sc *Scratch, s, t *RowMat[int64]) (*RowMat[int64], error) {
+	n := net.N()
+	// Validate before converting: the conversion below writes through
+	// pooled n×n buffers, which malformed operands must never reach.
+	if err := s.validate(n); err != nil {
+		return nil, err
+	}
+	if err := t.validate(n); err != nil {
+		return nil, err
+	}
+	if sc == nil {
+		sc = NewScratch()
+	}
 	br := ring.Bool{}
+	ts := typedFrom[bool](sc)
 	toBool := func(m *RowMat[int64]) *RowMat[bool] {
-		out := &RowMat[bool]{Rows: make([][]bool, len(m.Rows))}
+		out := ts.getMat(n)
 		for v, row := range m.Rows {
-			b := make([]bool, len(row))
+			b := out.Rows[v]
 			for j, x := range row {
 				b[j] = x != 0
 			}
-			out.Rows[v] = b
 		}
 		return out
 	}
+	sb, tb := toBool(s), toBool(t)
+	defer ts.putMat(sb)
+	defer ts.putMat(tb)
 	var p *RowMat[bool]
 	var err error
 	if e == Engine3D {
-		p, err = Semiring3D[bool](net, br, br, toBool(s), toBool(t))
+		p, err = Semiring3DScratch[bool](net, sc, br, ring.PackedBool{}, sb, tb)
 	} else {
-		p, err = NaiveGather[bool](net, br, br, toBool(s), toBool(t))
+		p, err = NaiveGatherScratch[bool](net, sc, br, ring.PackedBool{}, sb, tb)
 	}
 	if err != nil {
 		return nil, err

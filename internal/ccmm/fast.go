@@ -21,6 +21,15 @@ import (
 // A nil scheme selects bilinear.Pick(n). The scheme must satisfy m ≤ n and
 // d | q.
 func FastBilinear[T any](net *clique.Network, rg ring.Ring[T], codec ring.Codec[T], scheme *bilinear.Scheme, s, t *RowMat[T]) (*RowMat[T], error) {
+	return FastBilinearScratch[T](net, nil, rg, codec, scheme, s, t)
+}
+
+// FastBilinearScratch is FastBilinear with caller-owned scratch pools (see
+// Scratch): message payloads, the assembled grids, the per-multiplication
+// combination pieces, and the block products all persist in sc across
+// products, and every row travels through one bulk EncodeSlice/DecodeSlice
+// instead of per-element codec dispatch. A nil sc uses a transient scratch.
+func FastBilinearScratch[T any](net *clique.Network, sc *Scratch, rg ring.Ring[T], codec ring.Codec[T], scheme *bilinear.Scheme, s, t *RowMat[T]) (*RowMat[T], error) {
 	n := net.N()
 	if err := s.validate(n); err != nil {
 		return nil, err
@@ -46,171 +55,182 @@ func FastBilinear[T any](net *clique.Network, rg ring.Ring[T], codec ring.Codec[
 	if err != nil {
 		return nil, err
 	}
+	if sc == nil {
+		sc = NewScratch()
+	}
+	bc := ring.AsBulk[T](codec)
+	ts := typedFrom[T](sc)
 	q, d, qd := lay.q, lay.d, lay.qd
 	m := scheme.M
-	width := codec.Width()
+	qLen := bc.EncodedLen(q)  // words per length-q row chunk
+	pLen := bc.EncodedLen(qd) // words per length-q/d piece chunk
+	zero := rg.Zero()
 
 	groups := make([][]int, q) // ∗x∗ ordered by (v1, v3)
 	for x := 0; x < q; x++ {
 		groups[x] = lay.groupSet(x)
 	}
+	growBufs(&ts.bufs, n)
+	growSlots(&ts.gridS, n)
+	growSlots(&ts.gridT, n)
+	growHat(&ts.hatS, n, m)
+	growHat(&ts.hatT, n, m)
+	growSlots(&ts.fullA, n)
+	growSlots(&ts.fullB, n)
+	growSlots(&ts.fullP, n)
+	growSlots(&ts.acc, n)
+	growSlots(&ts.piece, n)
 
 	// Step 1: node v sends S[v, ∗x2∗] and T[v, ∗x2∗] to the node labelled
-	// (v2, x2), for every x2 ∈ [q].
+	// (v2, x2), for every x2 ∈ [q] — one message of two row chunks.
 	net.Phase("mmfast/distribute")
-	msgs := emptyMsgs(n)
+	msgs := sc.getPayload(n)
 	net.ForEach(func(v int) {
 		_, v2, _ := lay.split(v)
 		srow, trow := s.Rows[v], t.Rows[v]
-		buf := make([]T, q)
+		buf := nodeBuf(ts.bufs, v, q)
 		for x2 := 0; x2 < q; x2++ {
 			u := lay.nodeAt(v2, x2)
-			for i, col := range groups[x2] {
-				buf[i] = srow[col]
-			}
-			msgs[v][u] = appendEncoded(codec, msgs[v][u], buf)
-			for i, col := range groups[x2] {
-				buf[i] = trow[col]
-			}
-			msgs[v][u] = appendEncoded(codec, msgs[v][u], buf)
+			msg := msgs[v][u][:0]
+			gatherCols(buf, srow, groups[x2], n, zero)
+			msg = bc.EncodeSlice(msg, buf)
+			gatherCols(buf, trow, groups[x2], n, zero)
+			msgs[v][u] = bc.EncodeSlice(msg, buf)
 		}
 	})
-	in := routing.Exchange(net, routing.Auto, msgs)
+	in := routing.ExchangeScratch(net, routing.Auto, sc.rt, msgs)
+	sc.putPayload(msgs)
 
 	// Step 2: node (x1, x2) assembles S[∗x1∗, ∗x2∗] and T[∗x1∗, ∗x2∗]
 	// (q×q, block-row order) and computes the scheme's linear combinations
-	// Ŝ(w)[x1∗, x2∗], T̂(w)[x1∗, x2∗] — one (q/d)×(q/d) piece per w.
+	// Ŝ(w)[x1∗, x2∗], T̂(w)[x1∗, x2∗] — one (q/d)×(q/d) piece per w,
+	// accumulated through block views with no copies.
 	net.Phase("mmfast/encode")
-	shat := make([][]*matrix.Dense[T], n) // shat[v][w]
-	that := make([][]*matrix.Dense[T], n)
 	net.ForEach(func(v int) {
 		x1, _ := lay.label(v)
-		sg := matrix.New[T](q, q)
-		tg := matrix.New[T](q, q)
+		sg := slotAt(ts.gridS, v, q, q)
+		tg := slotAt(ts.gridT, v, q, q)
 		for pos, sender := range groups[x1] {
 			ws := in[v][sender]
-			sg.SetRow(pos, decodeVec(codec, ws[:q*width], q))
-			tg.SetRow(pos, decodeVec(codec, ws[q*width:2*q*width], q))
+			bc.DecodeSlice(sg.Row(pos), ws)
+			bc.DecodeSlice(tg.Row(pos), ws[qLen:])
 		}
-		block := func(g *matrix.Dense[T], i, j int) *matrix.Dense[T] {
-			return g.Sub(i*qd, (i+1)*qd, j*qd, (j+1)*qd)
-		}
-		shat[v] = make([]*matrix.Dense[T], m)
-		that[v] = make([]*matrix.Dense[T], m)
 		for w := 0; w < m; w++ {
-			sp := matrix.Zeros[T](rg, qd, qd)
+			sp := slotAt(ts.hatS[v], w, qd, qd)
+			sp.Fill(zero)
 			for _, term := range scheme.Alpha[w] {
-				matrix.ScaleAddInto(rg, sp, term.C, block(sg, term.I, term.J))
+				matrix.ScaleAddFromBlock(rg, sp, term.C, sg, term.I*qd, term.J*qd)
 			}
-			tp := matrix.Zeros[T](rg, qd, qd)
+			tp := slotAt(ts.hatT[v], w, qd, qd)
+			tp.Fill(zero)
 			for _, term := range scheme.Beta[w] {
-				matrix.ScaleAddInto(rg, tp, term.C, block(tg, term.I, term.J))
+				matrix.ScaleAddFromBlock(rg, tp, term.C, tg, term.I*qd, term.J*qd)
 			}
-			shat[v][w] = sp
-			that[v][w] = tp
 		}
 	})
 
-	// Step 3: every node sends its (q/d)² pieces of Ŝ(w), T̂(w) to node w.
+	// Step 3: every node sends its (q/d)² pieces of Ŝ(w), T̂(w) to node w,
+	// one row chunk at a time.
 	net.Phase("mmfast/combine")
-	msgs = clearMsgs(msgs)
+	msgs = sc.getPayload(n)
 	net.ForEach(func(v int) {
 		for w := 0; w < m; w++ {
-			payload := make([]T, 0, 2*qd*qd)
+			msg := msgs[v][w][:0]
+			sp, tp := ts.hatS[v][w], ts.hatT[v][w]
 			for i := 0; i < qd; i++ {
-				payload = append(payload, shat[v][w].Row(i)...)
+				msg = bc.EncodeSlice(msg, sp.Row(i))
 			}
 			for i := 0; i < qd; i++ {
-				payload = append(payload, that[v][w].Row(i)...)
+				msg = bc.EncodeSlice(msg, tp.Row(i))
 			}
-			msgs[v][w] = encodeVec(codec, payload)
+			msgs[v][w] = msg
 		}
 	})
-	in = routing.Exchange(net, routing.Auto, msgs)
+	in = routing.ExchangeScratch(net, routing.Auto, sc.rt, msgs)
+	sc.putPayload(msgs)
 
-	// Step 4: node w < m assembles Ŝ(w), T̂(w) ((n/d)×(n/d)) and multiplies.
+	// Step 4: node w < m assembles Ŝ(w), T̂(w) ((n/d)×(n/d)), decoding each
+	// chunk straight into its row window, and multiplies.
 	net.Phase("mmfast/multiply")
 	nd := n / d
-	phat := make([]*matrix.Dense[T], n)
 	net.ForEach(func(w int) {
 		if w >= m {
 			return
 		}
-		sfull := matrix.New[T](nd, nd)
-		tfull := matrix.New[T](nd, nd)
+		sfull := slotAt(ts.fullA, w, nd, nd)
+		tfull := slotAt(ts.fullB, w, nd, nd)
 		for x1 := 0; x1 < q; x1++ {
 			for x2 := 0; x2 < q; x2++ {
-				sender := lay.nodeAt(x1, x2)
-				vals := decodeVec(codec, in[w][sender], 2*qd*qd)
+				ws := in[w][lay.nodeAt(x1, x2)]
 				for i := 0; i < qd; i++ {
-					for j := 0; j < qd; j++ {
-						sfull.Set(x1*qd+i, x2*qd+j, vals[i*qd+j])
-						tfull.Set(x1*qd+i, x2*qd+j, vals[qd*qd+i*qd+j])
-					}
+					bc.DecodeSlice(sfull.Row(x1*qd + i)[x2*qd:(x2+1)*qd], ws[i*pLen:])
+					bc.DecodeSlice(tfull.Row(x1*qd + i)[x2*qd:(x2+1)*qd], ws[(qd+i)*pLen:])
 				}
 			}
 		}
-		phat[w] = matrix.Mul(rg, sfull, tfull)
+		matrix.MulInto(rg, slotAt(ts.fullP, w, nd, nd), sfull, tfull)
 	})
 
 	// Step 5: node w returns P̂(w)[x1∗, x2∗] to the node labelled (x1, x2).
 	net.Phase("mmfast/products")
-	msgs = clearMsgs(msgs)
+	msgs = sc.getPayload(n)
 	net.ForEach(func(w int) {
 		if w >= m {
 			return
 		}
+		phat := ts.fullP[w]
 		for x1 := 0; x1 < q; x1++ {
 			for x2 := 0; x2 < q; x2++ {
-				payload := make([]T, 0, qd*qd)
+				u := lay.nodeAt(x1, x2)
+				msg := msgs[w][u][:0]
 				for i := 0; i < qd; i++ {
-					payload = append(payload, phat[w].Row(x1*qd + i)[x2*qd:(x2+1)*qd]...)
+					msg = bc.EncodeSlice(msg, phat.Row(x1*qd + i)[x2*qd:(x2+1)*qd])
 				}
-				msgs[w][lay.nodeAt(x1, x2)] = encodeVec(codec, payload)
+				msgs[w][u] = msg
 			}
 		}
 	})
-	in = routing.Exchange(net, routing.Auto, msgs)
+	in = routing.ExchangeScratch(net, routing.Auto, sc.rt, msgs)
+	sc.putPayload(msgs)
 
 	// Step 6: node (x1, x2) decodes the m pieces and accumulates
 	// P[i·x1∗, j·x2∗] = Σ_w λ_ijw P̂(w)[x1∗, x2∗], yielding P[∗x1∗, ∗x2∗].
 	net.Phase("mmfast/decode")
-	pg := make([]*matrix.Dense[T], n)
 	net.ForEach(func(v int) {
-		out := matrix.Zeros[T](rg, q, q)
+		out := slotAt(ts.acc, v, q, q)
+		out.Fill(zero)
+		piece := slotAt(ts.piece, v, qd, qd)
 		for w := 0; w < m; w++ {
-			piece := matrix.New[T](qd, qd)
-			vals := decodeVec(codec, in[v][w], qd*qd)
+			ws := in[v][w]
 			for i := 0; i < qd; i++ {
-				copy(piece.Row(i), vals[i*qd:(i+1)*qd])
+				bc.DecodeSlice(piece.Row(i), ws[i*pLen:])
 			}
 			for _, term := range scheme.Lambda[w] {
-				dst := out.Sub(term.I*qd, (term.I+1)*qd, term.J*qd, (term.J+1)*qd)
-				matrix.ScaleAddInto(rg, dst, term.C, piece)
-				out.SetSub(term.I*qd, term.J*qd, dst)
+				matrix.ScaleAddToBlock(rg, out, term.I*qd, term.J*qd, term.C, piece)
 			}
 		}
-		pg[v] = out
 	})
 
 	// Step 7: node (x1, x2) sends P[u, ∗x2∗] to each row owner u ∈ ∗x1∗.
 	net.Phase("mmfast/assemble")
-	msgs = clearMsgs(msgs)
+	msgs = sc.getPayload(n)
 	net.ForEach(func(v int) {
 		x1, _ := lay.label(v)
+		out := ts.acc[v]
 		for pos, u := range groups[x1] {
-			msgs[v][u] = encodeVec(codec, pg[v].Row(pos))
+			msgs[v][u] = bc.EncodeSlice(msgs[v][u][:0], out.Row(pos))
 		}
 	})
-	in = routing.Exchange(net, routing.Auto, msgs)
+	in = routing.ExchangeScratch(net, routing.Auto, sc.rt, msgs)
+	sc.putPayload(msgs)
 
 	p := NewRowMat[T](n)
 	net.ForEach(func(u int) {
 		_, u2, _ := lay.split(u)
 		row := p.Rows[u]
+		piece := nodeBuf(ts.bufs, u, q)
 		for x2 := 0; x2 < q; x2++ {
-			sender := lay.nodeAt(u2, x2)
-			piece := decodeVec(codec, in[u][sender], q)
+			bc.DecodeSlice(piece, in[u][lay.nodeAt(u2, x2)])
 			for i, col := range groups[x2] {
 				row[col] = piece[i]
 			}

@@ -11,6 +11,14 @@ import (
 // baseline against which the 3D and bilinear algorithms are measured, and
 // works on any clique size and semiring.
 func NaiveGather[T any](net *clique.Network, sr ring.Semiring[T], codec ring.Codec[T], s, t *RowMat[T]) (*RowMat[T], error) {
+	return NaiveGatherScratch[T](net, nil, sr, codec, s, t)
+}
+
+// NaiveGatherScratch is NaiveGather with caller-owned scratch pools and
+// bulk-codec transport: rows ship through one EncodeSlice each (so a
+// packing codec compresses the gather 64×), and the decoded right operand
+// lives in pooled per-node buffers. A nil sc uses a transient scratch.
+func NaiveGatherScratch[T any](net *clique.Network, sc *Scratch, sr ring.Semiring[T], codec ring.Codec[T], s, t *RowMat[T]) (*RowMat[T], error) {
 	n := net.N()
 	if err := s.validate(n); err != nil {
 		return nil, err
@@ -18,28 +26,36 @@ func NaiveGather[T any](net *clique.Network, sr ring.Semiring[T], codec ring.Cod
 	if err := t.validate(n); err != nil {
 		return nil, err
 	}
+	if sc == nil {
+		sc = NewScratch()
+	}
+	bc := ring.AsBulk[T](codec)
+	ts := typedFrom[T](sc)
 	net.Phase("mmnaive/gather")
 	vecs := make([][]clique.Word, n)
 	for v := 0; v < n; v++ {
-		vecs[v] = encodeVec(codec, t.Rows[v])
+		vecs[v] = bc.EncodeSlice(nil, t.Rows[v])
 	}
 	all := routing.AllGather(net, vecs)
 
 	net.Phase("mmnaive/multiply")
+	growBufs(&ts.rows, n)
 	trows := make([][]T, n)
 	for v := 0; v < n; v++ {
-		trows[v] = decodeVec(codec, all[v], n)
+		trows[v] = nodeBuf(ts.rows, v, n)
+		bc.DecodeSlice(trows[v], all[v])
 	}
+	zero := sr.Zero()
 	p := NewRowMat[T](n)
 	net.ForEach(func(v int) {
 		srow := s.Rows[v]
 		out := p.Rows[v]
 		for j := 0; j < n; j++ {
-			out[j] = sr.Zero()
+			out[j] = zero
 		}
 		for k := 0; k < n; k++ {
 			sk := srow[k]
-			if sr.Equal(sk, sr.Zero()) {
+			if sr.Equal(sk, zero) {
 				continue
 			}
 			trow := trows[k]

@@ -74,16 +74,24 @@ func (p *Plan) check(net *clique.Network) error {
 // MulRingPlanned multiplies two distributed matrices over a ring using an
 // already-resolved plan.
 func MulRingPlanned[T any](net *clique.Network, p *Plan, rg ring.Ring[T], codec ring.Codec[T], s, t *RowMat[T]) (*RowMat[T], error) {
+	return MulRingScratch[T](net, p, nil, rg, codec, s, t)
+}
+
+// MulRingScratch is MulRingPlanned with caller-owned scratch pools: the
+// resolved engine draws its message matrices, payload buffers, and block
+// operands from sc, so a session (or any iterated-product pipeline) pays
+// the engine's working set once. A nil sc uses a transient scratch.
+func MulRingScratch[T any](net *clique.Network, p *Plan, sc *Scratch, rg ring.Ring[T], codec ring.Codec[T], s, t *RowMat[T]) (*RowMat[T], error) {
 	if err := p.check(net); err != nil {
 		return nil, err
 	}
 	switch p.RingEngine {
 	case EngineFast:
-		return FastBilinear[T](net, rg, codec, p.Scheme, s, t)
+		return FastBilinearScratch[T](net, sc, rg, codec, p.Scheme, s, t)
 	case Engine3D:
-		return Semiring3D[T](net, rg, codec, s, t)
+		return Semiring3DScratch[T](net, sc, rg, codec, s, t)
 	case EngineNaive:
-		return NaiveGather[T](net, rg, codec, s, t)
+		return NaiveGatherScratch[T](net, sc, rg, codec, s, t)
 	default:
 		return nil, fmt.Errorf("ccmm: engine %v cannot multiply over a ring: %w", p.RingEngine, ErrSize)
 	}
@@ -92,19 +100,31 @@ func MulRingPlanned[T any](net *clique.Network, p *Plan, rg ring.Ring[T], codec 
 // MulIntPlanned multiplies distributed int64 matrices over the integer ring
 // with an already-resolved plan.
 func (p *Plan) MulIntPlanned(net *clique.Network, s, t *RowMat[int64]) (*RowMat[int64], error) {
+	return p.MulIntScratch(net, nil, s, t)
+}
+
+// MulIntScratch is MulIntPlanned with caller-owned scratch pools.
+func (p *Plan) MulIntScratch(net *clique.Network, sc *Scratch, s, t *RowMat[int64]) (*RowMat[int64], error) {
 	r := ring.Int64{}
-	return MulRingPlanned[int64](net, p, r, r, s, t)
+	return MulRingScratch[int64](net, p, sc, r, r, s, t)
 }
 
 // MulBoolPlanned computes the Boolean matrix product with an
 // already-resolved plan (see MulBool for the embedding).
 func (p *Plan) MulBoolPlanned(net *clique.Network, s, t *RowMat[int64]) (*RowMat[int64], error) {
+	return p.MulBoolScratch(net, nil, s, t)
+}
+
+// MulBoolScratch is MulBoolPlanned with caller-owned scratch pools; the
+// semiring engines ship the product through the bit-packed Boolean
+// transport.
+func (p *Plan) MulBoolScratch(net *clique.Network, sc *Scratch, s, t *RowMat[int64]) (*RowMat[int64], error) {
 	if err := p.check(net); err != nil {
 		return nil, err
 	}
 	switch p.RingEngine {
 	case EngineFast:
-		prod, err := p.MulIntPlanned(net, s, t)
+		prod, err := p.MulIntScratch(net, sc, s, t)
 		if err != nil {
 			return nil, err
 		}
@@ -118,24 +138,29 @@ func (p *Plan) MulBoolPlanned(net *clique.Network, s, t *RowMat[int64]) (*RowMat
 		}
 		return prod, nil
 	case Engine3D:
-		return mulBoolSemiring(net, Engine3D, s, t)
+		return mulBoolSemiring(net, Engine3D, sc, s, t)
 	default:
-		return mulBoolSemiring(net, EngineNaive, s, t)
+		return mulBoolSemiring(net, EngineNaive, sc, s, t)
 	}
 }
 
 // MulMinPlusPlanned computes the distance product with an already-resolved
 // plan; the bilinear engine does not apply (min-plus is not a ring).
 func (p *Plan) MulMinPlusPlanned(net *clique.Network, s, t *RowMat[int64]) (*RowMat[int64], error) {
+	return p.MulMinPlusScratch(net, nil, s, t)
+}
+
+// MulMinPlusScratch is MulMinPlusPlanned with caller-owned scratch pools.
+func (p *Plan) MulMinPlusScratch(net *clique.Network, sc *Scratch, s, t *RowMat[int64]) (*RowMat[int64], error) {
 	if err := p.check(net); err != nil {
 		return nil, err
 	}
 	mp := ring.MinPlus{}
 	switch p.SemiringEngine {
 	case Engine3D:
-		return Semiring3D[int64](net, mp, mp, s, t)
+		return Semiring3DScratch[int64](net, sc, mp, mp, s, t)
 	case EngineNaive:
-		return NaiveGather[int64](net, mp, mp, s, t)
+		return NaiveGatherScratch[int64](net, sc, mp, mp, s, t)
 	default:
 		return nil, fmt.Errorf("ccmm: engine %v cannot compute a min-plus product: %w", p.SemiringEngine, ErrSize)
 	}

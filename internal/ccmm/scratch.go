@@ -1,0 +1,244 @@
+package ccmm
+
+import (
+	"github.com/algebraic-clique/algclique/internal/clique"
+	"github.com/algebraic-clique/algclique/internal/matrix"
+	"github.com/algebraic-clique/algclique/internal/routing"
+)
+
+// Scratch holds the reusable working state of the distributed
+// multiplication engines: message matrices, encoded-word payload buffers,
+// local block operands and products, and decode buffers. A session owns
+// one Scratch per clique size and passes it to every product, so repeated
+// multiplications — iterated squaring, Seidel's recursion, colour-coding's
+// 3^k products — run allocation-free in steady state. Engines accept a nil
+// Scratch and build a transient one, which still pools across the steps of
+// that single product.
+//
+// Ownership rules (see DESIGN.md "Scratch pools"):
+//
+//   - A Scratch belongs to at most one in-flight product; sessions
+//     guarantee this by serialising operations. Within a product, per-node
+//     entries are touched only by that node's ForEach worker.
+//   - Payload matrices hold message buffers owned by the scratch; entries
+//     are truncated (capacity kept) between uses and only ever appended
+//     into. View matrices hold borrowed slices — mailbox windows, local
+//     loopback payloads — and are nil-cleared between uses, never appended
+//     into.
+//   - Engine inputs and outputs are never pooled: results returned to
+//     callers are freshly allocated, so nothing a caller retains aliases
+//     scratch state.
+type Scratch struct {
+	payload map[int][][][][]clique.Word // free payload matrices, by dimension
+	views   map[int][][][][]clique.Word // free view matrices, by dimension
+	offs    []int                       // per-link offsets for exchangeVirtual
+	rt      *routing.Scratch            // delivery-layer pools
+	typed   []any                       // one *typedScratch[T] per element type
+}
+
+// NewScratch returns an empty scratch pool.
+func NewScratch() *Scratch {
+	return &Scratch{
+		payload: make(map[int][][][][]clique.Word),
+		views:   make(map[int][][][][]clique.Word),
+		rt:      routing.NewScratch(),
+	}
+}
+
+// getPayload returns a d×d message matrix whose entries are truncated to
+// length zero but keep their accumulated capacity. Callers build messages
+// with vmsgs[v][u] = append/EncodeSlice(vmsgs[v][u][:0], ...) and return
+// the matrix with putPayload once the traffic has been handed to the
+// network (which copies payloads into its queues).
+func (sc *Scratch) getPayload(d int) [][][]clique.Word {
+	free := sc.payload[d]
+	if k := len(free); k > 0 {
+		m := free[k-1]
+		sc.payload[d] = free[:k-1]
+		return m
+	}
+	m := make([][][]clique.Word, d)
+	for i := range m {
+		m[i] = make([][]clique.Word, d)
+	}
+	return m
+}
+
+// putPayload truncates every entry and returns the matrix to the pool.
+func (sc *Scratch) putPayload(m [][][]clique.Word) {
+	for _, row := range m {
+		for i := range row {
+			row[i] = row[i][:0]
+		}
+	}
+	d := len(m)
+	sc.payload[d] = append(sc.payload[d], m)
+}
+
+// getView returns a d×d matrix of nil slices for holding borrowed word
+// windows (mailbox slices, loopback payloads). View entries are assigned,
+// never appended into; putView drops the references.
+func (sc *Scratch) getView(d int) [][][]clique.Word {
+	free := sc.views[d]
+	if k := len(free); k > 0 {
+		m := free[k-1]
+		sc.views[d] = free[:k-1]
+		return m
+	}
+	m := make([][][]clique.Word, d)
+	for i := range m {
+		m[i] = make([][]clique.Word, d)
+	}
+	return m
+}
+
+// putView nil-clears every entry (releasing the borrowed slices) and
+// returns the matrix to the pool.
+func (sc *Scratch) putView(m [][][]clique.Word) {
+	for _, row := range m {
+		for i := range row {
+			row[i] = nil
+		}
+	}
+	d := len(m)
+	sc.views[d] = append(sc.views[d], m)
+}
+
+// linkOffs returns a zeroed length-k offset array.
+func (sc *Scratch) linkOffs(k int) []int {
+	if cap(sc.offs) < k {
+		sc.offs = make([]int, k)
+	}
+	o := sc.offs[:k]
+	for i := range o {
+		o[i] = 0
+	}
+	return o
+}
+
+// typedScratch is the element-typed arm of a Scratch: per-node buffers and
+// block matrices for one T. Slices indexed by node are pre-sized on the
+// engine's single-threaded path (growSlots/growBufs) so that ForEach
+// workers only ever touch their own entries.
+//
+// A typedScratch carries no algebra state — int64 serves both the integer
+// ring and the min-plus semiring — so everything in it is either fully
+// overwritten per use or explicitly refilled (zero rows).
+type typedScratch[T any] struct {
+	bufs    []([]T) // per-node gather/scatter buffers
+	zeroRow []T     // one semiring-zero row, refilled per product
+
+	// 3D engine state.
+	cubeS, cubeT []*matrix.Dense[T] // per real node: received c²×c² operand blocks
+	cubeProd     []*matrix.Dense[T] // per virtual node: product subcube
+
+	// Fast bilinear engine state.
+	gridS, gridT []*matrix.Dense[T]   // per node: assembled q×q operand grids
+	hatS, hatT   [][]*matrix.Dense[T] // per node, per multiplication: (q/d)² pieces
+	fullA, fullB []*matrix.Dense[T]   // per node w: assembled (n/d)×(n/d) operands
+	fullP        []*matrix.Dense[T]   // per node w: block product
+	acc, piece   []*matrix.Dense[T]   // per node: output accumulator and decode piece
+
+	// Naive engine state.
+	rows []([]T) // per-node decoded right-operand rows
+
+	// Free row matrices for algebra conversions (witness tagging, Boolean
+	// packing).
+	mats []*RowMat[T]
+}
+
+// typedFrom returns the scratch's typedScratch for T, creating it on first
+// use. A scratch sees a handful of element types over its life, so a
+// linear scan beats a map.
+func typedFrom[T any](sc *Scratch) *typedScratch[T] {
+	for _, e := range sc.typed {
+		if ts, ok := e.(*typedScratch[T]); ok {
+			return ts
+		}
+	}
+	ts := &typedScratch[T]{}
+	sc.typed = append(sc.typed, ts)
+	return ts
+}
+
+// growBufs pre-sizes a per-node buffer slice to k nodes (single-threaded).
+func growBufs[T any](s *[]([]T), k int) {
+	for len(*s) < k {
+		*s = append(*s, nil)
+	}
+}
+
+// nodeBuf returns node v's buffer with length ≥ k, growing it in place.
+// Safe from v's ForEach worker once the slice is pre-sized.
+func nodeBuf[T any](s []([]T), v, k int) []T {
+	b := s[v]
+	if cap(b) < k {
+		b = make([]T, k)
+		s[v] = b
+	}
+	return b[:k]
+}
+
+// growSlots pre-sizes a matrix-slot slice to k entries (single-threaded).
+func growSlots[T any](s *[]*matrix.Dense[T], k int) {
+	for len(*s) < k {
+		*s = append(*s, nil)
+	}
+}
+
+// slotAt returns the rows×cols matrix in slot idx, (re)allocating when the
+// slot is empty or the wrong shape. Contents are stale; callers overwrite.
+// Safe from the owning ForEach worker once the slice is pre-sized.
+func slotAt[T any](s []*matrix.Dense[T], idx, rows, cols int) *matrix.Dense[T] {
+	d := s[idx]
+	if d == nil || d.Rows() != rows || d.Cols() != cols {
+		d = matrix.New[T](rows, cols)
+		s[idx] = d
+	}
+	return d
+}
+
+// growHat pre-sizes the per-node × per-multiplication slot table.
+func growHat[T any](s *[][]*matrix.Dense[T], nodes, m int) {
+	for len(*s) < nodes {
+		*s = append(*s, nil)
+	}
+	for v := range *s {
+		for len((*s)[v]) < m {
+			(*s)[v] = append((*s)[v], nil)
+		}
+	}
+}
+
+// zeroRowFor refills and returns the shared semiring-zero row of length k
+// (single-threaded; ForEach workers treat it as read-only).
+func (ts *typedScratch[T]) zeroRowFor(zero T, k int) []T {
+	if cap(ts.zeroRow) < k {
+		ts.zeroRow = make([]T, k)
+	}
+	ts.zeroRow = ts.zeroRow[:k]
+	for i := range ts.zeroRow {
+		ts.zeroRow[i] = zero
+	}
+	return ts.zeroRow
+}
+
+// getMat borrows an n×n row matrix from the pool; contents are stale.
+func (ts *typedScratch[T]) getMat(n int) *RowMat[T] {
+	for k := len(ts.mats) - 1; k >= 0; k-- {
+		m := ts.mats[k]
+		if m.N() == n {
+			ts.mats = append(ts.mats[:k], ts.mats[k+1:]...)
+			return m
+		}
+	}
+	return NewRowMat[T](n)
+}
+
+// putMat returns a borrowed row matrix to the pool.
+func (ts *typedScratch[T]) putMat(m *RowMat[T]) {
+	const maxPooled = 8
+	if len(ts.mats) < maxPooled {
+		ts.mats = append(ts.mats, m)
+	}
+}

@@ -24,6 +24,18 @@ import (
 // are grouped by their *first* digit: row w of T is needed by exactly the
 // nodes u with u2 = w1, keeping both middle-index sets equal to v2∗∗.
 func Semiring3D[T any](net *clique.Network, sr ring.Semiring[T], codec ring.Codec[T], s, t *RowMat[T]) (*RowMat[T], error) {
+	return Semiring3DScratch[T](net, nil, sr, codec, s, t)
+}
+
+// Semiring3DScratch is Semiring3D with caller-owned scratch pools: message
+// matrices, encoded payloads, block operands, and product subcubes persist
+// in sc across products, so a pipeline of repeated multiplications (or a
+// session) runs the engine allocation-free in steady state apart from the
+// returned result. All transport goes through the codec's bulk interface —
+// one monomorphic EncodeSlice/DecodeSlice per block row — and a packing
+// codec (ring.PackedBool) is honoured throughout, since every offset is an
+// EncodedLen sum of whole chunks. A nil sc uses a transient scratch.
+func Semiring3DScratch[T any](net *clique.Network, sc *Scratch, sr ring.Semiring[T], codec ring.Codec[T], s, t *RowMat[T]) (*RowMat[T], error) {
 	n := net.N()
 	if err := s.validate(n); err != nil {
 		return nil, err
@@ -31,10 +43,15 @@ func Semiring3D[T any](net *clique.Network, sr ring.Semiring[T], codec ring.Code
 	if err := t.validate(n); err != nil {
 		return nil, err
 	}
+	if sc == nil {
+		sc = NewScratch()
+	}
+	bc := ring.AsBulk[T](codec)
+	ts := typedFrom[T](sc)
 	lay := newCubeLayout(n)
 	c, vn := lay.c, lay.vn
 	c2 := c * c
-	width := codec.Width()
+	partLen := bc.EncodedLen(c2) // words per block-row chunk on the wire
 	zero := sr.Zero()
 	live := lay.liveDigits()
 	// alive reports whether virtual node u's subcube touches real data;
@@ -49,76 +66,76 @@ func Semiring3D[T any](net *clique.Network, sr ring.Semiring[T], codec ring.Code
 	for x := 0; x < c; x++ {
 		groups[x] = lay.firstDigitSet(x)
 	}
+	growBufs(&ts.bufs, n)
+	growSlots(&ts.cubeS, n)
+	growSlots(&ts.cubeT, n)
+	growSlots(&ts.cubeProd, vn)
+	zeroRow := ts.zeroRowFor(zero, c2)
 
 	// Step 1: distribute entries. Virtual node v < n sends S[v, u2∗∗] to
 	// each u ∈ v1∗∗ and T[v, u3∗∗] to each u with u2 = v1; column indices
 	// ≥ n read as the semiring zero. Virtual nodes v ≥ n own all-zero
 	// padding rows, which every node can synthesise locally, so they send
 	// nothing. When both an S and a T part go to the same recipient the S
-	// part precedes the T part.
+	// part precedes the T part; each message is built contiguously so the
+	// scratch payload buffers are append-only.
 	net.Phase("mm3d/distribute")
-	vmsgs := emptyMsgs(vn)
+	vmsgs := sc.getPayload(vn)
 	net.ForEach(func(v int) {
 		// The sending virtual nodes are exactly v < n, each hosted by
 		// real node v itself: every real node ships its own row slices.
 		v1, _, _ := lay.split(v)
 		srow, trow := s.Rows[v], t.Rows[v]
-		buf := make([]T, c2)
-		for _, u := range groups[v1] {
-			if !alive(u) {
+		buf := nodeBuf(ts.bufs, v, c2)
+		// S parts go to u = (v1, u2, u3); the recipients with u2 = v1 get
+		// this sender's T part too, appended right after the S part.
+		// (v < n implies v1 < live, so every such u is alive.)
+		for u2 := 0; u2 < live; u2++ {
+			for u3 := 0; u3 < live; u3++ {
+				u := lay.join(v1, u2, u3)
+				msg := vmsgs[v][u][:0]
+				gatherCols(buf, srow, groups[u2], n, zero)
+				msg = bc.EncodeSlice(msg, buf)
+				if u2 == v1 {
+					gatherCols(buf, trow, groups[u3], n, zero)
+					msg = bc.EncodeSlice(msg, buf)
+				}
+				vmsgs[v][u] = msg
+			}
+		}
+		// T parts to the remaining nodes with u2 = v1 (u1 ≠ v1); dead
+		// subcubes get no T rows.
+		for u1 := 0; u1 < live; u1++ {
+			if u1 == v1 {
 				continue
 			}
-			_, u2, _ := lay.split(u)
-			for i, col := range groups[u2] {
-				if col < n {
-					buf[i] = srow[col]
-				} else {
-					buf[i] = zero
-				}
-			}
-			vmsgs[v][u] = appendEncoded(codec, vmsgs[v][u], buf)
-		}
-		// Nodes with u2 = v1: iterate u1 and u3 over the live digits only
-		// (v1 < live already, since v < n) — dead subcubes get no T rows.
-		for u1 := 0; u1 < live; u1++ {
 			for u3 := 0; u3 < live; u3++ {
 				u := lay.join(u1, v1, u3)
-				for i, col := range groups[u3] {
-					if col < n {
-						buf[i] = trow[col]
-					} else {
-						buf[i] = zero
-					}
-				}
-				vmsgs[v][u] = appendEncoded(codec, vmsgs[v][u], buf)
+				gatherCols(buf, trow, groups[u3], n, zero)
+				vmsgs[v][u] = bc.EncodeSlice(vmsgs[v][u][:0], buf)
 			}
 		}
 	})
-	in := lay.exchangeVirtual(net, vmsgs)
+	in := lay.exchangeVirtual(net, sc, vmsgs)
 
-	// Step 2: local multiplication of the received c²×c² blocks. Rows from
-	// padding senders (v ≥ n) are the semiring zero.
+	// Step 2: local multiplication of the received c²×c² blocks, decoded
+	// straight into scratch block operands. Rows from padding senders
+	// (v ≥ n) are the semiring zero.
 	net.Phase("mm3d/multiply")
-	prod := make([]*matrix.Dense[T], vn)
-	zeroRow := make([]T, c2)
-	for i := range zeroRow {
-		zeroRow[i] = zero
-	}
 	net.ForEach(func(r int) {
+		sblk := slotAt(ts.cubeS, r, c2, c2)
+		tblk := slotAt(ts.cubeT, r, c2, c2)
 		for u := r; u < vn; u += n {
 			if !alive(u) {
 				continue
 			}
 			u1, u2, _ := lay.split(u)
-			sblk := matrix.New[T](c2, c2)
-			tblk := matrix.New[T](c2, c2)
 			for pos, v := range groups[u1] { // S row senders: v1 = u1
 				if v >= n {
 					sblk.SetRow(pos, zeroRow)
 					continue
 				}
-				ws := in[u][v]
-				sblk.SetRow(pos, decodeVec(codec, ws[:c2*width], c2))
+				bc.DecodeSlice(sblk.Row(pos), in[u][v])
 			}
 			for pos, v := range groups[u2] { // T row senders: v1 = u2
 				if v >= n {
@@ -127,33 +144,45 @@ func Semiring3D[T any](net *clique.Network, sr ring.Semiring[T], codec ring.Code
 				}
 				ws := in[u][v]
 				if v1, _, _ := lay.split(v); v1 == u1 {
-					ws = ws[c2*width:] // S part precedes on shared links
+					ws = ws[partLen:] // S part precedes on shared links
 				}
-				tblk.SetRow(pos, decodeVec(codec, ws[:c2*width], c2))
+				bc.DecodeSlice(tblk.Row(pos), ws)
 			}
-			prod[u] = matrix.Mul(sr, sblk, tblk)
+			prod := slotAt(ts.cubeProd, u, c2, c2)
+			matrix.MulInto(sr, prod, sblk, tblk)
 		}
 	})
+	sc.putView(in)
 
 	// Step 3: distribute the partial products: virtual node u sends
 	// P^{(u2)}[x, u3∗∗] to each real row owner x ∈ u1∗∗ with x < n
 	// (padding rows of the output are discarded, so they never travel).
+	// Step 1's messages were already copied out by the exchange, so its
+	// sender rows (v < n) are truncated first — step 3's senders rewrite
+	// only their own product entries, and anything else (T-part recipients,
+	// senders owning no live subcube) must not leak into the next exchange.
 	net.Phase("mm3d/products")
-	vmsgs = clearMsgs(vmsgs)
+	for v := 0; v < n; v++ {
+		row := vmsgs[v]
+		for u := range row {
+			row[u] = row[u][:0]
+		}
+	}
 	net.ForEach(func(r int) {
 		for u := r; u < vn; u += n {
 			if !alive(u) {
-				continue // prod[u] was never built
+				continue // the product subcube was never built
 			}
 			u1, _, _ := lay.split(u)
+			prod := ts.cubeProd[u]
 			for pos, x := range groups[u1] {
 				if x < n {
-					vmsgs[u][x] = encodeVec(codec, prod[u].Row(pos))
+					vmsgs[u][x] = bc.EncodeSlice(vmsgs[u][x][:0], prod.Row(pos))
 				}
 			}
 		}
 	})
-	in = lay.exchangeVirtual(net, vmsgs)
+	in = lay.exchangeVirtual(net, sc, vmsgs)
 
 	// Step 4: assemble P[x, ∗] = Σ_w P^{(w)}[x, ∗]. Output row owners are
 	// the virtual nodes x < n, each hosted by real node x itself.
@@ -165,12 +194,13 @@ func Semiring3D[T any](net *clique.Network, sr ring.Semiring[T], codec ring.Code
 		for j := range row {
 			row[j] = zero
 		}
+		piece := nodeBuf(ts.bufs, x, c2)
 		for _, u := range groups[x1] { // senders: the live u with u1 = x1
 			if !alive(u) {
 				continue
 			}
 			_, _, u3 := lay.split(u)
-			piece := decodeVec(codec, in[x][u][:c2*width], c2)
+			bc.DecodeSlice(piece, in[x][u])
 			for i, col := range groups[u3] {
 				if col < n {
 					row[col] = sr.Add(row[col], piece[i])
@@ -178,6 +208,8 @@ func Semiring3D[T any](net *clique.Network, sr ring.Semiring[T], codec ring.Code
 			}
 		}
 	})
+	sc.putView(in)
+	sc.putPayload(vmsgs)
 	return p, nil
 }
 
@@ -187,18 +219,30 @@ func Semiring3D[T any](net *clique.Network, sr ring.Semiring[T], codec ring.Code
 // semiring algorithm of §3.3: T's entries are tagged with their row index
 // and the tags ride through the min-plus algebra.
 func DistanceProduct3D(net *clique.Network, s, t *RowMat[int64]) (p, q *RowMat[int64], err error) {
+	return DistanceProduct3DScratch(net, nil, s, t)
+}
+
+// DistanceProduct3DScratch is DistanceProduct3D with caller-owned scratch
+// pools; the witness-tagged operand conversions borrow pooled row matrices
+// as well, so iterated squaring (APSP) allocates only its results.
+func DistanceProduct3DScratch(net *clique.Network, sc *Scratch, s, t *RowMat[int64]) (p, q *RowMat[int64], err error) {
 	n := net.N()
-	sw := &RowMat[ring.ValW]{Rows: make([][]ring.ValW, n)}
-	tw := &RowMat[ring.ValW]{Rows: make([][]ring.ValW, n)}
 	if err := s.validate(n); err != nil {
 		return nil, nil, err
 	}
 	if err := t.validate(n); err != nil {
 		return nil, nil, err
 	}
+	if sc == nil {
+		sc = NewScratch()
+	}
+	ts := typedFrom[ring.ValW](sc)
+	sw := ts.getMat(n)
+	tw := ts.getMat(n)
+	defer ts.putMat(sw)
+	defer ts.putMat(tw)
 	for v := 0; v < n; v++ {
-		srow := make([]ring.ValW, n)
-		trow := make([]ring.ValW, n)
+		srow, trow := sw.Rows[v], tw.Rows[v]
 		for j := 0; j < n; j++ {
 			srow[j] = ring.ValW{V: s.Rows[v][j], W: ring.NoWitness}
 			tv := t.Rows[v][j]
@@ -208,24 +252,23 @@ func DistanceProduct3D(net *clique.Network, s, t *RowMat[int64]) (p, q *RowMat[i
 				trow[j] = ring.ValW{V: tv, W: int64(v)}
 			}
 		}
-		sw.Rows[v] = srow
-		tw.Rows[v] = trow
 	}
-	pw, err := Semiring3D[ring.ValW](net, ring.MinPlusW{}, ring.MinPlusW{}, sw, tw)
+	pw, err := Semiring3DScratch[ring.ValW](net, sc, ring.MinPlusW{}, ring.MinPlusW{}, sw, tw)
 	if err != nil {
 		return nil, nil, err
 	}
 	p = NewRowMat[int64](n)
 	q = NewRowMat[int64](n)
 	for v := 0; v < n; v++ {
+		prow, qrow, pwrow := p.Rows[v], q.Rows[v], pw.Rows[v]
 		for j := 0; j < n; j++ {
-			e := pw.Rows[v][j]
+			e := pwrow[j]
 			if ring.IsInf(e.V) {
-				p.Rows[v][j] = ring.Inf
-				q.Rows[v][j] = ring.NoWitness
+				prow[j] = ring.Inf
+				qrow[j] = ring.NoWitness
 			} else {
-				p.Rows[v][j] = e.V
-				q.Rows[v][j] = e.W
+				prow[j] = e.V
+				qrow[j] = e.W
 			}
 		}
 	}

@@ -16,9 +16,14 @@ import (
 // fixed by (n, c) alone, so the split points are globally computable by
 // every node and no headers travel on the wire — the same out-of-band
 // addressing convention the routing layer documents.
-func (l cubeLayout) exchangeVirtual(net *clique.Network, vmsgs [][][]clique.Word) [][][]clique.Word {
+//
+// The returned matrix is a scratch *view* (entries borrow mailbox windows
+// and loopback payloads); the caller must return it with sc.putView once
+// consumed. The intermediate per-link concatenation buffers come from the
+// scratch payload pool and are recycled here.
+func (l cubeLayout) exchangeVirtual(net *clique.Network, sc *Scratch, vmsgs [][][]clique.Word) [][][]clique.Word {
 	n := l.n
-	msgs := emptyMsgs(n)
+	msgs := sc.getPayload(n)
 	for v := range vmsgs {
 		rv := l.real(v)
 		for u, vec := range vmsgs[v] {
@@ -30,13 +35,11 @@ func (l cubeLayout) exchangeVirtual(net *clique.Network, vmsgs [][][]clique.Word
 			}
 		}
 	}
-	in := routing.Exchange(net, routing.Auto, msgs)
+	in := routing.ExchangeScratch(net, routing.Auto, sc.rt, msgs)
+	sc.putPayload(msgs) // the network copied the payloads into its queues
 
-	vin := make([][][]clique.Word, l.vn)
-	for v := range vin {
-		vin[v] = make([][]clique.Word, l.vn)
-	}
-	offs := make([]int, n*n) // consumed words per real link [src*n + dst]
+	vin := sc.getView(l.vn)
+	offs := sc.linkOffs(n * n) // consumed words per real link [src*n + dst]
 	for v := range vmsgs {
 		rv := l.real(v)
 		for u, vec := range vmsgs[v] {

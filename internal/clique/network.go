@@ -102,6 +102,7 @@ func WithRoundLimit(limit int64) Option {
 type Network struct {
 	n          int
 	queues     [][][]Word // queues[src][dst], dst == src used for free local delivery
+	mails      [2]*Mail   // double-buffered delivery state, alternated by Flush
 	rounds     int64
 	words      int64
 	flushes    int64
@@ -167,11 +168,14 @@ func (c *Network) SetContext(ctx context.Context) { c.ctx = ctx }
 
 // Reset drops all queued traffic and zeroes rounds, words, flushes, and
 // phases so the network can run a fresh algorithm. The clique size, worker
-// pool, and configured limits are kept; the per-run context is detached.
+// pool, configured limits, and the recycled queue/mailbox capacity are
+// kept (sessions reuse networks precisely to keep that capacity warm); the
+// per-run context is detached. Mail values from before the Reset are
+// invalidated.
 func (c *Network) Reset() {
 	for _, row := range c.queues {
 		for dst := range row {
-			row[dst] = nil
+			row[dst] = row[dst][:0]
 		}
 	}
 	c.rounds, c.words, c.flushes = 0, 0, 0
@@ -225,11 +229,35 @@ func (c *Network) SendVec(src, dst int, ws []Word) {
 	c.queues[src][dst] = append(c.queues[src][dst], ws...)
 }
 
+// SendOwnedVec enqueues a vector of words from src to dst, taking
+// ownership of ws: when the link queue is empty the vector is adopted as
+// the queue's backing array without copying (delivery then copies once at
+// Flush, like all queued traffic), and the network retains and reuses the
+// array afterwards. The caller must not read or write ws after the call.
+// It is the zero-copy enqueue path for buffers the caller builds per send
+// and then relinquishes (per-link concatenations).
+func (c *Network) SendOwnedVec(src, dst int, ws []Word) {
+	c.checkNode(src)
+	c.checkNode(dst)
+	if q := c.queues[src][dst]; len(q) > 0 {
+		c.queues[src][dst] = append(q, ws...)
+		return
+	}
+	c.queues[src][dst] = ws
+}
+
 // Mail is the result of a Flush: all words delivered in this exchange,
 // indexed by destination and source, in FIFO order per link.
+//
+// Mail is double-buffered by the network: a Mail and its word vectors are
+// valid until the second-next Flush on the same network (and until Reset),
+// which reuses the same per-link delivery buffers. Consume a flush's
+// delivery before the one after next — every phase-structured algorithm
+// does so naturally — or copy the words out.
 type Mail struct {
 	n     int
-	byDst [][][]Word // byDst[dst][src]
+	byDst [][][]Word // delivered views: byDst[dst][src], nil when no words
+	bufs  [][][]Word // persistent per-link buffers backing the views
 }
 
 // From returns the words dst received from src (nil if none).
@@ -247,23 +275,42 @@ func (m *Mail) Each(dst int, f func(src int, words []Word)) {
 
 // Flush delivers every queued word. The charged cost is the maximum link
 // load: the words on each directed link are delivered one per round in
-// parallel across links, exactly as the synchronous model allows. The queue
-// arrays are retained for reuse (only the delivered word vectors move to the
-// Mail), so a flush allocates no per-link state beyond the mailboxes.
+// parallel across links, exactly as the synchronous model allows.
+//
+// Delivery is allocation-free in steady state: the network owns two Mail
+// buffers used alternately, each with persistent per-link delivery
+// arrays, and the words move from the (equally persistent) link queues by
+// copy. Buffer capacity therefore stays attached to the link and flush
+// slot that needs it, so any periodic traffic pattern converges to zero
+// allocations. See Mail for the resulting lifetime contract.
 func (c *Network) Flush() *Mail {
 	var maxLoad, total int64
-	mail := &Mail{n: c.n, byDst: make([][][]Word, c.n)}
-	for dst := 0; dst < c.n; dst++ {
-		mail.byDst[dst] = make([][]Word, c.n)
+	mail := c.mails[c.flushes&1]
+	if mail == nil {
+		mail = &Mail{n: c.n, byDst: make([][][]Word, c.n), bufs: make([][][]Word, c.n)}
+		for dst := 0; dst < c.n; dst++ {
+			mail.byDst[dst] = make([][]Word, c.n)
+			mail.bufs[dst] = make([][]Word, c.n)
+		}
+		c.mails[c.flushes&1] = mail
 	}
 	for src := 0; src < c.n; src++ {
 		row := c.queues[src]
 		for dst, q := range row {
 			if len(q) == 0 {
+				mail.byDst[dst][src] = nil
 				continue
 			}
-			mail.byDst[dst][src] = q
-			row[dst] = nil
+			buf := mail.bufs[dst][src]
+			if cap(buf) < len(q) {
+				buf = make([]Word, len(q))
+				mail.bufs[dst][src] = buf
+			} else {
+				buf = buf[:len(q)]
+			}
+			copy(buf, q)
+			mail.byDst[dst][src] = buf
+			row[dst] = q[:0] // the queue keeps its own array
 			if src != dst {
 				if l := int64(len(q)); l > maxLoad {
 					maxLoad = l

@@ -31,16 +31,18 @@ func APSPSeidel(net *clique.Network, engine ccmm.Engine, g *graphs.Graph) (*ccmm
 		g.Row(v).ForEach(func(u int) { row[u] = 1 })
 		a.Rows[v] = row
 	}
-	return seidelRec(net, engine, a, 0, log2Ceil(n)+2)
+	// One scratch pool serves the whole recursion: every level's Boolean
+	// squaring and parity product share a working set.
+	return seidelRec(net, engine, ccmm.NewScratch(), a, 0, log2Ceil(n)+2)
 }
 
-func seidelRec(net *clique.Network, engine ccmm.Engine, a *ccmm.RowMat[int64], depth, maxDepth int) (*ccmm.RowMat[int64], error) {
+func seidelRec(net *clique.Network, engine ccmm.Engine, sc *ccmm.Scratch, a *ccmm.RowMat[int64], depth, maxDepth int) (*ccmm.RowMat[int64], error) {
 	if depth > maxDepth {
 		return nil, fmt.Errorf("distance: Seidel recursion exceeded depth %d (internal invariant)", maxDepth)
 	}
 	n := len(a.Rows)
 	net.Phase(fmt.Sprintf("seidel/square-%d", depth))
-	a2, err := ccmm.MulBool(net, engine, a, a)
+	a2, err := ccmm.MulBoolWith(net, engine, sc, a, a)
 	if err != nil {
 		return nil, err
 	}
@@ -97,7 +99,7 @@ func seidelRec(net *clique.Network, engine ccmm.Engine, a *ccmm.RowMat[int64], d
 		return d, nil
 	}
 
-	d2, err := seidelRec(net, engine, b, depth+1, maxDepth)
+	d2, err := seidelRec(net, engine, sc, b, depth+1, maxDepth)
 	if err != nil {
 		return nil, err
 	}
@@ -132,7 +134,7 @@ func seidelRec(net *clique.Network, engine ccmm.Engine, a *ccmm.RowMat[int64], d
 			}
 		}
 	})
-	s, err := ccmm.MulInt(net, engine, capped, a)
+	s, err := ccmm.MulIntWith(net, engine, sc, capped, a)
 	if err != nil {
 		return nil, err
 	}

@@ -38,9 +38,12 @@ func APSPSemiring(net *clique.Network, g *graphs.Weighted) (*Result, error) {
 		}
 	}
 
+	// One scratch pool serves every squaring: the ⌈log₂ n⌉ products reuse
+	// the same message matrices, payload buffers, and block operands.
+	sc := ccmm.NewScratch()
 	for iter := 0; iter < log2Ceil(n); iter++ {
 		net.Phase(fmt.Sprintf("apsp3d/square-%d", iter))
-		w2, q, err := ccmm.DistanceProduct3D(net, w, w)
+		w2, q, err := ccmm.DistanceProduct3DScratch(net, sc, w, w)
 		if err != nil {
 			return nil, err
 		}

@@ -17,6 +17,10 @@ import (
 // element costs 2M+1 words on the wire, realising the paper's O(M·n^ρ)
 // round bound.
 func DistanceProductSmall(net *clique.Network, engine ccmm.Engine, s, t *ccmm.RowMat[int64], m int64) (*ccmm.RowMat[int64], error) {
+	return distanceProductSmall(net, engine, nil, s, t, m)
+}
+
+func distanceProductSmall(net *clique.Network, engine ccmm.Engine, sc *ccmm.Scratch, s, t *ccmm.RowMat[int64], m int64) (*ccmm.RowMat[int64], error) {
 	if m < 1 {
 		return nil, fmt.Errorf("distance: entry bound M = %d must be ≥ 1: %w", m, ccmm.ErrSize)
 	}
@@ -47,7 +51,7 @@ func DistanceProductSmall(net *clique.Network, engine ccmm.Engine, s, t *ccmm.Ro
 	if err != nil {
 		return nil, err
 	}
-	pp, err := ccmm.MulRing[ring.PolyElem](net, engine, pr, pr, sp, tp)
+	pp, err := ccmm.MulRingWith[ring.PolyElem](net, engine, sc, pr, pr, sp, tp)
 	if err != nil {
 		return nil, err
 	}
@@ -71,6 +75,10 @@ func DistanceProductSmall(net *clique.Network, engine ccmm.Engine, s, t *ccmm.Ro
 // Output entries are exact distances ≤ M; pairs farther apart (or
 // unreachable) are ∞.
 func APSPBounded(net *clique.Network, engine ccmm.Engine, w *ccmm.RowMat[int64], m int64) (*ccmm.RowMat[int64], error) {
+	return apspBounded(net, engine, ccmm.NewScratch(), w, m)
+}
+
+func apspBounded(net *clique.Network, engine ccmm.Engine, sc *ccmm.Scratch, w *ccmm.RowMat[int64], m int64) (*ccmm.RowMat[int64], error) {
 	if m < 1 {
 		return nil, fmt.Errorf("distance: distance bound M = %d must be ≥ 1: %w", m, ccmm.ErrSize)
 	}
@@ -78,7 +86,7 @@ func APSPBounded(net *clique.Network, engine ccmm.Engine, w *ccmm.RowMat[int64],
 	cur := truncateAbove(w, m)
 	for iter := 0; iter < log2Ceil(n); iter++ {
 		net.Phase(fmt.Sprintf("apsp-bounded/square-%d", iter))
-		next, err := DistanceProductSmall(net, engine, cur, cur, m)
+		next, err := distanceProductSmall(net, engine, sc, cur, cur, m)
 		if err != nil {
 			return nil, err
 		}
@@ -113,6 +121,9 @@ func APSPSmallWeights(net *clique.Network, engine ccmm.Engine, g *graphs.Weighte
 	}
 	n := net.N()
 	w := weightRows(g)
+	// One scratch pool serves the reachability closure and every bounded
+	// squaring of the doubling search.
+	sc := ccmm.NewScratch()
 	var maxW int64 = 1
 	for v := 0; v < n; v++ {
 		for j, x := range w.Rows[v] {
@@ -142,7 +153,7 @@ func APSPSmallWeights(net *clique.Network, engine ccmm.Engine, g *graphs.Weighte
 	}
 	var err error
 	for iter := 0; iter < log2Ceil(n); iter++ {
-		reach, err = ccmm.MulBool(net, engine, reach, reach)
+		reach, err = ccmm.MulBoolWith(net, engine, sc, reach, reach)
 		if err != nil {
 			return nil, err
 		}
@@ -154,7 +165,7 @@ func APSPSmallWeights(net *clique.Network, engine ccmm.Engine, g *graphs.Weighte
 		if u > 2*limit {
 			return nil, fmt.Errorf("distance: diameter search exceeded %d (internal invariant)", 2*limit)
 		}
-		d, err := APSPBounded(net, engine, w, u)
+		d, err := apspBounded(net, engine, sc, w, u)
 		if err != nil {
 			return nil, err
 		}

@@ -16,16 +16,18 @@ type Oracle func(s, t *ccmm.RowMat[int64]) (*ccmm.RowMat[int64], error)
 
 // MinPlusOracle adapts ccmm.MulMinPlus to the Oracle interface.
 func MinPlusOracle(net *clique.Network, engine ccmm.Engine) Oracle {
+	sc := ccmm.NewScratch() // shared by every product the oracle serves
 	return func(s, t *ccmm.RowMat[int64]) (*ccmm.RowMat[int64], error) {
-		return ccmm.MulMinPlus(net, engine, s, t)
+		return ccmm.MulMinPlusWith(net, engine, sc, s, t)
 	}
 }
 
 // SmallWeightOracle adapts DistanceProductSmall (Lemma 18) to the Oracle
 // interface for entries bounded by m.
 func SmallWeightOracle(net *clique.Network, engine ccmm.Engine, m int64) Oracle {
+	sc := ccmm.NewScratch() // shared by every product the oracle serves
 	return func(s, t *ccmm.RowMat[int64]) (*ccmm.RowMat[int64], error) {
-		return DistanceProductSmall(net, engine, s, t, m)
+		return distanceProductSmall(net, engine, sc, s, t, m)
 	}
 }
 

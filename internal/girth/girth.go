@@ -162,13 +162,14 @@ func Directed(net *clique.Network, engine ccmm.Engine, g *graphs.Graph) (girth i
 	// B(1) = A always has an empty diagonal and any cycle has length ≥ 2;
 	// once 2^t ≥ n an empty diagonal certifies acyclicity.
 	net.Phase("girth-dir/doubling")
+	sc := ccmm.NewScratch() // shared by the doubling and binary-search products
 	powers := []*ccmm.RowMat[int64]{a}
 	t := 0
 	for !diagSet(powers[t]) {
 		if 1<<t >= n {
 			return 0, false, nil // no cycle of length ≤ n ⇒ acyclic
 		}
-		b, err := ccmm.MulBool(net, engine, powers[t], powers[t])
+		b, err := ccmm.MulBoolWith(net, engine, sc, powers[t], powers[t])
 		if err != nil {
 			return 0, false, err
 		}
@@ -187,7 +188,7 @@ func Directed(net *clique.Network, engine ccmm.Engine, g *graphs.Graph) (girth i
 	lo := 1 << (t - 1)
 	cur := powers[t-1]
 	for s := t - 2; s >= 0; s-- {
-		cand, err := ccmm.MulBool(net, engine, cur, powers[s])
+		cand, err := ccmm.MulBoolWith(net, engine, sc, cur, powers[s])
 		if err != nil {
 			return 0, false, err
 		}

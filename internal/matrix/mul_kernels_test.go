@@ -1,0 +1,145 @@
+package matrix
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/algebraic-clique/algclique/internal/ring"
+)
+
+// genericOnly hides the concrete algebra type so MulInto's switch misses
+// and the generic interface-dispatch path runs — the reference the
+// specialised kernels are tested against.
+type genericOnly[T any] struct {
+	ring.Semiring[T]
+}
+
+func randBoolDense(rng *rand.Rand, rows, cols int, p float64) *Dense[bool] {
+	m := New[bool](rows, cols)
+	for i := range m.e {
+		m.e[i] = rng.Float64() < p
+	}
+	return m
+}
+
+func randMinPlusWDense(rng *rand.Rand, rows, cols int) *Dense[ring.ValW] {
+	m := New[ring.ValW](rows, cols)
+	for i := range m.e {
+		switch rng.IntN(5) {
+		case 0:
+			m.e[i] = ring.ValW{V: ring.Inf, W: ring.NoWitness}
+		case 1:
+			// Untagged finite entries exercise the left-witness fallback.
+			m.e[i] = ring.ValW{V: rng.Int64N(40), W: ring.NoWitness}
+		default:
+			// Small value range forces ties, exercising Less's tie-break.
+			m.e[i] = ring.ValW{V: rng.Int64N(8), W: rng.Int64N(6)}
+		}
+	}
+	return m
+}
+
+// TestMulBoolMatchesGeneric pins the early-exit Boolean kernel (skip
+// all-false b-rows, stop on saturated output rows) against the generic
+// path on random matrices across densities, including the all-false and
+// near-all-true extremes the short-circuits target.
+func TestMulBoolMatchesGeneric(t *testing.T) {
+	br := ring.Bool{}
+	rng := rand.New(rand.NewPCG(21, 1))
+	for _, p := range []float64{0, 0.02, 0.3, 0.9, 1} {
+		for _, n := range []int{1, 7, 16, 33} {
+			a := randBoolDense(rng, n, n, p)
+			b := randBoolDense(rng, n, n, p)
+			got := Mul[bool](br, a, b)
+			want := Mul[bool](genericOnly[bool]{br}, a, b)
+			if !Equal[bool](br, got, want) {
+				t.Fatalf("p=%v n=%d: boolean kernel differs from generic path", p, n)
+			}
+		}
+	}
+}
+
+// TestMulMinPlusWMatchesGeneric pins the witness-carrying min-plus kernel
+// — value, witness propagation, and tie-breaking — against the generic
+// path on random matrices dense with ties and untagged entries.
+func TestMulMinPlusWMatchesGeneric(t *testing.T) {
+	mw := ring.MinPlusW{}
+	rng := rand.New(rand.NewPCG(22, 2))
+	for _, n := range []int{1, 5, 16, 40} {
+		a := randMinPlusWDense(rng, n, n)
+		b := randMinPlusWDense(rng, n, n)
+		got := Mul[ring.ValW](mw, a, b)
+		want := Mul[ring.ValW](genericOnly[ring.ValW]{mw}, a, b)
+		for i := range got.e {
+			if got.e[i] != want.e[i] {
+				t.Fatalf("n=%d entry %d: kernel %v, generic %v", n, i, got.e[i], want.e[i])
+			}
+		}
+	}
+}
+
+// TestMulIntoOverwritesStaleDestination checks the pooled-buffer contract:
+// MulInto must produce the same result into a garbage-filled destination.
+func TestMulIntoOverwritesStaleDestination(t *testing.T) {
+	r := ring.Int64{}
+	rng := rand.New(rand.NewPCG(23, 3))
+	n := 19
+	a, b := New[int64](n, n), New[int64](n, n)
+	for i := range a.e {
+		a.e[i] = rng.Int64N(100) - 50
+		b.e[i] = rng.Int64N(100) - 50
+	}
+	want := Mul[int64](r, a, b)
+	dst := NewFilled[int64](n, n, -987654321)
+	MulInto[int64](r, dst, a, b)
+	if !Equal[int64](r, dst, want) {
+		t.Fatal("MulInto into a stale destination differs from Mul")
+	}
+	mp := ring.MinPlus{}
+	wantMP := Mul[int64](mp, a, b)
+	MulInto[int64](mp, dst, a, b)
+	if !Equal[int64](mp, dst, wantMP) {
+		t.Fatal("min-plus MulInto into a stale destination differs from Mul")
+	}
+}
+
+// TestMulTilingBitIdentical runs the tiled kernels past the tile boundary
+// (cols > mulTileJ) and checks against the generic path: tiling must not
+// change any entry.
+func TestMulTilingBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wide-matrix product")
+	}
+	rng := rand.New(rand.NewPCG(24, 4))
+	rows, cols := 9, mulTileJ+37
+	ai := New[int64](rows, rows)
+	bi := New[int64](rows, cols)
+	for i := range ai.e {
+		ai.e[i] = rng.Int64N(1000) - 500
+	}
+	for i := range bi.e {
+		bi.e[i] = rng.Int64N(1000) - 500
+	}
+	r := ring.Int64{}
+	if !Equal[int64](r, Mul[int64](r, ai, bi), Mul[int64](genericOnly[int64]{r}, ai, bi)) {
+		t.Fatal("tiled int64 kernel differs from generic path")
+	}
+	mp := ring.MinPlus{}
+	for i := range ai.e {
+		if rng.IntN(4) == 0 {
+			ai.e[i] = ring.Inf
+		} else {
+			ai.e[i] = rng.Int64N(50)
+		}
+	}
+	for i := range bi.e {
+		if rng.IntN(4) == 0 {
+			bi.e[i] = ring.Inf
+		} else {
+			bi.e[i] = rng.Int64N(50)
+		}
+	}
+	if !Equal[int64](mp, Mul[int64](mp, ai, bi), Mul[int64](genericOnly[int64]{mp}, ai, bi)) {
+		t.Fatal("tiled min-plus kernel differs from generic path")
+	}
+}

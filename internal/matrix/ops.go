@@ -2,6 +2,7 @@ package matrix
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/algebraic-clique/algclique/internal/ring"
 )
@@ -66,6 +67,63 @@ func ScaleAddInto[T any](r ring.Ring[T], a *Dense[T], c int64, b *Dense[T]) {
 	}
 }
 
+// ScaleAddFromBlock accumulates c times the block of src with top-left
+// corner (r0, c0) into dst: dst[i][j] += c·src[r0+i][c0+j]. It is
+// ScaleAddInto reading through a block window, with no copy of the block —
+// the bilinear engine's linear-combination step runs entirely on views.
+func ScaleAddFromBlock[T any](r ring.Ring[T], dst *Dense[T], c int64, src *Dense[T], r0, c0 int) {
+	if r0 < 0 || c0 < 0 || r0+dst.rows > src.rows || c0+dst.cols > src.cols {
+		panic(fmt.Sprintf("matrix: ScaleAddFromBlock %d×%d at (%d, %d) exceeds %d×%d",
+			dst.rows, dst.cols, r0, c0, src.rows, src.cols))
+	}
+	for i := 0; i < dst.rows; i++ {
+		drow := dst.Row(i)
+		srow := src.e[(r0+i)*src.cols+c0 : (r0+i)*src.cols+c0+dst.cols]
+		scaleAddRow(r, drow, c, srow)
+	}
+}
+
+// ScaleAddToBlock accumulates c·src into the block of dst with top-left
+// corner (r0, c0): dst[r0+i][c0+j] += c·src[i][j]. The writing twin of
+// ScaleAddFromBlock.
+func ScaleAddToBlock[T any](r ring.Ring[T], dst *Dense[T], r0, c0 int, c int64, src *Dense[T]) {
+	if r0 < 0 || c0 < 0 || r0+src.rows > dst.rows || c0+src.cols > dst.cols {
+		panic(fmt.Sprintf("matrix: ScaleAddToBlock %d×%d at (%d, %d) exceeds %d×%d",
+			src.rows, src.cols, r0, c0, dst.rows, dst.cols))
+	}
+	for i := 0; i < src.rows; i++ {
+		drow := dst.e[(r0+i)*dst.cols+c0 : (r0+i)*dst.cols+c0+src.cols]
+		scaleAddRow(r, drow, c, src.Row(i))
+	}
+}
+
+// scaleAddRow accumulates c·src into dst element-wise with the small-
+// coefficient fast paths shared by all ScaleAdd variants.
+func scaleAddRow[T any](r ring.Ring[T], dst []T, c int64, src []T) {
+	switch c {
+	case 0:
+	case 1:
+		for j := range dst {
+			dst[j] = r.Add(dst[j], src[j])
+		}
+	case -1:
+		for j := range dst {
+			dst[j] = r.Sub(dst[j], src[j])
+		}
+	default:
+		for j := range dst {
+			dst[j] = r.Add(dst[j], r.Scale(c, src[j]))
+		}
+	}
+}
+
+// Fill sets every entry of m to v (pooled-buffer reset helper).
+func (m *Dense[T]) Fill(v T) {
+	for i := range m.e {
+		m.e[i] = v
+	}
+}
+
 // Transpose returns the transpose of m.
 func Transpose[T any](m *Dense[T]) *Dense[T] {
 	out := New[T](m.cols, m.rows)
@@ -92,26 +150,54 @@ func Trace[T any](r ring.Semiring[T], m *Dense[T]) T {
 
 // Mul returns the school-book product a·b over the semiring, in i-k-j loop
 // order. Specialised inner loops handle the frequent algebras (integers,
-// Booleans, min-plus) without per-entry interface dispatch.
+// Booleans, min-plus with and without witnesses) without per-entry
+// interface dispatch; see MulInto for the allocation-free form.
 func Mul[T any](r ring.Semiring[T], a, b *Dense[T]) *Dense[T] {
+	out := New[T](a.rows, b.cols)
+	MulInto(r, out, a, b)
+	return out
+}
+
+// MulInto computes a·b into out, which must be a.rows×b.cols; every entry
+// of out is overwritten, so stale (pooled) destinations are safe. It is the
+// zero-allocation core of Mul: the distributed engines call it with
+// scratch-pooled blocks on every local multiplication.
+//
+// All kernels accumulate each out[i][j] in ascending-k order, so results
+// are bit-identical to the generic path for every algebra (including the
+// witness tie-breaking of MinPlusW).
+func MulInto[T any](r ring.Semiring[T], out, a, b *Dense[T]) {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("matrix: Mul %d×%d by %d×%d", a.rows, a.cols, b.rows, b.cols))
 	}
+	if out.rows != a.rows || out.cols != b.cols {
+		panic(fmt.Sprintf("matrix: MulInto destination %d×%d for a %d×%d product",
+			out.rows, out.cols, a.rows, b.cols))
+	}
 	switch any(r).(type) {
 	case ring.Int64:
-		return any(mulInt64(any(a).(*Dense[int64]), any(b).(*Dense[int64]))).(*Dense[T])
+		mulInt64Into(any(out).(*Dense[int64]), any(a).(*Dense[int64]), any(b).(*Dense[int64]))
+		return
 	case ring.Bool:
-		return any(mulBool(any(a).(*Dense[bool]), any(b).(*Dense[bool]))).(*Dense[T])
+		mulBoolInto(any(out).(*Dense[bool]), any(a).(*Dense[bool]), any(b).(*Dense[bool]))
+		return
 	case ring.MinPlus:
-		return any(mulMinPlus(any(a).(*Dense[int64]), any(b).(*Dense[int64]))).(*Dense[T])
+		mulMinPlusInto(any(out).(*Dense[int64]), any(a).(*Dense[int64]), any(b).(*Dense[int64]))
+		return
+	case ring.MinPlusW:
+		mulMinPlusWInto(any(out).(*Dense[ring.ValW]), any(a).(*Dense[ring.ValW]), any(b).(*Dense[ring.ValW]))
+		return
 	}
-	out := Zeros[T](r, a.rows, b.cols)
+	zero := r.Zero()
+	for i := range out.e {
+		out.e[i] = zero
+	}
 	for i := 0; i < a.rows; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
 		for k := 0; k < a.cols; k++ {
 			aik := arow[k]
-			if r.Equal(aik, r.Zero()) {
+			if r.Equal(aik, zero) {
 				continue
 			}
 			brow := b.Row(k)
@@ -120,70 +206,153 @@ func Mul[T any](r ring.Semiring[T], a, b *Dense[T]) *Dense[T] {
 			}
 		}
 	}
-	return out
 }
 
-func mulInt64(a, b *Dense[int64]) *Dense[int64] {
-	out := New[int64](a.rows, b.cols)
-	for i := 0; i < a.rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k := 0; k < a.cols; k++ {
-			aik := arow[k]
-			if aik == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				orow[j] += aik * bv
-			}
-		}
+// mulTileJ is the column-tile width of the cache-blocked kernels. Tiling
+// splits the j loop so one out-row segment and one b-row segment stay
+// resident while k streams; per-(i,j) accumulation order is untouched, so
+// tiled and untiled runs are bit-identical. Matrices narrower than one tile
+// (every distributed block product) take the straight-line path.
+const mulTileJ = 512
+
+func mulInt64Into(out, a, b *Dense[int64]) {
+	for i := range out.e {
+		out.e[i] = 0
 	}
-	return out
-}
-
-func mulBool(a, b *Dense[bool]) *Dense[bool] {
-	out := New[bool](a.rows, b.cols)
-	for i := 0; i < a.rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k := 0; k < a.cols; k++ {
-			if !arow[k] {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				if bv {
-					orow[j] = true
-				}
-			}
+	for jb := 0; jb < b.cols; jb += mulTileJ {
+		je := jb + mulTileJ
+		if je > b.cols {
+			je = b.cols
 		}
-	}
-	return out
-}
-
-func mulMinPlus(a, b *Dense[int64]) *Dense[int64] {
-	out := NewFilled[int64](a.rows, b.cols, ring.Inf)
-	for i := 0; i < a.rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k := 0; k < a.cols; k++ {
-			aik := arow[k]
-			if ring.IsInf(aik) {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				if ring.IsInf(bv) {
+		for i := 0; i < a.rows; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)[jb:je]
+			for k := 0; k < a.cols; k++ {
+				aik := arow[k]
+				if aik == 0 {
 					continue
 				}
-				if s := aik + bv; s < orow[j] {
-					orow[j] = s
+				brow := b.Row(k)[jb:je]
+				for j, bv := range brow {
+					orow[j] += aik * bv
 				}
 			}
 		}
 	}
-	return out
+}
+
+// boolRowScratch pools the per-call b-row occupancy vector of mulBoolInto,
+// keeping the kernel allocation-free in steady state like its siblings.
+var boolRowScratch = sync.Pool{New: func() any { return new([]bool) }}
+
+// mulBoolInto ORs a·b with two short-circuits the Boolean algebra allows:
+// b-rows with no true entry are skipped outright, and the k loop stops as
+// soon as an output row is saturated (all true) — both invisible in the
+// result, since OR is monotone.
+func mulBoolInto(out, a, b *Dense[bool]) {
+	for i := range out.e {
+		out.e[i] = false
+	}
+	scratch := boolRowScratch.Get().(*[]bool)
+	defer boolRowScratch.Put(scratch)
+	if cap(*scratch) < b.rows {
+		*scratch = make([]bool, b.rows)
+	}
+	bAny := (*scratch)[:b.rows]
+	for k := range bAny {
+		bAny[k] = false
+		for _, bv := range b.Row(k) {
+			if bv {
+				bAny[k] = true
+				break
+			}
+		}
+	}
+	for i := 0; i < a.rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		unset := len(orow)
+		for k := 0; k < a.cols && unset > 0; k++ {
+			if !arow[k] || !bAny[k] {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				if bv && !orow[j] {
+					orow[j] = true
+					unset--
+				}
+			}
+		}
+	}
+}
+
+func mulMinPlusInto(out, a, b *Dense[int64]) {
+	for i := range out.e {
+		out.e[i] = ring.Inf
+	}
+	for jb := 0; jb < b.cols; jb += mulTileJ {
+		je := jb + mulTileJ
+		if je > b.cols {
+			je = b.cols
+		}
+		for i := 0; i < a.rows; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)[jb:je]
+			for k := 0; k < a.cols; k++ {
+				aik := arow[k]
+				if ring.IsInf(aik) {
+					continue
+				}
+				brow := b.Row(k)[jb:je]
+				for j, bv := range brow {
+					if ring.IsInf(bv) {
+						continue
+					}
+					if s := aik + bv; s < orow[j] {
+						orow[j] = s
+					}
+				}
+			}
+		}
+	}
+}
+
+// mulMinPlusWInto is the witness-carrying min-plus kernel: the algebra
+// behind every APSP squaring, previously the one frequent semiring without
+// a specialisation. It reproduces MinPlusW exactly: products take the right
+// operand's witness (falling back to the left), and minima break value ties
+// by MinPlusW.Less, so the result matches the generic path bit for bit.
+func mulMinPlusWInto(out, a, b *Dense[ring.ValW]) {
+	zero := ring.ValW{V: ring.Inf, W: ring.NoWitness}
+	mw := ring.MinPlusW{}
+	for i := range out.e {
+		out.e[i] = zero
+	}
+	for i := 0; i < a.rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < a.cols; k++ {
+			aik := arow[k]
+			if ring.IsInf(aik.V) {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				if ring.IsInf(bv.V) {
+					continue
+				}
+				w := bv.W
+				if w == ring.NoWitness {
+					w = aik.W
+				}
+				cand := ring.ValW{V: aik.V + bv.V, W: w}
+				if mw.Less(cand, orow[j]) {
+					orow[j] = cand
+				}
+			}
+		}
+	}
 }
 
 // DistanceProductWitness computes the min-plus product a⋆b together with a

@@ -29,9 +29,10 @@ func (Bool) Equal(a, b bool) bool { return a == b }
 
 // Width returns the one-word transport width of a bool.
 //
-// A single bit is sent as a full O(log n)-bit message, matching the model:
-// messages are not sub-divided. (Bit-packing would be a constant-factor
-// optimisation the paper does not use.)
+// A single bit is sent as a full O(log n)-bit message: one entry, one word.
+// The engines ship Boolean products through the bit-packed PackedBool
+// transport instead (64 entries per word); Bool's own codec remains the
+// unpacked reference layout.
 func (Bool) Width() int { return 1 }
 
 // Encode stores the bool as word 0 or 1.

@@ -95,6 +95,11 @@ func (MinPlusW) Add(a, b ValW) ValW {
 	return b
 }
 
+// Less reports the strict order Add minimises over: by value, then by
+// witness with NoWitness last. Specialised kernels (matrix.Mul's MinPlusW
+// fast path) use it to reproduce Add's tie-breaking exactly.
+func (MinPlusW) Less(a, b ValW) bool { return less(a, b) }
+
 func less(a, b ValW) bool {
 	if a.V != b.V {
 		return a.V < b.V

@@ -48,7 +48,9 @@ type Word = uint64
 // Codec serialises ring elements into fixed-width word vectors for network
 // transport. Elements that need b bits cost ceil(b/64) words per message,
 // which realises the paper's "factor b / log n" bandwidth overhead (e.g. the
-// polynomial-ring embedding of Lemma 18).
+// polynomial-ring embedding of Lemma 18). The hot paths ship whole slices
+// through the BulkCodec extension; per-element Encode/Decode remains the
+// portable fallback (AsBulk adapts any Codec).
 type Codec[T any] interface {
 	// Width returns the number of words used to encode one element.
 	Width() int

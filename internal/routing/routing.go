@@ -52,9 +52,66 @@ func (s Strategy) String() string {
 }
 
 // Exchange delivers msgs[src][dst] (a vector of words for every ordered
-// pair; nil entries mean no traffic) and returns in[dst][src] with FIFO
+// pair; empty entries mean no traffic) and returns in[dst][src] with FIFO
 // order preserved per pair. msgs must be n×n.
 func Exchange(net *clique.Network, strategy Strategy, msgs [][][]clique.Word) [][][]clique.Word {
+	return ExchangeScratch(net, strategy, nil, msgs)
+}
+
+// ExchangeOwned is Exchange for callers that relinquish msgs: the network
+// may adopt the payload vectors as queue storage (clique.SendOwnedVec), so
+// the direct strategy enqueues without copying. Neither msgs' structure
+// nor its vectors may be read or written after the call. Callers that pool
+// their message buffers must use Exchange/ExchangeScratch instead.
+func ExchangeOwned(net *clique.Network, strategy Strategy, msgs [][][]clique.Word) [][][]clique.Word {
+	n := net.N()
+	if len(msgs) != n {
+		panic(fmt.Sprintf("routing: Exchange wants %d source rows, got %d", n, len(msgs)))
+	}
+	for src := range msgs {
+		if len(msgs[src]) != n {
+			panic(fmt.Sprintf("routing: source %d has %d destination slots, want %d", src, len(msgs[src]), n))
+		}
+	}
+	if strategy == Auto {
+		direct, twoPhase := estimateCosts(n, nil, msgs)
+		if twoPhase < direct {
+			strategy = TwoPhase
+		} else {
+			strategy = Direct
+		}
+	}
+	if strategy == TwoPhase {
+		// Ownership is irrelevant two-phase: words travel individually.
+		return exchangeTwoPhase(net, nil, msgs)
+	}
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if len(msgs[src][dst]) > 0 {
+				net.SendOwnedVec(src, dst, msgs[src][dst])
+			}
+		}
+	}
+	mail := net.Flush()
+	in := make([][][]clique.Word, n)
+	for dst := 0; dst < n; dst++ {
+		in[dst] = make([][]clique.Word, n)
+		for src := 0; src < n; src++ {
+			in[dst][src] = mail.From(dst, src)
+		}
+	}
+	return in
+}
+
+// ExchangeScratch is Exchange drawing its receive matrices, per-pair
+// reassembly buffers, and forwarding tables from sc (see Scratch). The
+// returned matrix is recycled two ExchangeScratch calls later, so callers
+// must consume one exchange's delivery before requesting a third — the
+// same lifetime the simulator's Mail gives. Entries for pairs that carried
+// no traffic may be stale under a Scratch: scratch users are oblivious
+// protocols that read exactly the pairs they addressed. A nil sc allocates
+// per call, with nil entries for idle pairs.
+func ExchangeScratch(net *clique.Network, strategy Strategy, sc *Scratch, msgs [][][]clique.Word) [][][]clique.Word {
 	n := net.N()
 	if len(msgs) != n {
 		panic(fmt.Sprintf("routing: Exchange wants %d source rows, got %d", n, len(msgs)))
@@ -66,15 +123,15 @@ func Exchange(net *clique.Network, strategy Strategy, msgs [][][]clique.Word) []
 	}
 	switch strategy {
 	case Direct:
-		return exchangeDirect(net, msgs)
+		return exchangeDirect(net, sc, msgs)
 	case TwoPhase:
-		return exchangeTwoPhase(net, msgs)
+		return exchangeTwoPhase(net, sc, msgs)
 	case Auto:
-		direct, twoPhase := estimateCosts(n, msgs)
+		direct, twoPhase := estimateCosts(n, sc, msgs)
 		if twoPhase < direct {
-			return exchangeTwoPhase(net, msgs)
+			return exchangeTwoPhase(net, sc, msgs)
 		}
-		return exchangeDirect(net, msgs)
+		return exchangeDirect(net, sc, msgs)
 	default:
 		panic(fmt.Sprintf("routing: unknown strategy %d", int(strategy)))
 	}
@@ -85,8 +142,13 @@ func Exchange(net *clique.Network, strategy Strategy, msgs [][][]clique.Word) []
 // tallied per (intermediary, destination) pair; the striping assigns each
 // (src, dst) run of L words to ⌊L/n⌋ full laps plus one contiguous arc of
 // intermediaries, so the tally runs in O(n²) rather than per word.
-func estimateCosts(n int, msgs [][][]clique.Word) (direct, twoPhase int64) {
-	interLoad := make([]int64, n*n) // [inter*n + dst]
+func estimateCosts(n int, sc *Scratch, msgs [][][]clique.Word) (direct, twoPhase int64) {
+	var interLoad []int64 // [inter*n + dst]
+	if sc != nil {
+		interLoad = sc.linkLoads(n * n)
+	} else {
+		interLoad = make([]int64, n*n)
+	}
 	for src := 0; src < n; src++ {
 		off := stripeOffset(src, n)
 		var flat int64
@@ -146,7 +208,7 @@ func estimateCosts(n int, msgs [][][]clique.Word) (direct, twoPhase int64) {
 	return direct, twoPhase
 }
 
-func exchangeDirect(net *clique.Network, msgs [][][]clique.Word) [][][]clique.Word {
+func exchangeDirect(net *clique.Network, sc *Scratch, msgs [][][]clique.Word) [][][]clique.Word {
 	n := net.N()
 	for src := 0; src < n; src++ {
 		for dst := 0; dst < n; dst++ {
@@ -156,11 +218,19 @@ func exchangeDirect(net *clique.Network, msgs [][][]clique.Word) [][][]clique.Wo
 		}
 	}
 	mail := net.Flush()
-	in := make([][][]clique.Word, n)
+	var in [][][]clique.Word
+	if sc != nil {
+		in = sc.directIn(n)
+	} else {
+		in = make([][][]clique.Word, n)
+		for dst := 0; dst < n; dst++ {
+			in[dst] = make([][]clique.Word, n)
+		}
+	}
 	for dst := 0; dst < n; dst++ {
-		in[dst] = make([][]clique.Word, n)
+		row := in[dst]
 		for src := 0; src < n; src++ {
-			in[dst][src] = mail.From(dst, src)
+			row[src] = mail.From(dst, src)
 		}
 	}
 	return in
@@ -193,10 +263,31 @@ func stripeOffset(src, n int) int {
 	return src * p % n
 }
 
-func exchangeTwoPhase(net *clique.Network, msgs [][][]clique.Word) [][][]clique.Word {
+func exchangeTwoPhase(net *clique.Network, sc *Scratch, msgs [][][]clique.Word) [][][]clique.Word {
 	n := net.N()
-	heldMeta := make([][]routedMeta, n) // heldMeta[intermediary]
-	heldWord := make([][]clique.Word, n)
+	var heldMeta [][]routedMeta // heldMeta[intermediary]
+	var heldWord [][]clique.Word
+	var in [][][]clique.Word
+	if sc != nil {
+		heldMeta, heldWord = sc.held(n)
+		in = sc.ownedIn(n)
+	} else {
+		heldMeta = make([][]routedMeta, n)
+		heldWord = make([][]clique.Word, n)
+		in = make([][][]clique.Word, n)
+		for dst := 0; dst < n; dst++ {
+			in[dst] = make([][]clique.Word, n)
+		}
+	}
+	// Pre-size the per-pair reassembly buffers (reusing capacity under a
+	// Scratch); every position is overwritten by the forwarding pass.
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if k := len(msgs[src][dst]); k > 0 {
+				in[dst][src] = resize(in[dst][src], k)
+			}
+		}
+	}
 	for src := 0; src < n; src++ {
 		off := stripeOffset(src, n)
 		flat := 0
@@ -218,18 +309,12 @@ func exchangeTwoPhase(net *clique.Network, msgs [][][]clique.Word) [][][]clique.
 	}
 	net.Flush()
 
-	in := make([][][]clique.Word, n)
-	for dst := 0; dst < n; dst++ {
-		in[dst] = make([][]clique.Word, n)
-	}
 	for inter := 0; inter < n; inter++ {
+		hw := heldWord[inter]
 		for i, m := range heldMeta[inter] {
 			src, dst, idx := m.unpack()
-			w := heldWord[inter][i]
+			w := hw[i]
 			net.Send(inter, dst, w)
-			if in[dst][src] == nil {
-				in[dst][src] = make([]clique.Word, len(msgs[src][dst]))
-			}
 			in[dst][src][idx] = w
 		}
 	}

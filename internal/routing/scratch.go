@@ -1,0 +1,91 @@
+package routing
+
+import "github.com/algebraic-clique/algclique/internal/clique"
+
+// Scratch holds the routing layer's reusable delivery state. Exchange
+// returns a receive matrix in[dst][src]; with a Scratch those matrices are
+// double-buffered — the one handed out two Exchange calls ago is recycled,
+// mirroring the simulator's Mail contract — so a pipeline of exchanges
+// allocates nothing in steady state.
+//
+// Direct and two-phase deliveries recycle separately: direct receive
+// entries are borrowed mailbox windows (reassigned, never written), while
+// two-phase entries are scratch-owned arrays reassembled in place. Keeping
+// the pools apart means an owned buffer can never alias a network mailbox.
+//
+// A Scratch belongs to one caller; the engines thread one through all
+// their exchanges. Exchange with a nil Scratch allocates per call.
+type Scratch struct {
+	directIns [2][][][]clique.Word
+	directIdx int
+	ownedIns  [2][][][]clique.Word
+	ownedIdx  int
+	heldMeta  [][]routedMeta
+	heldWord  [][]clique.Word
+	loads     []int64
+}
+
+// NewScratch returns an empty routing scratch.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// nextMatrix rotates a double-buffered n×n receive matrix.
+func nextMatrix(bufs *[2][][][]clique.Word, idx *int, n int) [][][]clique.Word {
+	m := bufs[*idx]
+	if len(m) != n {
+		m = make([][][]clique.Word, n)
+		for i := range m {
+			m[i] = make([][]clique.Word, n)
+		}
+		bufs[*idx] = m
+	}
+	*idx ^= 1
+	return m
+}
+
+// directIn returns the next direct receive matrix; entries are stale
+// borrowed windows about to be overwritten or nil-cleared by the caller.
+func (sc *Scratch) directIn(n int) [][][]clique.Word {
+	return nextMatrix(&sc.directIns, &sc.directIdx, n)
+}
+
+// ownedIn returns the next owned receive matrix; entries keep their
+// capacity and are resized in place by the caller.
+func (sc *Scratch) ownedIn(n int) [][][]clique.Word {
+	return nextMatrix(&sc.ownedIns, &sc.ownedIdx, n)
+}
+
+// held returns the per-intermediary forwarding tables, truncated.
+func (sc *Scratch) held(n int) ([][]routedMeta, [][]clique.Word) {
+	for len(sc.heldMeta) < n {
+		sc.heldMeta = append(sc.heldMeta, nil)
+	}
+	for len(sc.heldWord) < n {
+		sc.heldWord = append(sc.heldWord, nil)
+	}
+	hm, hw := sc.heldMeta[:n], sc.heldWord[:n]
+	for i := range hm {
+		hm[i] = hm[i][:0]
+		hw[i] = hw[i][:0]
+	}
+	return hm, hw
+}
+
+// linkLoads returns a zeroed length-k load tally.
+func (sc *Scratch) linkLoads(k int) []int64 {
+	if cap(sc.loads) < k {
+		sc.loads = make([]int64, k)
+	}
+	l := sc.loads[:k]
+	for i := range l {
+		l[i] = 0
+	}
+	return l
+}
+
+// resize returns b with length k, reusing capacity.
+func resize(b []clique.Word, k int) []clique.Word {
+	if cap(b) < k {
+		return make([]clique.Word, k)
+	}
+	return b[:k]
+}

@@ -50,6 +50,7 @@ func DetectKCycleColourful(net *clique.Network, engine ccmm.Engine, g *graphs.Gr
 	}
 	sizes := neededSizes(k)
 	dCache := make(map[uint32]*ccmm.RowMat[int64]) // C(Y)·A, keyed by Y
+	sc := ccmm.NewScratch()                        // shared by the O(3^k) products
 
 	full := uint32(1)<<k - 1
 	for s := 2; s <= k; s++ {
@@ -68,13 +69,13 @@ func DetectKCycleColourful(net *clique.Network, engine ccmm.Engine, g *graphs.Gr
 					d, ok := dCache[y]
 					if !ok {
 						var err error
-						d, err = ccmm.MulBool(net, engine, cMat[y], a)
+						d, err = ccmm.MulBoolWith(net, engine, sc, cMat[y], a)
 						if err != nil {
 							return false, err
 						}
 						dCache[y] = d
 					}
-					r, err := ccmm.MulBool(net, engine, d, cMat[x&^y])
+					r, err := ccmm.MulBoolWith(net, engine, sc, d, cMat[x&^y])
 					if err != nil {
 						return false, err
 					}

@@ -18,7 +18,8 @@ func CountTriangles(net *clique.Network, engine ccmm.Engine, g *graphs.Graph) (i
 		return 0, err
 	}
 	a := adjacencyRows(g)
-	a2, err := ccmm.MulInt(net, engine, a, a)
+	sc := ccmm.NewScratch()
+	a2, err := ccmm.MulIntWith(net, engine, sc, a, a)
 	if err != nil {
 		return 0, err
 	}
@@ -63,7 +64,8 @@ func CountC4(net *clique.Network, engine ccmm.Engine, g *graphs.Graph) (int64, e
 		return 0, err
 	}
 	a := adjacencyRows(g)
-	a2, err := ccmm.MulInt(net, engine, a, a)
+	sc := ccmm.NewScratch()
+	a2, err := ccmm.MulIntWith(net, engine, sc, a, a)
 	if err != nil {
 		return 0, err
 	}

@@ -35,11 +35,12 @@ func CountC6(net *clique.Network, engine ccmm.Engine, g *graphs.Graph) (int64, e
 	}
 	n := net.N()
 	a := adjacencyRows(g)
-	a2, err := ccmm.MulInt(net, engine, a, a)
+	sc := ccmm.NewScratch()
+	a2, err := ccmm.MulIntWith(net, engine, sc, a, a)
 	if err != nil {
 		return 0, err
 	}
-	a3, err := ccmm.MulInt(net, engine, a2, a)
+	a3, err := ccmm.MulIntWith(net, engine, sc, a2, a)
 	if err != nil {
 		return 0, err
 	}

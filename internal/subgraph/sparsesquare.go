@@ -114,7 +114,7 @@ func SparseSquare(net *clique.Network, g *graphs.Graph) (*ccmm.RowMat[int64], er
 			}
 		}
 	})
-	in := routing.Exchange(net, routing.Auto, msgs)
+	in := routing.ExchangeOwned(net, routing.Auto, msgs)
 
 	out := ccmm.NewRowMat[int64](n)
 	net.ForEach(func(x int) {

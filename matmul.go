@@ -23,7 +23,7 @@ func (s *Clique) MatMul(a, b Mat, opts ...CallOption) (prod Mat, stats Stats, er
 		return nil, Stats{}, err
 	}
 	defer r.end(&stats, &err)
-	p, merr := r.plan.MulIntPlanned(r.net, r.borrow(a, 0), r.borrow(b, 0))
+	p, merr := r.plan.MulIntScratch(r.net, r.sc, r.borrow(a, 0), r.borrow(b, 0))
 	if merr != nil {
 		err = merr
 		return
@@ -65,7 +65,7 @@ func (s *Clique) DistanceProduct(a, b Mat, opts ...CallOption) (prod Mat, stats 
 		return nil, Stats{}, err
 	}
 	defer r.end(&stats, &err)
-	p, merr := r.plan.MulMinPlusPlanned(r.net, r.borrow(a, Inf), r.borrow(b, Inf))
+	p, merr := r.plan.MulMinPlusScratch(r.net, r.sc, r.borrow(a, Inf), r.borrow(b, Inf))
 	if merr != nil {
 		err = merr
 		return
@@ -98,7 +98,7 @@ func (s *Clique) MatMulBool(a, b Mat, opts ...CallOption) (prod Mat, stats Stats
 		return nil, Stats{}, err
 	}
 	defer r.end(&stats, &err)
-	p, merr := r.plan.MulBoolPlanned(r.net, r.borrow(a, 0), r.borrow(b, 0))
+	p, merr := r.plan.MulBoolScratch(r.net, r.sc, r.borrow(a, 0), r.borrow(b, 0))
 	if merr != nil {
 		err = merr
 		return

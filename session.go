@@ -48,6 +48,7 @@ type Clique struct {
 	nets    map[int]*clique.Network
 	bnet    *clique.BroadcastNetwork
 	matPool map[int][]*ccmm.RowMat[int64]
+	scratch map[int]*ccmm.Scratch
 	closed  bool
 
 	ledger      []OpStats
@@ -101,6 +102,7 @@ func newSession(n int, cfg config) (*Clique, error) {
 		nAny:    nAny,
 		nets:    make(map[int]*clique.Network),
 		matPool: make(map[int][]*ccmm.RowMat[int64]),
+		scratch: make(map[int]*ccmm.Scratch),
 	}
 	s.nRing, s.ringErr = cfg.paddedSize(n, ringSize)
 	return s, nil
@@ -193,6 +195,19 @@ func (s *Clique) networkFor(n int) *clique.Network {
 	return net
 }
 
+// scratchFor returns the session's persistent engine scratch for the given
+// clique size, building it on first use (mu held). One scratch per size is
+// enough: operations serialise, so a scratch is never shared by two
+// in-flight products.
+func (s *Clique) scratchFor(n int) *ccmm.Scratch {
+	if sc, ok := s.scratch[n]; ok {
+		return sc
+	}
+	sc := ccmm.NewScratch()
+	s.scratch[n] = sc
+	return sc
+}
+
 // getMat borrows an n×n row-matrix buffer from the pool (mu held). The
 // contents are stale; callers must overwrite every entry (padMatInto does).
 func (s *Clique) getMat(n int) *ccmm.RowMat[int64] {
@@ -242,8 +257,9 @@ type opRun struct {
 	net      *clique.Network          // non-nil for unicast runs
 	bnet     *clique.BroadcastNetwork // non-nil for broadcast runs
 	plan     *ccmm.Plan
-	n        int // padded clique size for this run
-	orig     int // original instance size
+	sc       *ccmm.Scratch // session-owned engine pools for this size
+	n        int           // padded clique size for this run
+	orig     int           // original instance size
 	borrowed []*ccmm.RowMat[int64]
 }
 
@@ -279,7 +295,8 @@ func (s *Clique) beginAt(op string, orig, n int, opts []CallOption) (*opRun, err
 func (s *Clique) newRun(op string, cfg config, orig, n int) *opRun {
 	net := s.networkFor(n)
 	r := &opRun{s: s, op: op, cfg: cfg, sim: net, net: net,
-		plan: ccmm.PlanFor(n, cfg.engine.internal()), n: n, orig: orig}
+		plan: ccmm.PlanFor(n, cfg.engine.internal()), sc: s.scratchFor(n),
+		n: n, orig: orig}
 	r.arm()
 	return r
 }

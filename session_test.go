@@ -462,31 +462,15 @@ func TestOptionScopesInteroperate(t *testing.T) {
 	}
 }
 
-// BenchmarkOneShotDistanceProduct and BenchmarkSessionDistanceProduct
-// quantify the amortisation the session buys: the session path skips
-// network construction, engine/scheme resolution, and operand allocation.
+// BenchmarkOneShotDistanceProduct anchors the session benchmarks in
+// alloc_bench_test.go: the one-shot path pays network construction,
+// engine/scheme resolution, and operand allocation on every call.
 func BenchmarkOneShotDistanceProduct(b *testing.B) {
 	const n = 27
 	x, y := sessionTestMat(n, 1), sessionTestMat(n, 2)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := cc.DistanceProduct(x, y); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkSessionDistanceProduct(b *testing.B) {
-	const n = 27
-	x, y := sessionTestMat(n, 1), sessionTestMat(n, 2)
-	sess, err := cc.NewClique(n)
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer sess.Close()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := sess.DistanceProduct(x, y); err != nil {
 			b.Fatal(err)
 		}
 	}
