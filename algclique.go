@@ -162,6 +162,7 @@ type config struct {
 	engine     Engine
 	strict     bool
 	workers    int
+	transport  clique.Transport
 	seed       uint64
 	colourings int
 	delta      float64
@@ -186,6 +187,26 @@ func WithoutPadding() SessionOption { return sessionOpt(func(c *config) { c.stri
 
 // WithWorkers bounds the simulator's local-computation worker pool.
 func WithWorkers(k int) SessionOption { return sessionOpt(func(c *config) { c.workers = k }) }
+
+// WithWireTransport forces the encoded data plane: every message is
+// encoded into O(log n)-bit words, copied through link queues, and decoded
+// at the receiver — the original simulator behaviour. By default sessions
+// use the direct transport, which hands algebra-typed data end-to-end and
+// charges the identical rounds and words analytically (see DESIGN.md
+// "Accounting plane vs data plane"); the reported Stats are bit-identical
+// either way, only the wall-clock differs.
+func WithWireTransport() SessionOption {
+	return sessionOpt(func(c *config) { c.transport = clique.TransportWire })
+}
+
+// WithTransportVerification runs every engine product on both transports
+// and fails the operation if the results or the charged
+// rounds/words/flushes/phases differ in any way — the executable proof
+// that the direct plane's analytic accounting is faithful. Roughly twice
+// the work of WithWireTransport; meant for tests and debugging.
+func WithTransportVerification() SessionOption {
+	return sessionOpt(func(c *config) { c.transport = clique.TransportVerify })
+}
 
 // WithSeed seeds all randomised components (colour-coding, witness
 // sampling); runs are reproducible for a fixed seed.

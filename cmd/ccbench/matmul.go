@@ -20,21 +20,25 @@ import (
 //
 //   - amortised per-product cost of repeated session DistanceProduct /
 //     MatMul calls (rounds, words, allocs/op, ns/op) at n ∈ {27, 64, 100},
+//   - the same products on the direct (typed, analytically-charged) versus
+//     wire (encoded) transport: identical rounds/words enforced at
+//     measurement time, wall-clock for both, and the wire/direct speedup,
 //   - Boolean products through the bit-packed transport versus the
 //     unpacked reference, on the 3D engine and the naive gather.
 //
-// Regressions are gated on the deterministic, machine-independent metrics:
-// round counts, word counts, allocs/op, and the packed/unpacked round
-// ratio, each within benchTolerance of the committed baseline. Wall-clock
-// ns/op is recorded for the trajectory but not gated — CI hardware varies,
-// and every wall-clock regression on this path shows up in allocs or
-// message volume first.
+// Regressions are gated on the deterministic, machine-independent metrics —
+// round counts, word counts, allocs/op, the packed/unpacked round ratio —
+// plus the direct-path speedup ratio (same-process-relative, so hardware
+// cancels out), each within benchTolerance of the committed baseline.
+// Absolute wall-clock ns/op is recorded for the trajectory but not gated —
+// CI hardware varies, and every wall-clock regression on this path shows up
+// in allocs, message volume, or the speedup ratio first.
 
 const (
 	benchBaselinePath = "BENCH_matmul.json"
 	benchTolerance    = 0.10 // fail on >10% regression
-	benchWarmups      = 2
-	benchOps          = 6
+	benchWarmups      = 3
+	benchOps          = 10
 )
 
 // benchProductStats is one measured product configuration.
@@ -43,6 +47,27 @@ type benchProductStats struct {
 	Words    int64   `json:"words"`
 	AllocsOp uint64  `json:"allocs_op"`
 	NsOp     float64 `json:"ns_op"`
+}
+
+// benchTransportStats compares the direct (typed, analytically-charged)
+// and wire (encoded) transports on one session product. Rounds and words
+// must be bit-identical between the two — the measurement hard-fails
+// otherwise — so only one copy of each is recorded. The speedup column is
+// wire_ns_op / direct_ns_op over the recorded fields, each the minimum of
+// interleaved timed repetitions: scheduler and GC noise is one-sided, so
+// per-transport minima are the stablest wall-clock statistic available,
+// and interleaving makes slow machine phases hit both transports alike —
+// which is what lets this one hardware-relative metric hold a gate.
+type benchTransportStats struct {
+	Kind         string  `json:"kind"`
+	N            int     `json:"n"`
+	Rounds       int64   `json:"rounds"`
+	Words        int64   `json:"words"`
+	DirectNsOp   float64 `json:"direct_ns_op"`
+	WireNsOp     float64 `json:"wire_ns_op"`
+	DirectAllocs uint64  `json:"direct_allocs_op"`
+	WireAllocs   uint64  `json:"wire_allocs_op"`
+	Speedup      float64 `json:"speedup"`
 }
 
 // benchBoolStats compares packed and unpacked Boolean transports.
@@ -61,6 +86,7 @@ type benchBoolStats struct {
 type benchSnapshot struct {
 	SessionDistanceProduct map[string]benchProductStats `json:"session_distance_product"`
 	SessionMatMul          map[string]benchProductStats `json:"session_matmul"`
+	Transport              []benchTransportStats        `json:"transport_direct_vs_wire"`
 	Bool                   []benchBoolStats             `json:"bool_packed_vs_unpacked"`
 }
 
@@ -81,11 +107,18 @@ func mallocCount() uint64 {
 	return ms.Mallocs
 }
 
-// measureSession runs warmups + benchOps products on one session and
-// reports the amortised steady-state cost.
-func measureSession(n int, mul func(s *cc.Clique, a, b [][]int64) (cc.Stats, error)) benchProductStats {
+// benchReps is the number of timed repetitions per configuration; the
+// minimum is reported, which filters scheduler and GC noise well enough
+// for the (relative) speedup gate to hold a 10% tolerance.
+const benchReps = 5
+
+// measureSession runs warmups, then benchReps timed loops of benchOps
+// products on one session, and reports the amortised steady-state cost of
+// the best repetition.
+func measureSession(n int, mul func(s *cc.Clique, a, b [][]int64) (cc.Stats, error), opts ...cc.SessionOption) benchProductStats {
 	a, b := randSquare(n, 71), randSquare(n, 72)
-	s, err := cc.NewClique(n)
+	runtime.GC() // level the collector between configurations
+	s, err := cc.NewClique(n, opts...)
 	check(err)
 	defer s.Close()
 	var last cc.Stats
@@ -93,18 +126,85 @@ func measureSession(n int, mul func(s *cc.Clique, a, b [][]int64) (cc.Stats, err
 		last, err = mul(s, a, b)
 		check(err)
 	}
-	m0, t0 := mallocCount(), time.Now()
-	for i := 0; i < benchOps; i++ {
-		last, err = mul(s, a, b)
+	best := benchProductStats{}
+	for rep := 0; rep < benchReps; rep++ {
+		m0, t0 := mallocCount(), time.Now()
+		for i := 0; i < benchOps; i++ {
+			last, err = mul(s, a, b)
+			check(err)
+		}
+		dt, dm := time.Since(t0), mallocCount()-m0
+		// Each metric keeps its own minimum across repetitions: wall-clock
+		// and allocation noise are independent, so the rep that wins one
+		// need not win the other.
+		ns := float64(dt.Nanoseconds()) / benchOps
+		allocs := dm / benchOps
+		if rep == 0 || ns < best.NsOp {
+			best.NsOp = ns
+		}
+		if rep == 0 || allocs < best.AllocsOp {
+			best.AllocsOp = allocs
+		}
+	}
+	best.Rounds, best.Words = last.Rounds, last.Words
+	return best
+}
+
+// measureTransport runs the same session product on both transports —
+// interleaved, so drift cancels — and reports the pair; rounds and words
+// must agree exactly (the differential tests prove it, the bench refuses
+// to record numbers that contradict it).
+func measureTransport(kind string, n int, mul func(s *cc.Clique, a, b [][]int64) (cc.Stats, error)) benchTransportStats {
+	a, b := randSquare(n, 71), randSquare(n, 72)
+	runtime.GC()
+	sd, err := cc.NewClique(n)
+	check(err)
+	defer sd.Close()
+	sw, err := cc.NewClique(n, cc.WithWireTransport())
+	check(err)
+	defer sw.Close()
+	var dst, wst cc.Stats
+	for i := 0; i < benchWarmups; i++ {
+		dst, err = mul(sd, a, b)
+		check(err)
+		wst, err = mul(sw, a, b)
 		check(err)
 	}
-	dt, dm := time.Since(t0), mallocCount()-m0
-	return benchProductStats{
-		Rounds:   last.Rounds,
-		Words:    last.Words,
-		AllocsOp: dm / benchOps,
-		NsOp:     float64(dt.Nanoseconds()) / benchOps,
+	if dst.Rounds != wst.Rounds || dst.Words != wst.Words {
+		check(fmt.Errorf("matmul: %s n=%d: transports diverged: direct %d rounds / %d words, wire %d rounds / %d words",
+			kind, n, dst.Rounds, dst.Words, wst.Rounds, wst.Words))
 	}
+	// Transport comparisons run a longer timed loop than the session
+	// trajectory: the speedup ratio is gated, so its inputs get the extra
+	// stability budget.
+	const transportOps = 2 * benchOps
+	time1 := func(s *cc.Clique) (ns float64, allocs uint64) {
+		m0, t0 := mallocCount(), time.Now()
+		for i := 0; i < transportOps; i++ {
+			_, err := mul(s, a, b)
+			check(err)
+		}
+		return float64(time.Since(t0).Nanoseconds()) / transportOps, (mallocCount() - m0) / transportOps
+	}
+	out := benchTransportStats{Kind: kind, N: n, Rounds: dst.Rounds, Words: dst.Words}
+	for rep := 0; rep < benchReps; rep++ {
+		dns, dallocs := time1(sd)
+		wns, wallocs := time1(sw)
+		if rep == 0 || dns < out.DirectNsOp {
+			out.DirectNsOp = dns
+		}
+		if rep == 0 || wns < out.WireNsOp {
+			out.WireNsOp = wns
+		}
+		if rep == 0 || dallocs < out.DirectAllocs {
+			out.DirectAllocs = dallocs
+		}
+		if rep == 0 || wallocs < out.WireAllocs {
+			out.WireAllocs = wallocs
+		}
+	}
+	out.Speedup = out.WireNsOp / out.DirectNsOp
+	return out
 }
 
 // measureBool runs the same Boolean product through the packed and
@@ -169,6 +269,19 @@ func measureSnapshot() *benchSnapshot {
 			return st, err
 		})
 	}
+	mm := func(s *cc.Clique, a, b [][]int64) (cc.Stats, error) {
+		_, st, err := s.MatMul(a, b)
+		return st, err
+	}
+	dp := func(s *cc.Clique, a, b [][]int64) (cc.Stats, error) {
+		_, st, err := s.DistanceProduct(a, b)
+		return st, err
+	}
+	for _, n := range []int{27, 64, 100} {
+		snap.Transport = append(snap.Transport,
+			measureTransport("matmul", n, mm),
+			measureTransport("distance-product", n, dp))
+	}
 	snap.Bool = []benchBoolStats{
 		measureBool("semiring-3d", 64),
 		measureBool("semiring-3d", 512),
@@ -206,6 +319,34 @@ func gate(base, cur *benchSnapshot) []string {
 	}
 	checkProducts("session-distance-product", base.SessionDistanceProduct, cur.SessionDistanceProduct)
 	checkProducts("session-matmul", base.SessionMatMul, cur.SessionMatMul)
+	baseTransport := map[string]benchTransportStats{}
+	for _, b := range base.Transport {
+		baseTransport[fmt.Sprintf("%s/%d", b.Kind, b.N)] = b
+	}
+	for _, c := range cur.Transport {
+		b, ok := baseTransport[fmt.Sprintf("%s/%d", c.Kind, c.N)]
+		if !ok {
+			continue
+		}
+		if worse(float64(c.Rounds), float64(b.Rounds)) {
+			fails = append(fails, fmt.Sprintf("transport %s n=%d: rounds %d > baseline %d", c.Kind, c.N, c.Rounds, b.Rounds))
+		}
+		if worse(float64(c.Words), float64(b.Words)) {
+			fails = append(fails, fmt.Sprintf("transport %s n=%d: words %d > baseline %d", c.Kind, c.N, c.Words, b.Words))
+		}
+		if float64(c.DirectAllocs) > float64(b.DirectAllocs)*(1+benchTolerance)+64 {
+			fails = append(fails, fmt.Sprintf("transport %s n=%d: direct allocs/op %d > baseline %d", c.Kind, c.N, c.DirectAllocs, b.DirectAllocs))
+		}
+		// The direct-path speedup ratio is the one wall-clock-derived gate:
+		// both sides of the ratio run on the same hardware in the same
+		// process, so a shrinking ratio means the direct plane itself
+		// regressed, not the machine. Sub-millisecond sizes are recorded
+		// but not gated — their ratio is timer noise.
+		if c.N >= 64 && c.Speedup < b.Speedup*(1-benchTolerance) {
+			fails = append(fails, fmt.Sprintf("transport %s n=%d: direct-path speedup %.2fx < baseline %.2fx",
+				c.Kind, c.N, c.Speedup, b.Speedup))
+		}
+	}
 	baseBool := map[string]benchBoolStats{}
 	for _, b := range base.Bool {
 		baseBool[fmt.Sprintf("%s/%d", b.Engine, b.N)] = b
@@ -248,8 +389,9 @@ func matmulBench() {
 
 	out := benchFile{
 		Experiment: "matmul-hotpath",
-		Note: "amortised session products and packed Boolean transport; gated on rounds/words/allocs " +
-			"and the packed round ratio (ns_op recorded, not gated — hardware varies)",
+		Note: "amortised session products, direct-vs-wire transports, and packed Boolean transport; " +
+			"gated on rounds/words/allocs, the direct-path speedup ratio, and the packed round ratio " +
+			"(absolute ns_op recorded, not gated — hardware varies; the speedup ratio is same-process-relative)",
 		Before:     committed.Before,
 		BeforeNote: committed.BeforeNote,
 		After:      cur,
@@ -263,6 +405,10 @@ func matmulBench() {
 		fmt.Printf("   no regression > %.0f%% versus committed baseline\n", benchTolerance*100)
 	} else {
 		fmt.Printf("   no committed baseline found at %s; snapshot printed only\n", benchBaselinePath)
+	}
+	for _, tr := range cur.Transport {
+		fmt.Printf("   %s n=%d: direct %.2fms vs wire %.2fms (%.2fx), %d rounds / %d words on both\n",
+			tr.Kind, tr.N, tr.DirectNsOp/1e6, tr.WireNsOp/1e6, tr.Speedup, tr.Rounds, tr.Words)
 	}
 	for _, b := range cur.Bool {
 		fmt.Printf("   bool %s n=%d: %d → %d rounds (%.1fx), %d → %d words (%.1fx)\n",

@@ -14,3 +14,17 @@ func gatherCols[T any](buf []T, row []T, cols []int, n int, zero T) {
 		}
 	}
 }
+
+// appendCols is gatherCols for the direct transport: it appends the
+// gathered block row onto a typed payload buffer, which then travels as-is
+// (no encode step) while its wire cost is charged from EncodedLen.
+func appendCols[T any](dst []T, row []T, cols []int, n int, zero T) []T {
+	for _, col := range cols {
+		if col < n {
+			dst = append(dst, row[col])
+		} else {
+			dst = append(dst, zero)
+		}
+	}
+	return dst
+}

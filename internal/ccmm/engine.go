@@ -126,12 +126,12 @@ func mulBoolSemiring(net *clique.Network, e Engine, sc *Scratch, s, t *RowMat[in
 	ts := typedFrom[bool](sc)
 	toBool := func(m *RowMat[int64]) *RowMat[bool] {
 		out := ts.getMat(n)
-		for v, row := range m.Rows {
-			b := out.Rows[v]
+		net.ForEach(func(v int) {
+			b, row := out.Rows[v], m.Rows[v]
 			for j, x := range row {
 				b[j] = x != 0
 			}
-		}
+		})
 		return out
 	}
 	sb, tb := toBool(s), toBool(t)
@@ -148,7 +148,8 @@ func mulBoolSemiring(net *clique.Network, e Engine, sc *Scratch, s, t *RowMat[in
 		return nil, err
 	}
 	out := &RowMat[int64]{Rows: make([][]int64, len(p.Rows))}
-	for v, row := range p.Rows {
+	net.ForEach(func(v int) {
+		row := p.Rows[v]
 		ints := make([]int64, len(row))
 		for j, b := range row {
 			if b {
@@ -156,7 +157,7 @@ func mulBoolSemiring(net *clique.Network, e Engine, sc *Scratch, s, t *RowMat[in
 			}
 		}
 		out.Rows[v] = ints
-	}
+	})
 	return out, nil
 }
 

@@ -1,0 +1,62 @@
+package ccmm
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"github.com/algebraic-clique/algclique/internal/clique"
+	"github.com/algebraic-clique/algclique/internal/ring"
+)
+
+// TestScratchTrimReleasesPools checks Trim drops every pooled structure a
+// product accumulated — word pools, typed arms, link tallies — and that
+// the scratch is fully usable (and correct) afterwards.
+func TestScratchTrimReleasesPools(t *testing.T) {
+	const n = 27
+	net := clique.New(n)
+	defer net.Close()
+	sc := NewScratch()
+	rng := rand.New(rand.NewPCG(7, n))
+	s, u := randIntMat(rng, n, 50), randIntMat(rng, n, 50)
+	r := ring.Int64{}
+	first, err := Semiring3DScratch[int64](net, sc, r, r, s, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.typed) == 0 {
+		t.Fatalf("sanity: product left no typed scratch state")
+	}
+	sc.Trim()
+	if len(sc.payload) != 0 || len(sc.views) != 0 {
+		t.Fatalf("Trim kept %d payload and %d view pool sizes", len(sc.payload), len(sc.views))
+	}
+	if sc.typed != nil || sc.offs != nil || sc.wloads != nil {
+		t.Fatalf("Trim kept typed arms or link tallies")
+	}
+	net.Reset()
+	again, err := Semiring3DScratch[int64](net, sc, r, r, s, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Rows, again.Rows) {
+		t.Fatalf("product changed after Trim")
+	}
+}
+
+// TestPayloadPoolCapsSpikes checks the typed payload pool releases entries
+// that ballooned past the high-water capacity while keeping modest ones.
+func TestPayloadPoolCapsSpikes(t *testing.T) {
+	ts := &typedScratch[int64]{}
+	m := ts.getPay(2)
+	m[0][1] = make([]int64, entryRetainCap+1)
+	m[1][0] = make([]int64, 16)
+	ts.putPay(m)
+	m2 := ts.getPay(2)
+	if cap(m2[0][1]) != 0 {
+		t.Fatalf("pool kept %d elements of spiked capacity, want 0", cap(m2[0][1]))
+	}
+	if cap(m2[1][0]) == 0 {
+		t.Fatalf("pool dropped the modest buffer's capacity")
+	}
+}

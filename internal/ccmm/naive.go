@@ -14,11 +14,56 @@ func NaiveGather[T any](net *clique.Network, sr ring.Semiring[T], codec ring.Cod
 	return NaiveGatherScratch[T](net, nil, sr, codec, s, t)
 }
 
-// NaiveGatherScratch is NaiveGather with caller-owned scratch pools and
-// bulk-codec transport: rows ship through one EncodeSlice each (so a
-// packing codec compresses the gather 64×), and the decoded right operand
-// lives in pooled per-node buffers. A nil sc uses a transient scratch.
+// NaiveGatherScratch is NaiveGather with caller-owned scratch pools,
+// dispatched on the network's transport: the direct plane charges the
+// gather analytically from the codec's EncodedLen — so a packing codec
+// still compresses it 64× on the ledger — and every node reads the right
+// operand's rows in place; the wire plane ships each row through one bulk
+// EncodeSlice (encode and decode parallelised over the worker pool) into
+// pooled per-node buffers. A nil sc uses a transient scratch.
 func NaiveGatherScratch[T any](net *clique.Network, sc *Scratch, sr ring.Semiring[T], codec ring.Codec[T], s, t *RowMat[T]) (*RowMat[T], error) {
+	switch net.Transport() {
+	case clique.TransportWire:
+		return naiveGatherWire[T](net, sc, sr, codec, s, t)
+	case clique.TransportVerify:
+		return runVerified(net, func(net2 *clique.Network, wire bool) (*RowMat[T], error) {
+			if wire {
+				return naiveGatherWire[T](net2, nil, sr, codec, s, t)
+			}
+			return naiveGatherDirect[T](net2, sc, sr, codec, s, t)
+		})
+	default:
+		return naiveGatherDirect[T](net, sc, sr, codec, s, t)
+	}
+}
+
+// naiveGatherDirect is the data-plane gather: the ledger of the encoded
+// all-gather is charged analytically and every node multiplies against
+// t's rows directly — decode-free, and with no materialised copy of the
+// operand at all.
+func naiveGatherDirect[T any](net *clique.Network, _ *Scratch, sr ring.Semiring[T], codec ring.Codec[T], s, t *RowMat[T]) (*RowMat[T], error) {
+	n := net.N()
+	if err := s.validate(n); err != nil {
+		return nil, err
+	}
+	if err := t.validate(n); err != nil {
+		return nil, err
+	}
+	bc := ring.AsBulk[T](codec)
+	net.Phase("mmnaive/gather")
+	lens := make([]int64, n)
+	for v := 0; v < n; v++ {
+		lens[v] = int64(bc.EncodedLen(len(t.Rows[v])))
+	}
+	routing.ChargeAllGather(net, lens)
+
+	net.Phase("mmnaive/multiply")
+	return naiveMultiply(net, sr, s, t.Rows), nil
+}
+
+// naiveGatherWire is the encoded gather (the original path, kept for
+// verification and WithWireTransport).
+func naiveGatherWire[T any](net *clique.Network, sc *Scratch, sr ring.Semiring[T], codec ring.Codec[T], s, t *RowMat[T]) (*RowMat[T], error) {
 	n := net.N()
 	if err := s.validate(n); err != nil {
 		return nil, err
@@ -33,18 +78,26 @@ func NaiveGatherScratch[T any](net *clique.Network, sc *Scratch, sr ring.Semirin
 	ts := typedFrom[T](sc)
 	net.Phase("mmnaive/gather")
 	vecs := make([][]clique.Word, n)
-	for v := 0; v < n; v++ {
+	net.ForEach(func(v int) {
 		vecs[v] = bc.EncodeSlice(nil, t.Rows[v])
-	}
+	})
 	all := routing.AllGather(net, vecs)
 
 	net.Phase("mmnaive/multiply")
 	growBufs(&ts.rows, n)
 	trows := make([][]T, n)
-	for v := 0; v < n; v++ {
+	net.ForEach(func(v int) {
 		trows[v] = nodeBuf(ts.rows, v, n)
 		bc.DecodeSlice(trows[v], all[v])
-	}
+	})
+	return naiveMultiply(net, sr, s, trows), nil
+}
+
+// naiveMultiply is the local multiplication both transports share: node v
+// multiplies its own row of s against the (gathered or in-place) right
+// operand.
+func naiveMultiply[T any](net *clique.Network, sr ring.Semiring[T], s *RowMat[T], trows [][]T) *RowMat[T] {
+	n := net.N()
 	zero := sr.Zero()
 	p := NewRowMat[T](n)
 	net.ForEach(func(v int) {
@@ -64,5 +117,5 @@ func NaiveGatherScratch[T any](net *clique.Network, sc *Scratch, sr ring.Semirin
 			}
 		}
 	})
-	return p, nil
+	return p
 }

@@ -32,6 +32,7 @@ type Scratch struct {
 	payload map[int][][][][]clique.Word // free payload matrices, by dimension
 	views   map[int][][][][]clique.Word // free view matrices, by dimension
 	offs    []int                       // per-link offsets for exchangeVirtual
+	wloads  []int64                     // per-link analytic word loads (direct transport)
 	rt      *routing.Scratch            // delivery-layer pools
 	typed   []any                       // one *typedScratch[T] per element type
 }
@@ -43,6 +44,23 @@ func NewScratch() *Scratch {
 		views:   make(map[int][][][][]clique.Word),
 		rt:      routing.NewScratch(),
 	}
+}
+
+// Trim releases every pooled buffer, matrix, and typed arm the scratch has
+// accumulated (they rebuild lazily on the next product). Long-lived
+// sessions call it — via Clique.Trim — to drop the working set of past
+// peak sizes instead of pinning it forever.
+func (sc *Scratch) Trim() {
+	for k := range sc.payload {
+		delete(sc.payload, k)
+	}
+	for k := range sc.views {
+		delete(sc.views, k)
+	}
+	sc.offs = nil
+	sc.wloads = nil
+	sc.typed = nil
+	sc.rt.Trim()
 }
 
 // getPayload returns a d×d message matrix whose entries are truncated to
@@ -116,6 +134,19 @@ func (sc *Scratch) linkOffs(k int) []int {
 	return o
 }
 
+// linkWords returns a zeroed length-k analytic word-load tally (the direct
+// transport's per-real-link accounting in the virtual exchange).
+func (sc *Scratch) linkWords(k int) []int64 {
+	if cap(sc.wloads) < k {
+		sc.wloads = make([]int64, k)
+	}
+	w := sc.wloads[:k]
+	for i := range w {
+		w[i] = 0
+	}
+	return w
+}
+
 // typedScratch is the element-typed arm of a Scratch: per-node buffers and
 // block matrices for one T. Slices indexed by node are pre-sized on the
 // engine's single-threaded path (growSlots/growBufs) so that ForEach
@@ -145,6 +176,14 @@ type typedScratch[T any] struct {
 	// Free row matrices for algebra conversions (witness tagging, Boolean
 	// packing).
 	mats []*RowMat[T]
+
+	// Direct-transport message state: typed payload matrices (entries are
+	// scratch-owned append buffers holding algebra values, the data-plane
+	// twin of Scratch.payload) and typed view matrices (entries borrow
+	// rows of other scratch state or delivered payloads, nil-cleared on
+	// return — the twin of Scratch.views).
+	payFree  map[int][][][][]T
+	viewFree map[int][][][][]T
 }
 
 // typedFrom returns the scratch's typedScratch for T, creating it on first
@@ -221,6 +260,74 @@ func (ts *typedScratch[T]) zeroRowFor(zero T, k int) []T {
 		ts.zeroRow[i] = zero
 	}
 	return ts.zeroRow
+}
+
+// entryRetainCap is the high-water capacity (elements) a pooled typed
+// message buffer may keep; spikes above it are released on return.
+const entryRetainCap = 1 << 14
+
+// getPay borrows a d×d typed payload matrix whose entries are truncated
+// but keep their capacity; callers build messages with
+// pay[v][u] = append(pay[v][u][:0], ...).
+func (ts *typedScratch[T]) getPay(d int) [][][]T {
+	if free := ts.payFree[d]; len(free) > 0 {
+		m := free[len(free)-1]
+		ts.payFree[d] = free[:len(free)-1]
+		return m
+	}
+	m := make([][][]T, d)
+	for i := range m {
+		m[i] = make([][]T, d)
+	}
+	return m
+}
+
+// putPay truncates every entry (releasing any above the high-water
+// capacity) and returns the matrix to the pool.
+func (ts *typedScratch[T]) putPay(m [][][]T) {
+	for _, row := range m {
+		for i := range row {
+			if cap(row[i]) > entryRetainCap {
+				row[i] = nil
+			} else {
+				row[i] = row[i][:0]
+			}
+		}
+	}
+	if ts.payFree == nil {
+		ts.payFree = make(map[int][][][][]T)
+	}
+	ts.payFree[len(m)] = append(ts.payFree[len(m)], m)
+}
+
+// getViews borrows a d×d typed view matrix of nil slices for borrowed
+// element windows (delivered payloads, product rows). Entries are
+// assigned, never appended into.
+func (ts *typedScratch[T]) getViews(d int) [][][]T {
+	if free := ts.viewFree[d]; len(free) > 0 {
+		m := free[len(free)-1]
+		ts.viewFree[d] = free[:len(free)-1]
+		return m
+	}
+	m := make([][][]T, d)
+	for i := range m {
+		m[i] = make([][]T, d)
+	}
+	return m
+}
+
+// putViews nil-clears every entry (releasing the borrowed slices) and
+// returns the matrix to the pool.
+func (ts *typedScratch[T]) putViews(m [][][]T) {
+	for _, row := range m {
+		for i := range row {
+			row[i] = nil
+		}
+	}
+	if ts.viewFree == nil {
+		ts.viewFree = make(map[int][][][][]T)
+	}
+	ts.viewFree[len(m)] = append(ts.viewFree[len(m)], m)
 }
 
 // getMat borrows an n×n row matrix from the pool; contents are stale.

@@ -28,14 +28,35 @@ func Semiring3D[T any](net *clique.Network, sr ring.Semiring[T], codec ring.Code
 }
 
 // Semiring3DScratch is Semiring3D with caller-owned scratch pools: message
-// matrices, encoded payloads, block operands, and product subcubes persist
-// in sc across products, so a pipeline of repeated multiplications (or a
+// matrices, payloads, block operands, and product subcubes persist in sc
+// across products, so a pipeline of repeated multiplications (or a
 // session) runs the engine allocation-free in steady state apart from the
-// returned result. All transport goes through the codec's bulk interface —
-// one monomorphic EncodeSlice/DecodeSlice per block row — and a packing
-// codec (ring.PackedBool) is honoured throughout, since every offset is an
-// EncodedLen sum of whole chunks. A nil sc uses a transient scratch.
+// returned result. It dispatches on the network's transport: the direct
+// plane hands typed block rows end-to-end with the wire words charged
+// analytically, the wire plane encodes every chunk through the codec's
+// bulk interface, and TransportVerify runs both and diffs them. A packing
+// codec (ring.PackedBool) is honoured on both planes, since every cost and
+// offset is an EncodedLen sum of whole chunks. A nil sc uses a transient
+// scratch.
 func Semiring3DScratch[T any](net *clique.Network, sc *Scratch, sr ring.Semiring[T], codec ring.Codec[T], s, t *RowMat[T]) (*RowMat[T], error) {
+	switch net.Transport() {
+	case clique.TransportWire:
+		return semiring3DWire[T](net, sc, sr, codec, s, t)
+	case clique.TransportVerify:
+		return runVerified(net, func(net2 *clique.Network, wire bool) (*RowMat[T], error) {
+			if wire {
+				return semiring3DWire[T](net2, nil, sr, codec, s, t)
+			}
+			return semiring3DDirect[T](net2, sc, sr, codec, s, t)
+		})
+	default:
+		return semiring3DDirect[T](net, sc, sr, codec, s, t)
+	}
+}
+
+// semiring3DWire is the encoded 3D algorithm (the original path, kept for
+// verification and WithWireTransport).
+func semiring3DWire[T any](net *clique.Network, sc *Scratch, sr ring.Semiring[T], codec ring.Codec[T], s, t *RowMat[T]) (*RowMat[T], error) {
 	n := net.N()
 	if err := s.validate(n); err != nil {
 		return nil, err
@@ -213,6 +234,159 @@ func Semiring3DScratch[T any](net *clique.Network, sc *Scratch, sr ring.Semiring
 	return p, nil
 }
 
+// semiring3DDirect is the 3D algorithm on the data plane: the same four
+// phases as semiring3DWire with identical charging, but block rows travel
+// as typed slices — gathered straight into payload buffers, received
+// straight into block-operand rows, and the step-3 partial products
+// shipped as views of the product subcubes with no copy at all.
+func semiring3DDirect[T any](net *clique.Network, sc *Scratch, sr ring.Semiring[T], codec ring.Codec[T], s, t *RowMat[T]) (*RowMat[T], error) {
+	n := net.N()
+	if err := s.validate(n); err != nil {
+		return nil, err
+	}
+	if err := t.validate(n); err != nil {
+		return nil, err
+	}
+	if sc == nil {
+		sc = NewScratch()
+	}
+	bc := ring.AsBulk[T](codec)
+	ts := typedFrom[T](sc)
+	lay := newCubeLayout(n)
+	c, vn := lay.c, lay.vn
+	c2 := c * c
+	partWords := int64(bc.EncodedLen(c2)) // analytic words per block-row chunk
+	chunkWords := func(elems int) int64 { return int64(elems/c2) * partWords }
+	zero := sr.Zero()
+	live := lay.liveDigits()
+	alive := func(u int) bool {
+		u1, u2, u3 := lay.split(u)
+		return u1 < live && u2 < live && u3 < live
+	}
+
+	groups := make([][]int, c)
+	for x := 0; x < c; x++ {
+		groups[x] = lay.firstDigitSet(x)
+	}
+	growSlots(&ts.cubeS, n)
+	growSlots(&ts.cubeT, n)
+	growSlots(&ts.cubeProd, vn)
+	zeroRow := ts.zeroRowFor(zero, c2)
+
+	// Step 1: distribute entries — the same recipients and chunk layout as
+	// the wire path (S part before T part on shared pairs), but the chunks
+	// are the algebra values themselves.
+	net.Phase("mm3d/distribute")
+	pmsgs := ts.getPay(vn)
+	net.ForEach(func(v int) {
+		v1, _, _ := lay.split(v)
+		srow, trow := s.Rows[v], t.Rows[v]
+		for u2 := 0; u2 < live; u2++ {
+			for u3 := 0; u3 < live; u3++ {
+				u := lay.join(v1, u2, u3)
+				msg := appendCols(pmsgs[v][u][:0], srow, groups[u2], n, zero)
+				if u2 == v1 {
+					msg = appendCols(msg, trow, groups[u3], n, zero)
+				}
+				pmsgs[v][u] = msg
+			}
+		}
+		for u1 := 0; u1 < live; u1++ {
+			if u1 == v1 {
+				continue
+			}
+			for u3 := 0; u3 < live; u3++ {
+				u := lay.join(u1, v1, u3)
+				pmsgs[v][u] = appendCols(pmsgs[v][u][:0], trow, groups[u3], n, zero)
+			}
+		}
+	})
+	in := exchangeVirtualPayload(lay, net, sc, ts, pmsgs, chunkWords)
+
+	// Step 2: local multiplication; received rows copy straight into the
+	// block operands (a memmove, no decode).
+	net.Phase("mm3d/multiply")
+	net.ForEach(func(r int) {
+		sblk := slotAt(ts.cubeS, r, c2, c2)
+		tblk := slotAt(ts.cubeT, r, c2, c2)
+		for u := r; u < vn; u += n {
+			if !alive(u) {
+				continue
+			}
+			u1, u2, _ := lay.split(u)
+			for pos, v := range groups[u1] { // S row senders: v1 = u1
+				if v >= n {
+					sblk.SetRow(pos, zeroRow)
+					continue
+				}
+				sblk.SetRow(pos, in[u][v][:c2])
+			}
+			for pos, v := range groups[u2] { // T row senders: v1 = u2
+				if v >= n {
+					tblk.SetRow(pos, zeroRow)
+					continue
+				}
+				ws := in[u][v]
+				if v1, _, _ := lay.split(v); v1 == u1 {
+					ws = ws[c2:] // the S part precedes on shared pairs
+				}
+				tblk.SetRow(pos, ws[:c2])
+			}
+			prod := slotAt(ts.cubeProd, u, c2, c2)
+			matrix.MulInto(sr, prod, sblk, tblk)
+		}
+	})
+	ts.putViews(in)
+
+	// Step 3: distribute the partial products as zero-copy views of the
+	// product subcube rows.
+	net.Phase("mm3d/products")
+	vout := ts.getViews(vn)
+	net.ForEach(func(r int) {
+		for u := r; u < vn; u += n {
+			if !alive(u) {
+				continue
+			}
+			u1, _, _ := lay.split(u)
+			prod := ts.cubeProd[u]
+			for pos, x := range groups[u1] {
+				if x < n {
+					vout[u][x] = prod.Row(pos)
+				}
+			}
+		}
+	})
+	in = exchangeVirtualPayload(lay, net, sc, ts, vout, chunkWords)
+
+	// Step 4: assemble P[x, ∗] = Σ_w P^{(w)}[x, ∗] by accumulating the
+	// received rows in place.
+	net.Phase("mm3d/assemble")
+	p := NewRowMat[T](n)
+	net.ForEach(func(x int) {
+		x1, _, _ := lay.split(x)
+		row := p.Rows[x]
+		for j := range row {
+			row[j] = zero
+		}
+		for _, u := range groups[x1] { // senders: the live u with u1 = x1
+			if !alive(u) {
+				continue
+			}
+			_, _, u3 := lay.split(u)
+			piece := in[x][u]
+			for i, col := range groups[u3] {
+				if col < n {
+					row[col] = sr.Add(row[col], piece[i])
+				}
+			}
+		}
+	})
+	ts.putViews(in)
+	ts.putViews(vout)
+	ts.putPay(pmsgs)
+	return p, nil
+}
+
 // DistanceProduct3D computes the min-plus product P = S ⋆ T together with a
 // witness matrix Q: Q[u][v] = w certifies P[u][v] = S[u][w] + T[w][v]
 // (ring.NoWitness where P is infinite). This is the "easily modified"
@@ -241,7 +415,9 @@ func DistanceProduct3DScratch(net *clique.Network, sc *Scratch, s, t *RowMat[int
 	tw := ts.getMat(n)
 	defer ts.putMat(sw)
 	defer ts.putMat(tw)
-	for v := 0; v < n; v++ {
+	// The witness-tagging and untagging conversions are free node-local
+	// work; run them on the worker pool like every other per-node step.
+	net.ForEach(func(v int) {
 		srow, trow := sw.Rows[v], tw.Rows[v]
 		for j := 0; j < n; j++ {
 			srow[j] = ring.ValW{V: s.Rows[v][j], W: ring.NoWitness}
@@ -252,14 +428,14 @@ func DistanceProduct3DScratch(net *clique.Network, sc *Scratch, s, t *RowMat[int
 				trow[j] = ring.ValW{V: tv, W: int64(v)}
 			}
 		}
-	}
+	})
 	pw, err := Semiring3DScratch[ring.ValW](net, sc, ring.MinPlusW{}, ring.MinPlusW{}, sw, tw)
 	if err != nil {
 		return nil, nil, err
 	}
 	p = NewRowMat[int64](n)
 	q = NewRowMat[int64](n)
-	for v := 0; v < n; v++ {
+	net.ForEach(func(v int) {
 		prow, qrow, pwrow := p.Rows[v], q.Rows[v], pw.Rows[v]
 		for j := 0; j < n; j++ {
 			e := pwrow[j]
@@ -271,6 +447,6 @@ func DistanceProduct3DScratch(net *clique.Network, sc *Scratch, s, t *RowMat[int
 				qrow[j] = e.W
 			}
 		}
-	}
+	})
 	return p, q, nil
 }

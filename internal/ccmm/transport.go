@@ -1,0 +1,71 @@
+package ccmm
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+
+	"github.com/algebraic-clique/algclique/internal/clique"
+)
+
+// The engines run on two transports sharing one ledger (see
+// internal/clique/payload.go): the wire plane encodes every message into
+// words and moves them through link queues; the direct plane hands
+// algebra-typed slices end-to-end and charges the words analytically from
+// the codec's EncodedLen. Each exported engine entry point dispatches on
+// the network's Transport; TransportVerify runs both and diffs results and
+// accounting, which is the executable proof that the planes agree.
+
+// ErrTransportDiverged reports that the direct and wire transports
+// disagreed on a product's result or accounting under TransportVerify —
+// a simulator bug, never an input error.
+var ErrTransportDiverged = errors.New("ccmm: direct and wire transports diverged")
+
+// runVerified runs a product on both transports — direct on the caller's
+// network, wire on a fresh shadow clique of the same size — and returns
+// the direct result only if both the values and the charged
+// rounds/words/flushes/phases agree.
+func runVerified[T any](net *clique.Network, run func(net *clique.Network, wire bool) (*RowMat[T], error)) (*RowMat[T], error) {
+	before := net.Stats()
+	p, err := run(net, false)
+	if err != nil {
+		return nil, err
+	}
+	shadow := clique.New(net.N(), clique.WithTransport(clique.TransportWire))
+	defer shadow.Close()
+	q, err := run(shadow, true)
+	if err != nil {
+		return nil, fmt.Errorf("ccmm: wire shadow run failed: %w", err)
+	}
+	if err := diffLedger(before, net.Stats(), shadow.Stats()); err != nil {
+		return nil, err
+	}
+	if !reflect.DeepEqual(p.Rows, q.Rows) {
+		return nil, fmt.Errorf("%w: products differ", ErrTransportDiverged)
+	}
+	return p, nil
+}
+
+// diffLedger compares the direct run's accounting delta (after − before on
+// the main network) against the wire shadow's full ledger.
+func diffLedger(before, after, wire clique.Stats) error {
+	if d, w := after.Rounds-before.Rounds, wire.Rounds; d != w {
+		return fmt.Errorf("%w: rounds %d (direct) != %d (wire)", ErrTransportDiverged, d, w)
+	}
+	if d, w := after.Words-before.Words, wire.Words; d != w {
+		return fmt.Errorf("%w: words %d (direct) != %d (wire)", ErrTransportDiverged, d, w)
+	}
+	if d, w := after.Flushes-before.Flushes, wire.Flushes; d != w {
+		return fmt.Errorf("%w: flushes %d (direct) != %d (wire)", ErrTransportDiverged, d, w)
+	}
+	dp := after.Phases[len(before.Phases):]
+	if len(dp) != len(wire.Phases) {
+		return fmt.Errorf("%w: %d phases (direct) != %d (wire)", ErrTransportDiverged, len(dp), len(wire.Phases))
+	}
+	for i := range dp {
+		if dp[i] != wire.Phases[i] {
+			return fmt.Errorf("%w: phase %q %+v (direct) != %+v (wire)", ErrTransportDiverged, dp[i].Name, dp[i], wire.Phases[i])
+		}
+	}
+	return nil
+}

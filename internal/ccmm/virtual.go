@@ -59,3 +59,82 @@ func (l cubeLayout) exchangeVirtual(net *clique.Network, sc *Scratch, vmsgs [][]
 	}
 	return vin
 }
+
+// exchangeVirtualPayload is exchangeVirtual on the direct transport: the
+// per-virtual-pair messages are typed element slices that travel by
+// reference (one payload per pair, multiplexed FIFO onto the real links),
+// while the per-link word loads — chunkWords of each message's element
+// count, i.e. the EncodedLen sums the encoded path would concatenate —
+// are charged analytically. The strategy choice and ledger match
+// exchangeVirtual exactly.
+//
+// The returned matrix is a typed scratch view (entries alias the senders'
+// message buffers); the caller must return it with ts.putViews once
+// consumed, before the sender buffers are rebuilt.
+func exchangeVirtualPayload[T any](l cubeLayout, net *clique.Network, sc *Scratch, ts *typedScratch[T], vmsgs [][][]T, chunkWords func(elems int) int64) [][][]T {
+	n := l.n
+	loads := sc.linkWords(n * n)
+	for v := range vmsgs {
+		rv := l.real(v)
+		for u, vec := range vmsgs[v] {
+			if len(vec) == 0 {
+				continue
+			}
+			if ru := l.real(u); ru != rv {
+				loads[rv*n+ru] += chunkWords(len(vec))
+			}
+		}
+	}
+	send := func(charged bool) {
+		for v := range vmsgs {
+			rv := l.real(v)
+			row := vmsgs[v]
+			for u := range row {
+				if len(row[u]) == 0 {
+					continue
+				}
+				if ru := l.real(u); ru != rv {
+					var w int64
+					if charged {
+						w = chunkWords(len(row[u]))
+					}
+					net.SendPayload(rv, ru, w, &row[u])
+				}
+			}
+		}
+	}
+	// Resolve Auto exactly as the encoded exchange does (direct cost = max
+	// non-self link lens, two-phase cost = sum of the schedule maxima),
+	// reusing the memoised schedule aggregates for the analytic charge.
+	maxA, totalA, maxB, totalB, direct := routing.PlanCosts(n, sc.rt, loads)
+	var mail *clique.Mail
+	if maxA+maxB < direct {
+		// The word loads of both Lenzen phases are charged analytically;
+		// the payloads ride the final flush with zero additional words.
+		net.FlushAnalytic(maxA, totalA)
+		send(false)
+		mail = net.FlushAnalytic(maxB, totalB)
+	} else {
+		send(true)
+		mail = net.Flush()
+	}
+	vin := ts.getViews(l.vn)
+	idx := sc.linkOffs(n * n) // consumed payloads per real link [src*n + dst]
+	for v := range vmsgs {
+		rv := l.real(v)
+		for u, vec := range vmsgs[v] {
+			if len(vec) == 0 {
+				continue
+			}
+			ru := l.real(u)
+			if ru == rv {
+				vin[u][v] = vec
+				continue
+			}
+			k := idx[rv*n+ru]
+			vin[u][v] = *(mail.PayloadsFrom(ru, rv)[k].(*[]T))
+			idx[rv*n+ru] = k + 1
+		}
+	}
+	return vin
+}

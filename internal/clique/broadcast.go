@@ -60,6 +60,11 @@ func (b *BroadcastNetwork) SetRoundLimit(limit int64) { b.roundLimit = limit }
 // nil detaches.
 func (b *BroadcastNetwork) SetContext(ctx context.Context) { b.ctx = ctx }
 
+// SetTransport is accepted for interface symmetry with Network and
+// ignored: the broadcast model's simulator carries whole words per round
+// already and has no encoded data plane to bypass.
+func (b *BroadcastNetwork) SetTransport(Transport) {}
+
 // Reset zeroes the accounting for a fresh run and detaches the per-run
 // context; the clique size and round limit are kept.
 func (b *BroadcastNetwork) Reset() {

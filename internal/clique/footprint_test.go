@@ -1,0 +1,173 @@
+package clique
+
+import "testing"
+
+// TestResetTrimsOversizedBuffers drives one traffic spike far above the
+// high-water mark and checks the spiked link queue is released at
+// delivery and the spiked mail buffer at the next Reset, while modest
+// capacity stays warm.
+func TestResetTrimsOversizedBuffers(t *testing.T) {
+	c := New(3)
+	defer c.Close()
+	big := make([]Word, linkRetainCap+1)
+	c.SendVec(0, 1, big)
+	c.Send(0, 2, 7) // modest traffic: capacity should survive Reset
+	c.Flush()
+	if got := cap(c.queues[0][1]); got != 0 {
+		t.Fatalf("Flush kept %d words of spiked queue capacity, want 0", got)
+	}
+	c.Reset()
+	if got := cap(c.queues[0][2]); got == 0 {
+		t.Fatalf("Reset dropped the modest queue's capacity, want it kept warm")
+	}
+	for _, mail := range c.mails {
+		if mail == nil {
+			continue
+		}
+		if got := cap(mail.bufs[1*c.n+0]); got != 0 {
+			t.Fatalf("Reset kept %d words of spiked delivery capacity, want 0", got)
+		}
+	}
+	// An aborted run (queued traffic never flushed) is trimmed by Reset.
+	c.SendVec(0, 1, big)
+	c.Reset()
+	if got := cap(c.queues[0][1]); got != 0 {
+		t.Fatalf("Reset kept %d words of unflushed spiked queue capacity, want 0", got)
+	}
+}
+
+// TestResetClearsPayloadState checks payload queues, loads, and delivered
+// references are dropped by Reset.
+func TestResetClearsPayloadState(t *testing.T) {
+	c := New(2)
+	defer c.Close()
+	vec := []int64{1, 2, 3}
+	c.SendPayload(0, 1, 3, &vec)
+	mail := c.Flush()
+	if got := len(mail.PayloadsFrom(1, 0)); got != 1 {
+		t.Fatalf("delivered %d payloads, want 1", got)
+	}
+	if c.Words() != 3 || c.Rounds() != 3 {
+		t.Fatalf("payload flush charged %d words / %d rounds, want 3 / 3", c.Words(), c.Rounds())
+	}
+	c.Reset()
+	if got := c.PendingWords(0); got != 0 {
+		t.Fatalf("pending words after Reset = %d, want 0", got)
+	}
+	for _, mail := range c.mails {
+		if mail == nil {
+			continue
+		}
+		if mail.PayloadsFrom(1, 0) != nil {
+			t.Fatalf("Reset left a delivered payload readable")
+		}
+		for _, pb := range mail.pbufs {
+			for _, p := range pb {
+				if p != nil {
+					t.Fatalf("Reset left a delivered payload reference behind")
+				}
+			}
+		}
+	}
+}
+
+// TestTrimReleasesEverything checks the aggressive release used by
+// session Trim, and that the network stays usable afterwards.
+func TestTrimReleasesEverything(t *testing.T) {
+	c := New(2)
+	defer c.Close()
+	c.SendVec(0, 1, make([]Word, 128))
+	vec := []int64{1}
+	c.SendPayload(1, 0, 1, &vec)
+	c.Flush()
+	c.Trim()
+	if c.pqueues != nil || c.ploads != nil {
+		t.Fatalf("Trim kept payload-plane state")
+	}
+	if got := cap(c.queues[0][1]); got != 0 {
+		t.Fatalf("Trim kept %d words of queue capacity", got)
+	}
+	// Still usable: a fresh send/flush cycle works.
+	c.Send(0, 1, 42)
+	mail := c.Flush()
+	if got := mail.From(1, 0); len(got) != 1 || got[0] != 42 {
+		t.Fatalf("post-Trim delivery = %v, want [42]", got)
+	}
+}
+
+// TestSendAfterResetWithPendingTraffic guards the touch-stamp generation:
+// a Reset (or Trim) that discards unflushed traffic must not leave its
+// links' dedup stamps armed, or the next run's sends on those links would
+// be silently dropped and uncharged.
+func TestSendAfterResetWithPendingTraffic(t *testing.T) {
+	c := New(2)
+	defer c.Close()
+	c.Send(0, 1, 11) // registered for the upcoming flush...
+	c.Reset()        // ...which never happens
+	c.Send(0, 1, 42)
+	vec := []int64{7}
+	c.SendPayload(1, 0, 1, &vec)
+	mail := c.Flush()
+	if got := mail.From(1, 0); len(got) != 1 || got[0] != 42 {
+		t.Fatalf("post-Reset send delivered %v, want [42]", got)
+	}
+	if got := mail.PayloadsFrom(0, 1); len(got) != 1 {
+		t.Fatalf("post-Reset payload dropped")
+	}
+	if c.Rounds() != 1 || c.Words() != 2 {
+		t.Fatalf("post-Reset flush charged %d rounds / %d words, want 1 / 2", c.Rounds(), c.Words())
+	}
+
+	c.Send(0, 1, 5)
+	c.Trim() // same hazard through the aggressive release
+	c.Send(0, 1, 6)
+	mail = c.Flush()
+	if got := mail.From(1, 0); len(got) != 1 || got[0] != 6 {
+		t.Fatalf("post-Trim send delivered %v, want [6]", got)
+	}
+}
+
+// TestPayloadChargingMatchesWords checks that analytic loads and real
+// words on the same link add up in the flush accounting, and that
+// ChargeLink on a self-link stays free.
+func TestPayloadChargingMatchesWords(t *testing.T) {
+	c := New(3)
+	defer c.Close()
+	c.Send(0, 1, 1)
+	c.Send(0, 1, 2)
+	c.ChargeLink(0, 1, 5) // mixed-plane link: 2 real + 5 analytic
+	c.ChargeLink(2, 2, 99)
+	c.Flush()
+	if c.Rounds() != 7 {
+		t.Fatalf("rounds = %d, want 7 (max link load 2+5; self-link free)", c.Rounds())
+	}
+	if c.Words() != 7 {
+		t.Fatalf("words = %d, want 7", c.Words())
+	}
+}
+
+// TestPayloadFIFOAndLifetime checks payload delivery order and the
+// two-flush Mail lifetime.
+func TestPayloadFIFOAndLifetime(t *testing.T) {
+	c := New(2)
+	defer c.Close()
+	a, b := []int64{1}, []int64{2}
+	c.SendPayload(0, 1, 1, &a)
+	c.SendPayload(0, 1, 1, &b)
+	mail := c.Flush()
+	got := mail.PayloadsFrom(1, 0)
+	if len(got) != 2 || (*(got[0].(*[]int64)))[0] != 1 || (*(got[1].(*[]int64)))[0] != 2 {
+		t.Fatalf("payload FIFO broken: %v", got)
+	}
+	// The next flush must not disturb this mail (double buffering)...
+	c.Flush()
+	if again := mail.PayloadsFrom(1, 0); len(again) != 2 {
+		t.Fatalf("payloads invalidated one flush early")
+	}
+	// ...but the second-next reuses its buffers.
+	c.SendPayload(0, 1, 1, &a)
+	c.Flush()
+	if again := mail.PayloadsFrom(1, 0); len(again) != 1 {
+		t.Fatalf("second-next flush did not recycle the payload buffer")
+	}
+}

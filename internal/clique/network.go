@@ -10,6 +10,12 @@
 // same word from one node to all others) is a single round per word, as in
 // the model. Rounds, words, and per-phase breakdowns are recorded.
 //
+// The simulator is split into an accounting plane and a data plane (see
+// payload.go): besides materialised words, links carry opaque typed
+// payloads whose wire cost is declared analytically, and both planes share
+// the same per-link load maximum at Flush, so the ledger is identical
+// whichever plane a protocol uses.
+//
 // Node-local computation is free in the model; the ForEach helper runs
 // per-node computation concurrently across a worker pool, but each node may
 // touch only its own state and send only from its own identifier, keeping
@@ -101,14 +107,21 @@ func WithRoundLimit(limit int64) Option {
 // use except as documented on ForEach and Send.
 type Network struct {
 	n          int
-	queues     [][][]Word // queues[src][dst], dst == src used for free local delivery
-	mails      [2]*Mail   // double-buffered delivery state, alternated by Flush
+	queues     [][][]Word  // queues[src][dst], dst == src used for free local delivery
+	pqueues    [][]Payload // data-plane payload queues, flat [src*n+dst] (lazy)
+	ploads     []int64     // analytic word load per link, flat [src*n+dst] (lazy)
+	touched    [][]int     // per-source destinations with traffic or load since last Flush
+	tstamp     []uint64    // per-link touch generation backing the touched lists
+	flushSeq   uint64      // monotone flush generation; never reset (stamps depend on it)
+	spiked     bool        // a delivery exceeded linkRetainCap since the last sweep
+	mails      [2]*Mail    // double-buffered delivery state, alternated by Flush
 	rounds     int64
 	words      int64
 	flushes    int64
 	phases     []PhaseStat
 	workers    int
 	roundLimit int64
+	transport  Transport
 	ctx        context.Context
 	pool       *workerPool
 }
@@ -121,6 +134,8 @@ func New(n int, opts ...Option) *Network {
 	c := &Network{
 		n:       n,
 		queues:  newQueues(n),
+		touched: make([][]int, n),
+		tstamp:  make([]uint64, n*n),
 		workers: runtime.GOMAXPROCS(0),
 	}
 	for _, o := range opts {
@@ -166,21 +181,105 @@ func (c *Network) SetRoundLimit(limit int64) { c.roundLimit = limit }
 // latency is one communication phase.
 func (c *Network) SetContext(ctx context.Context) { c.ctx = ctx }
 
+// linkRetainCap is the high-water mark for per-link retained capacity:
+// Reset releases any queue or delivery buffer whose capacity exceeds it
+// (in words), so one traffic spike does not pin its peak footprint for the
+// life of a long-running session. Steady-state traffic on this library's
+// algorithms stays far below it, so warm capacity survives Reset.
+const linkRetainCap = 1 << 14
+
+// payloadRetainCap is the analogous bound for payload-reference buffers
+// (entries, not words — each entry is one boxed reference).
+const payloadRetainCap = 1 << 10
+
+// trimWords truncates a word buffer, releasing it entirely above the
+// high-water capacity.
+func trimWords(b []Word) []Word {
+	if cap(b) > linkRetainCap {
+		return nil
+	}
+	return b[:0]
+}
+
+// trimPayloads truncates a payload buffer (dropping the references it
+// held), releasing it entirely above the high-water capacity.
+func trimPayloads(b []Payload) []Payload {
+	if cap(b) > payloadRetainCap {
+		return nil
+	}
+	for i := range b {
+		b[i] = nil
+	}
+	return b[:0]
+}
+
 // Reset drops all queued traffic and zeroes rounds, words, flushes, and
 // phases so the network can run a fresh algorithm. The clique size, worker
-// pool, configured limits, and the recycled queue/mailbox capacity are
-// kept (sessions reuse networks precisely to keep that capacity warm); the
-// per-run context is detached. Mail values from before the Reset are
-// invalidated.
+// pool, configured limits, transport, and the recycled queue/mailbox
+// capacity are kept (sessions reuse networks precisely to keep that
+// capacity warm) — except buffers above the linkRetainCap high-water mark,
+// which are released (here and at delivery time) so spikes do not pin peak
+// memory; the per-run context is detached. Mail values from before the
+// Reset are invalidated, and the payload references they held are
+// dropped. The walk is proportional to the traffic actually pending or
+// spiked, not to the n² links.
 func (c *Network) Reset() {
-	for _, row := range c.queues {
-		for dst := range row {
-			row[dst] = row[dst][:0]
+	n := c.n
+	for src, list := range c.touched {
+		qrow := c.queues[src]
+		for _, dst := range list {
+			qrow[dst] = trimWords(qrow[dst])
+			if c.pqueues != nil {
+				i := src*n + dst
+				c.pqueues[i] = trimPayloads(c.pqueues[i])
+				c.ploads[i] = 0
+			}
 		}
+		c.touched[src] = list[:0]
+	}
+	// Advance the flush generation: the cleared lists' touch stamps were
+	// armed for seq+1, and without this bump a post-Reset send on such a
+	// link would be deduplicated as already registered and silently
+	// dropped by the next Flush.
+	c.flushSeq++
+	for _, mail := range c.mails {
+		if mail == nil {
+			continue
+		}
+		mail.releasePayloads()
+		mail.id = 0 // no stamp matches: everything reads as undelivered
+	}
+	if c.spiked {
+		// A past delivery exceeded the high-water mark; sweep the mail
+		// buffers once to release it.
+		for _, mail := range c.mails {
+			if mail == nil {
+				continue
+			}
+			for i := range mail.bufs {
+				if cap(mail.bufs[i]) > linkRetainCap {
+					mail.bufs[i] = nil
+				}
+			}
+		}
+		c.spiked = false
 	}
 	c.rounds, c.words, c.flushes = 0, 0, 0
 	c.phases = c.phases[:0]
 	c.ctx = nil
+}
+
+// Trim releases all recycled queue, mailbox, and payload capacity
+// regardless of size (the structures rebuild lazily on next use). It is
+// the aggressive form of Reset's high-water trimming, for callers parking
+// a network they may not use again soon; accounting is untouched.
+func (c *Network) Trim() {
+	c.queues = newQueues(c.n)
+	c.mails = [2]*Mail{}
+	c.pqueues = nil
+	c.ploads = nil
+	c.touched = make([][]int, c.n)
+	c.flushSeq++ // invalidate the discarded lists' touch stamps (see Reset)
 }
 
 // Phase begins a named accounting phase; subsequent costs are attributed to
@@ -213,12 +312,33 @@ func (c *Network) checkNode(v int) {
 	}
 }
 
+// touch registers the link src→dst as carrying traffic or load for the
+// upcoming Flush; the stamp deduplicates so each link appears in its
+// source's touched list once per flush cycle. The lists and stamps are
+// partitioned by source, so concurrent ForEach senders — each restricted
+// to its own source, per the Send contract — never share a slot and no
+// locking is needed.
+func (c *Network) touch(src, dst int) {
+	i := src*c.n + dst
+	if c.tstamp[i] != c.flushSeq+1 {
+		c.tstamp[i] = c.flushSeq + 1
+		c.touched[src] = append(c.touched[src], dst)
+	}
+}
+
 // Send enqueues one word from src to dst for the next Flush. Sending to
 // oneself is legal and free. Send may be called concurrently from ForEach
 // workers provided each worker sends only from its own node.
+//
+// Note: concurrent ForEach senders touch disjoint per-source state — the
+// queue row, and distinct touched-list slots via the per-source stamp row —
+// so the registration below is safe under the documented discipline.
 func (c *Network) Send(src, dst int, w Word) {
 	c.checkNode(src)
 	c.checkNode(dst)
+	if len(c.queues[src][dst]) == 0 {
+		c.touch(src, dst)
+	}
 	c.queues[src][dst] = append(c.queues[src][dst], w)
 }
 
@@ -226,6 +346,12 @@ func (c *Network) Send(src, dst int, w Word) {
 func (c *Network) SendVec(src, dst int, ws []Word) {
 	c.checkNode(src)
 	c.checkNode(dst)
+	if len(ws) == 0 {
+		return
+	}
+	if len(c.queues[src][dst]) == 0 {
+		c.touch(src, dst)
+	}
 	c.queues[src][dst] = append(c.queues[src][dst], ws...)
 }
 
@@ -239,92 +365,180 @@ func (c *Network) SendVec(src, dst int, ws []Word) {
 func (c *Network) SendOwnedVec(src, dst int, ws []Word) {
 	c.checkNode(src)
 	c.checkNode(dst)
+	if len(ws) == 0 {
+		return
+	}
 	if q := c.queues[src][dst]; len(q) > 0 {
 		c.queues[src][dst] = append(q, ws...)
 		return
 	}
+	c.touch(src, dst)
 	c.queues[src][dst] = ws
 }
 
-// Mail is the result of a Flush: all words delivered in this exchange,
-// indexed by destination and source, in FIFO order per link.
+// Mail is the result of a Flush: all words and payloads delivered in this
+// exchange, indexed by destination and source, in FIFO order per link.
 //
-// Mail is double-buffered by the network: a Mail and its word vectors are
-// valid until the second-next Flush on the same network (and until Reset),
-// which reuses the same per-link delivery buffers. Consume a flush's
-// delivery before the one after next — every phase-structured algorithm
-// does so naturally — or copy the words out.
+// Mail is double-buffered by the network: a Mail and its vectors are valid
+// until the second-next Flush on the same network (and until Reset), which
+// reuses the same per-link delivery buffers. Consume a flush's delivery
+// before the one after next — every phase-structured algorithm does so
+// naturally — or copy the words out. Deliveries are stamp-gated rather
+// than cleared, so an idle link reads as empty without any per-flush
+// sweep over the n² links.
 type Mail struct {
-	n     int
-	byDst [][][]Word // delivered views: byDst[dst][src], nil when no words
-	bufs  [][][]Word // persistent per-link buffers backing the views
+	n      int
+	id     uint64      // generation of the Flush that filled this mail
+	bufs   [][]Word    // flat [dst*n+src] persistent delivery buffers
+	wstamp []uint64    // generation each word entry was written
+	pbufs  [][]Payload // flat [dst*n+src] persistent payload buffers (lazy)
+	pstamp []uint64    // generation each payload entry was written (lazy)
+	plinks []int       // entries of pbufs holding references from the last fill
+}
+
+func newMail(n int) *Mail {
+	return &Mail{n: n, bufs: make([][]Word, n*n), wstamp: make([]uint64, n*n)}
+}
+
+// releasePayloads drops the payload references the mail holds — called
+// when its two-flush lifetime ends (refill or Reset), so delivered data
+// is pinned no longer than the contract promises.
+func (m *Mail) releasePayloads() {
+	for _, ri := range m.plinks {
+		m.pbufs[ri] = trimPayloads(m.pbufs[ri])
+	}
+	m.plinks = m.plinks[:0]
 }
 
 // From returns the words dst received from src (nil if none).
-func (m *Mail) From(dst, src int) []Word { return m.byDst[dst][src] }
+func (m *Mail) From(dst, src int) []Word {
+	i := dst*m.n + src
+	if m.wstamp[i] != m.id {
+		return nil
+	}
+	return m.bufs[i]
+}
 
 // Each calls f for every non-empty (src, words) pair delivered to dst, in
 // increasing source order.
 func (m *Mail) Each(dst int, f func(src int, words []Word)) {
-	for src, ws := range m.byDst[dst] {
-		if len(ws) > 0 {
-			f(src, ws)
+	base := dst * m.n
+	for src := 0; src < m.n; src++ {
+		if m.wstamp[base+src] == m.id && len(m.bufs[base+src]) > 0 {
+			f(src, m.bufs[base+src])
 		}
 	}
 }
 
-// Flush delivers every queued word. The charged cost is the maximum link
-// load: the words on each directed link are delivered one per round in
-// parallel across links, exactly as the synchronous model allows.
+// Flush delivers every queued word and payload. The charged cost is the
+// maximum link load — per link, the queued words plus the analytic word
+// load declared by SendPayload/ChargeLink — delivered one word per link
+// per round in parallel across links, exactly as the synchronous model
+// allows. The two planes share one ledger, so a protocol charges the same
+// rounds and words whichever plane carries it.
 //
-// Delivery is allocation-free in steady state: the network owns two Mail
-// buffers used alternately, each with persistent per-link delivery
-// arrays, and the words move from the (equally persistent) link queues by
-// copy. Buffer capacity therefore stays attached to the link and flush
-// slot that needs it, so any periodic traffic pattern converges to zero
-// allocations. See Mail for the resulting lifetime contract.
+// Delivery is allocation-free in steady state and proportional to the
+// links actually used: the network tracks touched links, so a flush walks
+// its own traffic, not all n² pairs. The network owns two Mail buffers
+// used alternately, each with persistent per-link delivery arrays; words
+// move from the (equally persistent) link queues by copy, payloads move as
+// references. See Mail for the resulting lifetime contract.
 func (c *Network) Flush() *Mail {
-	var maxLoad, total int64
-	mail := c.mails[c.flushes&1]
+	return c.FlushAnalytic(0, 0)
+}
+
+// FlushAnalytic is Flush with an additional analytically-described load:
+// the flush behaves as if links also carried traffic with maximum per-link
+// load maxLoad and totalWords words in total (the caller computed both
+// from a schedule's per-link loads without registering them link by link).
+// The charged cost is max(maxLoad, observed per-link maximum) rounds and
+// the sum of both totals — exactly what registering the same loads through
+// ChargeLink and calling Flush would charge, at O(1) instead of O(links).
+func (c *Network) FlushAnalytic(maxLoad, totalWords int64) *Mail {
+	n := c.n
+	mail := c.mails[c.flushSeq&1]
 	if mail == nil {
-		mail = &Mail{n: c.n, byDst: make([][][]Word, c.n), bufs: make([][][]Word, c.n)}
-		for dst := 0; dst < c.n; dst++ {
-			mail.byDst[dst] = make([][]Word, c.n)
-			mail.bufs[dst] = make([][]Word, c.n)
-		}
-		c.mails[c.flushes&1] = mail
+		mail = newMail(n)
+		c.mails[c.flushSeq&1] = mail
 	}
-	for src := 0; src < c.n; src++ {
-		row := c.queues[src]
-		for dst, q := range row {
-			if len(q) == 0 {
-				mail.byDst[dst][src] = nil
-				continue
-			}
-			buf := mail.bufs[dst][src]
-			if cap(buf) < len(q) {
-				buf = make([]Word, len(q))
-				mail.bufs[dst][src] = buf
-			} else {
-				buf = buf[:len(q)]
-			}
-			copy(buf, q)
-			mail.byDst[dst][src] = buf
-			row[dst] = q[:0] // the queue keeps its own array
-			if src != dst {
-				if l := int64(len(q)); l > maxLoad {
-					maxLoad = l
+	if c.pqueues != nil && mail.pbufs == nil {
+		mail.pbufs = make([][]Payload, n*n)
+		mail.pstamp = make([]uint64, n*n)
+	}
+	// This mail's previous deliveries reach the end of their two-flush
+	// lifetime here; drop the payload references they pinned.
+	mail.releasePayloads()
+	seq := c.flushSeq + 1
+	mail.id = seq
+	total := totalWords
+	for src := 0; src < n; src++ {
+		list := c.touched[src]
+		if len(list) == 0 {
+			continue
+		}
+		qrow := c.queues[src]
+		base := src * n
+		for _, dst := range list {
+			i := base + dst
+			ri := dst*n + src
+			var load int64
+			if q := qrow[dst]; len(q) > 0 {
+				buf := mail.bufs[ri]
+				if cap(buf) < len(q) {
+					buf = make([]Word, len(q))
+				} else {
+					buf = buf[:len(q)]
 				}
-				total += int64(len(q))
+				copy(buf, q)
+				mail.bufs[ri] = buf
+				mail.wstamp[ri] = seq
+				if len(q) > linkRetainCap {
+					// The spiked queue is released now; the spiked mail
+					// buffer is swept at the next Reset.
+					qrow[dst] = nil
+					c.spiked = true
+				} else {
+					qrow[dst] = q[:0] // the queue keeps its own array
+				}
+				load += int64(len(q))
+			}
+			if c.ploads != nil {
+				load += c.ploads[i]
+				c.ploads[i] = 0
+			}
+			if c.pqueues != nil {
+				if pq := c.pqueues[i]; len(pq) > 0 {
+					pbuf := append(mail.pbufs[ri][:0], pq...)
+					mail.pbufs[ri] = pbuf
+					mail.pstamp[ri] = seq
+					mail.plinks = append(mail.plinks, ri)
+					for k := range pq {
+						pq[k] = nil // release the queued references
+					}
+					if cap(pq) > payloadRetainCap {
+						c.pqueues[i] = nil
+					} else {
+						c.pqueues[i] = pq[:0]
+					}
+				}
+			}
+			if src != dst && load > 0 {
+				if load > maxLoad {
+					maxLoad = load
+				}
+				total += load
 			}
 		}
+		c.touched[src] = list[:0]
 	}
+	c.flushSeq = seq
 	c.flushes++
 	c.charge(maxLoad, total)
 	return mail
 }
 
-// PendingWords reports the number of words currently queued from src
+// PendingWords reports the number of words currently queued from src —
+// materialised words plus the analytic load of pending payloads
 // (diagnostics and tests).
 func (c *Network) PendingWords(src int) int {
 	c.checkNode(src)
@@ -332,6 +546,9 @@ func (c *Network) PendingWords(src int) int {
 	for dst, q := range c.queues[src] {
 		if dst != src {
 			total += len(q)
+			if c.ploads != nil {
+				total += int(c.ploads[src*c.n+dst])
+			}
 		}
 	}
 	return total

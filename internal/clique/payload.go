@@ -1,0 +1,153 @@
+package clique
+
+import "fmt"
+
+// This file is the simulator's split into an accounting plane and a data
+// plane.
+//
+// The congested-clique model only *counts* rounds and O(log n)-bit words;
+// nothing requires the simulator to materialise those words when all n
+// nodes share one address space. The payload path below therefore moves
+// opaque typed values (slices of algebra elements, boxed pointers) by
+// reference, while the cost of the wire words they *would* occupy is
+// charged analytically: the sender declares the exact word count (computed
+// from the codec's EncodedLen, so a bit-packed Boolean row still costs
+// ⌈len/64⌉ words) and Flush folds it into the same per-link load maximum
+// that real queued words produce. Rounds, words, flushes, and phase
+// attribution are therefore bit-identical between the two planes — the
+// encoded ("wire") path stays available for verification and for protocols
+// whose payloads genuinely are word-structured.
+
+// Transport selects how the simulator moves algorithm data.
+type Transport int
+
+const (
+	// TransportDirect moves algebra-typed payloads by reference and
+	// charges their wire cost analytically. It is the default: the ledger
+	// is identical to the wire path, only the encode/copy/decode work is
+	// skipped.
+	TransportDirect Transport = iota
+	// TransportWire materialises every message as encoded words moved
+	// through link queues — the original simulator behaviour.
+	TransportWire
+	// TransportVerify runs every engine product on both planes (direct on
+	// this network, wire on a shadow clique) and fails if the results or
+	// the charged rounds/words/flushes/phases differ.
+	TransportVerify
+)
+
+// String implements fmt.Stringer.
+func (t Transport) String() string {
+	switch t {
+	case TransportDirect:
+		return "direct"
+	case TransportWire:
+		return "wire"
+	case TransportVerify:
+		return "verify"
+	default:
+		return fmt.Sprintf("transport(%d)", int(t))
+	}
+}
+
+// WithTransport selects the network's transport at construction.
+func WithTransport(t Transport) Option {
+	return func(c *Network) { c.transport = t }
+}
+
+// SetTransport selects the transport for subsequent runs; like
+// SetRoundLimit it survives Reset, so sessions arm it per operation.
+func (c *Network) SetTransport(t Transport) { c.transport = t }
+
+// Transport returns the network's current transport.
+func (c *Network) Transport() Transport { return c.transport }
+
+// Payload is an opaque value riding the data plane. Senders relinquish the
+// payload at SendPayload; receivers may read it until the second-next
+// Flush — the same double-buffered lifetime Mail gives word vectors. To
+// keep the path allocation-free, box a pointer (e.g. *[]T into a stable
+// slot) rather than a slice header.
+type Payload = any
+
+// ensurePayloads lazily builds the payload-plane queues, so wire-only
+// networks never pay for them. Payload senders are single-threaded (the
+// engines' exchange loops run between ForEach phases), so no locking
+// beyond the shared touch registration is needed.
+func (c *Network) ensurePayloads() {
+	if c.pqueues == nil {
+		c.pqueues = make([][]Payload, c.n*c.n)
+		c.ploads = make([]int64, c.n*c.n)
+	}
+}
+
+// SendPayload enqueues an opaque payload from src to dst for the next
+// Flush, charging `words` analytic wire words on the link (the number of
+// words the payload would occupy encoded — callers compute it from
+// ring.BulkCodec.EncodedLen, chunk by chunk). Sending to oneself is legal
+// and free, like any self-send. The payload itself adds no further cost,
+// so traffic whose words were already charged elsewhere (two-phase
+// schedules) rides with words = 0.
+func (c *Network) SendPayload(src, dst int, words int64, p Payload) {
+	c.checkNode(src)
+	c.checkNode(dst)
+	c.ensurePayloads()
+	i := src*c.n + dst
+	if len(c.pqueues[i]) == 0 && c.ploads[i] == 0 {
+		c.touch(src, dst)
+	}
+	c.pqueues[i] = append(c.pqueues[i], p)
+	if words > 0 {
+		c.ploads[i] += words
+	}
+}
+
+// ChargeLink adds analytic word load to a directed link for the next
+// Flush, delivering nothing: it is how the direct transport reproduces a
+// wire schedule's per-link loads (e.g. the two phases of Lenzen routing)
+// without materialising the words. Self-links are accounted exactly like
+// real self-sends: free.
+func (c *Network) ChargeLink(src, dst int, words int64) {
+	c.checkNode(src)
+	c.checkNode(dst)
+	if words <= 0 {
+		return
+	}
+	c.ensurePayloads()
+	i := src*c.n + dst
+	if c.ploads[i] == 0 && len(c.pqueues[i]) == 0 {
+		c.touch(src, dst)
+	}
+	c.ploads[i] += words
+}
+
+// ChargeBroadcast charges exactly what Broadcast would for per-node vector
+// lengths lens: max_v lens[v] rounds and Σ_v lens[v]·(n−1) words. The data
+// plane hands receivers the senders' vectors directly (shared, read-only),
+// so nothing travels.
+func (c *Network) ChargeBroadcast(lens []int64) {
+	if len(lens) != c.n {
+		panic(fmt.Sprintf("clique: ChargeBroadcast wants %d lengths, got %d", c.n, len(lens)))
+	}
+	var maxLen, total int64
+	for _, l := range lens {
+		if l > maxLen {
+			maxLen = l
+		}
+		total += l * int64(c.n-1)
+	}
+	c.charge(maxLen, total)
+}
+
+// PayloadsFrom returns the payloads dst received from src in the last
+// Flush, in FIFO order (nil if none). Valid until the second-next Flush,
+// like the word vectors.
+func (m *Mail) PayloadsFrom(dst, src int) []Payload {
+	if m.pstamp == nil {
+		return nil
+	}
+	i := dst*m.n + src
+	if m.pstamp[i] != m.id {
+		return nil
+	}
+	return m.pbufs[i]
+}

@@ -211,9 +211,21 @@ func maskRows(t *ccmm.RowMat[int64], keep []bool) *ccmm.RowMat[int64] {
 }
 
 // transposeExchange gives node v the column T[·][v]: each node sends one
-// word per link — one round.
+// word per link — one round. On the direct transport the round is charged
+// analytically and each node reads its column in place.
 func transposeExchange(net *clique.Network, t *ccmm.RowMat[int64]) [][]int64 {
 	n := net.N()
+	col := make([][]int64, n)
+	if net.Transport() != clique.TransportWire {
+		net.FlushAnalytic(uniformAllToAll(n))
+		net.ForEach(func(v int) {
+			col[v] = make([]int64, n)
+			for w := 0; w < n; w++ {
+				col[v][w] = t.Rows[w][v]
+			}
+		})
+		return col
+	}
 	for w := 0; w < n; w++ {
 		row := t.Rows[w]
 		for v := 0; v < n; v++ {
@@ -221,7 +233,6 @@ func transposeExchange(net *clique.Network, t *ccmm.RowMat[int64]) [][]int64 {
 		}
 	}
 	mail := net.Flush()
-	col := make([][]int64, n)
 	for v := 0; v < n; v++ {
 		col[v] = make([]int64, n)
 		for w := 0; w < n; w++ {
@@ -234,8 +245,13 @@ func transposeExchange(net *clique.Network, t *ccmm.RowMat[int64]) [][]int64 {
 // verifyAndMerge checks candidates in-network and records certified
 // witnesses. Node u ships (w, S[u][w], P[u][v]) to v — three words per
 // link; v, holding column v of T, confirms S[u][w] + T[w][v] = P[u][v] and
-// answers with one bit.
+// answers with one bit. On the direct transport the probe and reply
+// rounds are charged analytically and the verifier reads the three values
+// in place — same verdicts, same ledger, no words materialised.
 func verifyAndMerge(net *clique.Network, s, p *ccmm.RowMat[int64], tcol [][]int64, cand, q *ccmm.RowMat[int64], resolved [][]bool) error {
+	if net.Transport() != clique.TransportWire {
+		return verifyAndMergeDirect(net, s, p, tcol, cand, q, resolved)
+	}
 	n := net.N()
 	net.Phase("witness/verify")
 	type probe struct{ u, v int }
@@ -284,6 +300,71 @@ func verifyAndMerge(net *clique.Network, s, p *ccmm.RowMat[int64], tcol [][]int6
 				resolved[u][src] = true
 			}
 		})
+	}
+	return nil
+}
+
+// uniformAllToAll is the analytic load of a one-word-per-ordered-pair
+// round: max link load 1 (0 on a single node, where only the free
+// self-link exists) and n·(n−1) words.
+func uniformAllToAll(n int) (maxLoad, total int64) {
+	if n <= 1 {
+		return 0, 0
+	}
+	return 1, int64(n) * int64(n-1)
+}
+
+// verifyAndMergeDirect is verifyAndMerge on the data plane: the same two
+// charged exchanges (three probe words out, one verdict bit back, per
+// unresolved candidate pair), with the verifier evaluating
+// S[u][w] + T[w][v] = P[u][v] against the shared state directly.
+func verifyAndMergeDirect(net *clique.Network, s, p *ccmm.RowMat[int64], tcol [][]int64, cand, q *ccmm.RowMat[int64], resolved [][]bool) error {
+	n := net.N()
+	net.Phase("witness/verify")
+	probed := func(u, v int) bool {
+		w := cand.Rows[u][v]
+		return !resolved[u][v] && w >= 0 && w < int64(n)
+	}
+	var asked int64 // probed pairs on non-self links
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && probed(u, v) {
+				asked++
+			}
+		}
+	}
+	var maxProbe int64
+	if asked > 0 {
+		maxProbe = 3
+	}
+	net.FlushAnalytic(maxProbe, 3*asked)
+	verdicts := make([][]bool, n)
+	net.ForEach(func(v int) {
+		verdicts[v] = make([]bool, n)
+		for u := 0; u < n; u++ {
+			if !probed(u, v) {
+				continue
+			}
+			w := cand.Rows[u][v]
+			sval, tval := s.Rows[u][w], tcol[v][w]
+			if !ring.IsInf(sval) && !ring.IsInf(tval) && sval+tval == p.Rows[u][v] {
+				verdicts[v][u] = true
+			}
+		}
+	})
+	// One-bit replies.
+	var maxReply int64
+	if asked > 0 {
+		maxReply = 1
+	}
+	net.FlushAnalytic(maxReply, asked)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if probed(u, v) && verdicts[v][u] {
+				q.Rows[u][v] = cand.Rows[u][v]
+				resolved[u][v] = true
+			}
+		}
 	}
 	return nil
 }

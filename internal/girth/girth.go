@@ -89,10 +89,26 @@ func Undirected(net *clique.Network, engine ccmm.Engine, g *graphs.Graph, opts O
 }
 
 // gatherGirth ships the whole graph to every node (Dolev et al. style) and
-// computes the girth locally; used by the sparse branch of Theorem 15.
+// computes the girth locally; used by the sparse branch of Theorem 15. On
+// the direct transport the gather is charged analytically — one word per
+// v < u edge, exactly what the encoded path ships — and the girth is
+// computed on the shared graph in place.
 func gatherGirth(net *clique.Network, g *graphs.Graph) (int, bool, error) {
 	net.Phase("girth/gather")
 	n := net.N()
+	if net.Transport() != clique.TransportWire {
+		lens := make([]int64, n)
+		for v := 0; v < n; v++ {
+			for _, u := range g.Neighbors(v) {
+				if u > v {
+					lens[v]++
+				}
+			}
+		}
+		routing.ChargeAllGather(net, lens)
+		girth, ok := graphs.GirthRef(g)
+		return girth, ok, nil
+	}
 	vecs := make([][]clique.Word, n)
 	for v := 0; v < n; v++ {
 		for _, u := range g.Neighbors(v) {

@@ -143,3 +143,68 @@ func TestMulTilingBitIdentical(t *testing.T) {
 		t.Fatal("tiled min-plus kernel differs from generic path")
 	}
 }
+
+// genericMulMinPlus is the unspecialised reference product over the
+// min-plus semiring (MulInto would dispatch to the kernel under test).
+func genericMulMinPlus(a, b *Dense[int64]) *Dense[int64] {
+	mp := ring.MinPlus{}
+	out := New[int64](a.Rows(), b.Cols())
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < b.Cols(); j++ {
+			acc := mp.Zero()
+			for k := 0; k < a.Cols(); k++ {
+				acc = mp.Add(acc, mp.Mul(a.At(i, k), b.At(k, j)))
+			}
+			out.Set(i, j, acc)
+		}
+	}
+	return out
+}
+
+// TestMulMinPlusMatchesGeneric drives the min-plus kernel against the
+// generic semiring path on random matrices mixing negative weights and
+// infinite entries — the combination where a clamp-only inner loop would
+// fabricate finite distances (negative aik + Inf reads below Inf).
+func TestMulMinPlusMatchesGeneric(t *testing.T) {
+	mp := ring.MinPlus{}
+	rng := rand.New(rand.NewPCG(23, 3))
+	randDense := func(n int) *Dense[int64] {
+		m := New[int64](n, n)
+		for i := range m.e {
+			switch rng.IntN(4) {
+			case 0:
+				m.e[i] = ring.Inf
+			case 1:
+				m.e[i] = -rng.Int64N(50)
+			default:
+				m.e[i] = rng.Int64N(100)
+			}
+		}
+		return m
+	}
+	for _, n := range []int{1, 2, 5, 17, 40} {
+		a, b := randDense(n), randDense(n)
+		got := New[int64](n, n)
+		MulInto(mp, got, a, b)
+		want := genericMulMinPlus(a, b)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if got.At(i, j) != want.At(i, j) {
+					t.Fatalf("n=%d: kernel[%d][%d] = %d, generic %d", n, i, j, got.At(i, j), want.At(i, j))
+				}
+			}
+		}
+	}
+	// The reported failure case, verbatim: a negative weight against an
+	// unreachable entry must stay unreachable.
+	a := New[int64](2, 2)
+	b := New[int64](2, 2)
+	a.Fill(ring.Inf)
+	b.Fill(ring.Inf)
+	a.Set(0, 0, -5)
+	out := New[int64](2, 2)
+	MulInto(mp, out, a, b)
+	if !ring.IsInf(out.At(0, 1)) {
+		t.Fatalf("negative weight × Inf produced finite distance %d", out.At(0, 1))
+	}
+}

@@ -76,6 +76,16 @@ func ScaleAddFromBlock[T any](r ring.Ring[T], dst *Dense[T], c int64, src *Dense
 		panic(fmt.Sprintf("matrix: ScaleAddFromBlock %d×%d at (%d, %d) exceeds %d×%d",
 			dst.rows, dst.cols, r0, c0, src.rows, src.cols))
 	}
+	// The bilinear-scheme combination steps call this on blocks as small as
+	// (q/d)², so the integer ring gets a flat monomorphic loop with no
+	// per-row dispatch (the blocks are far smaller than the call count).
+	if _, ok := any(r).(ring.Int64); ok {
+		d, s := any(dst).(*Dense[int64]), any(src).(*Dense[int64])
+		for i := 0; i < d.rows; i++ {
+			scaleAddRowInt64(d.e[i*d.cols:(i+1)*d.cols], c, s.e[(r0+i)*s.cols+c0:(r0+i)*s.cols+c0+d.cols])
+		}
+		return
+	}
 	for i := 0; i < dst.rows; i++ {
 		drow := dst.Row(i)
 		srow := src.e[(r0+i)*src.cols+c0 : (r0+i)*src.cols+c0+dst.cols]
@@ -91,6 +101,13 @@ func ScaleAddToBlock[T any](r ring.Ring[T], dst *Dense[T], r0, c0 int, c int64, 
 		panic(fmt.Sprintf("matrix: ScaleAddToBlock %d×%d at (%d, %d) exceeds %d×%d",
 			src.rows, src.cols, r0, c0, dst.rows, dst.cols))
 	}
+	if _, ok := any(r).(ring.Int64); ok {
+		d, s := any(dst).(*Dense[int64]), any(src).(*Dense[int64])
+		for i := 0; i < s.rows; i++ {
+			scaleAddRowInt64(d.e[(r0+i)*d.cols+c0:(r0+i)*d.cols+c0+s.cols], c, s.e[i*s.cols:(i+1)*s.cols])
+		}
+		return
+	}
 	for i := 0; i < src.rows; i++ {
 		drow := dst.e[(r0+i)*dst.cols+c0 : (r0+i)*dst.cols+c0+src.cols]
 		scaleAddRow(r, drow, c, src.Row(i))
@@ -98,8 +115,14 @@ func ScaleAddToBlock[T any](r ring.Ring[T], dst *Dense[T], r0, c0 int, c int64, 
 }
 
 // scaleAddRow accumulates c·src into dst element-wise with the small-
-// coefficient fast paths shared by all ScaleAdd variants.
+// coefficient fast paths shared by all ScaleAdd variants. The integer
+// ring — every bilinear-scheme combination step — runs monomorphic, with
+// no interface dispatch in the element loop.
 func scaleAddRow[T any](r ring.Ring[T], dst []T, c int64, src []T) {
+	if _, ok := any(r).(ring.Int64); ok {
+		scaleAddRowInt64(any(dst).([]int64), c, any(src).([]int64))
+		return
+	}
 	switch c {
 	case 0:
 	case 1:
@@ -113,6 +136,24 @@ func scaleAddRow[T any](r ring.Ring[T], dst []T, c int64, src []T) {
 	default:
 		for j := range dst {
 			dst[j] = r.Add(dst[j], r.Scale(c, src[j]))
+		}
+	}
+}
+
+func scaleAddRowInt64(dst []int64, c int64, src []int64) {
+	switch c {
+	case 0:
+	case 1:
+		for j, v := range src {
+			dst[j] += v
+		}
+	case -1:
+		for j, v := range src {
+			dst[j] -= v
+		}
+	default:
+		for j, v := range src {
+			dst[j] += c * v
 		}
 	}
 }
@@ -225,14 +266,13 @@ func mulInt64Into(out, a, b *Dense[int64]) {
 			je = b.cols
 		}
 		for i := 0; i < a.rows; i++ {
-			arow := a.Row(i)
-			orow := out.Row(i)[jb:je]
-			for k := 0; k < a.cols; k++ {
-				aik := arow[k]
+			arow := a.e[i*a.cols : (i+1)*a.cols]
+			orow := out.e[i*out.cols+jb : i*out.cols+je]
+			for k, aik := range arow {
 				if aik == 0 {
 					continue
 				}
-				brow := b.Row(k)[jb:je]
+				brow := b.e[k*b.cols+jb : k*b.cols+je]
 				for j, bv := range brow {
 					orow[j] += aik * bv
 				}
@@ -297,14 +337,28 @@ func mulMinPlusInto(out, a, b *Dense[int64]) {
 			je = b.cols
 		}
 		for i := 0; i < a.rows; i++ {
-			arow := a.Row(i)
-			orow := out.Row(i)[jb:je]
-			for k := 0; k < a.cols; k++ {
-				aik := arow[k]
+			arow := a.e[i*a.cols : (i+1)*a.cols]
+			orow := out.e[i*out.cols+jb : i*out.cols+je]
+			for k, aik := range arow {
 				if ring.IsInf(aik) {
 					continue
 				}
-				brow := b.Row(k)[jb:je]
+				brow := b.e[k*b.cols+jb : k*b.cols+je]
+				if aik >= 0 {
+					// Clamping bv at Inf keeps the inner loop branch-free
+					// and is bit-identical to skipping infinite entries
+					// when aik ≥ 0: aik < Inf so s ≤ 2·Inf never
+					// overflows, and s ≥ Inf never beats orow[j] ≤ Inf.
+					for j, bv := range brow {
+						if s := aik + min(bv, ring.Inf); s < orow[j] {
+							orow[j] = s
+						}
+					}
+					continue
+				}
+				// Negative weights: aik + Inf is still "infinite" but
+				// numerically below Inf, so infinite entries must be
+				// skipped explicitly.
 				for j, bv := range brow {
 					if ring.IsInf(bv) {
 						continue

@@ -1,0 +1,223 @@
+package routing
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"github.com/algebraic-clique/algclique/internal/clique"
+)
+
+// randPattern builds a random traffic pattern: some pairs idle, some small,
+// some long enough to push Auto into the two-phase schedule.
+func randPattern(rng *rand.Rand, n int) [][][]int64 {
+	msgs := make([][][]int64, n)
+	for src := range msgs {
+		msgs[src] = make([][]int64, n)
+		for dst := range msgs[src] {
+			var l int
+			switch rng.IntN(3) {
+			case 0:
+				l = 0
+			case 1:
+				l = rng.IntN(4)
+			default:
+				l = n + rng.IntN(3*n)
+			}
+			vec := make([]int64, l)
+			for i := range vec {
+				vec[i] = int64(src*1000000 + dst*1000 + i)
+			}
+			msgs[src][dst] = vec
+		}
+	}
+	return msgs
+}
+
+// TestExchangePayloadMatchesExchange runs the same random patterns through
+// the encoded Exchange and the direct ExchangePayload and requires
+// identical deliveries and identical ledgers — including the Auto strategy
+// choice that decides between direct and two-phase schedules.
+func TestExchangePayloadMatchesExchange(t *testing.T) {
+	for _, n := range []int{2, 4, 7, 12, 25} {
+		for trial := 0; trial < 4; trial++ {
+			rng := rand.New(rand.NewPCG(uint64(n), uint64(trial)))
+			pays := randPattern(rng, n)
+
+			// Encoded reference: one word per element.
+			wnet := clique.New(n)
+			msgs := make([][][]clique.Word, n)
+			for src := range pays {
+				msgs[src] = make([][]clique.Word, n)
+				for dst := range pays[src] {
+					vec := make([]clique.Word, len(pays[src][dst]))
+					for i, x := range pays[src][dst] {
+						vec[i] = clique.Word(x)
+					}
+					msgs[src][dst] = vec
+				}
+			}
+			win := Exchange(wnet, Auto, msgs)
+
+			dnet := clique.New(n)
+			in := make([][][]int64, n)
+			for i := range in {
+				in[i] = make([][]int64, n)
+			}
+			ExchangePayload(dnet, Auto, NewScratch(), pays, func(el int) int64 { return int64(el) }, in)
+
+			ws, ds := wnet.Stats(), dnet.Stats()
+			if !reflect.DeepEqual(ws, ds) {
+				t.Fatalf("n=%d trial %d: ledger diverged: wire %+v, direct %+v", n, trial, ws, ds)
+			}
+			for src := 0; src < n; src++ {
+				for dst := 0; dst < n; dst++ {
+					if len(pays[src][dst]) == 0 {
+						continue
+					}
+					got := in[dst][src]
+					want := win[dst][src]
+					if len(got) != len(want) {
+						t.Fatalf("n=%d (%d→%d): got %d elements, want %d", n, src, dst, len(got), len(want))
+					}
+					for i := range got {
+						if clique.Word(got[i]) != want[i] {
+							t.Fatalf("n=%d (%d→%d)[%d]: got %d, want %d", n, src, dst, i, got[i], want[i])
+						}
+					}
+				}
+			}
+			wnet.Close()
+			dnet.Close()
+		}
+	}
+}
+
+// TestChargeAllGatherMatchesAllGather checks the analytic all-gather
+// charge reproduces the real one's ledger for assorted length profiles.
+func TestChargeAllGatherMatchesAllGather(t *testing.T) {
+	profiles := [][]int64{
+		{0, 0, 0, 0},
+		{1, 0, 0, 0},
+		{5, 0, 17, 3},
+		{9, 9, 9, 9, 9},
+		{100, 1, 0, 2, 50, 3, 3},
+	}
+	for _, lens := range profiles {
+		n := len(lens)
+		wnet := clique.New(n)
+		vecs := make([][]clique.Word, n)
+		for v, l := range lens {
+			vecs[v] = make([]clique.Word, l)
+			for i := range vecs[v] {
+				vecs[v][i] = clique.Word(v*1000 + i)
+			}
+		}
+		AllGather(wnet, vecs)
+
+		dnet := clique.New(n)
+		ChargeAllGather(dnet, lens)
+
+		if ws, ds := wnet.Stats(), dnet.Stats(); !reflect.DeepEqual(ws, ds) {
+			t.Fatalf("lens %v: ledger diverged: wire %+v, direct %+v", lens, ws, ds)
+		}
+		wnet.Close()
+		dnet.Close()
+	}
+}
+
+// refTwoPhaseLinkLoads is the per-link reference implementation of the
+// two-phase schedule: loadA[src*n+inter] words ride the phase-A link
+// src→inter and loadB[inter*n+dst] the phase-B link inter→dst, including
+// the free self-links, striped exactly as exchangeTwoPhase sends them —
+// word for word. TwoPhaseCosts must reduce to its maxima and non-self
+// totals.
+func refTwoPhaseLinkLoads(n int, lens LinkLens) (loadA, loadB []int64) {
+	loadA, loadB = make([]int64, n*n), make([]int64, n*n)
+	for src := 0; src < n; src++ {
+		off := stripeOffset(src, n)
+		var flat int64
+		for dst := 0; dst < n; dst++ {
+			l := lens(src, dst)
+			if l == 0 {
+				continue
+			}
+			laps := l / int64(n)
+			rem := int(l % int64(n))
+			if laps > 0 {
+				for inter := 0; inter < n; inter++ {
+					loadB[inter*n+dst] += laps
+				}
+			}
+			start := (off + int(flat%int64(n))) % n
+			for j := 0; j < rem; j++ {
+				inter := start + j
+				if inter >= n {
+					inter -= n
+				}
+				loadB[inter*n+dst]++
+			}
+			flat += l
+		}
+		laps := flat / int64(n)
+		rem := int(flat % int64(n))
+		if laps > 0 {
+			for inter := 0; inter < n; inter++ {
+				loadA[src*n+inter] += laps
+			}
+		}
+		for j := 0; j < rem; j++ {
+			inter := off + j
+			if inter >= n {
+				inter -= n
+			}
+			loadA[src*n+inter]++
+		}
+	}
+	return loadA, loadB
+}
+
+// TestTwoPhaseLinkLoadsMatchSchedule cross-checks the analytic per-link
+// loads against the estimator's exact round costs.
+func TestTwoPhaseLinkLoadsMatchSchedule(t *testing.T) {
+	for _, n := range []int{3, 8, 15} {
+		rng := rand.New(rand.NewPCG(99, uint64(n)))
+		pays := randPattern(rng, n)
+		lens := func(src, dst int) int64 { return int64(len(pays[src][dst])) }
+		loadA, loadB := refTwoPhaseLinkLoads(n, lens)
+		_, wantTwoPhase := estimateCosts(n, nil, lens)
+		var maxA, maxB int64
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if src == dst {
+					continue
+				}
+				if loadA[src*n+dst] > maxA {
+					maxA = loadA[src*n+dst]
+				}
+				if loadB[src*n+dst] > maxB {
+					maxB = loadB[src*n+dst]
+				}
+			}
+		}
+		if maxA+maxB != wantTwoPhase {
+			t.Fatalf("n=%d: analytic loads give %d+%d rounds, estimator says %d", n, maxA, maxB, wantTwoPhase)
+		}
+		// The fused aggregate form must agree with the per-link arrays on
+		// maxima and on the non-self totals.
+		fmA, ftA, fmB, ftB := TwoPhaseCosts(n, nil, lens)
+		var totA, totB int64
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if src != dst {
+					totA += loadA[src*n+dst]
+					totB += loadB[src*n+dst]
+				}
+			}
+		}
+		if fmA != maxA || fmB != maxB || ftA != totA || ftB != totB {
+			t.Fatalf("n=%d: TwoPhaseCosts (%d,%d,%d,%d) disagrees with link loads (%d,%d,%d,%d)",
+				n, fmA, ftA, fmB, ftB, maxA, totA, maxB, totB)
+		}
+	}
+}

@@ -73,14 +73,7 @@ func ExchangeOwned(net *clique.Network, strategy Strategy, msgs [][][]clique.Wor
 			panic(fmt.Sprintf("routing: source %d has %d destination slots, want %d", src, len(msgs[src]), n))
 		}
 	}
-	if strategy == Auto {
-		direct, twoPhase := estimateCosts(n, nil, msgs)
-		if twoPhase < direct {
-			strategy = TwoPhase
-		} else {
-			strategy = Direct
-		}
-	}
+	strategy = ResolveStrategy(n, nil, strategy, lensOf(msgs))
 	if strategy == TwoPhase {
 		// Ownership is irrelevant two-phase: words travel individually.
 		return exchangeTwoPhase(net, nil, msgs)
@@ -127,8 +120,7 @@ func ExchangeScratch(net *clique.Network, strategy Strategy, sc *Scratch, msgs [
 	case TwoPhase:
 		return exchangeTwoPhase(net, sc, msgs)
 	case Auto:
-		direct, twoPhase := estimateCosts(n, sc, msgs)
-		if twoPhase < direct {
+		if ResolveStrategy(n, sc, Auto, lensOf(msgs)) == TwoPhase {
 			return exchangeTwoPhase(net, sc, msgs)
 		}
 		return exchangeDirect(net, sc, msgs)
@@ -137,74 +129,51 @@ func ExchangeScratch(net *clique.Network, strategy Strategy, sc *Scratch, msgs [
 	}
 }
 
-// estimateCosts returns the exact round cost of Direct and TwoPhase for the
-// given traffic (both are deterministic schedules). Phase-B link loads are
-// tallied per (intermediary, destination) pair; the striping assigns each
-// (src, dst) run of L words to ⌊L/n⌋ full laps plus one contiguous arc of
-// intermediaries, so the tally runs in O(n²) rather than per word.
-func estimateCosts(n int, sc *Scratch, msgs [][][]clique.Word) (direct, twoPhase int64) {
-	var interLoad []int64 // [inter*n + dst]
-	if sc != nil {
-		interLoad = sc.linkLoads(n * n)
-	} else {
-		interLoad = make([]int64, n*n)
+// LinkLens reports the word length of the message from src to dst. It is
+// the accounting-plane view of a traffic pattern: the encoded path derives
+// it from materialised vectors (lensOf), the direct path computes it
+// analytically from codec EncodedLen sums, and both feed the same
+// scheduling and charging code — which is what keeps the two transports'
+// ledgers bit-identical.
+type LinkLens func(src, dst int) int64
+
+// lensOf is the LinkLens of a materialised message matrix.
+func lensOf(msgs [][][]clique.Word) LinkLens {
+	return func(src, dst int) int64 { return int64(len(msgs[src][dst])) }
+}
+
+// ResolveStrategy resolves Auto to the cheaper of Direct and TwoPhase for
+// the given traffic shape, using the exact deterministic round costs of
+// both schedules; non-Auto strategies pass through unchanged.
+func ResolveStrategy(n int, sc *Scratch, strategy Strategy, lens LinkLens) Strategy {
+	if strategy != Auto {
+		return strategy
 	}
+	direct, twoPhase := estimateCosts(n, sc, lens)
+	if twoPhase < direct {
+		return TwoPhase
+	}
+	return Direct
+}
+
+// estimateCosts returns the exact round cost of Direct and TwoPhase for
+// the given traffic (both are deterministic schedules): the direct cost is
+// the maximum non-self link lens, the two-phase cost the sum of the two
+// schedule maxima from TwoPhaseCosts — the single implementation of the
+// Lenzen striping arithmetic both transports share.
+func estimateCosts(n int, sc *Scratch, lens LinkLens) (direct, twoPhase int64) {
+	maxA, _, maxB, _ := TwoPhaseCosts(n, sc, lens)
+	twoPhase = maxA + maxB
 	for src := 0; src < n; src++ {
-		off := stripeOffset(src, n)
-		var flat int64
 		for dst := 0; dst < n; dst++ {
-			l := int64(len(msgs[src][dst]))
-			if l == 0 {
+			if src == dst {
 				continue
 			}
-			if src != dst && l > direct {
+			if l := lens(src, dst); l > direct {
 				direct = l
 			}
-			laps := l / int64(n)
-			rem := int(l % int64(n))
-			if laps > 0 {
-				for inter := 0; inter < n; inter++ {
-					interLoad[inter*n+dst] += laps
-				}
-			}
-			start := (off + int(flat%int64(n))) % n
-			for j := 0; j < rem; j++ {
-				inter := start + j
-				if inter >= n {
-					inter -= n
-				}
-				interLoad[inter*n+dst]++
-			}
-			flat += l
-		}
-		// Phase A max non-self link load from src: words ride links
-		// (off+i) mod n in order, so loads are ⌊flat/n⌋ with one contiguous
-		// arc of ⌈flat/n⌉; the self-link is free and only lowers the max
-		// when it is the arc's sole member.
-		if flat > 0 && n > 1 {
-			laps := flat / int64(n)
-			rem := int(flat % int64(n))
-			maxA := laps
-			if rem > 0 {
-				selfIdx := (src - off + n) % n
-				if rem >= 2 || selfIdx != 0 {
-					maxA = laps + 1
-				}
-			}
-			if maxA > twoPhase {
-				twoPhase = maxA
-			}
 		}
 	}
-	var phaseB int64
-	for inter := 0; inter < n; inter++ {
-		for dst := 0; dst < n; dst++ {
-			if inter != dst && interLoad[inter*n+dst] > phaseB {
-				phaseB = interLoad[inter*n+dst]
-			}
-		}
-	}
-	twoPhase += phaseB
 	return direct, twoPhase
 }
 

@@ -23,10 +23,41 @@ type Scratch struct {
 	heldMeta  [][]routedMeta
 	heldWord  [][]clique.Word
 	loads     []int64
+	lens      []int64
+	plans     []exchangePlan
 }
+
+// exchangePlan memoises the charged aggregates of one traffic shape: the
+// engines' exchange patterns are oblivious — fixed by (n, layout, chunk
+// sizes) — so a session replays the same handful of lens arrays every
+// product, and the two-phase striping arithmetic needs to run once per
+// shape rather than once per exchange.
+type exchangePlan struct {
+	lens                               []int64
+	maxA, totalA, maxB, totalB, direct int64
+}
+
+// maxExchangePlans bounds the memo (an engine uses ≤ 4 shapes; a few
+// engines can share a scratch across padded sizes).
+const maxExchangePlans = 16
 
 // NewScratch returns an empty routing scratch.
 func NewScratch() *Scratch { return &Scratch{} }
+
+// heldRetainCap is the high-water capacity (entries) a per-intermediary
+// forwarding buffer or reassembly vector may keep between exchanges; a
+// one-off traffic spike above it is released rather than pinned.
+const heldRetainCap = 1 << 14
+
+// Trim releases all retained delivery state (the structures rebuild
+// lazily), for callers parking a scratch they may not use again soon.
+func (sc *Scratch) Trim() {
+	sc.directIns = [2][][][]clique.Word{}
+	sc.ownedIns = [2][][][]clique.Word{}
+	sc.heldMeta, sc.heldWord = nil, nil
+	sc.loads, sc.lens = nil, nil
+	sc.plans = nil
+}
 
 // nextMatrix rotates a double-buffered n×n receive matrix.
 func nextMatrix(bufs *[2][][][]clique.Word, idx *int, n int) [][][]clique.Word {
@@ -64,25 +95,47 @@ func (sc *Scratch) held(n int) ([][]routedMeta, [][]clique.Word) {
 	}
 	hm, hw := sc.heldMeta[:n], sc.heldWord[:n]
 	for i := range hm {
-		hm[i] = hm[i][:0]
-		hw[i] = hw[i][:0]
+		if cap(hm[i]) > heldRetainCap {
+			hm[i] = nil
+		} else {
+			hm[i] = hm[i][:0]
+		}
+		if cap(hw[i]) > heldRetainCap {
+			hw[i] = nil
+		} else {
+			hw[i] = hw[i][:0]
+		}
 	}
 	return hm, hw
 }
 
 // linkLoads returns a zeroed length-k load tally.
 func (sc *Scratch) linkLoads(k int) []int64 {
-	if cap(sc.loads) < k {
-		sc.loads = make([]int64, k)
-	}
-	l := sc.loads[:k]
-	for i := range l {
-		l[i] = 0
-	}
-	return l
+	sc.loads = zeroedLoads(sc.loads, k)
+	return sc.loads[:k]
 }
 
-// resize returns b with length k, reusing capacity.
+// payLens is a second, independent zeroed tally: the materialised analytic
+// lens of a payload exchange, alive across the strategy and schedule
+// passes that reuse linkLoads.
+func (sc *Scratch) payLens(k int) []int64 {
+	sc.lens = zeroedLoads(sc.lens, k)
+	return sc.lens[:k]
+}
+
+func zeroedLoads(b []int64, k int) []int64 {
+	if cap(b) < k {
+		return make([]int64, k)
+	}
+	b = b[:k]
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+// resize returns b with length k, reusing capacity above the high-water
+// mark only until the next Trim.
 func resize(b []clique.Word, k int) []clique.Word {
 	if cap(b) < k {
 		return make([]clique.Word, k)

@@ -264,10 +264,20 @@ func DetectC4(net *clique.Network, g *graphs.Graph) (bool, error) {
 }
 
 // detectC4Small handles cliques below the Lemma 12 packing threshold by
-// learning the whole (constant-size) graph: still O(1) rounds.
+// learning the whole (constant-size) graph: still O(1) rounds. On the
+// direct transport the gather is charged analytically and the reference
+// check runs on the shared graph in place.
 func detectC4Small(net *clique.Network, g *graphs.Graph) (bool, error) {
 	net.Phase("c4detect/small")
 	n := net.N()
+	if net.Transport() != clique.TransportWire {
+		lens := make([]int64, n)
+		for v := 0; v < n; v++ {
+			lens[v] = int64(len(g.Neighbors(v)))
+		}
+		routing.ChargeAllGather(net, lens)
+		return graphs.HasC4Ref(g), nil
+	}
 	vecs := make([][]clique.Word, n)
 	for v := 0; v < n; v++ {
 		for _, u := range g.Neighbors(v) {

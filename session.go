@@ -135,6 +135,27 @@ func (s *Clique) Close() error {
 	return nil
 }
 
+// Trim releases the session's cached working set — engine scratch pools,
+// simulator queue and mailbox capacity, and pooled operand buffers — while
+// keeping the session fully usable (everything rebuilds lazily on the next
+// operation). Long-lived sessions whose workload has shrunk call it so one
+// past peak does not pin its footprint forever; the per-operation Reset
+// already releases individual buffers above a high-water threshold, Trim
+// is the explicit full release.
+func (s *Clique) Trim() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, net := range s.nets {
+		net.Trim()
+	}
+	for _, sc := range s.scratch {
+		sc.Trim()
+	}
+	for n := range s.matPool {
+		delete(s.matPool, n)
+	}
+}
+
 // Stats returns a copy of the session's cumulative ledger (deep enough
 // that mutating the snapshot, including phase entries, cannot corrupt the
 // session).
@@ -242,6 +263,7 @@ type simNetwork interface {
 	Reset()
 	SetRoundLimit(limit int64)
 	SetContext(ctx context.Context)
+	SetTransport(t clique.Transport)
 }
 
 // opRun is the per-operation harness: it holds the session lock, the reset
@@ -301,11 +323,14 @@ func (s *Clique) newRun(op string, cfg config, orig, n int) *opRun {
 	return r
 }
 
-// arm resets the run's simulator and applies the per-call abort settings.
+// arm resets the run's simulator and applies the per-call abort settings
+// and the session's transport (direct by default; WithWireTransport and
+// WithTransportVerification override).
 func (r *opRun) arm() {
 	r.sim.Reset()
 	r.sim.SetRoundLimit(r.cfg.roundLimit)
 	r.sim.SetContext(r.cfg.ctx)
+	r.sim.SetTransport(r.cfg.transport)
 }
 
 // begin starts an operation whose clique size follows from the algorithm's

@@ -1,0 +1,115 @@
+package algclique
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+)
+
+func randMatT(seed uint64, n int) Mat {
+	rng := rand.New(rand.NewPCG(seed, 0))
+	m := make(Mat, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+		for j := range m[i] {
+			m[i][j] = rng.Int64N(100) - 50
+		}
+	}
+	return m
+}
+
+// TestSessionTransportsAgree runs the same products on a default (direct)
+// session, a WithWireTransport session, and a WithTransportVerification
+// session: results and reported Stats must be identical across all three.
+func TestSessionTransportsAgree(t *testing.T) {
+	for _, n := range []int{10, 27} {
+		a, b := randMatT(1, n), randMatT(2, n)
+		type outcome struct {
+			mm, dp Mat
+			mmSt   Stats
+			dpSt   Stats
+		}
+		run := func(opts ...SessionOption) outcome {
+			s, err := NewClique(n, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			mm, mmSt, err := s.MatMul(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dp, dpSt, err := s.DistanceProduct(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return outcome{mm: mm, dp: dp, mmSt: mmSt, dpSt: dpSt}
+		}
+		direct := run()
+		wire := run(WithWireTransport())
+		verify := run(WithTransportVerification())
+		if !reflect.DeepEqual(direct, wire) {
+			t.Fatalf("n=%d: direct and wire sessions disagree", n)
+		}
+		if !reflect.DeepEqual(direct, verify) {
+			t.Fatalf("n=%d: direct and verification sessions disagree", n)
+		}
+	}
+}
+
+// TestSessionTrim checks Trim keeps the session usable and correct.
+func TestSessionTrim(t *testing.T) {
+	const n = 27
+	a, b := randMatT(3, n), randMatT(4, n)
+	s, err := NewClique(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	first, _, err := s.MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Trim()
+	again, _, err := s.MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Fatalf("product changed after Trim")
+	}
+}
+
+// TestSessionAPSPTransportsAgree covers a full application pipeline
+// (iterated products, witnesses, broadcasts) across both transports.
+func TestSessionAPSPTransportsAgree(t *testing.T) {
+	g := NewGraph(13, false)
+	rng := rand.New(rand.NewPCG(9, 9))
+	for u := 0; u < 13; u++ {
+		for v := u + 1; v < 13; v++ {
+			if rng.IntN(3) == 0 {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	run := func(opts ...SessionOption) (Mat, Stats) {
+		s, err := NewClique(13, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		res, st, err := s.APSPUnweightedWithRouting(g, WithSeed(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Dist, st
+	}
+	dDist, dSt := run()
+	wDist, wSt := run(WithWireTransport())
+	if !reflect.DeepEqual(dDist, wDist) {
+		t.Fatalf("APSP distances differ between transports")
+	}
+	if !reflect.DeepEqual(dSt, wSt) {
+		t.Fatalf("APSP stats differ between transports:\ndirect: %+v\nwire:   %+v", dSt, wSt)
+	}
+}
