@@ -60,7 +60,10 @@ type Mat = [][]int64
 type Engine int
 
 const (
-	// Auto picks the fastest engine the (padded) clique size supports.
+	// Auto picks the fastest engine the (padded) clique size supports,
+	// and routes individual products through the sparse tile engine when
+	// a one-round density census predicts it beats the dense plan (see
+	// WithSparseThreshold and Stats.Routing).
 	Auto Engine = iota
 	// Fast is the bilinear-scheme algorithm of §2.2 (Strassen-backed).
 	Fast
@@ -68,6 +71,13 @@ const (
 	Semiring3D
 	// Naive is the learn-everything baseline.
 	Naive
+	// Sparse is the density-aware sparse tile engine (the §1.2 remark
+	// generalised): O((ρ_A·ρ_B)^{1/3}/n^{2/3} + 1) rounds on operands
+	// with Σ ca(y)·rb(y) < 2n², where ρ counts operand nonzeros. Forcing
+	// it rejects denser operands with an error wrapping ErrSparseTooDense
+	// and needs n ≥ 8; under Auto the same engine is chosen per product,
+	// with a transparent dense fallback instead of the error.
+	Sparse
 )
 
 // String implements fmt.Stringer.
@@ -81,6 +91,8 @@ func (e Engine) internal() ccmm.Engine {
 		return ccmm.Engine3D
 	case Naive:
 		return ccmm.EngineNaive
+	case Sparse:
+		return ccmm.EngineSparse
 	default:
 		return ccmm.EngineAuto
 	}
@@ -104,6 +116,15 @@ type Stats struct {
 	Rounds int64
 	// Words is the total number of words carried by links.
 	Words int64
+	// Routing reports how the density-aware planner executed the
+	// operation's product when its engine selection is Auto: "sparse"
+	// (the census routed it through the sparse tile engine), "dense"
+	// (the census chose the resolved dense engine), or "dense-fallback"
+	// (sparse was predicted but the engine's exact Σ ca·rb bound failed
+	// mid-call, so the dense engine ran). Empty when no census ran — a
+	// forced engine, a disabled threshold (WithSparseThreshold(0)), or
+	// an operation without a single routed product.
+	Routing string
 	// Phases breaks the cost down by algorithm phase.
 	Phases []PhaseStat
 }
@@ -159,20 +180,26 @@ func (o callOpt) apply(c *config) { o(c) }
 func (o callOpt) callOption()     {}
 
 type config struct {
-	engine     Engine
-	strict     bool
-	workers    int
-	transport  clique.Transport
-	seed       uint64
-	colourings int
-	delta      float64
-	maxCycle   int
-	roundLimit int64
-	ctx        context.Context
+	engine          Engine
+	strict          bool
+	workers         int
+	transport       clique.Transport
+	sparseThreshold float64
+	seed            uint64
+	colourings      int
+	delta           float64
+	maxCycle        int
+	roundLimit      int64
+	ctx             context.Context
+}
+
+// defaultConfig is the base every session and one-shot call starts from.
+func defaultConfig() config {
+	return config{engine: Auto, sparseThreshold: ccmm.DefaultSparseThreshold}
 }
 
 func newConfig(opts []Option) config {
-	c := config{engine: Auto}
+	c := defaultConfig()
 	for _, o := range opts {
 		o.apply(&c)
 	}
@@ -187,6 +214,21 @@ func WithoutPadding() SessionOption { return sessionOpt(func(c *config) { c.stri
 
 // WithWorkers bounds the simulator's local-computation worker pool.
 func WithWorkers(k int) SessionOption { return sessionOpt(func(c *config) { c.workers = k }) }
+
+// WithSparseThreshold scales the density-aware planner's sparse-vs-dense
+// comparison on Auto sessions: a product routes through the sparse tile
+// engine when its ρ-bound round estimate is at most t times the resolved
+// dense engine's estimate. The default is 1 (route sparse whenever the
+// prediction says it wins); values below 1 demand a larger predicted win;
+// 0 disables the per-product density census — and with it the sparse
+// routing — entirely, restoring the purely static plan. The setting is
+// armed on the session's network for every operation, so it also governs
+// the products graph algorithms (CountTriangles, Girth, APSP, …) resolve
+// internally. Each directly-routed operation's decision is reported in
+// Stats.Routing.
+func WithSparseThreshold(t float64) SessionOption {
+	return sessionOpt(func(c *config) { c.sparseThreshold = t })
+}
 
 // WithWireTransport forces the encoded data plane: every message is
 // encoded into O(log n)-bit words, copied through link queues, and decoded
@@ -275,8 +317,9 @@ func (c config) paddedSize(n int, class sizeClass) (int, error) {
 		// No constraint.
 	case ringSize:
 		switch c.engine {
-		case Naive, Semiring3D:
-			// No constraint: both semiring engines run on any size.
+		case Naive, Semiring3D, Sparse:
+			// No constraint: the semiring engines run on any size (the
+			// sparse engine rejects n < 8 at multiply time instead).
 		case Fast:
 			want = nextSchemeSize(n)
 		default:

@@ -46,6 +46,7 @@ func main() {
 		{"x4-mm-padded", "X4 padded 3D vs naive min-plus on non-cube n (JSON)", mmPadded},
 		{"session-reuse", "X5 session API: amortised vs one-shot setup (JSON)", sessionReuse},
 		{"matmul", "X6 multiply-and-message hot path: bulk codecs, scratch pools, packed booleans (JSON, gated)", matmulBench},
+		{"sparse", "X7 density-aware planner: sparse tile engine vs dense plan on GNP (JSON, gated)", sparseBench},
 		{"table1", "Table 1 summary at n = 64", table1},
 	}
 	if len(os.Args) < 2 || os.Args[1] == "list" {

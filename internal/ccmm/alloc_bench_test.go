@@ -122,3 +122,28 @@ func BenchmarkBoolPackedRounds(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSparseAllocs measures the sparse tile engine in steady state on
+// GNP-density integer operands: the tuple buffers, tile tables, and view
+// matrices all pool through the scratch, so allocs/op must sit in the same
+// range as the dense engines (the product result plus O(n) bookkeeping).
+func BenchmarkSparseAllocs(b *testing.B) {
+	r := ring.Int64{}
+	for _, n := range []int{64, 100} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(12, uint64(n)))
+			s := sparseIntMat(rng, n, 4, 50)
+			t := sparseIntMat(rng, n, 4, 50)
+			net := clique.New(n)
+			sc := ccmm.NewScratch()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.Reset()
+				if _, err := ccmm.SparseMulScratch[int64](net, sc, r, r, s, t); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,204 @@
+package ccmm
+
+import (
+	"errors"
+	"math"
+
+	"github.com/algebraic-clique/algclique/internal/clique"
+	"github.com/algebraic-clique/algclique/internal/ring"
+)
+
+// This file is the density-aware half of the planner: a one-round census
+// of the operands' per-row nonzero counts, a pair of round predictors (the
+// paper's ρ-bound for the sparse engine against calibrated estimates for
+// the resolved dense engine), and the adaptive dispatch that routes a
+// product through EngineSparse exactly when the prediction says it wins —
+// with a transparent fallback to the dense plan when the engine's own
+// Σ ca·rb census rejects the operands mid-call.
+
+// DefaultSparseThreshold is the default scale factor of the sparse/dense
+// round comparison: Auto routes a product through the sparse engine when
+// predictedSparseRounds ≤ threshold · predictedDenseRounds. 1 compares the
+// predictions as-is; values below 1 demand a larger predicted win before
+// going sparse; 0 disables the census (and the sparse engine) entirely.
+const DefaultSparseThreshold = 1.0
+
+// Route reports how the density-aware planner executed one product.
+type Route struct {
+	// Engine is the engine that produced the product.
+	Engine Engine
+	// Census reports whether the one-round density census ran.
+	Census bool
+	// RhoA and RhoB are the operands' total nonzero counts from the
+	// census (meaningful only when Census is true).
+	RhoA, RhoB int64
+	// Fallback reports that the planner chose the sparse engine but its
+	// Σ ca·rb bound failed mid-call, so the dense engine ran instead.
+	Fallback bool
+}
+
+// Decision renders the route as the session ledger's sparse/dense tag:
+// "sparse", "dense", or "dense-fallback"; empty when no census ran.
+func (r Route) Decision() string {
+	switch {
+	case !r.Census:
+		return ""
+	case r.Engine == EngineSparse:
+		return "sparse"
+	case r.Fallback:
+		return "dense-fallback"
+	default:
+		return "dense"
+	}
+}
+
+// thresholdOn resolves the effective sparse threshold for a product on
+// net: a session arms its WithSparseThreshold setting on the network per
+// operation (so even products resolved deep inside graph algorithms —
+// which plan via PlanFor, not PlanSparse — honour it); a bare network
+// falls back to the plan's own threshold.
+func (p *Plan) thresholdOn(net *clique.Network) float64 {
+	if t, ok := net.SparseThreshold(); ok {
+		return t
+	}
+	return p.SparseThreshold
+}
+
+// censusApplies reports whether the plan runs the density census on its
+// products on net: only Auto plans (a forced engine is a forced engine),
+// only on cliques the sparse engine covers, and only with a positive
+// effective threshold.
+func (p *Plan) censusApplies(net *clique.Network) bool {
+	return p.Requested == EngineAuto && p.N >= minSparseN && p.thresholdOn(net) > 0
+}
+
+// nnzCensus is the planner's census round: every node broadcasts its two
+// per-row nonzero counts packed into one word, and every node returns the
+// same operand totals (ρ_A, ρ_B). This mirrors the degree broadcast that
+// opens the Theorem 4 machinery (the sparsesq/degrees phase), lifted to
+// arbitrary operands.
+//
+// A sparse-routed product censuses twice by design: this round sees only
+// row counts (all that exists before any communication — it is what the
+// routing decision is made from), while the engine's own census
+// (mmsparse/census) broadcasts the column×row weights ca·rb, and ca(y)
+// only exists at y after the engine's transpose. The two cannot merge —
+// the decision must precede the transpose, and a broadcast costs one
+// round whether it carries one packed word or two — so the sparse path's
+// fixed overhead includes both, which the ρ-bound predictor's constant
+// accounts for.
+func nnzCensus[T any](net *clique.Network, sc *Scratch, sr ring.Semiring[T], s, t *RowMat[T]) (rhoA, rhoB int64) {
+	n := net.N()
+	net.Phase("mmplan/census")
+	zero := sr.Zero()
+	sp := sc.sparse()
+	sp.ca = growInts(sp.ca, n)
+	sp.rb = growInts(sp.rb, n)
+	countRowNNZ(net, sr, zero, s, sp.ca)
+	countRowNNZ(net, sr, zero, t, sp.rb)
+	sp.nnz = growInts(sp.nnz, n)
+	for v := 0; v < n; v++ {
+		sp.nnz[v] = clique.Word(sp.ca[v])<<32 | clique.Word(sp.rb[v])
+	}
+	got := net.BroadcastWord(sp.nnz)
+	for v := 0; v < n; v++ {
+		rhoA += int64(got[v] >> 32)
+		rhoB += int64(got[v] & 0xffffffff)
+	}
+	return rhoA, rhoB
+}
+
+// sparseOverheadRounds is the fixed-phase cost the ρ-bound estimate adds:
+// transpose, census, and the minimum flush cost of the spread, forward,
+// and gather exchanges.
+const sparseOverheadRounds = 10
+
+// sparseLoadFactor scales the ρ-bound's per-word load term to the
+// simulator's measured schedules: the tile exchanges pay the load roughly
+// once each in the spread, forward, and gather, so the effective
+// coefficient sits near 3 (calibrated on GNP inputs at n ∈ {64, 100,
+// 256}; deliberately on the high side, so borderline products stay on the
+// dense engine).
+const sparseLoadFactor = 3
+
+// predictSparseRounds is the paper's ρ-bound as a planning estimate:
+// tupleWords · (ρ_A·ρ_B)^{1/3} / n^{2/3}, scaled to the simulator's
+// schedules, plus the fixed phases. It is a heuristic for the routing
+// decision, never the ledger — the simulator still charges whatever the
+// schedules actually cost.
+func predictSparseRounds(n int, rhoA, rhoB int64, tupleWords int) float64 {
+	load := math.Cbrt(float64(rhoA)*float64(rhoB)) / math.Pow(float64(n), 2.0/3.0)
+	return sparseLoadFactor*float64(tupleWords)*load + sparseOverheadRounds
+}
+
+// predictDenseRounds estimates the resolved dense engine's round count for
+// an n-clique product whose elements occupy wd words each (fractional for
+// packing transports: wd = EncodedLen(n)/n). The constants are calibrated
+// against the simulator's measured schedules — the 3D engine moves
+// Θ(c⁴/n) words per link, the bilinear engine Θ(n/d²), the naive gather
+// Θ(n) — and deliberately stay on the low side for small wd so the
+// planner never abandons a cheap packed dense product.
+func (p *Plan) predictDenseRounds(e Engine, wd float64) float64 {
+	n := float64(p.N)
+	switch e {
+	case EngineFast:
+		d := 2.0
+		if p.Scheme != nil {
+			d = float64(p.Scheme.D)
+		}
+		return 4*wd*n/(d*d) + 4
+	case Engine3D:
+		c := float64(CbrtCeil(p.N))
+		return math.Max(3, 7*wd*c*c*c*c/n)
+	default: // EngineNaive
+		return wd*n + 2
+	}
+}
+
+// chooseSparse is the planner's routing decision. Beyond the round
+// comparison it pre-filters operands whose estimated tile weight
+// Σ ca·rb ≈ ρ_A·ρ_B/n (exact for uniform columns) has no realistic chance
+// of passing the engine's 2n² bound, so obviously-dense products do not
+// pay the doomed transpose; skewed operands that sneak past the estimate
+// still fall back transparently when the engine's exact census rejects
+// them.
+func chooseSparse(n int, rhoA, rhoB int64, tupleWords int, densePred, threshold float64) bool {
+	if rhoA == 0 || rhoB == 0 {
+		return true // an all-zero operand: the sparse engine ships nothing
+	}
+	// Prefilter with slack 4: the uniform-column estimate can undershoot
+	// the exact Σ ca·rb on skewed inputs, and a wasted sparse attempt
+	// costs only the transpose and census before falling back.
+	if float64(rhoA)*float64(rhoB)/float64(n) >= 4*2*float64(n)*float64(n) {
+		return false
+	}
+	return predictSparseRounds(n, rhoA, rhoB, tupleWords) <= threshold*densePred
+}
+
+// routeProduct is the adaptive dispatcher shared by the typed entry
+// points: it runs the census on the operands the sparse engine would see,
+// decides sparse-vs-dense with the predictors, runs runSparse with
+// transparent fallback on ErrTooDense, and otherwise defers to runDense
+// (which executes the plan's resolved dense engine on the original
+// operands). tupleWords is the wire width of one sparse tuple for the
+// product's transport codec.
+func routeProduct[T any](net *clique.Network, p *Plan, sc *Scratch, sr ring.Semiring[T], s, t *RowMat[T], denseEngine Engine, densePred float64, tupleWords int, runSparse func(sc *Scratch) (*RowMat[T], error), runDense func() (*RowMat[T], error)) (*RowMat[T], Route, error) {
+	if sc == nil {
+		sc = NewScratch()
+	}
+	rhoA, rhoB := nnzCensus[T](net, sc, sr, s, t)
+	rt := Route{Census: true, RhoA: rhoA, RhoB: rhoB, Engine: denseEngine}
+	if chooseSparse(net.N(), rhoA, rhoB, tupleWords, densePred, p.thresholdOn(net)) {
+		m, err := runSparse(sc)
+		if err == nil {
+			rt.Engine = EngineSparse
+			return m, rt, nil
+		}
+		if !errors.Is(err, ErrTooDense) {
+			return nil, rt, err
+		}
+		rt.Fallback = true // the exact Σ ca·rb census rejected the operands
+	}
+	m, err := runDense()
+	return m, rt, err
+}

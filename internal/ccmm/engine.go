@@ -25,6 +25,13 @@ const (
 	Engine3D
 	// EngineNaive forces the learn-everything baseline.
 	EngineNaive
+	// EngineSparse forces the density-aware sparse tile engine (the §1.2
+	// remark generalised; see sparse.go). It works over any semiring and
+	// any n ≥ 8, but only on operands with Σ ca(y)·rb(y) < 2n²
+	// (ErrTooDense otherwise). Under EngineAuto the planner routes
+	// products through it dynamically when the one-round density census
+	// predicts fewer rounds than the resolved dense engine.
+	EngineSparse
 )
 
 // String implements fmt.Stringer.
@@ -38,6 +45,8 @@ func (e Engine) String() string {
 		return "semiring-3d"
 	case EngineNaive:
 		return "naive-gather"
+	case EngineSparse:
+		return "sparse"
 	default:
 		return fmt.Sprintf("engine(%d)", int(e))
 	}
@@ -49,6 +58,12 @@ func (e Engine) String() string {
 // padded cube layout, so the O(n)-round NaiveGather is chosen only for
 // cliques too small (n < 8, other than the trivial cube n = 1) for the 3D
 // multiplexing overhead to pay off.
+//
+// EngineSparse never comes out of a static resolution: its worth depends
+// on the operands' density, which only the per-product census can see, so
+// Auto plans keep a dense resolved engine here and route to the sparse
+// engine dynamically (see Plan and census.go). A forced EngineSparse
+// passes through like every forced engine.
 func (e Engine) Resolve(n int, ringAlgebra bool) Engine {
 	if e != EngineAuto {
 		return e
@@ -110,6 +125,28 @@ func MulBool(net *clique.Network, e Engine, s, t *RowMat[int64]) (*RowMat[int64]
 }
 
 func mulBoolSemiring(net *clique.Network, e Engine, sc *Scratch, s, t *RowMat[int64]) (*RowMat[int64], error) {
+	return mulBoolVia(net, sc, s, t, func(sc *Scratch, sb, tb *RowMat[bool]) (*RowMat[bool], error) {
+		br := ring.Bool{}
+		if e == Engine3D {
+			return Semiring3DScratch[bool](net, sc, br, ring.PackedBool{}, sb, tb)
+		}
+		return NaiveGatherScratch[bool](net, sc, br, ring.PackedBool{}, sb, tb)
+	})
+}
+
+// mulBoolSparse runs a Boolean product through the sparse tile engine: the
+// 0/1 operands convert to the Boolean semiring and the tuple streams carry
+// bit-packed values (ring.TupleCodec over ring.PackedBool).
+func mulBoolSparse(net *clique.Network, sc *Scratch, s, t *RowMat[int64]) (*RowMat[int64], error) {
+	return mulBoolVia(net, sc, s, t, func(sc *Scratch, sb, tb *RowMat[bool]) (*RowMat[bool], error) {
+		return SparseMulScratch[bool](net, sc, ring.Bool{}, ring.PackedBool{}, sb, tb)
+	})
+}
+
+// mulBoolVia converts 0/1 integer operands to the Boolean semiring through
+// pooled row matrices, runs the given Boolean product, and converts the
+// result back.
+func mulBoolVia(net *clique.Network, sc *Scratch, s, t *RowMat[int64], run func(sc *Scratch, sb, tb *RowMat[bool]) (*RowMat[bool], error)) (*RowMat[int64], error) {
 	n := net.N()
 	// Validate before converting: the conversion below writes through
 	// pooled n×n buffers, which malformed operands must never reach.
@@ -122,7 +159,6 @@ func mulBoolSemiring(net *clique.Network, e Engine, sc *Scratch, s, t *RowMat[in
 	if sc == nil {
 		sc = NewScratch()
 	}
-	br := ring.Bool{}
 	ts := typedFrom[bool](sc)
 	toBool := func(m *RowMat[int64]) *RowMat[bool] {
 		out := ts.getMat(n)
@@ -137,13 +173,7 @@ func mulBoolSemiring(net *clique.Network, e Engine, sc *Scratch, s, t *RowMat[in
 	sb, tb := toBool(s), toBool(t)
 	defer ts.putMat(sb)
 	defer ts.putMat(tb)
-	var p *RowMat[bool]
-	var err error
-	if e == Engine3D {
-		p, err = Semiring3DScratch[bool](net, sc, br, ring.PackedBool{}, sb, tb)
-	} else {
-		p, err = NaiveGatherScratch[bool](net, sc, br, ring.PackedBool{}, sb, tb)
-	}
+	p, err := run(sc, sb, tb)
 	if err != nil {
 		return nil, err
 	}

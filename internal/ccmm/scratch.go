@@ -35,6 +35,23 @@ type Scratch struct {
 	wloads  []int64                     // per-link analytic word loads (direct transport)
 	rt      *routing.Scratch            // delivery-layer pools
 	typed   []any                       // one *typedScratch[T] per element type
+	sp      *sparseState                // sparse-engine census/tile tables
+}
+
+// sparseState pools the element-type-independent working set of the sparse
+// engine: census words, per-node nonzero counts, tile sides and placements,
+// and the CSR-shaped reverse indices mapping grid nodes to the tiles whose
+// row (A) or column (B) range contains them. One product fully overwrites
+// every field it reads.
+type sparseState struct {
+	nnz    []clique.Word // census broadcast buffer
+	ca, rb []int         // per-middle-index nonzero counts (S columns, T rows)
+	fs     []int         // tile sides
+	tiles  []Tile
+	rowOff []int32 // CSR offsets: tiles with node p in their row range
+	rowYs  []int32
+	colOff []int32 // CSR offsets: tiles with node p in their column range
+	colYs  []int32
 }
 
 // NewScratch returns an empty scratch pool.
@@ -60,6 +77,7 @@ func (sc *Scratch) Trim() {
 	sc.offs = nil
 	sc.wloads = nil
 	sc.typed = nil
+	sc.sp = nil
 	sc.rt.Trim()
 }
 
@@ -157,6 +175,8 @@ func (sc *Scratch) linkWords(k int) []int64 {
 // overwritten per use or explicitly refilled (zero rows).
 type typedScratch[T any] struct {
 	bufs    []([]T) // per-node gather/scatter buffers
+	bufs2   []([]T) // second per-node buffer (sparse engine B-side lists)
+	bufs3   []([]T) // third per-node buffer (sparse engine compose lists)
 	zeroRow []T     // one semiring-zero row, refilled per product
 
 	// 3D engine state.

@@ -1,0 +1,466 @@
+package ccmm_test
+
+import (
+	"errors"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"github.com/algebraic-clique/algclique/internal/ccmm"
+	"github.com/algebraic-clique/algclique/internal/clique"
+	"github.com/algebraic-clique/algclique/internal/ring"
+)
+
+// sparseIntMat draws an n×n int64 matrix with roughly perRow nonzeros per
+// row (deterministic for a seed).
+func sparseIntMat(rng *rand.Rand, n, perRow int, maxVal int64) *ccmm.RowMat[int64] {
+	m := ccmm.NewRowMat[int64](n)
+	for v := 0; v < n; v++ {
+		for k := 0; k < perRow; k++ {
+			m.Rows[v][rng.IntN(n)] = 1 + rng.Int64N(maxVal)
+		}
+	}
+	return m
+}
+
+// mapMat converts an int64 matrix entrywise.
+func mapMat[T any](m *ccmm.RowMat[int64], f func(int64) T) *ccmm.RowMat[T] {
+	n := m.N()
+	out := ccmm.NewRowMat[T](n)
+	for v := 0; v < n; v++ {
+		for j := 0; j < n; j++ {
+			out.Rows[v][j] = f(m.Rows[v][j])
+		}
+	}
+	return out
+}
+
+// diffSparse runs the forced sparse engine on all three transports against
+// the dense 3D reference and asserts bit-identical products plus
+// bit-identical direct/wire ledgers.
+func diffSparse[T any](t *testing.T, name string, n int, sr ring.Semiring[T], codec ring.Codec[T], s, tm *ccmm.RowMat[T]) {
+	t.Helper()
+	refNet := clique.New(n)
+	defer refNet.Close()
+	want, err := ccmm.Semiring3D[T](refNet, sr, codec, s, tm)
+	if err != nil {
+		t.Fatalf("%s n=%d: dense reference: %v", name, n, err)
+	}
+
+	direct := clique.New(n)
+	defer direct.Close()
+	gotD, err := ccmm.SparseMul[T](direct, sr, codec, s, tm)
+	if err != nil {
+		t.Fatalf("%s n=%d: sparse direct: %v", name, n, err)
+	}
+	wire := clique.New(n, clique.WithTransport(clique.TransportWire))
+	defer wire.Close()
+	gotW, err := ccmm.SparseMul[T](wire, sr, codec, s, tm)
+	if err != nil {
+		t.Fatalf("%s n=%d: sparse wire: %v", name, n, err)
+	}
+	if !reflect.DeepEqual(gotD.Rows, want.Rows) {
+		t.Fatalf("%s n=%d: sparse direct product differs from dense 3D", name, n)
+	}
+	if !reflect.DeepEqual(gotW.Rows, want.Rows) {
+		t.Fatalf("%s n=%d: sparse wire product differs from dense 3D", name, n)
+	}
+	ds, ws := direct.Stats(), wire.Stats()
+	if ds.Rounds != ws.Rounds || ds.Words != ws.Words || ds.Flushes != ws.Flushes {
+		t.Fatalf("%s n=%d: ledgers diverge: direct %d rounds / %d words / %d flushes, wire %d / %d / %d",
+			name, n, ds.Rounds, ds.Words, ds.Flushes, ws.Rounds, ws.Words, ws.Flushes)
+	}
+	if !reflect.DeepEqual(ds.Phases, ws.Phases) {
+		t.Fatalf("%s n=%d: phase ledgers diverge:\ndirect %+v\nwire   %+v", name, n, ds.Phases, ws.Phases)
+	}
+
+	verify := clique.New(n, clique.WithTransport(clique.TransportVerify))
+	defer verify.Close()
+	gotV, err := ccmm.SparseMul[T](verify, sr, codec, s, tm)
+	if err != nil {
+		t.Fatalf("%s n=%d: transport verification failed: %v", name, n, err)
+	}
+	if !reflect.DeepEqual(gotV.Rows, want.Rows) {
+		t.Fatalf("%s n=%d: verified product differs from dense 3D", name, n)
+	}
+}
+
+// TestSparseMatchesDenseAllAlgebras is the differential suite of the
+// sparse engine: for every shipped algebra and a sample of clique sizes,
+// the forced sparse product must be bit-identical to the dense 3D engine
+// on both transport planes, with bit-identical direct/wire ledgers.
+func TestSparseMatchesDenseAllAlgebras(t *testing.T) {
+	for _, n := range []int{8, 9, 13, 16, 27, 33, 64, 100} {
+		rng := rand.New(rand.NewPCG(uint64(n), 99))
+		base := sparseIntMat(rng, n, 2, 50)
+		base2 := sparseIntMat(rng, n, 2, 50)
+
+		diffSparse[int64](t, "int64", n, ring.Int64{}, ring.Int64{}, base, base2)
+
+		zp := ring.NewZp(97)
+		toZp := func(x int64) int64 { return zp.Norm(x) }
+		diffSparse[int64](t, "zp", n, zp, zp, mapMat(base, toZp), mapMat(base2, toZp))
+
+		mp := ring.MinPlus{}
+		toMP := func(x int64) int64 {
+			if x == 0 {
+				return ring.Inf
+			}
+			return x
+		}
+		diffSparse[int64](t, "min-plus", n, mp, mp, mapMat(base, toMP), mapMat(base2, toMP))
+
+		mpw := ring.MinPlusW{}
+		row := 0
+		toMPW := func(x int64) ring.ValW {
+			if x == 0 {
+				return ring.ValW{V: ring.Inf, W: ring.NoWitness}
+			}
+			return ring.ValW{V: x, W: int64(row % n)}
+		}
+		diffSparse[ring.ValW](t, "min-plus-w", n, mpw, mpw, mapMat(base, toMPW), mapMat(base2, toMPW))
+
+		toBool := func(x int64) bool { return x != 0 }
+		diffSparse[bool](t, "bool", n, ring.Bool{}, ring.Bool{}, mapMat(base, toBool), mapMat(base2, toBool))
+		diffSparse[bool](t, "packed-bool", n, ring.Bool{}, ring.PackedBool{}, mapMat(base, toBool), mapMat(base2, toBool))
+	}
+}
+
+// TestSparseScratchReuse runs several distinct products through one shared
+// scratch and asserts each matches a fresh-scratch run — pooled state must
+// never leak between products.
+func TestSparseScratchReuse(t *testing.T) {
+	const n = 33
+	r := ring.Int64{}
+	sc := ccmm.NewScratch()
+	for trial := 0; trial < 4; trial++ {
+		rng := rand.New(rand.NewPCG(5, uint64(trial)))
+		a := sparseIntMat(rng, n, 1+trial, 20)
+		b := sparseIntMat(rng, n, 2, 20)
+		shared := clique.New(n)
+		got, err := ccmm.SparseMulScratch[int64](shared, sc, r, r, a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		fresh := clique.New(n)
+		want, err := ccmm.SparseMul[int64](fresh, r, r, a, b)
+		if err != nil {
+			t.Fatalf("trial %d fresh: %v", trial, err)
+		}
+		if !reflect.DeepEqual(got.Rows, want.Rows) {
+			t.Fatalf("trial %d: shared-scratch product differs from fresh-scratch product", trial)
+		}
+		if shared.Rounds() != fresh.Rounds() || shared.Words() != fresh.Words() {
+			t.Fatalf("trial %d: shared-scratch ledger %d/%d differs from fresh %d/%d",
+				trial, shared.Rounds(), shared.Words(), fresh.Rounds(), fresh.Words())
+		}
+		shared.Close()
+		fresh.Close()
+	}
+}
+
+// TestSparseDeterministic: same inputs, same products and ledgers.
+func TestSparseDeterministic(t *testing.T) {
+	const n = 27
+	r := ring.Int64{}
+	rng := rand.New(rand.NewPCG(11, 12))
+	a := sparseIntMat(rng, n, 3, 9)
+	b := sparseIntMat(rng, n, 3, 9)
+	run := func() (*ccmm.RowMat[int64], clique.Stats) {
+		net := clique.New(n)
+		defer net.Close()
+		p, err := ccmm.SparseMul[int64](net, r, r, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p, net.Stats()
+	}
+	p1, s1 := run()
+	p2, s2 := run()
+	if !reflect.DeepEqual(p1.Rows, p2.Rows) {
+		t.Fatal("sparse product is not deterministic")
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("sparse ledger is not deterministic: %+v vs %+v", s1, s2)
+	}
+}
+
+// withColRowCounts builds operands whose S column counts and T row counts
+// hit the requested values exactly, for boundary tests of the
+// Σ ca(y)·rb(y) < 2n² census.
+func withColRowCounts(n int, cas, rbs []int) (s, tm *ccmm.RowMat[int64]) {
+	s, tm = ccmm.NewRowMat[int64](n), ccmm.NewRowMat[int64](n)
+	for y, ca := range cas {
+		for x := 0; x < ca; x++ {
+			s.Rows[x][y] = 1
+		}
+	}
+	for y, rb := range rbs {
+		for z := 0; z < rb; z++ {
+			tm.Rows[y][z] = 1
+		}
+	}
+	return s, tm
+}
+
+// TestSparseDensityBoundary pins the census threshold exactly:
+// Σ ca·rb = 2n²−1 is accepted, 2n² is rejected with ErrTooDense.
+func TestSparseDensityBoundary(t *testing.T) {
+	const n = 8 // 2n² = 128
+	r := ring.Int64{}
+
+	// 8·8 + 8·7 + 7·1 = 127 = 2n²−1: accepted, and correct.
+	s, tm := withColRowCounts(n, []int{8, 8, 7}, []int{8, 7, 1})
+	net := clique.New(n)
+	defer net.Close()
+	got, err := ccmm.SparseMul[int64](net, r, r, s, tm)
+	if err != nil {
+		t.Fatalf("Σ = 2n²−1 rejected: %v", err)
+	}
+	ref := clique.New(n)
+	defer ref.Close()
+	want, err := ccmm.Semiring3D[int64](ref, r, r, s, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Rows, want.Rows) {
+		t.Fatal("boundary product differs from dense 3D")
+	}
+
+	// 8·8 + 8·7 + 8·1 = 128 = 2n²: rejected.
+	s, tm = withColRowCounts(n, []int{8, 8, 8}, []int{8, 7, 1})
+	net2 := clique.New(n)
+	defer net2.Close()
+	if _, err := ccmm.SparseMul[int64](net2, r, r, s, tm); !errors.Is(err, ccmm.ErrTooDense) {
+		t.Fatalf("Σ = 2n² err = %v, want ErrTooDense", err)
+	}
+}
+
+// TestSparseTooSmall: the packing bound needs n ≥ 8.
+func TestSparseTooSmall(t *testing.T) {
+	r := ring.Int64{}
+	net := clique.New(4)
+	defer net.Close()
+	a := ccmm.NewRowMat[int64](4)
+	if _, err := ccmm.SparseMul[int64](net, r, r, a, a); !errors.Is(err, ccmm.ErrSize) {
+		t.Fatalf("n=4 err = %v, want ErrSize", err)
+	}
+}
+
+// TestSparseForcedEngineViaPlan: a plan forcing EngineSparse routes ring,
+// Boolean, and min-plus products through the sparse engine, and surfaces
+// ErrTooDense unwrapped on dense operands.
+func TestSparseForcedEngineViaPlan(t *testing.T) {
+	const n = 16
+	p := ccmm.PlanFor(n, ccmm.EngineSparse)
+	rng := rand.New(rand.NewPCG(3, 4))
+	a := sparseIntMat(rng, n, 2, 1) // 0/1 matrix
+	b := sparseIntMat(rng, n, 2, 1)
+
+	net := clique.New(n)
+	defer net.Close()
+	got, route, err := p.MulIntRouted(net, nil, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route.Engine != ccmm.EngineSparse || route.Census {
+		t.Fatalf("forced sparse route = %+v", route)
+	}
+	want, err := ccmm.Semiring3D[int64](clique.New(n), ring.Int64{}, ring.Int64{}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Rows, want.Rows) {
+		t.Fatal("forced sparse product differs from dense 3D")
+	}
+
+	if _, err := p.MulBoolScratch(clique.New(n), nil, a, b); err != nil {
+		t.Fatalf("forced sparse bool: %v", err)
+	}
+	if _, err := p.MulMinPlusScratch(clique.New(n), nil, mapMat(a, func(x int64) int64 {
+		if x == 0 {
+			return ring.Inf
+		}
+		return x
+	}), mapMat(b, func(x int64) int64 {
+		if x == 0 {
+			return ring.Inf
+		}
+		return x
+	})); err != nil {
+		t.Fatalf("forced sparse min-plus: %v", err)
+	}
+
+	dense := ccmm.NewRowMat[int64](n)
+	for v := range dense.Rows {
+		for j := range dense.Rows[v] {
+			dense.Rows[v][j] = 1
+		}
+	}
+	if _, _, err := p.MulIntRouted(clique.New(n), nil, dense, dense); !errors.Is(err, ccmm.ErrTooDense) {
+		t.Fatalf("forced sparse on dense operands err = %v, want ErrTooDense", err)
+	}
+}
+
+// TestSparseAutoRouting: under EngineAuto the census routes sparse inputs
+// through the sparse engine with strictly fewer rounds than the dense
+// plan, routes dense inputs to the dense engine, and falls back
+// transparently when the prediction is wrong.
+func TestSparseAutoRouting(t *testing.T) {
+	const n = 100
+	p := ccmm.PlanFor(n, ccmm.EngineAuto)
+	rng := rand.New(rand.NewPCG(21, 22))
+	a := sparseIntMat(rng, n, 4, 50)
+	b := sparseIntMat(rng, n, 4, 50)
+
+	net := clique.New(n)
+	defer net.Close()
+	got, route, err := p.MulIntRouted(net, nil, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route.Engine != ccmm.EngineSparse || !route.Census || route.Fallback {
+		t.Fatalf("sparse input route = %+v, want sparse via census", route)
+	}
+	if route.RhoA == 0 || route.RhoB == 0 {
+		t.Fatalf("census counts missing: %+v", route)
+	}
+
+	// The dense plan for comparison: same product, census disabled.
+	pd := ccmm.PlanSparse(n, ccmm.EngineAuto, 0)
+	dnet := clique.New(n)
+	defer dnet.Close()
+	want, droute, err := pd.MulIntRouted(dnet, nil, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if droute.Census || droute.Engine != ccmm.EngineFast {
+		t.Fatalf("threshold-0 route = %+v, want static dense", droute)
+	}
+	if !reflect.DeepEqual(got.Rows, want.Rows) {
+		t.Fatal("sparse-routed product differs from dense plan")
+	}
+	if net.Rounds() >= dnet.Rounds() {
+		t.Fatalf("sparse route used %d rounds, dense plan %d — sparse must win on sparse inputs",
+			net.Rounds(), dnet.Rounds())
+	}
+
+	// A dense input routes dense (with only the census round added).
+	dense := ccmm.NewRowMat[int64](n)
+	for v := range dense.Rows {
+		for j := range dense.Rows[v] {
+			dense.Rows[v][j] = 1 + int64((v+j)%7)
+		}
+	}
+	net2 := clique.New(n)
+	defer net2.Close()
+	_, route2, err := p.MulIntRouted(net2, nil, dense, dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route2.Engine != ccmm.EngineFast || !route2.Census || route2.Fallback {
+		t.Fatalf("dense input route = %+v, want dense via census", route2)
+	}
+
+	// Skewed operands: sparse by row counts, too dense by column weights.
+	// The planner predicts sparse, the engine's exact census rejects, and
+	// the product still completes on the dense engine.
+	skewS := ccmm.NewRowMat[int64](n)
+	skewT := ccmm.NewRowMat[int64](n)
+	for v := 0; v < n; v++ {
+		skewS.Rows[v][0] = 1
+		skewS.Rows[v][1] = 1
+	}
+	for z := 0; z < n; z++ {
+		skewT.Rows[0][z] = 1
+		skewT.Rows[1][z] = 1
+	}
+	net3 := clique.New(n)
+	defer net3.Close()
+	got3, route3, err := p.MulIntRouted(net3, nil, skewS, skewT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !route3.Fallback || route3.Engine != ccmm.EngineFast {
+		t.Fatalf("skewed input route = %+v, want dense-fallback", route3)
+	}
+	want3, err := ccmm.Semiring3D[int64](clique.New(n), ring.Int64{}, ring.Int64{}, skewS, skewT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got3.Rows, want3.Rows) {
+		t.Fatal("fallback product differs from dense 3D")
+	}
+}
+
+// TestSparseZeroOperand: an all-zero operand routes sparse trivially and
+// produces the all-zero product.
+func TestSparseZeroOperand(t *testing.T) {
+	const n = 16
+	r := ring.Int64{}
+	zero := ccmm.NewRowMat[int64](n)
+	rng := rand.New(rand.NewPCG(9, 9))
+	b := sparseIntMat(rng, n, 3, 5)
+	net := clique.New(n)
+	defer net.Close()
+	got, err := ccmm.SparseMul[int64](net, r, r, zero, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range got.Rows {
+		for j := range got.Rows[v] {
+			if got.Rows[v][j] != 0 {
+				t.Fatalf("zero-operand product has nonzero at (%d,%d)", v, j)
+			}
+		}
+	}
+}
+
+// TestAllocateTilesWeighted: the generalised allocator packs disjoint
+// in-bounds tiles for weighted workloads under the Σ w < 2n² bound.
+func TestAllocateTilesWeighted(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	for trial := 0; trial < 30; trial++ {
+		n := 8 + rng.IntN(120)
+		fs := make([]int, n)
+		var total int64
+		for y := range fs {
+			ca, rb := rng.IntN(n), rng.IntN(n)
+			w := int64(ca) * int64(rb)
+			if total+w >= int64(2*n*n) {
+				break
+			}
+			total += w
+			fs[y] = ccmm.TileSideFor(w)
+		}
+		tiles, err := ccmm.AllocateTiles(fs, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		k := ccmm.Pow2Floor(n)
+		occupied := map[[2]int]bool{}
+		for _, tile := range tiles {
+			if fs[tile.Y] == 0 {
+				if tile.Allocated {
+					t.Fatal("weightless node received a tile")
+				}
+				continue
+			}
+			if !tile.Allocated || tile.F != fs[tile.Y] {
+				t.Fatalf("tile %+v does not match requested side %d", tile, fs[tile.Y])
+			}
+			if tile.Row < 0 || tile.Col < 0 || tile.Row+tile.F > k || tile.Col+tile.F > k {
+				t.Fatalf("tile %+v outside [0,%d)²", tile, k)
+			}
+			for i := 0; i < tile.F; i++ {
+				for j := 0; j < tile.F; j++ {
+					cell := [2]int{tile.Row + i, tile.Col + j}
+					if occupied[cell] {
+						t.Fatalf("tiles overlap at %v", cell)
+					}
+					occupied[cell] = true
+				}
+			}
+		}
+	}
+}

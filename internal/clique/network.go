@@ -122,6 +122,8 @@ type Network struct {
 	workers    int
 	roundLimit int64
 	transport  Transport
+	sparseTh   float64 // planner sparse-threshold override (armed per op)
+	sparseThOn bool
 	ctx        context.Context
 	pool       *workerPool
 }
@@ -173,6 +175,18 @@ func (c *Network) Stats() Stats {
 // the next run. Unlike the WithRoundLimit construction option it can be
 // changed between runs on a reused network.
 func (c *Network) SetRoundLimit(limit int64) { c.roundLimit = limit }
+
+// SetSparseThreshold arms a density-aware planning threshold for
+// algorithms running on this network: like SetRoundLimit it survives
+// Reset, and sessions arm it per operation so every matrix product an
+// algorithm performs — however deep in the call tree it resolves its plan
+// — honours the session's WithSparseThreshold setting. The planner (see
+// ccmm's census) reads it through SparseThreshold; a network never armed
+// reports ok = false and plans fall back to their own threshold.
+func (c *Network) SetSparseThreshold(t float64) { c.sparseTh, c.sparseThOn = t, true }
+
+// SparseThreshold returns the armed planning threshold, if any.
+func (c *Network) SparseThreshold() (t float64, ok bool) { return c.sparseTh, c.sparseThOn }
 
 // SetContext attaches a cancellation context to the network: once ctx is
 // cancelled, the next charged cost panics with *CanceledError (recovered by

@@ -1,0 +1,70 @@
+package routing_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/algebraic-clique/algclique/internal/clique"
+	"github.com/algebraic-clique/algclique/internal/routing"
+)
+
+// ExchangeDynamic's contract: every pair that carried no traffic reads as
+// empty, even when a pooled receive matrix is reused across exchanges with
+// different (data-dependent) patterns — the situation that leaves stale
+// windows in ExchangeScratch's matrices.
+func TestExchangeDynamicNoStaleEntries(t *testing.T) {
+	const n = 12
+	rng := rand.New(rand.NewPCG(17, 18))
+	for _, strategy := range []routing.Strategy{routing.Auto, routing.Direct, routing.TwoPhase} {
+		net := clique.New(n)
+		sc := routing.NewScratch()
+		// First exchange: dense-ish traffic fills the pooled matrices.
+		first := randomMsgs(rng, n, 6)
+		in := routing.ExchangeDynamic(net, strategy, sc, first)
+		assertDelivered(t, first, in)
+
+		// Followups on the same scratch with ever-sparser patterns: pairs
+		// idle now but busy before must read as empty. Two rounds, so both
+		// double-buffered matrices get revisited.
+		for trial := 0; trial < 3; trial++ {
+			msgs := emptyMsgs(n)
+			src, dst := rng.IntN(n), rng.IntN(n)
+			msgs[src][dst] = []clique.Word{clique.Word(trial + 1)}
+			in = routing.ExchangeDynamic(net, strategy, sc, msgs)
+			for d := 0; d < n; d++ {
+				for s := 0; s < n; s++ {
+					want := 0
+					if s == src && d == dst {
+						want = 1
+					}
+					if len(in[d][s]) != want {
+						t.Fatalf("strategy %v trial %d: in[%d][%d] has %d words, want %d (stale pooled entry?)",
+							strategy, trial, d, s, len(in[d][s]), want)
+					}
+				}
+			}
+			if in[dst][src][0] != clique.Word(trial+1) {
+				t.Fatalf("strategy %v trial %d: delivered %d, want %d", strategy, trial, in[dst][src][0], trial+1)
+			}
+		}
+		net.Close()
+	}
+}
+
+// A nil scratch must behave identically (fresh nil-entry matrices).
+func TestExchangeDynamicNilScratch(t *testing.T) {
+	const n = 9
+	rng := rand.New(rand.NewPCG(19, 20))
+	net := clique.New(n)
+	defer net.Close()
+	msgs := randomMsgs(rng, n, 3)
+	in := routing.ExchangeDynamic(net, routing.Auto, nil, msgs)
+	assertDelivered(t, msgs, in)
+	for d := 0; d < n; d++ {
+		for s := 0; s < n; s++ {
+			if len(msgs[s][d]) == 0 && len(in[d][s]) != 0 {
+				t.Fatalf("idle pair (%d,%d) reads %d words", s, d, len(in[d][s]))
+			}
+		}
+	}
+}

@@ -2,7 +2,6 @@ package subgraph
 
 import (
 	"fmt"
-	"sort"
 
 	"github.com/algebraic-clique/algclique/internal/ccmm"
 	"github.com/algebraic-clique/algclique/internal/clique"
@@ -10,29 +9,11 @@ import (
 	"github.com/algebraic-clique/algclique/internal/routing"
 )
 
-// Tile is the square A(y)×B(y) allocated to node y by Lemma 12: rows
-// [Row, Row+F) index the nodes of A(y) and columns [Col, Col+F) the nodes
-// of B(y).
-type Tile struct {
-	Y         int // owning node
-	F         int // side length (power of two), ≥ max(1, deg(y)/8)
-	Row, Col  int
-	allocated bool
-}
-
-// A returns the node set A(y) = {Row, …, Row+F-1}.
-func (t Tile) A() []int { return seq(t.Row, t.F) }
-
-// B returns the node set B(y) = {Col, …, Col+F-1}.
-func (t Tile) B() []int { return seq(t.Col, t.F) }
-
-func seq(start, count int) []int {
-	out := make([]int, count)
-	for i := range out {
-		out[i] = start + i
-	}
-	return out
-}
+// Tile is the square A(y)×B(y) allocated to node y by Lemma 12. The
+// allocator itself lives in ccmm (tiles.go), where the sparse matmul
+// engine generalises it to arbitrary workload weights; this package keeps
+// the degree-driven entry point below.
+type Tile = ccmm.Tile
 
 // AllocateTiles implements Lemma 12: given all degrees (globally known
 // after a one-round broadcast), every node deterministically computes
@@ -41,73 +22,15 @@ func seq(start, count int) []int {
 // power of two. Placement is a buddy-style quadtree fill in decreasing size
 // order, which succeeds whenever Σ f(y)² ≤ k² — guaranteed by the phase-1
 // degree bound Σ deg(y)² < 2n² for n ≥ 8 (see package doc for the deg ≤ 3
-// adjustment versus the paper).
+// adjustment versus the paper). It delegates to ccmm.AllocateTiles with
+// weights w(y) = deg(y)², which reproduces these sides bit for bit
+// (√(deg²) = deg exactly).
 func AllocateTiles(degs []int, n int) ([]Tile, error) {
-	k := pow2floor(n)
-	tiles := make([]Tile, len(degs))
-	order := make([]int, 0, len(degs))
-	var area int
+	fs := make([]int, len(degs))
 	for y, d := range degs {
-		tiles[y] = Tile{Y: y}
-		if d < 1 {
-			continue
-		}
-		f := 1
-		if d/4 >= 1 {
-			f = pow2floor(d / 4)
-		}
-		tiles[y].F = f
-		order = append(order, y)
-		area += f * f
+		fs[y] = ccmm.TileSideFor(int64(d) * int64(d))
 	}
-	if area > k*k {
-		return nil, fmt.Errorf("subgraph: tile area %d exceeds %d² (degree bound violated)", area, k)
-	}
-	sort.Slice(order, func(i, j int) bool {
-		a, b := order[i], order[j]
-		if tiles[a].F != tiles[b].F {
-			return tiles[a].F > tiles[b].F
-		}
-		return a < b
-	})
-
-	// Buddy allocator over the k×k square: free lists of empty s×s blocks.
-	free := make(map[int][][2]int)
-	free[k] = [][2]int{{0, 0}}
-	place := func(s int) ([2]int, bool) {
-		sz := s
-		for sz <= k && len(free[sz]) == 0 {
-			sz *= 2
-		}
-		if sz > k {
-			return [2]int{}, false
-		}
-		blk := free[sz][len(free[sz])-1]
-		free[sz] = free[sz][:len(free[sz])-1]
-		for sz > s {
-			sz /= 2
-			r, c := blk[0], blk[1]
-			free[sz] = append(free[sz], [2]int{r + sz, c}, [2]int{r, c + sz}, [2]int{r + sz, c + sz})
-		}
-		return blk, true
-	}
-	for _, y := range order {
-		blk, ok := place(tiles[y].F)
-		if !ok {
-			return nil, fmt.Errorf("subgraph: tile packing failed for node %d (internal invariant)", y)
-		}
-		tiles[y].Row, tiles[y].Col = blk[0], blk[1]
-		tiles[y].allocated = true
-	}
-	return tiles, nil
-}
-
-func pow2floor(x int) int {
-	p := 1
-	for p*2 <= x {
-		p *= 2
-	}
-	return p
+	return ccmm.AllocateTiles(fs, n)
 }
 
 // chunk returns the i-th of f near-equal contiguous pieces of xs, each of
@@ -175,7 +98,7 @@ func DetectC4(net *clique.Network, g *graphs.Graph) (bool, error) {
 	inA := make([][]int, n)
 	inB := make([][]int, n)
 	for _, t := range tiles {
-		if !t.allocated {
+		if !t.Allocated {
 			continue
 		}
 		for _, a := range t.A() {
@@ -189,7 +112,7 @@ func DetectC4(net *clique.Network, g *graphs.Graph) (bool, error) {
 	// Step 1: y sends NA(y,a) to each a ∈ A(y); ≤ 8 words per link.
 	net.Phase("c4detect/spread")
 	for _, t := range tiles {
-		if !t.allocated {
+		if !t.Allocated {
 			continue
 		}
 		nbrs := g.Neighbors(t.Y)

@@ -1,129 +1,68 @@
 package subgraph
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/algebraic-clique/algclique/internal/ccmm"
 	"github.com/algebraic-clique/algclique/internal/clique"
 	"github.com/algebraic-clique/algclique/internal/graphs"
-	"github.com/algebraic-clique/algclique/internal/routing"
+	"github.com/algebraic-clique/algclique/internal/ring"
 )
 
-// ErrTooDense reports that the Σ deg(y)² < 2n² sparseness condition of the
-// constant-round square routine does not hold.
-var ErrTooDense = fmt.Errorf("subgraph: graph too dense for the constant-round sparse square")
+// Sentinel errors of the sparse adjacency square. Each wraps the
+// corresponding engine-level sentinel, so callers can test either layer
+// with errors.Is.
+var (
+	// ErrTooDense reports that the Σ deg(y)² < 2n² sparseness condition of
+	// the constant-round square routine does not hold (wraps
+	// ccmm.ErrTooDense).
+	ErrTooDense = fmt.Errorf("subgraph: graph too dense for the constant-round sparse square: %w", ccmm.ErrTooDense)
+	// ErrTooSmall reports a clique below the n ≥ 8 Lemma 12 packing bound
+	// (wraps ccmm.ErrSize).
+	ErrTooSmall = fmt.Errorf("subgraph: sparse square needs n ≥ 8 for the Lemma 12 packing: %w", ccmm.ErrSize)
+	// ErrDirected reports a directed input; the sparse square's degree
+	// census is defined for undirected graphs (wraps ccmm.ErrSize).
+	ErrDirected = fmt.Errorf("subgraph: sparse square requires an undirected graph: %w", ccmm.ErrSize)
+)
 
 // SparseSquare computes row v of A² (the number of 2-walks v→·) at every
 // node v in O(1) rounds, for undirected graphs with Σ_y deg(y)² < 2n² —
 // the paper's remark that the Theorem 4 machinery "can be interpreted as
 // an efficient routine for sparse matrix multiplication, under a specific
-// definition of sparseness" (§1.2), made concrete: the Lemma 12 tiles
-// repartition the 2-walk multiset P(∗,∗,∗) so each node forwards O(n)
-// walks and each row owner receives its |P(x,∗,∗)| < 2n entries.
+// definition of sparseness" (§1.2). It is a thin wrapper over the general
+// sparse tile engine (ccmm.SparseMul with the integer ring): for an
+// undirected adjacency matrix the engine's column and row nonzero counts
+// both equal the degrees, so its Σ ca(y)·rb(y) < 2n² census is exactly the
+// degree condition above and its tiles are exactly the Lemma 12 ones.
 //
-// Returns ErrTooDense when the degree condition fails (the caller can fall
-// back to a matmul engine); requires n ≥ 8 for the packing bound.
+// Returns ErrTooDense (wrapped) when the degree condition fails — the
+// caller can fall back to a matmul engine — ErrTooSmall for n < 8, and
+// ErrDirected for directed inputs; all three satisfy errors.Is.
 func SparseSquare(net *clique.Network, g *graphs.Graph) (*ccmm.RowMat[int64], error) {
+	return SparseSquareScratch(net, nil, g)
+}
+
+// SparseSquareScratch is SparseSquare with caller-owned engine scratch
+// pools.
+func SparseSquareScratch(net *clique.Network, sc *ccmm.Scratch, g *graphs.Graph) (*ccmm.RowMat[int64], error) {
 	if err := checkGraphSize(net, g); err != nil {
 		return nil, err
 	}
 	if g.Directed() {
-		return nil, fmt.Errorf("subgraph: SparseSquare requires an undirected graph: %w", ccmm.ErrSize)
+		return nil, ErrDirected
 	}
-	n := net.N()
-	if n < 8 {
-		return nil, fmt.Errorf("subgraph: SparseSquare needs n ≥ 8, got %d: %w", n, ccmm.ErrSize)
+	if net.N() < 8 {
+		return nil, fmt.Errorf("%w (got n = %d)", ErrTooSmall, net.N())
 	}
-
-	net.Phase("sparsesq/degrees")
-	degWords := make([]clique.Word, n)
-	for v := 0; v < n; v++ {
-		degWords[v] = clique.Word(g.OutDegree(v))
-	}
-	bc := net.BroadcastWord(degWords)
-	degs := make([]int, n)
-	var sq int64
-	for v := 0; v < n; v++ {
-		degs[v] = int(bc[v])
-		sq += int64(degs[v]) * int64(degs[v])
-	}
-	if sq >= int64(2*n*n) {
-		return nil, fmt.Errorf("%w: Σdeg² = %d ≥ 2n² = %d", ErrTooDense, sq, 2*n*n)
-	}
-
-	tiles, err := AllocateTiles(degs, n)
+	r := ring.Int64{}
+	a := adjacencyRows(g)
+	sq, err := ccmm.SparseMulScratch[int64](net, sc, r, r, a, a)
 	if err != nil {
+		if errors.Is(err, ccmm.ErrTooDense) {
+			return nil, fmt.Errorf("%w (%v)", ErrTooDense, err)
+		}
 		return nil, err
 	}
-	inA := make([][]int, n)
-	inB := make([][]int, n)
-	for _, t := range tiles {
-		if !t.allocated {
-			continue
-		}
-		for _, a := range t.A() {
-			inA[a] = append(inA[a], t.Y)
-		}
-		for _, b := range t.B() {
-			inB[b] = append(inB[b], t.Y)
-		}
-	}
-
-	net.Phase("sparsesq/spread")
-	for _, t := range tiles {
-		if !t.allocated {
-			continue
-		}
-		nbrs := g.Neighbors(t.Y)
-		for i, a := range t.A() {
-			for _, x := range chunk(nbrs, t.F, i) {
-				net.Send(t.Y, a, clique.Word(x))
-			}
-		}
-	}
-	mailA := net.Flush()
-	for a := 0; a < n; a++ {
-		for _, y := range inA[a] {
-			part := mailA.From(a, y)
-			for _, b := range tiles[y].B() {
-				net.SendVec(a, b, part)
-			}
-		}
-	}
-	mailB := net.Flush()
-
-	net.Phase("sparsesq/gather")
-	msgs := make([][][]clique.Word, n)
-	for i := range msgs {
-		msgs[i] = make([][]clique.Word, n)
-	}
-	net.ForEach(func(b int) {
-		for _, y := range inB[b] {
-			t := tiles[y]
-			nbrs := make([]int, 0, degs[y])
-			for _, a := range t.A() {
-				for _, w := range mailB.From(b, a) {
-					nbrs = append(nbrs, int(w))
-				}
-			}
-			zs := chunk(nbrs, t.F, b-t.Col)
-			for _, x := range nbrs {
-				for _, z := range zs {
-					msgs[b][x] = append(msgs[b][x], clique.Word(z))
-				}
-			}
-		}
-	})
-	in := routing.ExchangeOwned(net, routing.Auto, msgs)
-
-	out := ccmm.NewRowMat[int64](n)
-	net.ForEach(func(x int) {
-		row := out.Rows[x]
-		for src := 0; src < n; src++ {
-			for _, w := range in[x][src] {
-				row[w]++
-			}
-		}
-	})
-	return out, nil
+	return sq, nil
 }

@@ -23,7 +23,8 @@ func (s *Clique) MatMul(a, b Mat, opts ...CallOption) (prod Mat, stats Stats, er
 		return nil, Stats{}, err
 	}
 	defer r.end(&stats, &err)
-	p, merr := r.plan.MulIntScratch(r.net, r.sc, r.borrow(a, 0), r.borrow(b, 0))
+	p, route, merr := r.plan.MulIntRouted(r.net, r.sc, r.borrow(a, 0), r.borrow(b, 0))
+	r.route = route
 	if merr != nil {
 		err = merr
 		return
@@ -65,7 +66,8 @@ func (s *Clique) DistanceProduct(a, b Mat, opts ...CallOption) (prod Mat, stats 
 		return nil, Stats{}, err
 	}
 	defer r.end(&stats, &err)
-	p, merr := r.plan.MulMinPlusScratch(r.net, r.sc, r.borrow(a, Inf), r.borrow(b, Inf))
+	p, route, merr := r.plan.MulMinPlusRouted(r.net, r.sc, r.borrow(a, Inf), r.borrow(b, Inf))
+	r.route = route
 	if merr != nil {
 		err = merr
 		return
@@ -98,7 +100,8 @@ func (s *Clique) MatMulBool(a, b Mat, opts ...CallOption) (prod Mat, stats Stats
 		return nil, Stats{}, err
 	}
 	defer r.end(&stats, &err)
-	p, merr := r.plan.MulBoolScratch(r.net, r.sc, r.borrow(a, 0), r.borrow(b, 0))
+	p, route, merr := r.plan.MulBoolRouted(r.net, r.sc, r.borrow(a, 0), r.borrow(b, 0))
+	r.route = route
 	if merr != nil {
 		err = merr
 		return

@@ -81,7 +81,7 @@ type SessionStats struct {
 // and padding decisions happen here, once; the session's networks and
 // buffers are then reused by every operation.
 func NewClique(n int, opts ...SessionOption) (*Clique, error) {
-	cfg := config{engine: Auto}
+	cfg := defaultConfig()
 	for _, o := range opts {
 		o.apply(&cfg)
 	}
@@ -282,6 +282,7 @@ type opRun struct {
 	sc       *ccmm.Scratch // session-owned engine pools for this size
 	n        int           // padded clique size for this run
 	orig     int           // original instance size
+	route    ccmm.Route    // density-aware routing decision, when one ran
 	borrowed []*ccmm.RowMat[int64]
 }
 
@@ -317,20 +318,27 @@ func (s *Clique) beginAt(op string, orig, n int, opts []CallOption) (*opRun, err
 func (s *Clique) newRun(op string, cfg config, orig, n int) *opRun {
 	net := s.networkFor(n)
 	r := &opRun{s: s, op: op, cfg: cfg, sim: net, net: net,
-		plan: ccmm.PlanFor(n, cfg.engine.internal()), sc: s.scratchFor(n),
-		n: n, orig: orig}
+		plan: ccmm.PlanSparse(n, cfg.engine.internal(), cfg.sparseThreshold),
+		sc:   s.scratchFor(n),
+		n:    n, orig: orig}
 	r.arm()
 	return r
 }
 
 // arm resets the run's simulator and applies the per-call abort settings
 // and the session's transport (direct by default; WithWireTransport and
-// WithTransportVerification override).
+// WithTransportVerification override). Unicast runs also arm the
+// session's sparse threshold on the network, so every matrix product the
+// operation performs — including ones graph algorithms resolve internally
+// via PlanFor — honours WithSparseThreshold.
 func (r *opRun) arm() {
 	r.sim.Reset()
 	r.sim.SetRoundLimit(r.cfg.roundLimit)
 	r.sim.SetContext(r.cfg.ctx)
 	r.sim.SetTransport(r.cfg.transport)
+	if r.net != nil {
+		r.net.SetSparseThreshold(r.cfg.sparseThreshold)
+	}
 }
 
 // begin starts an operation whose clique size follows from the algorithm's
@@ -362,6 +370,7 @@ func (r *opRun) end(stats *Stats, err *error) {
 		*err = e
 	}
 	*stats = statsFrom(r.sim.Stats(), r.orig)
+	stats.Routing = r.route.Decision()
 	r.sim.SetContext(nil)
 	r.sim.SetRoundLimit(0)
 	for _, m := range r.borrowed {
