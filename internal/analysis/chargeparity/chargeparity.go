@@ -1,0 +1,142 @@
+// Package chargeparity defines the cliquevet analyzer enforcing the
+// accounting-plane/data-plane parity contract (DESIGN.md "Accounting
+// plane vs data plane"): the direct transport moves payloads by
+// reference, so the *only* thing keeping the ledger honest is that every
+// SendPayload charges exactly the wire words the encoded path would have
+// sent. A payload whose cost is a guessed literal, a raw element count,
+// or nothing at all silently breaks the bit-identical-ledger guarantee
+// that the differential tests and the paper's round bounds rest on.
+//
+// Checked at every SendPayload(src, dst, words, p) and
+// ChargeLink(src, dst, words) call site in engine code:
+//
+//   - a non-zero words expression must derive from a codec measurement —
+//     an EncodedLen/CountFor call, or a call through a cost closure (a
+//     function-typed value returning int64, the idiom ExchangePayload and
+//     exchangeVirtualPayload use to fold chunk structure) — through
+//     locals, slice fills, arithmetic, and conversions;
+//   - a constant-zero words (payloads riding a schedule charged
+//     elsewhere) is legal only when the same function also charges
+//     analytically via ChargeLink/ChargeBroadcast/FlushAnalytic.
+package chargeparity
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"github.com/algebraic-clique/algclique/internal/analysis/flow"
+	"github.com/algebraic-clique/algclique/internal/analysis/framework"
+)
+
+// Analyzer is the chargeparity check.
+var Analyzer = &framework.Analyzer{
+	Name: "chargeparity",
+	Doc:  "flag payload sends whose analytic word cost is not derived from a codec EncodedLen/CountFor source or charged via an analytic flush",
+	Run:  run,
+}
+
+var codecSources = map[string]bool{"EncodedLen": true, "CountFor": true}
+
+var chargeCalls = map[string]bool{"ChargeLink": true, "ChargeBroadcast": true, "FlushAnalytic": true}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isCostSource marks codec measurements and cost-closure calls.
+func isCostSource(info *types.Info, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	name, _, funcValue := flow.CalleeOf(info, call)
+	if codecSources[name] {
+		return true
+	}
+	if !funcValue {
+		return false
+	}
+	// A call through a function-typed value (parameter, local closure,
+	// field): trust it as a cost source when it returns a single int64 —
+	// the cost-closure signature the routing layer documents.
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	basic, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Int64
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	taint := flow.Compute(pass.TypesInfo, fd.Body,
+		func(e ast.Expr) bool { return isCostSource(pass.TypesInfo, e) },
+		flow.Options{ThroughIndex: true, ThroughBinary: true, ThroughConvert: true})
+
+	hasAnalyticCharge := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, _, _ := flow.CalleeOf(pass.TypesInfo, call); chargeCalls[name] {
+				hasAnalyticCharge = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, _, _ := flow.CalleeOf(pass.TypesInfo, call)
+		var cost ast.Expr
+		switch name {
+		case "SendPayload":
+			if len(call.Args) == 4 {
+				cost = call.Args[2]
+			}
+		case "ChargeLink":
+			if len(call.Args) == 3 {
+				cost = call.Args[2]
+			}
+		}
+		if cost == nil {
+			return true
+		}
+		if isZeroConst(pass, cost) {
+			if name == "SendPayload" && !hasAnalyticCharge {
+				pass.Reportf(call.Pos(),
+					"zero-cost SendPayload in a function with no analytic charge (ChargeLink/ChargeBroadcast/FlushAnalytic): the payload's wire words are never charged, breaking ledger parity with the encoded plane")
+			}
+			return true
+		}
+		if taint.Tainted(cost) {
+			return true
+		}
+		pass.Reportf(cost.Pos(),
+			"%s cost does not derive from a codec EncodedLen/CountFor source: the direct plane must charge exactly the wire words the codec reports (a raw count or literal breaks packed codecs and ledger parity)", name)
+		return true
+	})
+}
+
+func isZeroConst(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	return ok && v == 0
+}

@@ -1,0 +1,12 @@
+package chargeparity_test
+
+import (
+	"testing"
+
+	"github.com/algebraic-clique/algclique/internal/analysis/chargeparity"
+	"github.com/algebraic-clique/algclique/internal/analysis/framework/analysistest"
+)
+
+func TestChargeparity(t *testing.T) {
+	analysistest.Run(t, "testdata", chargeparity.Analyzer, "a")
+}

@@ -1,0 +1,60 @@
+// Fixture for the chargeparity analyzer: every SendPayload/ChargeLink cost
+// must derive from a codec measurement or ride a schedule charged via an
+// analytic flush. The fixture drives the real simulator types.
+package a
+
+import "github.com/algebraic-clique/algclique/internal/clique"
+
+type codec struct{}
+
+func (codec) EncodedLen(count int) int { return 2 * count }
+
+func goodCodecCost(net *clique.Network, c codec, row [][]int64) {
+	for dst := range row {
+		if len(row[dst]) > 0 {
+			w := int64(c.EncodedLen(len(row[dst])))
+			net.SendPayload(0, dst, w, &row[dst])
+		}
+	}
+	net.Flush()
+}
+
+func goodCostClosure(net *clique.Network, words func(elems int) int64, row [][]int64) {
+	for dst := range row {
+		if len(row[dst]) > 0 {
+			net.SendPayload(0, dst, words(len(row[dst])), &row[dst])
+		}
+	}
+	net.Flush()
+}
+
+func goodChargedElsewhere(net *clique.Network, row [][]int64, maxA, totalA int64) {
+	net.FlushAnalytic(maxA, totalA)
+	for dst := range row {
+		if len(row[dst]) > 0 {
+			net.SendPayload(0, dst, 0, &row[dst])
+		}
+	}
+}
+
+func badElementCount(net *clique.Network, row [][]int64) {
+	for dst := range row {
+		if len(row[dst]) > 0 {
+			net.SendPayload(0, dst, int64(len(row[dst])), &row[dst]) // want "cost does not derive from a codec"
+		}
+	}
+	net.Flush()
+}
+
+func badUnchargedZero(net *clique.Network, row [][]int64) {
+	for dst := range row {
+		if len(row[dst]) > 0 {
+			net.SendPayload(0, dst, 0, &row[dst]) // want "zero-cost SendPayload"
+		}
+	}
+	net.Flush()
+}
+
+func badChargeLink(net *clique.Network, k int) {
+	net.ChargeLink(0, 1, int64(k)) // want "cost does not derive from a codec"
+}

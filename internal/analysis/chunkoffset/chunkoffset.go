@@ -1,0 +1,105 @@
+// Package chunkoffset defines the cliquevet analyzer enforcing the bulk-
+// codec chunk contract (DESIGN.md "Wire format"): multi-chunk messages
+// are concatenations of EncodeSlice chunks, and a receiver may only find
+// chunk k's start by summing the EncodedLen of chunks 0..k-1 — offsets
+// hand-computed from element counts silently corrupt packed codecs, where
+// EncodedLen(k) ≠ k (PackedBool packs 64 entries per word).
+//
+// The check is at call sites of EncodeSlice/DecodeSlice (outside
+// internal/ring, which defines the formats): when the word-slice argument
+// is a slice expression buf[off:...], off must derive from an
+// EncodedLen/CountFor/Width call — through locals, arithmetic, and
+// += accumulation — or be the constant 0. A raw element count, len(),
+// or literal offset is flagged.
+package chunkoffset
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"github.com/algebraic-clique/algclique/internal/analysis/flow"
+	"github.com/algebraic-clique/algclique/internal/analysis/framework"
+)
+
+// Analyzer is the chunkoffset check.
+var Analyzer = &framework.Analyzer{
+	Name: "chunkoffset",
+	Doc:  "flag EncodeSlice/DecodeSlice word offsets not derived from codec EncodedLen (the chunk contract)",
+	Run:  run,
+}
+
+// approvedSources are the codec methods whose results legitimately
+// measure wire words.
+var approvedSources = map[string]bool{"EncodedLen": true, "CountFor": true, "Width": true}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	isSource := func(e ast.Expr) bool {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		name, _, _ := flow.CalleeOf(pass.TypesInfo, call)
+		return approvedSources[name]
+	}
+	taint := flow.Compute(pass.TypesInfo, fd.Body, isSource, flow.Options{
+		ThroughIndex:   true,
+		ThroughBinary:  true,
+		ThroughConvert: true,
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, _, _ := flow.CalleeOf(pass.TypesInfo, call)
+		var wordArg ast.Expr
+		switch name {
+		case "EncodeSlice":
+			if len(call.Args) >= 1 {
+				wordArg = call.Args[0]
+			}
+		case "DecodeSlice":
+			if len(call.Args) >= 2 {
+				wordArg = call.Args[1]
+			}
+		}
+		if wordArg == nil {
+			return true
+		}
+		sl, ok := wordArg.(*ast.SliceExpr)
+		if !ok || sl.Low == nil {
+			return true
+		}
+		if isZeroConst(pass, sl.Low) {
+			return true
+		}
+		if taint.Tainted(sl.Low) {
+			return true
+		}
+		pass.Reportf(sl.Low.Pos(),
+			"%s word offset does not derive from EncodedLen: the chunk contract requires offsets summed from codec EncodedLen, not element counts (packed codecs have EncodedLen(k) ≠ k)", name)
+		return true
+	})
+}
+
+func isZeroConst(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	return ok && v == 0
+}

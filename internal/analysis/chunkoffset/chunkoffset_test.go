@@ -1,0 +1,12 @@
+package chunkoffset_test
+
+import (
+	"testing"
+
+	"github.com/algebraic-clique/algclique/internal/analysis/chunkoffset"
+	"github.com/algebraic-clique/algclique/internal/analysis/framework/analysistest"
+)
+
+func TestChunkoffset(t *testing.T) {
+	analysistest.Run(t, "testdata", chunkoffset.Analyzer, "a")
+}

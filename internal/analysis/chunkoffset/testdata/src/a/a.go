@@ -1,0 +1,40 @@
+// Fixture for the chunkoffset analyzer: EncodeSlice/DecodeSlice word
+// offsets must derive from codec EncodedLen sums (the chunk contract).
+package a
+
+type Word = uint64
+
+type codec struct{}
+
+func (codec) EncodedLen(count int) int { return (count + 63) / 64 }
+
+func (codec) EncodeSlice(dst []Word, vals []bool) []Word { return dst }
+
+func (codec) DecodeSlice(out []bool, src []Word) {}
+
+func goodSecondChunk(c codec, buf []Word, a, b []bool) {
+	c.DecodeSlice(a, buf[0:])
+	off := c.EncodedLen(len(a))
+	c.DecodeSlice(b, buf[off:])
+}
+
+func goodAccumulated(c codec, buf []Word, rows [][]bool) {
+	off := 0
+	for _, r := range rows {
+		c.DecodeSlice(r, buf[off:])
+		off += c.EncodedLen(len(r))
+	}
+}
+
+func badElementCount(c codec, buf []Word, a, b []bool) {
+	off := len(a)               // a raw element count, not a wire length
+	c.DecodeSlice(b, buf[off:]) // want "word offset does not derive from EncodedLen"
+}
+
+func badLiteral(c codec, buf []Word, a []bool) {
+	c.DecodeSlice(a, buf[8:]) // want "word offset does not derive from EncodedLen"
+}
+
+func badEncodeOffset(c codec, buf []Word, a []bool, k int) {
+	c.EncodeSlice(buf[k:], a) // want "word offset does not derive from EncodedLen"
+}

@@ -1,0 +1,30 @@
+package analysis_test
+
+import (
+	"os"
+	"testing"
+
+	"github.com/algebraic-clique/algclique/internal/analysis"
+	"github.com/algebraic-clique/algclique/internal/analysis/framework"
+)
+
+// TestRepoIsClean runs the full cliquevet suite over the repository and
+// fails on any diagnostic, so a contract regression anywhere in the tree
+// fails `go test ./...` exactly as it would fail the CI gating step.
+func TestRepoIsClean(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := framework.FindModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunRepo(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("cliquevet: %s", d)
+	}
+}

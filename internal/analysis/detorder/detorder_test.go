@@ -1,0 +1,12 @@
+package detorder_test
+
+import (
+	"testing"
+
+	"github.com/algebraic-clique/algclique/internal/analysis/detorder"
+	"github.com/algebraic-clique/algclique/internal/analysis/framework/analysistest"
+)
+
+func TestDetorder(t *testing.T) {
+	analysistest.Run(t, "testdata", detorder.Analyzer, "a")
+}

@@ -1,0 +1,50 @@
+// Fixture for the detorder analyzer: nondeterminism sources that must not
+// reach the simulator's deterministic packages.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func mapRange(m map[int]int) int {
+	s := 0
+	for k := range m { // want "unsorted range over map"
+		s += k
+	}
+	return s
+}
+
+func mapRangeSuppressed(m map[int]int) int {
+	s := 0
+	//cc:detorder-ok(order folds into a commutative sum)
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+func sliceRange(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func wholesaleDelete(m map[int]int) {
+	clear(m)
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "wall-clock values must not influence"
+}
+
+func globalRand(n int) int {
+	return rand.Intn(n) // want "draws from the global random source"
+}
+
+func seededRand(n int) int {
+	r := rand.New(rand.NewSource(7))
+	return r.Intn(n)
+}

@@ -1,0 +1,148 @@
+// Package analysistest runs a framework.Analyzer over fixture packages
+// and checks its diagnostics against // want "regexp" comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest: every want must be matched
+// by a diagnostic on its line, and every diagnostic must match a want.
+//
+// Fixtures live under <testdata>/src/<pkg>/ and are addressed by the
+// import path <pkg>, GOPATH-style. Fixture files may import the real
+// repository packages (the loader maps the module path onto the repo
+// checkout), so analyzers are tested against the genuine clique/ccmm/
+// routing types rather than look-alike stubs.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/algebraic-clique/algclique/internal/analysis/framework"
+)
+
+// ModulePath is the import path the loader maps onto the repository root,
+// letting fixtures import the real packages under test.
+const ModulePath = "github.com/algebraic-clique/algclique"
+
+// wantRe extracts the quoted regexps of a // want "..." comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads each fixture package from <testdata>/src/<pkg>, applies the
+// analyzer, and reports any mismatch between diagnostics and want
+// comments as test errors.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgs ...string) {
+	t.Helper()
+	testdata, err := filepath.Abs(testdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repoRoot, err := framework.FindModuleRoot(testdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := framework.NewLoader(map[string]string{
+		ModulePath: repoRoot,
+		"":         filepath.Join(testdata, "src"),
+	})
+	for _, pkgPath := range pkgs {
+		pkg, err := loader.LoadDir(filepath.Join(testdata, "src", filepath.FromSlash(pkgPath)), pkgPath)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkgPath, err)
+		}
+		var diags []framework.Diagnostic
+		if err := framework.RunAnalyzer(a, pkg, &diags); err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+		}
+		expects := collectWants(t, pkg)
+		checkDiagnostics(t, pkgPath, diags, expects)
+	}
+}
+
+// collectWants parses the fixture's // want comments into expectations.
+func collectWants(t *testing.T, pkg *framework.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, raw := range splitQuoted(m[1]) {
+					pattern, err := strconv.Unquote(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, raw, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pattern})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// splitQuoted returns the "..." tokens of a want payload, ignoring
+// anything after the quoted run (trailing prose is legal).
+func splitQuoted(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for strings.HasPrefix(s, `"`) {
+		end := 1
+		for end < len(s) {
+			if s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(s) {
+			break
+		}
+		out = append(out, s[:end+1])
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}
+
+func checkDiagnostics(t *testing.T, pkgPath string, diags []framework.Diagnostic, expects []*expectation) {
+	t.Helper()
+	for _, d := range diags {
+		if e := matchExpectation(expects, d.Pos, d.Message); e != nil {
+			e.matched = true
+		} else {
+			t.Errorf("%s: unexpected diagnostic in %s: %s", d.Pos, pkgPath, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.raw)
+		}
+	}
+}
+
+func matchExpectation(expects []*expectation, pos token.Position, msg string) *expectation {
+	for _, e := range expects {
+		if !e.matched && e.file == pos.Filename && e.line == pos.Line && e.re.MatchString(msg) {
+			return e
+		}
+	}
+	return nil
+}

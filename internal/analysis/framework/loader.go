@@ -1,0 +1,242 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages from source, resolving imports
+// offline: import paths under a registered root (a module path or a
+// fixture pseudo-root) load recursively from the mapped directory, and
+// everything else falls back to the standard library's source importer
+// (which reads GOROOT/src). No export data, network, or go command is
+// needed, so the same loader serves the repo-wide checks, the fixture
+// tests, and the go vet -vettool driver.
+type Loader struct {
+	Fset    *token.FileSet
+	roots   []rootMapping
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+type rootMapping struct {
+	prefix string // import path prefix, e.g. the module path
+	dir    string // directory holding that prefix's source tree
+}
+
+// NewLoader builds a loader over the given import-prefix → directory
+// roots. Longer prefixes win, so a fixture root can nest inside a module.
+func NewLoader(roots map[string]string) *Loader {
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	for prefix, dir := range roots {
+		l.roots = append(l.roots, rootMapping{prefix: prefix, dir: dir})
+	}
+	sort.Slice(l.roots, func(i, j int) bool { return len(l.roots[i].prefix) > len(l.roots[j].prefix) })
+	return l
+}
+
+// resolve maps an import path to a source directory under a registered
+// root, or ok=false for standard-library (and other external) paths. The
+// fixture pseudo-root ("" prefix) matches every path, so a match there
+// only counts when the directory actually exists — stdlib imports inside
+// fixture packages fall through to the GOROOT source importer.
+func (l *Loader) resolve(path string) (dir string, ok bool) {
+	for _, r := range l.roots {
+		if path == r.prefix {
+			return r.dir, true
+		}
+		if r.prefix == "" || strings.HasPrefix(path, r.prefix+"/") {
+			rel := strings.TrimPrefix(path, r.prefix)
+			rel = strings.TrimPrefix(rel, "/")
+			dir = filepath.Join(r.dir, filepath.FromSlash(rel))
+			if r.prefix == "" {
+				if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+					continue
+				}
+			}
+			return dir, true
+		}
+	}
+	return "", false
+}
+
+// Import implements types.Importer: module-root packages load from source
+// recursively; the rest delegates to the GOROOT source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir, ok := l.resolve(path); ok {
+		pkg, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// LoadDir parses and type-checks the (non-test) package in dir under the
+// given import path, memoised per path.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	names, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// goFilesIn lists the buildable non-test Go files of dir, honouring build
+// constraints for the default context, in sorted order.
+func goFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	ctx := build.Default
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		match, err := ctx.MatchFile(dir, name)
+		if err != nil {
+			return nil, err
+		}
+		if match {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// LoadModule walks the module rooted at dir (import path modPath) and
+// loads every package in it, skipping testdata, hidden directories, and
+// directories without buildable Go files. Results come back in
+// deterministic import-path order.
+func (l *Loader) LoadModule(modPath, dir string) ([]*Package, error) {
+	var pkgDirs []string
+	err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		base := filepath.Base(p)
+		if p != dir && (base == "testdata" || strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_")) {
+			return filepath.SkipDir
+		}
+		names, err := goFilesIn(p)
+		if err != nil {
+			return err
+		}
+		if len(names) > 0 {
+			pkgDirs = append(pkgDirs, p)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(pkgDirs)
+	var pkgs []*Package
+	for _, pd := range pkgDirs {
+		rel, err := filepath.Rel(dir, pd)
+		if err != nil {
+			return nil, err
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.LoadDir(pd, path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// FindModuleRoot walks up from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,42 @@
+package framework
+
+import (
+	"os"
+	"testing"
+)
+
+// TestLoadModule type-checks the entire repository from source through the
+// offline loader — the same path cliquevet's standalone driver uses — and
+// is the canary for loader/toolchain drift: if a new language construct or
+// import stops type-checking here, every analyzer is blind to it.
+func TestLoadModule(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := FindModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const mod = "github.com/algebraic-clique/algclique"
+	l := NewLoader(map[string]string{mod: root})
+	pkgs, err := l.LoadModule(mod, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages, expected the full module", len(pkgs))
+	}
+	seen := make(map[string]bool)
+	for _, p := range pkgs {
+		if p.Types == nil || p.Info == nil || len(p.Files) == 0 {
+			t.Errorf("package %s loaded without types or files", p.Path)
+		}
+		seen[p.Path] = true
+	}
+	for _, want := range []string{mod, mod + "/internal/clique", mod + "/internal/ccmm", mod + "/internal/routing"} {
+		if !seen[want] {
+			t.Errorf("package %s not loaded", want)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Fixture for the hotalloc analyzer: allocation discipline in //cc:hotpath
+// functions and pooled-shape allocation in *Scratch-threading functions.
+package a
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+func sink(v any) { _ = v }
+
+//cc:hotpath
+func hot(n int, buf []uint64) []uint64 {
+	scratch := make([]uint64, n) // want "allocates in a"
+	_ = fmt.Sprintf("%d", n)     // want "fmt.Sprintf formats"
+	xs := []int{1, 2}            // want "composite literal allocates"
+	p := &pair{a: 1}             // want "composite literal allocates"
+	sink(n)                      // want "boxing int into interface argument"
+	_, _, _ = scratch, xs, p
+	if cap(buf) < n {
+		buf = make([]uint64, n) //cc:hotalloc-ok(capacity growth)
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("bad n %d", n)) // panic construction is the cold path
+	}
+	return buf[:n]
+}
+
+func cold(n int) []uint64 {
+	return make([]uint64, n) // unmarked functions may allocate
+}
+
+type Scratch struct{ pool [][][]uint64 }
+
+func fills(sc *Scratch, n int) [][][]uint64 {
+	return make([][][]uint64, n) // want "make of message-matrix shape"
+}
+
+func flat(sc *Scratch, n int) []uint64 {
+	return make([]uint64, n) // flatter shapes are not what the pools provide
+}
+
+func (sc *Scratch) get(n int) [][][]uint64 {
+	return make([][][]uint64, n) // the pool implementation itself is exempt
+}

@@ -1,0 +1,12 @@
+package mailretain_test
+
+import (
+	"testing"
+
+	"github.com/algebraic-clique/algclique/internal/analysis/framework/analysistest"
+	"github.com/algebraic-clique/algclique/internal/analysis/mailretain"
+)
+
+func TestMailretain(t *testing.T) {
+	analysistest.Run(t, "testdata", mailretain.Analyzer, "a")
+}

@@ -1,0 +1,68 @@
+// Fixture for the mailretain analyzer: Mail-derived values must not be
+// stored anywhere that outlives the two-flush delivery lifetime. The
+// fixture drives the real simulator types.
+package a
+
+import "github.com/algebraic-clique/algclique/internal/clique"
+
+type holder struct {
+	words []clique.Word
+	mail  *clique.Mail
+}
+
+var stash []clique.Word
+
+func badField(h *holder, mail *clique.Mail) {
+	h.words = mail.From(0, 1) // want "stored into struct field"
+}
+
+func badMailField(net *clique.Network, h *holder) {
+	h.mail = net.Flush() // want "stored into struct field"
+}
+
+func badGlobal(mail *clique.Mail) {
+	stash = mail.From(0, 1) // want "package-level state"
+}
+
+func badDerived(mail *clique.Mail, h *holder) {
+	w := mail.From(0, 1)
+	h.words = w[2:4] // want "stored into struct field"
+}
+
+func badGoroutine(mail *clique.Mail) {
+	w := mail.From(0, 1)
+	go func() {
+		_ = w[0] // want "captured by a goroutine"
+	}()
+}
+
+func badChannel(mail *clique.Mail, ch chan []clique.Word) {
+	ch <- mail.From(0, 1) // want "sent on a channel"
+}
+
+func badEachCallback(mail *clique.Mail, h *holder) {
+	mail.Each(0, func(src int, words []clique.Word) {
+		h.words = words // want "stored into struct field"
+	})
+}
+
+func goodCopiedOut(mail *clique.Mail, h *holder) {
+	w := mail.From(0, 1)
+	h.words = append([]clique.Word(nil), w...) // a copy owns its words
+}
+
+func goodScratchView(mail *clique.Mail, in [][][]clique.Word, n int) {
+	for src := 0; src < n; src++ {
+		// The scratch-view idiom: index-assignment into a local matrix,
+		// recycled under the pools' own putView discipline.
+		in[0][src] = mail.From(0, src)
+	}
+}
+
+func goodPhaseLocal(mail *clique.Mail, out []int64) {
+	mail.Each(0, func(src int, words []clique.Word) {
+		for i, w := range words {
+			out[i] += int64(w)
+		}
+	})
+}

@@ -1,0 +1,158 @@
+// Package payloadown defines the cliquevet analyzer enforcing the
+// ownership half of the data-plane contract: SendPayload relinquishes the
+// payload (the receiver reads it by reference until the second-next
+// Flush) and SendOwnedVec adopts the word vector as queue storage — in
+// both cases the sender must not touch the value again. A post-send write
+// races the logical delivery (the receiver observes the mutation, which
+// the wire plane's copy semantics would have hidden); a post-send read is
+// almost always a stale-aliasing bug about to become one.
+//
+// The check is intraprocedural and identifier-based: for each
+// SendPayload(…, p) / SendOwnedVec(…, ws) whose payload argument is a
+// plain local identifier x (or &x), any use of x after the call and
+// before x is re-initialised by an assignment that does not read x is
+// flagged. Payloads passed as &row[dst] (per-link slots rebuilt each
+// phase) are outside the granularity this analysis tracks, matching the
+// documented per-buffer ownership idiom.
+package payloadown
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/algebraic-clique/algclique/internal/analysis/flow"
+	"github.com/algebraic-clique/algclique/internal/analysis/framework"
+)
+
+// Analyzer is the payloadown check.
+var Analyzer = &framework.Analyzer{
+	Name: "payloadown",
+	Doc:  "flag reads or writes of a value after its ownership passed to SendPayload/SendOwnedVec",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+type send struct {
+	call *ast.CallExpr
+	name string // SendPayload or SendOwnedVec
+	obj  types.Object
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	var sends []send
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, _, _ := flow.CalleeOf(pass.TypesInfo, call)
+		var payload ast.Expr
+		switch name {
+		case "SendPayload":
+			if len(call.Args) == 4 {
+				payload = call.Args[3]
+			}
+		case "SendOwnedVec":
+			if len(call.Args) == 3 {
+				payload = call.Args[2]
+			}
+		default:
+			return true
+		}
+		if obj := payloadIdent(pass, payload); obj != nil {
+			sends = append(sends, send{call: call, name: name, obj: obj})
+		}
+		return true
+	})
+	for _, s := range sends {
+		checkSend(pass, fd, s)
+	}
+}
+
+// payloadIdent unwraps x or &x to the local variable it names.
+func payloadIdent(pass *framework.Pass, e ast.Expr) types.Object {
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = u.X
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if v, ok := obj.(*types.Var); ok && !v.IsField() {
+		return obj
+	}
+	return nil
+}
+
+// checkSend flags uses of the sent variable between the send and its next
+// ownership-restoring re-initialisation.
+func checkSend(pass *framework.Pass, fd *ast.FuncDecl, s send) {
+	// The window closes at the first assignment after the send that
+	// overwrites the variable without reading it (x = fresh).
+	windowEnd := fd.Body.End()
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Pos() <= s.call.End() || as.Pos() >= windowEnd {
+			return true
+		}
+		if reinitialises(pass, as, s.obj) {
+			windowEnd = as.Pos()
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != s.obj {
+			return true
+		}
+		if id.Pos() <= s.call.End() || id.Pos() >= windowEnd {
+			return true
+		}
+		pass.Reportf(id.Pos(),
+			"use of %s after its ownership passed to %s: the receiver aliases it until the second-next Flush, so the sender must not read or write it (re-initialise it first)",
+			id.Name, s.name)
+		return true
+	})
+}
+
+// reinitialises reports whether the assignment gives obj a fresh value
+// without reading its old one.
+func reinitialises(pass *framework.Pass, as *ast.AssignStmt, obj types.Object) bool {
+	if as.Tok != token.ASSIGN {
+		return false
+	}
+	target := -1
+	for i, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		return false
+	}
+	reads := false
+	for _, rhs := range as.Rhs {
+		ast.Inspect(rhs, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				reads = true
+			}
+			return true
+		})
+	}
+	return !reads
+}

@@ -1,0 +1,12 @@
+package payloadown_test
+
+import (
+	"testing"
+
+	"github.com/algebraic-clique/algclique/internal/analysis/framework/analysistest"
+	"github.com/algebraic-clique/algclique/internal/analysis/payloadown"
+)
+
+func TestPayloadown(t *testing.T) {
+	analysistest.Run(t, "testdata", payloadown.Analyzer, "a")
+}

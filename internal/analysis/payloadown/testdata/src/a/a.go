@@ -1,0 +1,36 @@
+// Fixture for the payloadown analyzer: no reads or writes of a value after
+// its ownership passed to SendPayload/SendOwnedVec.
+package a
+
+import "github.com/algebraic-clique/algclique/internal/clique"
+
+func badWriteAfterOwned(net *clique.Network, vec []clique.Word) {
+	net.SendOwnedVec(0, 1, vec)
+	vec[0] = 7 // want "use of vec after its ownership passed to SendOwnedVec"
+}
+
+func badReadAfterPayload(net *clique.Network, row *[]int64) int {
+	net.SendPayload(0, 1, 0, row)
+	net.FlushAnalytic(1, 1)
+	return len(*row) // want "use of row after its ownership passed to SendPayload"
+}
+
+func goodReinitialised(net *clique.Network, vec []clique.Word, n int) {
+	net.SendOwnedVec(0, 1, vec)
+	vec = nil
+	for i := 0; i < n; i++ {
+		vec = append(vec, clique.Word(i))
+	}
+	net.SendOwnedVec(0, 2, vec)
+}
+
+func goodSlotSend(net *clique.Network, row [][]int64, maxA, totalA int64) {
+	net.FlushAnalytic(maxA, totalA)
+	for dst := range row {
+		if len(row[dst]) > 0 {
+			// Per-link slots rebuilt each phase are the documented
+			// per-buffer ownership idiom, outside identifier granularity.
+			net.SendPayload(0, dst, 0, &row[dst])
+		}
+	}
+}

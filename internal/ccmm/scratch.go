@@ -68,12 +68,8 @@ func NewScratch() *Scratch {
 // sessions call it — via Clique.Trim — to drop the working set of past
 // peak sizes instead of pinning it forever.
 func (sc *Scratch) Trim() {
-	for k := range sc.payload {
-		delete(sc.payload, k)
-	}
-	for k := range sc.views {
-		delete(sc.views, k)
-	}
+	clear(sc.payload)
+	clear(sc.views)
 	sc.offs = nil
 	sc.wloads = nil
 	sc.typed = nil

@@ -21,6 +21,8 @@ import (
 // and loopback payloads); the caller must return it with sc.putView once
 // consumed. The intermediate per-link concatenation buffers come from the
 // scratch payload pool and are recycled here.
+//
+//cc:hotpath
 func (l cubeLayout) exchangeVirtual(net *clique.Network, sc *Scratch, vmsgs [][][]clique.Word) [][][]clique.Word {
 	n := l.n
 	msgs := sc.getPayload(n)
@@ -71,6 +73,8 @@ func (l cubeLayout) exchangeVirtual(net *clique.Network, sc *Scratch, vmsgs [][]
 // The returned matrix is a typed scratch view (entries alias the senders'
 // message buffers); the caller must return it with ts.putViews once
 // consumed, before the sender buffers are rebuilt.
+//
+//cc:hotpath
 func exchangeVirtualPayload[T any](l cubeLayout, net *clique.Network, sc *Scratch, ts *typedScratch[T], vmsgs [][][]T, chunkWords func(elems int) int64) [][][]T {
 	n := l.n
 	loads := sc.linkWords(n * n)

@@ -332,6 +332,8 @@ func (c *Network) checkNode(v int) {
 // partitioned by source, so concurrent ForEach senders — each restricted
 // to its own source, per the Send contract — never share a slot and no
 // locking is needed.
+//
+//cc:hotpath
 func (c *Network) touch(src, dst int) {
 	i := src*c.n + dst
 	if c.tstamp[i] != c.flushSeq+1 {
@@ -347,6 +349,8 @@ func (c *Network) touch(src, dst int) {
 // Note: concurrent ForEach senders touch disjoint per-source state — the
 // queue row, and distinct touched-list slots via the per-source stamp row —
 // so the registration below is safe under the documented discipline.
+//
+//cc:hotpath
 func (c *Network) Send(src, dst int, w Word) {
 	c.checkNode(src)
 	c.checkNode(dst)
@@ -357,6 +361,8 @@ func (c *Network) Send(src, dst int, w Word) {
 }
 
 // SendVec enqueues a vector of words from src to dst (copied).
+//
+//cc:hotpath
 func (c *Network) SendVec(src, dst int, ws []Word) {
 	c.checkNode(src)
 	c.checkNode(dst)
@@ -376,6 +382,8 @@ func (c *Network) SendVec(src, dst int, ws []Word) {
 // array afterwards. The caller must not read or write ws after the call.
 // It is the zero-copy enqueue path for buffers the caller builds per send
 // and then relinquishes (per-link concatenations).
+//
+//cc:hotpath
 func (c *Network) SendOwnedVec(src, dst int, ws []Word) {
 	c.checkNode(src)
 	c.checkNode(dst)
@@ -425,6 +433,8 @@ func (m *Mail) releasePayloads() {
 }
 
 // From returns the words dst received from src (nil if none).
+//
+//cc:hotpath
 func (m *Mail) From(dst, src int) []Word {
 	i := dst*m.n + src
 	if m.wstamp[i] != m.id {
@@ -435,6 +445,8 @@ func (m *Mail) From(dst, src int) []Word {
 
 // Each calls f for every non-empty (src, words) pair delivered to dst, in
 // increasing source order.
+//
+//cc:hotpath
 func (m *Mail) Each(dst int, f func(src int, words []Word)) {
 	base := dst * m.n
 	for src := 0; src < m.n; src++ {
@@ -457,6 +469,8 @@ func (m *Mail) Each(dst int, f func(src int, words []Word)) {
 // used alternately, each with persistent per-link delivery arrays; words
 // move from the (equally persistent) link queues by copy, payloads move as
 // references. See Mail for the resulting lifetime contract.
+//
+//cc:hotpath
 func (c *Network) Flush() *Mail {
 	return c.FlushAnalytic(0, 0)
 }
@@ -468,6 +482,8 @@ func (c *Network) Flush() *Mail {
 // The charged cost is max(maxLoad, observed per-link maximum) rounds and
 // the sum of both totals — exactly what registering the same loads through
 // ChargeLink and calling Flush would charge, at O(1) instead of O(links).
+//
+//cc:hotpath
 func (c *Network) FlushAnalytic(maxLoad, totalWords int64) *Mail {
 	n := c.n
 	mail := c.mails[c.flushSeq&1]
@@ -476,8 +492,8 @@ func (c *Network) FlushAnalytic(maxLoad, totalWords int64) *Mail {
 		c.mails[c.flushSeq&1] = mail
 	}
 	if c.pqueues != nil && mail.pbufs == nil {
-		mail.pbufs = make([][]Payload, n*n)
-		mail.pstamp = make([]uint64, n*n)
+		mail.pbufs = make([][]Payload, n*n) //cc:hotalloc-ok(lazy one-time payload-plane init)
+		mail.pstamp = make([]uint64, n*n)   //cc:hotalloc-ok(lazy one-time payload-plane init)
 	}
 	// This mail's previous deliveries reach the end of their two-flush
 	// lifetime here; drop the payload references they pinned.
@@ -499,7 +515,7 @@ func (c *Network) FlushAnalytic(maxLoad, totalWords int64) *Mail {
 			if q := qrow[dst]; len(q) > 0 {
 				buf := mail.bufs[ri]
 				if cap(buf) < len(q) {
-					buf = make([]Word, len(q))
+					buf = make([]Word, len(q)) //cc:hotalloc-ok(capacity growth; steady state reuses the buffer)
 				} else {
 					buf = buf[:len(q)]
 				}

@@ -87,6 +87,8 @@ func (c *Network) ensurePayloads() {
 // and free, like any self-send. The payload itself adds no further cost,
 // so traffic whose words were already charged elsewhere (two-phase
 // schedules) rides with words = 0.
+//
+//cc:hotpath
 func (c *Network) SendPayload(src, dst int, words int64, p Payload) {
 	c.checkNode(src)
 	c.checkNode(dst)
@@ -106,6 +108,8 @@ func (c *Network) SendPayload(src, dst int, words int64, p Payload) {
 // wire schedule's per-link loads (e.g. the two phases of Lenzen routing)
 // without materialising the words. Self-links are accounted exactly like
 // real self-sends: free.
+//
+//cc:hotpath
 func (c *Network) ChargeLink(src, dst int, words int64) {
 	c.checkNode(src)
 	c.checkNode(dst)
@@ -141,6 +145,8 @@ func (c *Network) ChargeBroadcast(lens []int64) {
 // PayloadsFrom returns the payloads dst received from src in the last
 // Flush, in FIFO order (nil if none). Valid until the second-next Flush,
 // like the word vectors.
+//
+//cc:hotpath
 func (m *Mail) PayloadsFrom(dst, src int) []Payload {
 	if m.pstamp == nil {
 		return nil

@@ -68,10 +68,12 @@ func (a bulkAdapter[T]) DecodeSlice(out []T, src []Word) {
 
 // grow extends dst by k words and returns (extended, window) where window
 // is the newly appended k-word region.
+//
+//cc:hotpath
 func grow(dst []Word, k int) ([]Word, []Word) {
 	base := len(dst)
 	if cap(dst)-base < k {
-		dst = append(dst, make([]Word, k)...)
+		dst = append(dst, make([]Word, k)...) //cc:hotalloc-ok(capacity growth; pooled callers reuse dst)
 	} else {
 		dst = dst[:base+k]
 	}
@@ -88,6 +90,8 @@ func grow(dst []Word, k int) ([]Word, []Word) {
 func (Int64) EncodedLen(count int) int { return count }
 
 // EncodeSlice appends vals one word per element.
+//
+//cc:hotpath
 func (Int64) EncodeSlice(dst []Word, vals []int64) []Word {
 	dst, w := grow(dst, len(vals))
 	for i, v := range vals {
@@ -97,6 +101,8 @@ func (Int64) EncodeSlice(dst []Word, vals []int64) []Word {
 }
 
 // DecodeSlice decodes one word per element.
+//
+//cc:hotpath
 func (Int64) DecodeSlice(out []int64, src []Word) {
 	for i := range out {
 		out[i] = int64(src[i])
@@ -107,6 +113,8 @@ func (Int64) DecodeSlice(out []int64, src []Word) {
 func (MinPlus) EncodedLen(count int) int { return count }
 
 // EncodeSlice appends vals one word per element.
+//
+//cc:hotpath
 func (MinPlus) EncodeSlice(dst []Word, vals []int64) []Word {
 	dst, w := grow(dst, len(vals))
 	for i, v := range vals {
@@ -116,6 +124,8 @@ func (MinPlus) EncodeSlice(dst []Word, vals []int64) []Word {
 }
 
 // DecodeSlice decodes one word per element.
+//
+//cc:hotpath
 func (MinPlus) DecodeSlice(out []int64, src []Word) {
 	for i := range out {
 		out[i] = int64(src[i])
@@ -126,6 +136,8 @@ func (MinPlus) DecodeSlice(out []int64, src []Word) {
 func (Zp) EncodedLen(count int) int { return count }
 
 // EncodeSlice appends vals one word per element.
+//
+//cc:hotpath
 func (Zp) EncodeSlice(dst []Word, vals []int64) []Word {
 	dst, w := grow(dst, len(vals))
 	for i, v := range vals {
@@ -135,6 +147,8 @@ func (Zp) EncodeSlice(dst []Word, vals []int64) []Word {
 }
 
 // DecodeSlice decodes one word per element.
+//
+//cc:hotpath
 func (Zp) DecodeSlice(out []int64, src []Word) {
 	for i := range out {
 		out[i] = int64(src[i])
@@ -145,6 +159,8 @@ func (Zp) DecodeSlice(out []int64, src []Word) {
 func (MinPlusW) EncodedLen(count int) int { return 2 * count }
 
 // EncodeSlice appends vals as interleaved (value, witness) word pairs.
+//
+//cc:hotpath
 func (MinPlusW) EncodeSlice(dst []Word, vals []ValW) []Word {
 	dst, w := grow(dst, 2*len(vals))
 	for i, v := range vals {
@@ -155,6 +171,8 @@ func (MinPlusW) EncodeSlice(dst []Word, vals []ValW) []Word {
 }
 
 // DecodeSlice decodes interleaved (value, witness) word pairs.
+//
+//cc:hotpath
 func (MinPlusW) DecodeSlice(out []ValW, src []Word) {
 	for i := range out {
 		out[i] = ValW{V: int64(src[2*i]), W: int64(src[2*i+1])}
@@ -166,6 +184,8 @@ func (MinPlusW) DecodeSlice(out []ValW, src []Word) {
 func (Bool) EncodedLen(count int) int { return count }
 
 // EncodeSlice appends vals as 0/1 words.
+//
+//cc:hotpath
 func (Bool) EncodeSlice(dst []Word, vals []bool) []Word {
 	dst, w := grow(dst, len(vals))
 	for i, v := range vals {
@@ -179,6 +199,8 @@ func (Bool) EncodeSlice(dst []Word, vals []bool) []Word {
 }
 
 // DecodeSlice decodes 0/1 words.
+//
+//cc:hotpath
 func (Bool) DecodeSlice(out []bool, src []Word) {
 	for i := range out {
 		out[i] = src[i] != 0

@@ -42,6 +42,8 @@ func (PackedBool) Decode(src []Word) bool { return src[0]&1 != 0 }
 func (PackedBool) EncodedLen(count int) int { return (count + 63) / 64 }
 
 // EncodeSlice appends vals packed 64 entries per word.
+//
+//cc:hotpath
 func (PackedBool) EncodeSlice(dst []Word, vals []bool) []Word {
 	dst, w := grow(dst, (len(vals)+63)/64)
 	for i := range w {
@@ -56,6 +58,8 @@ func (PackedBool) EncodeSlice(dst []Word, vals []bool) []Word {
 }
 
 // DecodeSlice unpacks len(out) entries from the chunk at src[0].
+//
+//cc:hotpath
 func (PackedBool) DecodeSlice(out []bool, src []Word) {
 	for i := range out {
 		out[i] = src[i>>6]&(1<<(uint(i)&63)) != 0

@@ -52,11 +52,13 @@ func (tc TupleCodec[T]) EncodedLen(count int) int {
 // extended slice (exactly EncodedLen(len(tups)) words are appended). The
 // value halves are gathered into vbuf — grown as needed and returned so
 // hot paths can pool it; a nil vbuf allocates.
+//
+//cc:hotpath
 func (tc TupleCodec[T]) EncodeSlice(dst []Word, tups []Tuple[T], vbuf []T) ([]Word, []T) {
 	k := len(tups)
 	dst, w := grow(dst, k)
 	if cap(vbuf) < k {
-		vbuf = make([]T, k)
+		vbuf = make([]T, k) //cc:hotalloc-ok(capacity growth; callers pool vbuf)
 	}
 	vbuf = vbuf[:k]
 	for i, t := range tups {
@@ -70,10 +72,12 @@ func (tc TupleCodec[T]) EncodeSlice(dst []Word, tups []Tuple[T], vbuf []T) ([]Wo
 // src must hold at least EncodedLen(len(out)) words. The value halves are
 // staged through vbuf (grown as needed and returned for pooling); a nil
 // vbuf allocates.
+//
+//cc:hotpath
 func (tc TupleCodec[T]) DecodeSlice(out []Tuple[T], src []Word, vbuf []T) []T {
 	k := len(out)
 	if cap(vbuf) < k {
-		vbuf = make([]T, k)
+		vbuf = make([]T, k) //cc:hotalloc-ok(capacity growth; callers pool vbuf)
 	}
 	vbuf = vbuf[:k]
 	tc.Val.DecodeSlice(vbuf, src[k:])

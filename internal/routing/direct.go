@@ -209,6 +209,8 @@ func ChargeAllGather(net *clique.Network, lens []int64) {
 // overwritten and all others left untouched (stale), the same contract
 // ExchangeScratch gives oblivious protocols. It is returned for
 // convenience.
+//
+//cc:hotpath
 func ExchangePayload[T any](net *clique.Network, strategy Strategy, sc *Scratch, pays [][][]T, words func(elems int) int64, in [][][]T) [][][]T {
 	n := net.N()
 	if len(pays) != n || len(in) != n {
@@ -220,7 +222,7 @@ func ExchangePayload[T any](net *clique.Network, strategy Strategy, sc *Scratch,
 	if sc != nil {
 		lensBuf = sc.payLens(n * n)
 	} else {
-		lensBuf = make([]int64, n*n)
+		lensBuf = make([]int64, n*n) //cc:hotalloc-ok(nil-scratch transient fallback)
 	}
 	for src := 0; src < n; src++ {
 		row := pays[src]

@@ -97,6 +97,8 @@ func ExchangeOwned(net *clique.Network, strategy Strategy, msgs [][][]clique.Wor
 // no traffic may be stale under a Scratch: scratch users are oblivious
 // protocols that read exactly the pairs they addressed. A nil sc allocates
 // per call, with nil entries for idle pairs.
+//
+//cc:hotpath
 func ExchangeScratch(net *clique.Network, strategy Strategy, sc *Scratch, msgs [][][]clique.Word) [][][]clique.Word {
 	n := net.N()
 	validateShape(n, msgs)
@@ -213,6 +215,7 @@ func estimateCosts(n int, sc *Scratch, lens LinkLens) (direct, twoPhase int64) {
 	return direct, twoPhase
 }
 
+//cc:hotpath
 func exchangeDirect(net *clique.Network, sc *Scratch, msgs [][][]clique.Word) [][][]clique.Word {
 	n := net.N()
 	for src := 0; src < n; src++ {
@@ -227,9 +230,9 @@ func exchangeDirect(net *clique.Network, sc *Scratch, msgs [][][]clique.Word) []
 	if sc != nil {
 		in = sc.directIn(n)
 	} else {
-		in = make([][][]clique.Word, n)
+		in = make([][][]clique.Word, n) //cc:hotalloc-ok(nil-scratch transient fallback, documented on ExchangeScratch)
 		for dst := 0; dst < n; dst++ {
-			in[dst] = make([][]clique.Word, n)
+			in[dst] = make([][]clique.Word, n) //cc:hotalloc-ok(nil-scratch transient fallback)
 		}
 	}
 	for dst := 0; dst < n; dst++ {
@@ -268,6 +271,7 @@ func stripeOffset(src, n int) int {
 	return src * p % n
 }
 
+//cc:hotpath
 func exchangeTwoPhase(net *clique.Network, sc *Scratch, msgs [][][]clique.Word) [][][]clique.Word {
 	n := net.N()
 	var heldMeta [][]routedMeta // heldMeta[intermediary]
@@ -277,11 +281,11 @@ func exchangeTwoPhase(net *clique.Network, sc *Scratch, msgs [][][]clique.Word) 
 		heldMeta, heldWord = sc.held(n)
 		in = sc.ownedIn(n)
 	} else {
-		heldMeta = make([][]routedMeta, n)
-		heldWord = make([][]clique.Word, n)
-		in = make([][][]clique.Word, n)
+		heldMeta = make([][]routedMeta, n)  //cc:hotalloc-ok(nil-scratch transient fallback)
+		heldWord = make([][]clique.Word, n) //cc:hotalloc-ok(nil-scratch transient fallback)
+		in = make([][][]clique.Word, n)     //cc:hotalloc-ok(nil-scratch transient fallback, documented on ExchangeScratch)
 		for dst := 0; dst < n; dst++ {
-			in[dst] = make([][]clique.Word, n)
+			in[dst] = make([][]clique.Word, n) //cc:hotalloc-ok(nil-scratch transient fallback)
 		}
 	}
 	// Pre-size the per-pair reassembly buffers (reusing capacity under a
