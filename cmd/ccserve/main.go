@@ -1,0 +1,99 @@
+// Command ccserve runs the multi-tenant service plane over warm clique
+// sessions: a JSON-over-HTTP API multiplexing many callers over a budgeted
+// pool of simulator sessions, with per-(size, op) admission queues,
+// request batching, and per-tenant accounting.
+//
+// Usage:
+//
+//	ccserve [-addr :8035] [-budget-mb 256] [-queue-cap 64]
+//	        [-tenant-queue-cap 32] [-max-batch 16] [-max-wait 2ms]
+//	        [-min-size 2] [-max-size 512] [-workers N]
+//
+// Endpoints:
+//
+//	POST /v1/{op}   op ∈ matmul, matmul-bool, distance-product,
+//	                apsp, triangles, sparse-square
+//	GET  /stats     pool, queue, and tenant ledger snapshot
+//	GET  /healthz   200 while serving, 503 while draining
+//
+// SIGINT/SIGTERM drain gracefully: admission seals, every admitted
+// request is answered, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	cc "github.com/algebraic-clique/algclique"
+	"github.com/algebraic-clique/algclique/internal/serve"
+)
+
+func main() {
+	var (
+		addr           = flag.String("addr", ":8035", "listen address")
+		budgetMB       = flag.Int64("budget-mb", 256, "session pool memory budget in MiB (0 = unbounded)")
+		queueCap       = flag.Int("queue-cap", 64, "per-(size, op) admission queue capacity")
+		tenantQueueCap = flag.Int("tenant-queue-cap", 0, "per-tenant share of each queue (0 = half the queue)")
+		maxBatch       = flag.Int("max-batch", 16, "max requests coalesced into one session batch")
+		maxWait        = flag.Duration("max-wait", 2*time.Millisecond, "max time the oldest request waits for co-batchers")
+		minSize        = flag.Int("min-size", 2, "smallest served instance size")
+		maxSize        = flag.Int("max-size", 512, "largest served instance size")
+		workers        = flag.Int("workers", 0, "session worker goroutines (0 = GOMAXPROCS)")
+		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
+	)
+	flag.Parse()
+
+	var sessOpts []cc.SessionOption
+	if *workers > 0 {
+		sessOpts = append(sessOpts, cc.WithWorkers(*workers))
+	}
+	srv := serve.New(serve.Config{
+		MemoryBudget:   *budgetMB << 20,
+		QueueCap:       *queueCap,
+		TenantQueueCap: *tenantQueueCap,
+		MaxBatch:       *maxBatch,
+		MaxWait:        *maxWait,
+		MinSize:        *minSize,
+		MaxSize:        *maxSize,
+		SessionOptions: sessOpts,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("ccserve listening on %s (budget %d MiB, queues %d deep, batches ≤%d/%v, sizes %d–%d)",
+		*addr, *budgetMB, *queueCap, *maxBatch, *maxWait, *minSize, *maxSize)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("ccserve: %v — draining", sig)
+	case err := <-errc:
+		log.Fatalf("ccserve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting connections first, then drain the service plane so
+	// every admitted request is answered before exit.
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("ccserve: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("ccserve: drain: %v", err)
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("ccserve: %v", err)
+	}
+	fmt.Println("ccserve: drained cleanly")
+}

@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+)
+
+// wireRequest is the JSON body of a query: POST /v1/{op}. The tenant may
+// come from the body or the X-Tenant header (the body wins). DeadlineMs,
+// when positive, bounds the request end to end — queue wait included —
+// and expired requests are answered without ever reaching a session.
+type wireRequest struct {
+	Tenant     string    `json:"tenant"`
+	A          [][]int64 `json:"a"`
+	B          [][]int64 `json:"b,omitempty"`
+	Seed       uint64    `json:"seed,omitempty"`
+	DeadlineMs int64     `json:"deadline_ms,omitempty"`
+}
+
+// wireError is the JSON error envelope.
+type wireError struct {
+	Error string `json:"error"`
+}
+
+// maxBodyBytes bounds a request body: a 2048² dense int64 matrix in JSON
+// stays well under it, and it stops an abusive tenant from buffering
+// gigabytes into the decoder.
+const maxBodyBytes = 1 << 28
+
+// Handler returns the server's HTTP API:
+//
+//	POST /v1/{op}   run a query (op ∈ matmul, matmul-bool,
+//	                distance-product, apsp, triangles, sparse-square)
+//	GET  /stats     pool, queue, and per-tenant ledger snapshot
+//	GET  /healthz   200 while serving, 503 while draining
+//
+// Query responses stream: the stats header fields are written first and
+// the result matrix follows row by row with periodic flushes, so a large
+// product starts arriving while later rows are still being encoded.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/{op}", s.handleQuery)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	op := Op(r.PathValue("op"))
+	var body wireRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return
+	}
+	tenant := body.Tenant
+	if tenant == "" {
+		tenant = r.Header.Get("X-Tenant")
+	}
+
+	ctx := r.Context()
+	if body.DeadlineMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(body.DeadlineMs)*time.Millisecond)
+		defer cancel()
+	}
+	res := s.Do(ctx, Request{
+		Tenant: tenant,
+		Op:     op,
+		A:      body.A,
+		B:      body.B,
+		Seed:   body.Seed,
+	})
+	if res.Err != nil {
+		status, retry := statusOf(res.Err)
+		if retry > 0 {
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", int64(math.Ceil(retry.Seconds()))))
+		}
+		writeError(w, status, res.Err)
+		return
+	}
+	writeResult(w, op, &res)
+}
+
+// statusOf maps a service error to its HTTP status and, for backpressure,
+// the Retry-After hint.
+func statusOf(err error) (status int, retry time.Duration) {
+	var overload *OverloadError
+	switch {
+	case errors.As(err, &overload):
+		return http.StatusTooManyRequests, overload.RetryAfter
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable, time.Second
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, 0
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is moot but 499-style
+		// semantics map closest onto 504 here.
+		return http.StatusGatewayTimeout, 0
+	default:
+		return http.StatusBadRequest, 0
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(wireError{Error: err.Error()})
+}
+
+// flushEvery is how many result rows are written between flushes when
+// streaming a matrix.
+const flushEvery = 64
+
+// writeResult streams one successful result. The scalar fields (stats,
+// timings, count) come first so a client can start consuming them while
+// the matrix rows — the O(n²) part — stream behind with periodic flushes.
+func writeResult(w http.ResponseWriter, op Op, res *Result) {
+	w.Header().Set("Content-Type", "application/json")
+	stats, err := json.Marshal(res.Stats)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	fmt.Fprintf(w, `{"op":%q,"queue_wait_ms":%.3f,"service_ms":%.3f,"stats":%s`,
+		op, float64(res.QueueWait.Microseconds())/1000, float64(res.Service.Microseconds())/1000, stats)
+	if op == OpTriangles {
+		fmt.Fprintf(w, `,"count":%d`, res.Count)
+	}
+	if res.Matrix != nil {
+		fmt.Fprint(w, `,"result":[`)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		for i, row := range res.Matrix {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			fmt.Fprint(w, "\n")
+			raw, err := json.Marshal(row)
+			if err != nil {
+				return // headers are gone; nothing better to do mid-stream
+			}
+			w.Write(raw)
+			if flusher != nil && (i+1)%flushEvery == 0 {
+				flusher.Flush()
+			}
+		}
+		fmt.Fprint(w, "\n]")
+	}
+	fmt.Fprint(w, "}\n")
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// serverStats is the /stats document.
+type serverStats struct {
+	Draining bool                   `json:"draining"`
+	Pool     PoolStats              `json:"pool"`
+	Queues   []QueueStats           `json:"queues"`
+	Tenants  map[string]TenantStats `json:"tenants"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(serverStats{
+		Draining: s.Draining(),
+		Pool:     s.Pool(),
+		Queues:   s.Queues(),
+		Tenants:  s.Tenants(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+type wireResult struct {
+	Op          string          `json:"op"`
+	QueueWaitMs float64         `json:"queue_wait_ms"`
+	ServiceMs   float64         `json:"service_ms"`
+	Stats       json.RawMessage `json:"stats"`
+	Count       int64           `json:"count"`
+	Result      [][]int64       `json:"result"`
+}
+
+func post(t *testing.T, srv *httptest.Server, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Post(srv.URL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func TestHTTPMatMulRoundTrip(t *testing.T) {
+	s := New(Config{})
+	defer s.Shutdown(context.Background())
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	a, b := testMat(8, 1), testMat(8, 2)
+	resp, body := post(t, srv, "/v1/matmul", map[string]any{"tenant": "web", "a": a, "b": b})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	// The streamed body must still be one valid JSON document.
+	var res wireResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("streamed response is not valid JSON: %v\n%s", err, body)
+	}
+	if res.Op != "matmul" {
+		t.Fatalf("op = %q", res.Op)
+	}
+	if !matEq(res.Result, naiveMul(a, b)) {
+		t.Fatal("served product differs from the naive reference")
+	}
+	var stats struct {
+		Rounds int64 `json:"Rounds"`
+	}
+	if err := json.Unmarshal(res.Stats, &stats); err != nil || stats.Rounds == 0 {
+		t.Fatalf("stats missing from response: %v (%s)", err, res.Stats)
+	}
+	if ts := s.Tenants()["web"]; ts.Completed != 1 {
+		t.Fatalf("tenant ledger = %+v, want the HTTP request folded in", ts)
+	}
+}
+
+func TestHTTPTenantHeaderAndTriangles(t *testing.T) {
+	s := New(Config{})
+	defer s.Shutdown(context.Background())
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	n := 8
+	adj := make([][]int64, n)
+	for i := range adj {
+		adj[i] = make([]int64, n)
+	}
+	adj[0][1], adj[1][0] = 1, 1
+	adj[1][2], adj[2][1] = 1, 1
+	adj[0][2], adj[2][0] = 1, 1
+
+	raw, _ := json.Marshal(map[string]any{"a": adj})
+	req, _ := http.NewRequest("POST", srv.URL+"/v1/triangles", bytes.NewReader(raw))
+	req.Header.Set("X-Tenant", "hdr-tenant")
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var res wireResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 1 {
+		t.Fatalf("count = %d, want 1", res.Count)
+	}
+	if ts := s.Tenants()["hdr-tenant"]; ts.Completed != 1 {
+		t.Fatalf("X-Tenant header was not honoured: %+v", s.Tenants())
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	s := New(Config{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	a, b := testMat(8, 1), testMat(8, 2)
+
+	// Unknown op and malformed shapes are 400s.
+	if resp, body := post(t, srv, "/v1/transpose", map[string]any{"tenant": "t", "a": a}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown op: status %d: %s", resp.StatusCode, body)
+	}
+	if resp, body := post(t, srv, "/v1/matmul", map[string]any{"tenant": "t", "a": a}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing operand: status %d: %s", resp.StatusCode, body)
+	}
+	var envelope wireError
+	resp, body := post(t, srv, "/v1/matmul", map[string]any{"a": a, "b": b})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing tenant: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &envelope); err != nil || envelope.Error == "" {
+		t.Fatalf("error envelope missing: %v (%s)", err, body)
+	}
+
+	// An unmeetable deadline is a 504: the request expires in the queue.
+	resp, _ = post(t, srv, "/v1/matmul", map[string]any{"tenant": "t", "a": a, "b": b, "deadline_ms": 1})
+	if resp.StatusCode != http.StatusGatewayTimeout && resp.StatusCode != http.StatusOK {
+		t.Fatalf("tight deadline: status %d", resp.StatusCode)
+	}
+
+	// Healthz flips and queries get 503 once draining.
+	if resp, err := srv.Client().Get(srv.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before drain: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := srv.Client().Get(srv.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+	resp, body = post(t, srv, "/v1/matmul", map[string]any{"tenant": "t", "a": a, "b": b})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining query: status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining rejection carries no Retry-After")
+	}
+}
+
+func TestHTTPStats(t *testing.T) {
+	s := New(Config{})
+	defer s.Shutdown(context.Background())
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	a, b := testMat(8, 1), testMat(8, 2)
+	if resp, body := post(t, srv, "/v1/matmul", map[string]any{"tenant": "t", "a": a, "b": b}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: status %d: %s", resp.StatusCode, body)
+	}
+	resp, err := srv.Client().Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Draining bool                   `json:"draining"`
+		Pool     PoolStats              `json:"pool"`
+		Queues   []QueueStats           `json:"queues"`
+		Tenants  map[string]TenantStats `json:"tenants"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Draining {
+		t.Fatal("stats report draining on a live server")
+	}
+	if doc.Pool.Misses != 1 {
+		t.Fatalf("pool stats = %+v, want one session built", doc.Pool)
+	}
+	if len(doc.Queues) != 1 || doc.Queues[0].Op != OpMatMul || doc.Queues[0].N != 8 {
+		t.Fatalf("queue stats = %+v", doc.Queues)
+	}
+	if doc.Tenants["t"].Completed != 1 {
+		t.Fatalf("tenant stats = %+v", doc.Tenants)
+	}
+}

@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+
+	cc "github.com/algebraic-clique/algclique"
+)
+
+func TestPoolHitMissAccounting(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+
+	s1, hit, err := p.Get(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first Get reported a hit on an empty pool")
+	}
+	p.Put(s1)
+	s2, hit, err := p.Get(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("second Get for the same size missed a warm pool")
+	}
+	if s2 != s1 {
+		t.Fatal("second Get did not return the cached session")
+	}
+	if _, hit, _ := p.Get(16); hit {
+		t.Fatal("Get for a different size reported a hit")
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 1 hit / 2 misses", st)
+	}
+	if got := st.HitRate(); got < 0.33 || got > 0.34 {
+		t.Fatalf("HitRate() = %v, want 1/3", got)
+	}
+}
+
+func TestPoolBudgetTrimsThenEvicts(t *testing.T) {
+	// Budget fits two warm size-8 sessions plus one trimmed residual.
+	budget := 2*sessionBytes(8) + trimmedBytes(8)
+	p := NewPool(budget)
+	defer p.Close()
+
+	var sess []*cc.Clique
+	for i := 0; i < 3; i++ {
+		s, _, err := p.Get(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess = append(sess, s)
+	}
+	// Three in use is over budget, but in-use sessions are never touched.
+	if st := p.Stats(); st.Trims != 0 || st.Evictions != 0 {
+		t.Fatalf("in-use sessions were shrunk: %+v", st)
+	}
+	// The first check-in goes over budget with one idle session: tier one
+	// trims it, which is enough — no eviction.
+	p.Put(sess[0])
+	st := p.Stats()
+	if st.Trims != 1 || st.Evictions != 0 {
+		t.Fatalf("after first Put: %+v, want exactly one trim, no eviction", st)
+	}
+	if st.FootprintBytes > budget {
+		t.Fatalf("footprint %d over budget %d after trim", st.FootprintBytes, budget)
+	}
+	p.Put(sess[1]) // footprint unchanged; still within budget
+	if st := p.Stats(); st.Trims != 1 || st.Evictions != 0 {
+		t.Fatalf("under-budget Put shrank the pool: %+v", st)
+	}
+
+	// A trimmed survivor must still serve: the second Get below pops the
+	// trimmed sess[0] (stack order), restores its footprint estimate, and
+	// the session runs a real operation.
+	if _, hit, err := p.Get(8); err != nil || !hit {
+		t.Fatalf("Get = hit %v, err %v; want a warm hit", hit, err)
+	}
+	revived, hit, err := p.Get(8)
+	if err != nil || !hit {
+		t.Fatalf("Get = hit %v, err %v; want the trimmed session back", hit, err)
+	}
+	a := make([][]int64, 8)
+	for i := range a {
+		a[i] = make([]int64, 8)
+	}
+	a[0][1], a[1][0] = 1, 1
+	if _, _, err := revived.MatMul(a, a); err != nil {
+		t.Fatalf("trimmed-then-revived session failed: %v", err)
+	}
+
+	// Tier two: shrink the budget below what trimming alone can reach and
+	// check the pool evicts down to it, LRU-first.
+	p.Put(revived)
+	p.Put(sess[1])
+	p.Put(sess[2])
+	p.mu.Lock()
+	p.budget = trimmedBytes(8)
+	p.shrinkLocked()
+	p.mu.Unlock()
+	st = p.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("pool never evicted under a tight budget: %+v", st)
+	}
+	if st.FootprintBytes > trimmedBytes(8) {
+		t.Fatalf("footprint %d over budget %d after eviction", st.FootprintBytes, trimmedBytes(8))
+	}
+	if st.Idle != 1 {
+		t.Fatalf("idle = %d after eviction pass, want 1", st.Idle)
+	}
+}
+
+func TestPoolLRUEvictionOrder(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+
+	a, _, _ := p.Get(8)
+	b, _, _ := p.Get(12)
+	p.Put(a) // a is now least recently used
+	p.Put(b)
+
+	// Shrink to a budget that only one trimmed session fits: a (LRU) must
+	// be evicted, b must survive.
+	p.mu.Lock()
+	p.budget = trimmedBytes(12) + trimmedBytes(8)/2
+	p.shrinkLocked()
+	p.mu.Unlock()
+
+	st := p.Stats()
+	if st.Idle != 1 {
+		t.Fatalf("idle = %d after shrink, want 1 (stats %+v)", st.Idle, st)
+	}
+	if _, hit, _ := p.Get(12); !hit {
+		t.Fatal("most recently used session was evicted before the LRU one")
+	}
+}
+
+func TestPoolClose(t *testing.T) {
+	p := NewPool(0)
+	s, _, err := p.Get(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if _, _, err := p.Get(8); err != ErrPoolClosed {
+		t.Fatalf("Get after Close = %v, want ErrPoolClosed", err)
+	}
+	p.Put(s) // must close the straggler, not cache it
+	if st := p.Stats(); st.Idle != 0 || st.InUse != 0 {
+		t.Fatalf("closed pool still holds sessions: %+v", st)
+	}
+}
+
+// TestPoolChurnConcurrent hammers a tightly budgeted pool from many
+// goroutines — checkout, run an operation, check in — while a janitor
+// loops Shrink. Under -race this exercises Trim and Close racing in-flight
+// operations across the pool boundary.
+func TestPoolChurnConcurrent(t *testing.T) {
+	p := NewPool(sessionBytes(8) + trimmedBytes(12))
+	defer p.Close()
+
+	dist := func(n int) [][]int64 {
+		w := make([][]int64, n)
+		for i := range w {
+			w[i] = make([]int64, n)
+			for j := range w[i] {
+				if i != j {
+					w[i][j] = cc.Inf
+				}
+			}
+		}
+		for i := 0; i < n-1; i++ {
+			w[i][i+1] = int64(i + 1)
+		}
+		return w
+	}
+	mats := map[int][][]int64{8: dist(8), 12: dist(12)}
+
+	const workers = 8
+	const iters = 20
+	stop := make(chan struct{})
+	janitorDone := make(chan struct{})
+	go func() { // janitor
+		defer close(janitorDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				p.Shrink()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := 8
+			if g%2 == 1 {
+				n = 12
+			}
+			d := mats[n]
+			for i := 0; i < iters; i++ {
+				s, _, err := p.Get(n)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if _, _, err := s.DistanceProduct(d, d); err != nil {
+					errc <- err
+					p.Put(s)
+					return
+				}
+				p.Put(s)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	<-janitorDone
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	if st := p.Stats(); st.Hits+st.Misses != workers*iters {
+		t.Fatalf("pool lost Gets: %+v", st)
+	}
+}

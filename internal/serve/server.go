@@ -1,0 +1,420 @@
+// Package serve is the multi-tenant service plane over warm algclique
+// sessions: a long-running process multiplexing many callers over a
+// budgeted pool of per-size sessions. Requests pass three layers —
+//
+//  1. admission: bounded per-(size, op) queues with per-tenant quotas;
+//     full queues reject immediately with a Retry-After estimate
+//     (*OverloadError → HTTP 429) instead of building unbounded backlog;
+//  2. batching: a dispatcher per active queue coalesces compatible
+//     requests, up to MaxBatch or until the oldest has waited MaxWait,
+//     into the session batch entry points (MatMulBatch and friends), so
+//     plan resolution, scratch pools, and network arming amortise across
+//     requests from different tenants; batches are composed round-robin
+//     across tenants, so one tenant's backlog cannot starve the rest;
+//  3. execution: a warm session checked out of the Pool runs the batch,
+//     each request under its own cancellation context; expired requests
+//     are answered without ever touching a session.
+//
+// Per-tenant ledgers aggregate the session Stats (rounds, words, routing
+// decisions) plus queue wait and service time. Shutdown seals admission
+// and drains: every admitted request is answered before Shutdown returns.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"sync"
+
+	cc "github.com/algebraic-clique/algclique"
+)
+
+// Config tunes the service plane. The zero value is not usable; call
+// (Config).withDefaults or use DefaultConfig.
+type Config struct {
+	// MemoryBudget bounds the session pool's estimated footprint in
+	// bytes (≤ 0: unbounded). Under pressure the pool Trims idle
+	// sessions first, then evicts them LRU.
+	MemoryBudget int64
+	// QueueCap bounds each (size, op) admission queue; TenantQueueCap
+	// bounds one tenant's share of it (defaults to half).
+	QueueCap       int
+	TenantQueueCap int
+	// MaxBatch caps how many requests coalesce into one session batch;
+	// MaxWait is how long the oldest request may wait for co-batchers.
+	MaxBatch int
+	MaxWait  time.Duration
+	// MinSize and MaxSize bound the served instance sizes.
+	MinSize, MaxSize int
+	// SessionOptions configure every pooled session (engine, workers,
+	// transport, sparse threshold).
+	SessionOptions []cc.SessionOption
+}
+
+// DefaultConfig is the served default: a 256 MiB pool, 64-deep queues,
+// 16-request batches coalescing for at most 2ms, sizes 2–512.
+func DefaultConfig() Config { return Config{}.withDefaults() }
+
+func (c Config) withDefaults() Config {
+	if c.MemoryBudget == 0 {
+		c.MemoryBudget = 256 << 20
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.TenantQueueCap <= 0 {
+		c.TenantQueueCap = (c.QueueCap + 1) / 2
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.MinSize <= 0 {
+		c.MinSize = 2
+	}
+	if c.MaxSize <= 0 {
+		c.MaxSize = 512
+	}
+	return c
+}
+
+// Server is the service plane. Build with New, submit with Do (or the
+// HTTP handler), stop with Shutdown.
+type Server struct {
+	cfg    Config
+	pool   *Pool
+	ledger *ledger
+
+	mu          sync.Mutex
+	queues      map[qkey]*queue
+	draining    bool
+	stopc       chan struct{}
+	drained     chan struct{}
+	dispatchers sync.WaitGroup
+}
+
+// New builds a server; it owns a fresh session pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		pool:    NewPool(cfg.MemoryBudget, cfg.SessionOptions...),
+		ledger:  newLedger(),
+		queues:  make(map[qkey]*queue),
+		stopc:   make(chan struct{}),
+		drained: make(chan struct{}),
+	}
+}
+
+// Config returns the server's effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Pool exposes the session pool's accounting.
+func (s *Server) Pool() PoolStats { return s.pool.Stats() }
+
+// Tenants returns a snapshot of every tenant's ledger.
+func (s *Server) Tenants() map[string]TenantStats { return s.ledger.snapshot() }
+
+// QueueStats describes one admission queue's state.
+type QueueStats struct {
+	N     int `json:"n"`
+	Op    Op  `json:"op"`
+	Depth int `json:"depth"`
+	Cap   int `json:"cap"`
+	// EwmaServiceMs is the smoothed per-request service time backing the
+	// Retry-After estimates.
+	EwmaServiceMs float64 `json:"ewma_service_ms"`
+}
+
+// Queues returns a snapshot of every active admission queue.
+func (s *Server) Queues() []QueueStats {
+	s.mu.Lock()
+	qs := make([]*queue, 0, len(s.queues))
+	for _, q := range s.queues {
+		qs = append(qs, q)
+	}
+	s.mu.Unlock()
+	out := make([]QueueStats, 0, len(qs))
+	for _, q := range qs {
+		q.mu.Lock()
+		out = append(out, QueueStats{
+			N: q.key.n, Op: q.key.op, Depth: q.size, Cap: q.cap,
+			EwmaServiceMs: float64(q.ewmaPerReqNs) / 1e6,
+		})
+		q.mu.Unlock()
+	}
+	return out
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Do submits a request and waits for its result. ctx is the request's
+// deadline/cancellation: it rejects the wait (and, if still queued when a
+// dispatcher reaches it, the request itself) once done. Backpressure
+// surfaces as *OverloadError, draining as ErrDraining — neither occupies
+// a queue slot. An admitted request is always answered, even when the
+// submitting caller has given up.
+func (s *Server) Do(ctx context.Context, req Request) Result {
+	if err := req.validate(s.cfg); err != nil {
+		return Result{Err: err}
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	req.ctx = ctx
+	req.enqueued = time.Now()
+	req.done = make(chan Result, 1)
+
+	q, err := s.queueFor(qkey{n: len(req.A), op: req.Op})
+	if err != nil {
+		s.ledger.rejected(req.Tenant)
+		return Result{Err: err}
+	}
+	if err := q.admit(&req); err != nil {
+		s.ledger.rejected(req.Tenant)
+		return Result{Err: err}
+	}
+	s.ledger.admitted(req.Tenant)
+	select {
+	case res := <-req.done:
+		return res
+	case <-ctx.Done():
+		// The request stays admitted; its dispatcher will observe the
+		// expired context and answer it (into the buffered channel).
+		return Result{Err: ctx.Err()}
+	}
+}
+
+// queueFor returns (building on demand) the admission queue for key,
+// starting its dispatcher. New queues are refused while draining.
+func (s *Server) queueFor(key qkey) (*queue, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	if q, ok := s.queues[key]; ok {
+		return q, nil
+	}
+	q := newQueue(key, s.cfg.QueueCap, s.cfg.TenantQueueCap, s.cfg.MaxBatch)
+	s.queues[key] = q
+	s.dispatchers.Add(1)
+	go s.dispatch(q)
+	return q, nil
+}
+
+// dispatch is one queue's service loop: wait for pending requests,
+// coalesce up to MaxBatch / MaxWait, serve the batch on a pooled session.
+// It exits once the queue is sealed and empty.
+func (s *Server) dispatch(q *queue) {
+	defer s.dispatchers.Done()
+	for {
+		if !s.waitPending(q) {
+			return
+		}
+		s.coalesce(q)
+		if batch := q.take(q.maxBatch); len(batch) > 0 {
+			s.serveBatch(q, batch)
+		}
+	}
+}
+
+// waitPending blocks until q has a waiting request (true) or is sealed
+// and empty (false).
+func (s *Server) waitPending(q *queue) bool {
+	for {
+		size, sealed := q.state()
+		if size > 0 {
+			return true
+		}
+		if sealed {
+			return false
+		}
+		select {
+		case <-q.wake:
+		case <-s.stopc:
+			// Sealing happens before stopc closes; loop once more and
+			// exit when the queue reads empty.
+		}
+	}
+}
+
+// coalesce holds the batch window open: it returns when the queue holds a
+// full batch, the oldest request has waited MaxWait, or the server is
+// draining (drain batches as fast as possible).
+func (s *Server) coalesce(q *queue) {
+	for {
+		size, sealed := q.state()
+		if sealed || size >= q.maxBatch {
+			return
+		}
+		wait := s.cfg.MaxWait - q.age(time.Now())
+		if wait <= 0 {
+			return
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-timer.C:
+			return
+		case <-q.wake:
+			timer.Stop()
+		case <-s.stopc:
+			timer.Stop()
+			return
+		}
+	}
+}
+
+// serveBatch answers one drained batch: expired requests immediately,
+// everything else on a warm session — coalesced into one session batch
+// call for the batchable ops, one call per request for the graph ops.
+func (s *Server) serveBatch(q *queue, batch []*Request) {
+	start := time.Now()
+	live := make([]*Request, 0, len(batch))
+	for _, req := range batch {
+		if err := req.ctx.Err(); err != nil {
+			wait := start.Sub(req.enqueued)
+			s.ledger.expired(req.Tenant, wait)
+			req.done <- Result{Err: err, QueueWait: wait}
+			continue
+		}
+		live = append(live, req)
+	}
+	if len(live) == 0 {
+		return
+	}
+	sess, _, err := s.pool.Get(q.key.n)
+	if err != nil {
+		for _, req := range live {
+			s.respond(q, req, start, Result{Err: err})
+		}
+		return
+	}
+	if q.key.op.batchable() {
+		s.serveProducts(q, sess, live, start)
+	} else {
+		for _, req := range live {
+			s.respond(q, req, start, runGraphOp(sess, req))
+		}
+	}
+	s.pool.Put(sess)
+	if dur := time.Since(start); len(live) > 0 {
+		q.observe(dur / time.Duration(len(live)))
+	}
+}
+
+// respond completes one request: stamps queue wait and service time,
+// folds the result into the tenant ledger, and delivers it.
+func (s *Server) respond(q *queue, req *Request, start time.Time, res Result) {
+	now := time.Now()
+	res.QueueWait = start.Sub(req.enqueued)
+	res.Service = now.Sub(start)
+	s.ledger.served(req.Tenant, &res)
+	req.done <- res
+}
+
+// serveProducts coalesces product requests into the session batch entry
+// points, each item under its own request context. A batch call stops at
+// its first failing item; the failing request is answered with its error
+// and the batch resumes with the rest, so one cancelled or over-limit
+// request cannot fail its co-batchers.
+func (s *Server) serveProducts(q *queue, sess *cc.Clique, reqs []*Request, start time.Time) {
+	remaining := reqs
+	for len(remaining) > 0 {
+		items := make([]cc.BatchItem, len(remaining))
+		for i, req := range remaining {
+			items[i] = cc.BatchItem{A: req.A, B: req.B, Opts: []cc.CallOption{cc.WithContext(req.ctx)}}
+		}
+		var prods []cc.Mat
+		var stats []cc.Stats
+		var err error
+		switch q.key.op {
+		case OpMatMul:
+			prods, stats, err = sess.MatMulBatch(items)
+		case OpMatMulBool:
+			prods, stats, err = sess.MatMulBoolBatch(items)
+		case OpDistanceProduct:
+			prods, stats, err = sess.DistanceProductBatch(items)
+		default:
+			err = fmt.Errorf("serve: op %q is not batchable", q.key.op)
+		}
+		for i := range prods {
+			s.respond(q, remaining[i], start, Result{Matrix: prods[i], Stats: stats[i]})
+		}
+		if err == nil {
+			return
+		}
+		k := len(prods) // the failing item's index
+		if k >= len(remaining) {
+			// A batch-level failure before any item ran (engine
+			// misconfiguration): every request gets the error.
+			k = 0
+			for _, req := range remaining {
+				s.respond(q, req, start, Result{Err: err})
+			}
+			return
+		}
+		s.respond(q, remaining[k], start, Result{Err: err})
+		remaining = remaining[k+1:]
+	}
+}
+
+// runGraphOp executes one non-batchable request on a session.
+func runGraphOp(sess *cc.Clique, req *Request) Result {
+	opts := []cc.CallOption{cc.WithContext(req.ctx)}
+	if req.Seed != 0 {
+		opts = append(opts, cc.WithSeed(req.Seed))
+	}
+	switch req.Op {
+	case OpAPSP:
+		res, stats, err := sess.APSP(weightedOf(req.A), opts...)
+		if err != nil {
+			return Result{Err: err, Stats: stats}
+		}
+		return Result{Matrix: res.Dist, Stats: stats}
+	case OpTriangles:
+		count, stats, err := sess.CountTriangles(graphOf(req.A), opts...)
+		return Result{Count: count, Stats: stats, Err: err}
+	case OpSparseSquare:
+		sq, stats, err := sess.SquareAdjacencySparse(graphOf(req.A), opts...)
+		return Result{Matrix: sq, Stats: stats, Err: err}
+	}
+	return Result{Err: fmt.Errorf("serve: unknown op %q", req.Op)}
+}
+
+// Shutdown drains the server gracefully: admission seals immediately (new
+// requests get ErrDraining), every already-admitted request is served or
+// answered, the dispatchers exit, and the pool closes. ctx bounds the
+// wait; on expiry the server keeps draining in the background but
+// Shutdown returns ctx.Err(). Shutdown is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		for _, q := range s.queues {
+			q.seal()
+		}
+		close(s.stopc)
+		go func() {
+			s.dispatchers.Wait()
+			s.pool.Close()
+			close(s.drained)
+		}()
+	}
+	s.mu.Unlock()
+
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,343 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	cc "github.com/algebraic-clique/algclique"
+)
+
+// testMat builds a deterministic n×n matrix with small entries.
+func testMat(n int, salt int64) [][]int64 {
+	m := make([][]int64, n)
+	x := uint64(salt)*2862933555777941757 + 3037000493
+	for i := range m {
+		m[i] = make([]int64, n)
+		for j := range m[i] {
+			x = x*2862933555777941757 + 3037000493
+			m[i][j] = int64(x % 7)
+		}
+	}
+	return m
+}
+
+func naiveMul(a, b [][]int64) [][]int64 {
+	n := len(a)
+	c := make([][]int64, n)
+	for i := range c {
+		c[i] = make([]int64, n)
+		for k := 0; k < n; k++ {
+			if a[i][k] == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				c[i][j] += a[i][k] * b[k][j]
+			}
+		}
+	}
+	return c
+}
+
+func matEq(a, b [][]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestServerMatMulRoundTrip(t *testing.T) {
+	s := New(Config{})
+	defer s.Shutdown(context.Background())
+
+	a, b := testMat(8, 1), testMat(8, 2)
+	res := s.Do(context.Background(), Request{Tenant: "t", Op: OpMatMul, A: a, B: b})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !matEq(res.Matrix, naiveMul(a, b)) {
+		t.Fatal("served product differs from the naive reference")
+	}
+	if res.Stats.Rounds == 0 {
+		t.Fatal("served result carries no session stats")
+	}
+	if res.Service <= 0 || res.QueueWait < 0 {
+		t.Fatalf("timings not stamped: wait %v, service %v", res.QueueWait, res.Service)
+	}
+	ts := s.Tenants()["t"]
+	if ts.Admitted != 1 || ts.Completed != 1 || ts.Rounds != res.Stats.Rounds {
+		t.Fatalf("tenant ledger = %+v, want the one completed request folded in", ts)
+	}
+}
+
+func TestServerValidationRejects(t *testing.T) {
+	s := New(Config{MinSize: 4, MaxSize: 16})
+	defer s.Shutdown(context.Background())
+	ctx := context.Background()
+
+	cases := []Request{
+		{Tenant: "t", Op: "nope", A: testMat(8, 1), B: testMat(8, 2)},
+		{Tenant: "", Op: OpMatMul, A: testMat(8, 1), B: testMat(8, 2)},
+		{Tenant: "t", Op: OpMatMul, A: testMat(2, 1), B: testMat(2, 2)},   // below MinSize
+		{Tenant: "t", Op: OpMatMul, A: testMat(32, 1), B: testMat(32, 2)}, // above MaxSize
+		{Tenant: "t", Op: OpMatMul, A: testMat(8, 1), B: testMat(6, 2)},   // size mismatch
+		{Tenant: "t", Op: OpTriangles, A: testMat(8, 1)},                  // not 0/1
+		{Tenant: "t", Op: OpTriangles, A: testMat(8, 1), B: testMat(8, 2)},
+	}
+	for i, req := range cases {
+		if res := s.Do(ctx, req); res.Err == nil {
+			t.Errorf("case %d: invalid request was accepted", i)
+		}
+	}
+	// None of these may have touched a session or a queue slot.
+	if st := s.Pool(); st.Hits+st.Misses != 0 {
+		t.Fatalf("invalid requests reached the pool: %+v", st)
+	}
+}
+
+func TestServerExpiredRequestNeverReachesSession(t *testing.T) {
+	s := New(Config{})
+	defer s.Shutdown(context.Background())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expired before the dispatcher can reach it
+	res := s.Do(ctx, Request{Tenant: "t", Op: OpMatMul, A: testMat(8, 1), B: testMat(8, 2)})
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", res.Err)
+	}
+	// The dispatcher answers the stale request asynchronously; wait for
+	// the ledger to record the expiry, then check no session was used.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if ts := s.Tenants()["t"]; ts.Expired == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("expiry never reached the ledger: %+v", s.Tenants()["t"])
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := s.Pool(); st.Hits+st.Misses != 0 {
+		t.Fatalf("expired request checked out a session: %+v", st)
+	}
+}
+
+func TestServerTenantQuotaUnderHog(t *testing.T) {
+	// A long coalescing window keeps the hog's requests queued while the
+	// quota and the other tenant's admission are probed.
+	s := New(Config{
+		QueueCap:       8,
+		TenantQueueCap: 4,
+		MaxBatch:       16,
+		MaxWait:        time.Second,
+	})
+	defer s.Shutdown(context.Background())
+
+	a, b := testMat(8, 1), testMat(8, 2)
+	want := naiveMul(a, b)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	hogRes := make([]Result, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			hogRes[i] = s.Do(ctx, Request{Tenant: "hog", Op: OpMatMul, A: a, B: b})
+		}(i)
+	}
+	// Wait until all four occupy the queue (the batch window holds them).
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Tenants()["hog"].Admitted < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("hog backlog never formed: %+v", s.Tenants()["hog"])
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	res := s.Do(ctx, Request{Tenant: "hog", Op: OpMatMul, A: a, B: b})
+	if !errors.Is(res.Err, errTenantQuota) {
+		t.Fatalf("hog's 5th request = %v, want tenant quota rejection", res.Err)
+	}
+	var overload *OverloadError
+	if !errors.As(res.Err, &overload) || !overload.Tenant {
+		t.Fatalf("hog's 5th request = %#v, want *OverloadError{Tenant: true}", res.Err)
+	}
+
+	// The other tenant still gets in: the hog exhausted its quota, not
+	// the queue.
+	mouse := s.Do(ctx, Request{Tenant: "mouse", Op: OpMatMul, A: a, B: b})
+	if mouse.Err != nil {
+		t.Fatalf("mouse request rejected while only the hog was over quota: %v", mouse.Err)
+	}
+	if !matEq(mouse.Matrix, want) {
+		t.Fatal("mouse got a wrong product")
+	}
+	wg.Wait()
+	for i, r := range hogRes {
+		if r.Err != nil {
+			t.Fatalf("hog request %d failed: %v", i, r.Err)
+		}
+		if !matEq(r.Matrix, want) {
+			t.Fatalf("hog request %d got a wrong product", i)
+		}
+	}
+	ts := s.Tenants()["hog"]
+	if ts.Rejected != 1 || ts.Completed != 4 {
+		t.Fatalf("hog ledger = %+v, want 4 completed / 1 rejected", ts)
+	}
+}
+
+func TestServerGracefulDrainLosesNothing(t *testing.T) {
+	s := New(Config{MaxWait: 20 * time.Millisecond, MaxBatch: 8})
+
+	tenants := []string{"alpha", "beta", "gamma", "delta"}
+	ops := []Op{OpMatMul, OpMatMulBool, OpDistanceProduct, OpTriangles}
+	const perTenant = 10
+
+	graph := make([][]int64, 8)
+	for i := range graph {
+		graph[i] = make([]int64, 8)
+	}
+	for i := 0; i < 7; i++ {
+		graph[i][i+1], graph[i+1][i] = 1, 1
+	}
+
+	var wg sync.WaitGroup
+	results := make(chan Result, len(tenants)*perTenant)
+	for ti, tenant := range tenants {
+		for i := 0; i < perTenant; i++ {
+			wg.Add(1)
+			go func(tenant string, k int) {
+				defer wg.Done()
+				op := ops[k%len(ops)]
+				req := Request{Tenant: tenant, Op: op}
+				if op == OpTriangles {
+					req.A = graph
+				} else {
+					req.A, req.B = testMat(8, int64(k)), testMat(8, int64(k+100))
+				}
+				results <- s.Do(context.Background(), req)
+			}(tenant, ti*perTenant+i)
+		}
+	}
+
+	// Shut down while the submissions are in flight: everything admitted
+	// must still be answered, everything else must see ErrDraining.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	wg.Wait()
+	close(results)
+
+	var served, drained int
+	for res := range results {
+		switch {
+		case res.Err == nil:
+			served++
+		case errors.Is(res.Err, ErrDraining):
+			drained++
+		default:
+			t.Fatalf("request lost to unexpected error: %v", res.Err)
+		}
+	}
+	if served+drained != len(tenants)*perTenant {
+		t.Fatalf("accounted for %d of %d requests", served+drained, len(tenants)*perTenant)
+	}
+
+	var admitted, completed int64
+	for _, ts := range s.Tenants() {
+		admitted += ts.Admitted
+		completed += ts.Completed
+	}
+	if admitted != int64(served) || completed != admitted {
+		t.Fatalf("ledger: admitted %d, completed %d, served %d — admitted requests were lost",
+			admitted, completed, served)
+	}
+
+	// Shutdown is idempotent and the pool is closed.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	if res := s.Do(context.Background(), Request{Tenant: "late", Op: OpMatMul, A: testMat(8, 1), B: testMat(8, 2)}); !errors.Is(res.Err, ErrDraining) {
+		t.Fatalf("post-shutdown Do = %v, want ErrDraining", res.Err)
+	}
+}
+
+func TestServerGraphOps(t *testing.T) {
+	s := New(Config{})
+	defer s.Shutdown(context.Background())
+	ctx := context.Background()
+
+	// A 4-cycle with one chord: exactly two triangles.
+	n := 8
+	adj := make([][]int64, n)
+	for i := range adj {
+		adj[i] = make([]int64, n)
+	}
+	edge := func(i, j int) { adj[i][j], adj[j][i] = 1, 1 }
+	edge(0, 1)
+	edge(1, 2)
+	edge(2, 3)
+	edge(3, 0)
+	edge(0, 2)
+
+	res := s.Do(ctx, Request{Tenant: "t", Op: OpTriangles, A: adj})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Count != 2 {
+		t.Fatalf("triangles = %d, want 2", res.Count)
+	}
+
+	// APSP on a weighted path.
+	w := make([][]int64, n)
+	for i := range w {
+		w[i] = make([]int64, n)
+		for j := range w[i] {
+			if i != j {
+				w[i][j] = cc.Inf
+			}
+		}
+	}
+	for i := 0; i < n-1; i++ {
+		w[i][i+1] = int64(i + 1)
+	}
+	res = s.Do(ctx, Request{Tenant: "t", Op: OpAPSP, A: w})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if got := res.Matrix[0][n-1]; got != 1+2+3+4+5+6+7 {
+		t.Fatalf("dist[0][%d] = %d, want 28", n-1, got)
+	}
+	if got := res.Matrix[n-1][0]; !cc.IsInf(got) {
+		t.Fatalf("dist[%d][0] = %d, want Inf on the directed path", n-1, got)
+	}
+
+	res = s.Do(ctx, Request{Tenant: "t", Op: OpSparseSquare, A: adj})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Matrix[1][3] == 0 {
+		t.Fatal("square misses the length-2 path 1→2→3")
+	}
+
+	// Repeated graph ops on one size must come from the warm pool.
+	if st := s.Pool(); st.Misses != 1 {
+		t.Fatalf("pool stats = %+v, want a single session built", st)
+	}
+}

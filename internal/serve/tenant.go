@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// TenantStats is one tenant's cumulative service ledger, aggregated from
+// every request the tenant submitted and the session Stats its completed
+// operations measured.
+type TenantStats struct {
+	// Admitted counts requests that entered a queue; Rejected ones turned
+	// away by backpressure (queue full, quota, draining); Expired ones
+	// whose deadline passed while still queued (they never reach a
+	// session); Completed and Failed the terminal outcomes of served
+	// requests.
+	Admitted, Rejected, Expired, Completed, Failed int64
+	// Rounds and Words total the simulated communication cost of the
+	// tenant's completed operations.
+	Rounds, Words int64
+	// RoutedSparse/RoutedDense/RoutedFallback count the density-aware
+	// planner's routing decisions across the tenant's operations (see
+	// algclique.Stats.Routing).
+	RoutedSparse, RoutedDense, RoutedFallback int64
+	// QueueWait and Service accumulate time spent queued and in service;
+	// MaxQueueWait is the worst single queue wait.
+	QueueWait, Service, MaxQueueWait time.Duration
+}
+
+// ledger is the server's per-tenant stats registry.
+type ledger struct {
+	mu sync.Mutex
+	m  map[string]*TenantStats
+}
+
+func newLedger() *ledger {
+	return &ledger{m: make(map[string]*TenantStats)}
+}
+
+func (l *ledger) tenant(name string) *TenantStats {
+	t := l.m[name]
+	if t == nil {
+		t = &TenantStats{}
+		l.m[name] = t
+	}
+	return t
+}
+
+func (l *ledger) admitted(name string) {
+	l.mu.Lock()
+	l.tenant(name).Admitted++
+	l.mu.Unlock()
+}
+
+func (l *ledger) rejected(name string) {
+	l.mu.Lock()
+	l.tenant(name).Rejected++
+	l.mu.Unlock()
+}
+
+func (l *ledger) expired(name string, wait time.Duration) {
+	l.mu.Lock()
+	t := l.tenant(name)
+	t.Expired++
+	t.QueueWait += wait
+	if wait > t.MaxQueueWait {
+		t.MaxQueueWait = wait
+	}
+	l.mu.Unlock()
+}
+
+// served folds a terminal Result into the tenant's ledger.
+func (l *ledger) served(name string, res *Result) {
+	l.mu.Lock()
+	t := l.tenant(name)
+	if res.Err != nil {
+		t.Failed++
+	} else {
+		t.Completed++
+	}
+	t.Rounds += res.Stats.Rounds
+	t.Words += res.Stats.Words
+	switch res.Stats.Routing {
+	case "sparse":
+		t.RoutedSparse++
+	case "dense":
+		t.RoutedDense++
+	case "dense-fallback":
+		t.RoutedFallback++
+	}
+	t.QueueWait += res.QueueWait
+	if res.QueueWait > t.MaxQueueWait {
+		t.MaxQueueWait = res.QueueWait
+	}
+	t.Service += res.Service
+	l.mu.Unlock()
+}
+
+// snapshot returns a copy of every tenant's stats.
+func (l *ledger) snapshot() map[string]TenantStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]TenantStats, len(l.m))
+	for name, t := range l.m {
+		out[name] = *t
+	}
+	return out
+}

@@ -142,6 +142,12 @@ func (s *Clique) Close() error {
 // past peak does not pin its footprint forever; the per-operation Reset
 // already releases individual buffers above a high-water threshold, Trim
 // is the explicit full release.
+//
+// Trim is safe to call concurrently with in-flight operations — including
+// from a pool's eviction goroutine. Operations hold the session mutex for
+// their whole run, so Trim simply waits for the current operation to
+// finish and releases between operations; it can never pull scratch or
+// queue capacity out from under a running product.
 func (s *Clique) Trim() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -419,15 +425,136 @@ func (s *Clique) beginBroadcast(op string, orig int, opts []CallOption) (*opRun,
 	return r, nil
 }
 
-// batch runs mul over every pair, amortising session setup across the
-// whole batch; it stops at the first error, returning the already-computed
-// results alongside it.
-func (s *Clique) batch(pairs [][2]Mat, opts []CallOption,
-	mul func(a, b Mat, opts ...CallOption) (Mat, Stats, error)) ([]Mat, []Stats, error) {
-	prods := make([]Mat, 0, len(pairs))
-	stats := make([]Stats, 0, len(pairs))
-	for _, pair := range pairs {
-		p, st, err := mul(pair[0], pair[1], opts...)
+// BatchItem is one product in a batched session call. Opts are per-item
+// call options merged over the batch-level options — a serving layer
+// coalescing independent requests into one batch threads each request's
+// cancellation context (WithContext) and round budget through here while
+// the batch shares one resolved plan and one armed network.
+type BatchItem struct {
+	A, B Mat
+	Opts []CallOption
+}
+
+// batchSpec ties a batched entry point to its product kind: the ledger
+// name, the clique-size class, the padding zero of its algebra, and the
+// routed plan product it executes.
+type batchSpec struct {
+	op    string
+	class sizeClass
+	zero  int64
+	mul   func(r *opRun, a, b *ccmm.RowMat[int64]) (*ccmm.RowMat[int64], ccmm.Route, error)
+}
+
+var matMulSpec = batchSpec{op: "MatMul", class: ringSize, zero: 0,
+	mul: func(r *opRun, a, b *ccmm.RowMat[int64]) (*ccmm.RowMat[int64], ccmm.Route, error) {
+		return r.plan.MulIntRouted(r.net, r.sc, a, b)
+	}}
+
+var matMulBoolSpec = batchSpec{op: "MatMulBool", class: ringSize, zero: 0,
+	mul: func(r *opRun, a, b *ccmm.RowMat[int64]) (*ccmm.RowMat[int64], ccmm.Route, error) {
+		return r.plan.MulBoolRouted(r.net, r.sc, a, b)
+	}}
+
+var distanceProductSpec = batchSpec{op: "DistanceProduct", class: anySize, zero: Inf,
+	mul: func(r *opRun, a, b *ccmm.RowMat[int64]) (*ccmm.RowMat[int64], ccmm.Route, error) {
+		return r.plan.MulMinPlusRouted(r.net, r.sc, a, b)
+	}}
+
+// beginBatch is begin for a whole batch: one lock acquisition, one merged
+// config, one memoised plan/scratch resolution, and one arming of the
+// session-scoped network settings (transport, sparse threshold) that every
+// item shares.
+func (s *Clique) beginBatch(spec batchSpec, opts []CallOption) (*opRun, error) {
+	cfg, err := s.acquire(s.n, opts)
+	if err != nil {
+		return nil, err
+	}
+	n, err := s.sizeFor(spec.class)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	return s.newRun(spec.op, cfg, s.n, n), nil
+}
+
+// endBatch releases the batch harness. Per-item aborts were already
+// converted by runItem; anything else propagates once the lock is safely
+// released.
+func (r *opRun) endBatch() {
+	s := r.s
+	if rec := recover(); rec != nil {
+		s.mu.Unlock()
+		panic(rec)
+	}
+	r.sim.SetContext(nil)
+	r.sim.SetRoundLimit(0)
+	s.mu.Unlock()
+}
+
+// runItem executes one product of a batch on the already-armed run: the
+// simulator is reset (warm capacity kept) so the item gets its own Stats
+// and ledger entry, and only the per-call abort settings — the item's
+// context and round limit — are re-armed. Plan, scratch, transport, and
+// sparse threshold carry over from beginBatch.
+func (r *opRun) runItem(spec batchSpec, it *BatchItem) (prod Mat, st Stats, err error) {
+	orig, err := squareSize(it.A, it.B)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if orig != r.orig {
+		return nil, Stats{}, fmt.Errorf("algclique: instance size %d on a session for n=%d: %w", orig, r.orig, ccmm.ErrSize)
+	}
+	cfg := r.cfg
+	for _, o := range it.Opts {
+		o.apply(&cfg)
+	}
+	r.sim.Reset()
+	r.sim.SetRoundLimit(cfg.roundLimit)
+	r.sim.SetContext(cfg.ctx)
+	r.route = ccmm.Route{}
+	defer func() {
+		if rec := recover(); rec != nil {
+			e, ok := abortError(rec)
+			if !ok {
+				panic(rec) // endBatch unlocks and re-raises
+			}
+			err = e
+		}
+		st = statsFrom(r.sim.Stats(), r.orig)
+		st.Routing = r.route.Decision()
+		for _, m := range r.borrowed {
+			r.s.putMat(m)
+		}
+		r.borrowed = r.borrowed[:0]
+		r.s.record(r.op, st)
+	}()
+	p, route, merr := spec.mul(r, r.borrow(it.A, spec.zero), r.borrow(it.B, spec.zero))
+	r.route = route
+	if merr != nil {
+		return nil, st, merr
+	}
+	prod = truncateRows(p, orig)
+	r.recycle(p)
+	return prod, st, nil
+}
+
+// runBatch runs every item of a batch inside one per-operation harness,
+// amortising lock acquisition, plan and scratch resolution, and network
+// arming across the whole batch; it stops at the first error, returning
+// the already-computed results alongside it.
+func (s *Clique) runBatch(spec batchSpec, items []BatchItem, opts []CallOption) ([]Mat, []Stats, error) {
+	if len(items) == 0 {
+		return nil, nil, nil
+	}
+	r, err := s.beginBatch(spec, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer r.endBatch()
+	prods := make([]Mat, 0, len(items))
+	stats := make([]Stats, 0, len(items))
+	for i := range items {
+		p, st, err := r.runItem(spec, &items[i])
 		if err != nil {
 			return prods, stats, err
 		}
@@ -437,12 +564,45 @@ func (s *Clique) batch(pairs [][2]Mat, opts []CallOption,
 	return prods, stats, nil
 }
 
+func pairItems(pairs [][2]Mat) []BatchItem {
+	items := make([]BatchItem, len(pairs))
+	for i, p := range pairs {
+		items[i] = BatchItem{A: p[0], B: p[1]}
+	}
+	return items
+}
+
+// MatMulBatch runs a batch of integer matrix products on the session. The
+// plan, scratch pools, and session-scoped network configuration are
+// resolved and armed once for the whole batch (not per pair); each item
+// still gets its own Stats, ledger entry, and per-item call options. It
+// stops at the first error: the returned slices hold the results of the
+// items before the failing one (whose index is len of the result slice).
+func (s *Clique) MatMulBatch(items []BatchItem, opts ...CallOption) ([]Mat, []Stats, error) {
+	return s.runBatch(matMulSpec, items, opts)
+}
+
+// MatMulBoolBatch is MatMulBatch over the Boolean semiring (see
+// MatMulBool).
+func (s *Clique) MatMulBoolBatch(items []BatchItem, opts ...CallOption) ([]Mat, []Stats, error) {
+	return s.runBatch(matMulBoolSpec, items, opts)
+}
+
+// DistanceProductBatch is MatMulBatch for min-plus products (see
+// DistanceProduct).
+func (s *Clique) DistanceProductBatch(items []BatchItem, opts ...CallOption) ([]Mat, []Stats, error) {
+	if s.cfg.engine == Fast {
+		return nil, nil, fmt.Errorf("algclique: min-plus is not a ring; use Auto, Semiring3D or Naive: %w", ccmm.ErrSize)
+	}
+	return s.runBatch(distanceProductSpec, items, opts)
+}
+
 // MatMuls runs a batch of integer matrix products on the session,
 // amortising setup across the whole batch. It returns one product and one
 // Stats per pair, stopping at the first error (already-computed results are
 // returned alongside it).
 func (s *Clique) MatMuls(pairs [][2]Mat, opts ...CallOption) ([]Mat, []Stats, error) {
-	return s.batch(pairs, opts, s.MatMul)
+	return s.MatMulBatch(pairItems(pairs), opts...)
 }
 
 // DistanceProducts runs a batch of min-plus products on the session,
@@ -450,5 +610,5 @@ func (s *Clique) MatMuls(pairs [][2]Mat, opts ...CallOption) ([]Mat, []Stats, er
 // Stats per pair, stopping at the first error (already-computed results are
 // returned alongside it).
 func (s *Clique) DistanceProducts(pairs [][2]Mat, opts ...CallOption) ([]Mat, []Stats, error) {
-	return s.batch(pairs, opts, s.DistanceProduct)
+	return s.DistanceProductBatch(pairItems(pairs), opts...)
 }

@@ -1,0 +1,70 @@
+package algclique_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	cc "github.com/algebraic-clique/algclique"
+)
+
+// TestTrimConcurrentWithOps hammers Trim against in-flight operations on
+// the same session — the exact interleaving a pool's eviction goroutine
+// produces. The session mutex serialises them: every product must come
+// out bit-identical to an undisturbed run, and the race detector (CI runs
+// this under -race) must stay quiet.
+func TestTrimConcurrentWithOps(t *testing.T) {
+	const n, ops = 12, 30
+	a, b := sessionTestMat(n, 61), sessionTestMat(n, 62)
+
+	ref, err := cc.NewClique(n, cc.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	want, _, err := ref.DistanceProduct(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := cc.NewClique(n, cc.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				sess.Trim()
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < ops; i++ {
+			got, _, err := sess.DistanceProduct(a, b)
+			if err != nil {
+				t.Errorf("op %d: %v", i, err)
+				return
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("op %d: product corrupted by concurrent Trim", i)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if st := sess.Stats(); len(st.Ops) != ops {
+		t.Fatalf("ledger has %d ops, want %d", len(st.Ops), ops)
+	}
+}
