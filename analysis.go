@@ -100,7 +100,7 @@ func (s *Clique) MatMulBroadcast(a, b Mat, opts ...CallOption) (prod Mat, stats 
 		return nil, Stats{}, err
 	}
 	defer r.end(&stats, &err)
-	p, merr := baseline.BroadcastMatMul(r.bnet, r.borrow(a, 0), r.borrow(b, 0))
+	p, merr := baseline.BroadcastMatMul(r.bnet, s.localPool(), r.borrow(a, 0), r.borrow(b, 0))
 	if merr != nil {
 		err = merr
 		return

@@ -29,6 +29,38 @@ func cold(n int) []uint64 {
 	return make([]uint64, n) // unmarked functions may allocate
 }
 
+// bitMat mirrors the packed-kernel shapes: hotpath methods with pooled
+// backing storage that may only grow on the capacity-miss cold path.
+type bitMat struct {
+	w      []uint64
+	rowAny []uint64
+}
+
+//cc:hotpath
+func (m *bitMat) reset(n int) {
+	if cap(m.w) < n {
+		m.w = make([]uint64, n) //cc:hotalloc-ok(capacity growth)
+	}
+	m.w = m.w[:n]
+}
+
+//cc:hotpath
+func (m *bitMat) nonzero(n int) []uint64 {
+	m.rowAny = make([]uint64, n) // want "allocates in a"
+	return m.rowAny
+}
+
+// orRow is the shape of the word-parallel kernels: pure sub-slicing and
+// word ops, no allocation — the analyzer must stay silent.
+//
+//cc:hotpath
+func orRow(dst, src []uint64) {
+	src = src[:len(dst)]
+	for j := range dst {
+		dst[j] |= src[j]
+	}
+}
+
 type Scratch struct{ pool [][][]uint64 }
 
 func fills(sc *Scratch, n int) [][][]uint64 {

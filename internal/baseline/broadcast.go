@@ -15,7 +15,12 @@ import (
 // Ω̃(n) rounds are necessary in this model, so the trivial algorithm is
 // optimal up to logarithmic factors — measured against the O(n^{1/3}) and
 // O(n^ρ) unicast algorithms it quantifies the models' separation.
-func BroadcastMatMul(bnet *clique.BroadcastNetwork, s, t *ccmm.RowMat[int64]) (*ccmm.RowMat[int64], error) {
+//
+// The local n×n product — by far the dominant cost, since every node holds
+// the full operands — fans out over w (the session's worker pool); a nil w
+// multiplies sequentially. Either way the result is bit-identical: the
+// parallel kernel only splits output rows.
+func BroadcastMatMul(bnet *clique.BroadcastNetwork, w matrix.Workers, s, t *ccmm.RowMat[int64]) (*ccmm.RowMat[int64], error) {
 	n := bnet.N()
 	if s.N() != n || t.N() != n {
 		return nil, fmt.Errorf("baseline: matrices %d×· on %d-node broadcast clique: %w", s.N(), n, ccmm.ErrSize)
@@ -38,12 +43,14 @@ func BroadcastMatMul(bnet *clique.BroadcastNetwork, s, t *ccmm.RowMat[int64]) (*
 	a := matrix.New[int64](n, n)
 	b := matrix.New[int64](n, n)
 	for v := 0; v < n; v++ {
+		arow, brow := a.Row(v), b.Row(v)
+		vec := all[v]
 		for j := 0; j < n; j++ {
-			a.Set(v, j, int64(all[v][j]))
-			b.Set(v, j, int64(all[v][n+j]))
+			arow[j] = int64(vec[j])
+			brow[j] = int64(vec[n+j])
 		}
 	}
-	prod := matrix.Mul[int64](ring.Int64{}, a, b)
+	prod := matrix.ParMul[int64](w, ring.Int64{}, a, b)
 	out := ccmm.NewRowMat[int64](n)
 	for v := 0; v < n; v++ {
 		copy(out.Rows[v], prod.Row(v))

@@ -2,6 +2,7 @@ package ccmm
 
 import (
 	"github.com/algebraic-clique/algclique/internal/clique"
+	"github.com/algebraic-clique/algclique/internal/matrix"
 	"github.com/algebraic-clique/algclique/internal/ring"
 	"github.com/algebraic-clique/algclique/internal/routing"
 )
@@ -84,6 +85,14 @@ func naiveGatherWire[T any](net *clique.Network, sc *Scratch, sr ring.Semiring[T
 	all := routing.AllGather(net, vecs)
 
 	net.Phase("mmnaive/multiply")
+	// Packed Boolean gathers skip the decode entirely: the transport words
+	// share BitDense's bit layout, so the gathered rows feed the
+	// word-parallel kernel as-is and the []bool form is never materialised.
+	if _, packed := any(codec).(ring.PackedBool); packed {
+		if sb, ok := any(s).(*RowMat[bool]); ok {
+			return any(naiveMultiplyBoolWords(net, sb, all)).(*RowMat[T]), nil
+		}
+	}
 	growBufs(&ts.rows, n)
 	trows := make([][]T, n)
 	net.ForEach(func(v int) {
@@ -95,8 +104,15 @@ func naiveGatherWire[T any](net *clique.Network, sc *Scratch, sr ring.Semiring[T
 
 // naiveMultiply is the local multiplication both transports share: node v
 // multiplies its own row of s against the (gathered or in-place) right
-// operand.
+// operand. The Boolean semiring gets the word-parallel path: the right
+// operand is packed once into a pooled BitDense and every node multiplies
+// its packed row against it, ~64 columns per word operation.
 func naiveMultiply[T any](net *clique.Network, sr ring.Semiring[T], s *RowMat[T], trows [][]T) *RowMat[T] {
+	if _, ok := any(sr).(ring.Bool); ok {
+		sb := any(s).(*RowMat[bool])
+		tb := any(trows).([][]bool)
+		return any(naiveMultiplyBool(net, sb, tb)).(*RowMat[T])
+	}
 	n := net.N()
 	zero := sr.Zero()
 	p := NewRowMat[T](n)
@@ -116,6 +132,66 @@ func naiveMultiply[T any](net *clique.Network, sr ring.Semiring[T], s *RowMat[T]
 				out[j] = sr.Add(out[j], sr.Mul(sk, trow[j]))
 			}
 		}
+	})
+	return p
+}
+
+// naiveMultiplyBool multiplies Boolean rows word-parallel: the right
+// operand packs once into a pooled BitDense (in parallel, one row per
+// node), its nonzero-row bitset is computed once up front — single-threaded
+// on purpose, the cache is not safe for concurrent first use — and every
+// node runs the packed row kernel on its own slice of the word buffers.
+func naiveMultiplyBool(net *clique.Network, s *RowMat[bool], trows [][]bool) *RowMat[bool] {
+	n := net.N()
+	p := NewRowMat[bool](n)
+	bd := matrix.GetBitDense(n, n)
+	defer matrix.PutBitDense(bd)
+	net.ForEach(func(v int) {
+		ring.PackBits(bd.RowWords(v), trows[v])
+	})
+	bd.Invalidate()
+	bAny := bd.NonzeroRows()
+	stride := bd.Stride()
+	rowW := make([]uint64, n*stride)
+	outW := make([]uint64, n*stride)
+	net.ForEach(func(v int) {
+		aw := rowW[v*stride : (v+1)*stride]
+		ring.PackBits(aw, s.Rows[v])
+		dst := outW[v*stride : (v+1)*stride]
+		matrix.MulBitRowInto(dst, aw, bAny, bd)
+		ring.UnpackBits(p.Rows[v], dst)
+	})
+	return p
+}
+
+// naiveMultiplyBoolWords is naiveMultiplyBool fed straight from the
+// gathered transport words: all[v] is node v's PackedBool-encoded row of
+// the right operand, which shares BitDense's layout and is copied in
+// without decoding.
+func naiveMultiplyBoolWords(net *clique.Network, s *RowMat[bool], all [][]clique.Word) *RowMat[bool] {
+	n := net.N()
+	p := NewRowMat[bool](n)
+	bd := matrix.GetBitDense(n, n)
+	defer matrix.PutBitDense(bd)
+	stride := bd.Stride()
+	net.ForEach(func(v int) {
+		row := bd.RowWords(v)
+		copy(row, all[v][:stride])
+		// Defensive: the kernel relies on zero pad bits past column n.
+		if extra := uint(stride*64 - n); extra > 0 {
+			row[stride-1] &= ^uint64(0) >> extra
+		}
+	})
+	bd.Invalidate()
+	bAny := bd.NonzeroRows()
+	rowW := make([]uint64, n*stride)
+	outW := make([]uint64, n*stride)
+	net.ForEach(func(v int) {
+		aw := rowW[v*stride : (v+1)*stride]
+		ring.PackBits(aw, s.Rows[v])
+		dst := outW[v*stride : (v+1)*stride]
+		matrix.MulBitRowInto(dst, aw, bAny, bd)
+		ring.UnpackBits(p.Rows[v], dst)
 	})
 	return p
 }

@@ -675,6 +675,38 @@ func (c *Network) ForEach(f func(v int)) {
 	wg.Wait()
 }
 
+// RunLocal runs f(0), …, f(tasks-1) concurrently on the same persistent
+// worker pool ForEach uses and waits for completion. Unlike ForEach the
+// task count is arbitrary — it is the fan-out primitive for *local*
+// compute (parallel kernels, bulk packing), not per-node simulation work,
+// so tasks carry no node identity and must not touch the network. The
+// WithWorkers setting governs the concurrency exactly as for ForEach.
+//
+// RunLocal must not be called from inside a ForEach or RunLocal task: the
+// pool's workers are already occupied and the nested wait can deadlock.
+func (c *Network) RunLocal(tasks int, f func(task int)) {
+	workers := c.workers
+	if workers > c.n {
+		workers = c.n
+	}
+	if workers <= 1 || tasks <= 1 {
+		for t := 0; t < tasks; t++ {
+			f(t)
+		}
+		return
+	}
+	if c.pool == nil {
+		c.pool = newWorkerPool(workers)
+		runtime.AddCleanup(c, func(p *workerPool) { p.shutdown() }, c.pool)
+	}
+	var wg sync.WaitGroup
+	wg.Add(tasks)
+	for t := 0; t < tasks; t++ {
+		c.pool.tasks <- poolTask{f: f, v: t, wg: &wg}
+	}
+	wg.Wait()
+}
+
 // Close releases the persistent worker pool. The network remains usable —
 // a later ForEach starts a fresh pool — but sessions call Close when done
 // so idle workers do not outlive them.
@@ -682,5 +714,52 @@ func (c *Network) Close() {
 	if c.pool != nil {
 		c.pool.shutdown()
 		c.pool = nil
+	}
+}
+
+// LocalPool is a standalone worker pool with the RunLocal contract of
+// Network, for contexts that have local compute to fan out but no unicast
+// network — broadcast-model runs foremost. It shares the workerPool
+// machinery: persistent goroutines started lazily on first use.
+type LocalPool struct {
+	workers int
+	pool    *workerPool
+}
+
+// NewLocalPool returns a pool of k workers; k < 1 selects GOMAXPROCS.
+func NewLocalPool(k int) *LocalPool {
+	if k < 1 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	return &LocalPool{workers: k}
+}
+
+// RunLocal runs f(0), …, f(tasks-1) concurrently and waits for completion,
+// with the same nesting rule as Network.RunLocal.
+func (p *LocalPool) RunLocal(tasks int, f func(task int)) {
+	if p.workers <= 1 || tasks <= 1 {
+		for t := 0; t < tasks; t++ {
+			f(t)
+		}
+		return
+	}
+	if p.pool == nil {
+		p.pool = newWorkerPool(p.workers)
+		runtime.AddCleanup(p, func(wp *workerPool) { wp.shutdown() }, p.pool)
+	}
+	var wg sync.WaitGroup
+	wg.Add(tasks)
+	for t := 0; t < tasks; t++ {
+		p.pool.tasks <- poolTask{f: f, v: t, wg: &wg}
+	}
+	wg.Wait()
+}
+
+// Close releases the pool's workers; the pool remains usable (a later
+// RunLocal starts fresh workers).
+func (p *LocalPool) Close() {
+	if p.pool != nil {
+		p.pool.shutdown()
+		p.pool = nil
 	}
 }

@@ -26,11 +26,11 @@ func APSPSeidel(net *clique.Network, engine ccmm.Engine, g *graphs.Graph) (*ccmm
 	}
 	n := net.N()
 	a := &ccmm.RowMat[int64]{Rows: make([][]int64, n)}
-	for v := 0; v < n; v++ {
+	net.ForEach(func(v int) {
 		row := make([]int64, n)
 		g.Row(v).ForEach(func(u int) { row[u] = 1 })
 		a.Rows[v] = row
-	}
+	})
 	// One scratch pool serves the whole recursion: every level's Boolean
 	// squaring and parity product share a working set.
 	return seidelRec(net, engine, ccmm.NewScratch(), a, 0, log2Ceil(n)+2)
@@ -104,16 +104,17 @@ func seidelRec(net *clique.Network, engine ccmm.Engine, sc *ccmm.Scratch, a *ccm
 		return nil, err
 	}
 
-	// Degrees of G are broadcast once (one round).
+	// Degrees of G are broadcast once (one round); the local sums fan out
+	// over the worker pool, one node per task.
 	net.Phase(fmt.Sprintf("seidel/parity-%d", depth))
 	degWords := make([]clique.Word, n)
-	for v := 0; v < n; v++ {
+	net.ForEach(func(v int) {
 		var deg int64
 		for _, x := range a.Rows[v] {
 			deg += x
 		}
 		degWords[v] = clique.Word(deg)
-	}
+	})
 	bc := net.BroadcastWord(degWords)
 	degs := make([]int64, n)
 	for v := 0; v < n; v++ {

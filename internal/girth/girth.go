@@ -143,11 +143,11 @@ func Directed(net *clique.Network, engine ccmm.Engine, g *graphs.Graph) (girth i
 	}
 	n := net.N()
 	a := &ccmm.RowMat[int64]{Rows: make([][]int64, n)}
-	for v := 0; v < n; v++ {
+	net.ForEach(func(v int) {
 		row := make([]int64, n)
 		g.Row(v).ForEach(func(u int) { row[u] = 1 })
 		a.Rows[v] = row
-	}
+	})
 
 	diagSet := func(b *ccmm.RowMat[int64]) bool {
 		flags := make([]clique.Word, n)
@@ -164,14 +164,14 @@ func Directed(net *clique.Network, engine ccmm.Engine, g *graphs.Graph) (girth i
 		return false
 	}
 	orA := func(b *ccmm.RowMat[int64]) {
-		for v := 0; v < n; v++ {
+		net.ForEach(func(v int) {
 			row, arow := b.Rows[v], a.Rows[v]
 			for j := 0; j < n; j++ {
 				if arow[j] != 0 {
 					row[j] = 1
 				}
 			}
-		}
+		})
 	}
 
 	// Doubling: powers[t] = B(2^t). The graph type forbids self-loops, so

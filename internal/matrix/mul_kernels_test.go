@@ -208,3 +208,91 @@ func TestMulMinPlusMatchesGeneric(t *testing.T) {
 		t.Fatalf("negative weight × Inf produced finite distance %d", out.At(0, 1))
 	}
 }
+
+// diffSizes is the size sweep of the kernel differential tests: a sample
+// of 1..100 catching word-boundary and unroll-remainder shapes, plus
+// 511/512/513 straddling the mulTileJ tile boundary (trimmed to the small
+// sample under -short).
+func diffSizes() []int {
+	sizes := []int{1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 33, 63, 64, 65, 97, 100}
+	if !testing.Short() {
+		sizes = append(sizes, 511, 512, 513)
+	}
+	return sizes
+}
+
+// TestMulBoolPackedMatchesScalarSweep drives MulBoolInto (the packed
+// word-parallel kernel behind MulInto) against the scalar reference across
+// the full size sweep and several densities.
+func TestMulBoolPackedMatchesScalarSweep(t *testing.T) {
+	rng := rand.New(rand.NewPCG(25, 5))
+	for _, n := range diffSizes() {
+		p := 0.3
+		if n > 100 {
+			p = 0.02 // keep the scalar reference fast at the big sizes
+		}
+		a := randBoolDense(rng, n, n, p)
+		b := randBoolDense(rng, n, n, p)
+		got := New[bool](n, n)
+		MulBoolInto(got, a, b)
+		want := New[bool](n, n)
+		MulBoolScalarInto(want, a, b)
+		if !Equal[bool](ring.Bool{}, got, want) {
+			t.Fatalf("n=%d p=%v: packed Boolean kernel differs from scalar", n, p)
+		}
+	}
+}
+
+// TestMulMinPlusUnrolledMatchesRefSweep drives the branch-free unrolled
+// min-plus kernel against the original scalar kernel across the full size
+// sweep, mixing negative weights and infinite entries — the combination
+// where the clamp-vs-skip distinction matters.
+func TestMulMinPlusUnrolledMatchesRefSweep(t *testing.T) {
+	rng := rand.New(rand.NewPCG(26, 6))
+	fill := func(n int) *Dense[int64] {
+		m := New[int64](n, n)
+		for i := range m.e {
+			switch rng.IntN(5) {
+			case 0:
+				m.e[i] = ring.Inf
+			case 1:
+				m.e[i] = -rng.Int64N(50)
+			default:
+				m.e[i] = rng.Int64N(100)
+			}
+		}
+		return m
+	}
+	for _, n := range diffSizes() {
+		a, b := fill(n), fill(n)
+		got := New[int64](n, n)
+		MulMinPlusInto(got, a, b)
+		want := New[int64](n, n)
+		MulMinPlusRefInto(want, a, b)
+		for i := range got.e {
+			if got.e[i] != want.e[i] {
+				t.Fatalf("n=%d entry %d: unrolled %d, reference %d", n, i, got.e[i], want.e[i])
+			}
+		}
+	}
+}
+
+// TestMulMinPlusWInlinedMatchesRefSweep drives the witness-carrying kernel
+// against the original across the full size sweep, with ties and untagged
+// entries dense enough to exercise every tie-break branch.
+func TestMulMinPlusWInlinedMatchesRefSweep(t *testing.T) {
+	rng := rand.New(rand.NewPCG(27, 7))
+	for _, n := range diffSizes() {
+		a := randMinPlusWDense(rng, n, n)
+		b := randMinPlusWDense(rng, n, n)
+		got := New[ring.ValW](n, n)
+		MulMinPlusWInto(got, a, b)
+		want := New[ring.ValW](n, n)
+		MulMinPlusWRefInto(want, a, b)
+		for i := range got.e {
+			if got.e[i] != want.e[i] {
+				t.Fatalf("n=%d entry %d: kernel %v, reference %v", n, i, got.e[i], want.e[i])
+			}
+		}
+	}
+}

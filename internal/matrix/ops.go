@@ -220,13 +220,13 @@ func MulInto[T any](r ring.Semiring[T], out, a, b *Dense[T]) {
 		mulInt64Into(any(out).(*Dense[int64]), any(a).(*Dense[int64]), any(b).(*Dense[int64]))
 		return
 	case ring.Bool:
-		mulBoolInto(any(out).(*Dense[bool]), any(a).(*Dense[bool]), any(b).(*Dense[bool]))
+		MulBoolInto(any(out).(*Dense[bool]), any(a).(*Dense[bool]), any(b).(*Dense[bool]))
 		return
 	case ring.MinPlus:
-		mulMinPlusInto(any(out).(*Dense[int64]), any(a).(*Dense[int64]), any(b).(*Dense[int64]))
+		MulMinPlusInto(any(out).(*Dense[int64]), any(a).(*Dense[int64]), any(b).(*Dense[int64]))
 		return
 	case ring.MinPlusW:
-		mulMinPlusWInto(any(out).(*Dense[ring.ValW]), any(a).(*Dense[ring.ValW]), any(b).(*Dense[ring.ValW]))
+		MulMinPlusWInto(any(out).(*Dense[ring.ValW]), any(a).(*Dense[ring.ValW]), any(b).(*Dense[ring.ValW]))
 		return
 	}
 	zero := r.Zero()
@@ -281,15 +281,33 @@ func mulInt64Into(out, a, b *Dense[int64]) {
 	}
 }
 
-// boolRowScratch pools the per-call b-row occupancy vector of mulBoolInto,
-// keeping the kernel allocation-free in steady state like its siblings.
-var boolRowScratch = sync.Pool{New: func() any { return new([]bool) }}
+// MulBoolInto is the packed Boolean kernel behind MulInto: both operands
+// are packed into pooled BitDense scratch (64 entries per word, the
+// PackedBool layout), multiplied word-parallel by MulBitInto, and the
+// product unpacked into out. The b-row occupancy vector the scalar kernel
+// rebuilt with an O(n²) branchy scan per call is now the BitDense
+// nonzero-row cache, computed word-parallel. Results are bit-identical to
+// MulBoolScalarInto and the generic path (OR is idempotent and monotone).
+//
+//cc:hotpath
+func MulBoolInto(out, a, b *Dense[bool]) {
+	sc := bitMulPool.Get().(*bitMulScratch)
+	PackDense(&sc.a, a)
+	PackDense(&sc.b, b)
+	sc.out.Reset(a.rows, b.cols)
+	MulBitInto(&sc.out, &sc.a, &sc.b)
+	UnpackDense(out, &sc.out)
+	bitMulPool.Put(sc)
+}
 
-// mulBoolInto ORs a·b with two short-circuits the Boolean algebra allows:
-// b-rows with no true entry are skipped outright, and the k loop stops as
-// soon as an output row is saturated (all true) — both invisible in the
-// result, since OR is monotone.
-func mulBoolInto(out, a, b *Dense[bool]) {
+// MulBoolScalarInto is the pre-packing scalar Boolean kernel, kept as the
+// differential-test reference and the denominator of the packed/scalar
+// speedup ratio gated in BENCH_matmul.json. It ORs a·b with two
+// short-circuits the Boolean algebra allows: b-rows with no true entry are
+// skipped outright, and the k loop stops as soon as an output row is
+// saturated (all true) — both invisible in the result, since OR is
+// monotone.
+func MulBoolScalarInto(out, a, b *Dense[bool]) {
 	for i := range out.e {
 		out.e[i] = false
 	}
@@ -327,87 +345,9 @@ func mulBoolInto(out, a, b *Dense[bool]) {
 	}
 }
 
-func mulMinPlusInto(out, a, b *Dense[int64]) {
-	for i := range out.e {
-		out.e[i] = ring.Inf
-	}
-	for jb := 0; jb < b.cols; jb += mulTileJ {
-		je := jb + mulTileJ
-		if je > b.cols {
-			je = b.cols
-		}
-		for i := 0; i < a.rows; i++ {
-			arow := a.e[i*a.cols : (i+1)*a.cols]
-			orow := out.e[i*out.cols+jb : i*out.cols+je]
-			for k, aik := range arow {
-				if ring.IsInf(aik) {
-					continue
-				}
-				brow := b.e[k*b.cols+jb : k*b.cols+je]
-				if aik >= 0 {
-					// Clamping bv at Inf keeps the inner loop branch-free
-					// and is bit-identical to skipping infinite entries
-					// when aik ≥ 0: aik < Inf so s ≤ 2·Inf never
-					// overflows, and s ≥ Inf never beats orow[j] ≤ Inf.
-					for j, bv := range brow {
-						if s := aik + min(bv, ring.Inf); s < orow[j] {
-							orow[j] = s
-						}
-					}
-					continue
-				}
-				// Negative weights: aik + Inf is still "infinite" but
-				// numerically below Inf, so infinite entries must be
-				// skipped explicitly.
-				for j, bv := range brow {
-					if ring.IsInf(bv) {
-						continue
-					}
-					if s := aik + bv; s < orow[j] {
-						orow[j] = s
-					}
-				}
-			}
-		}
-	}
-}
-
-// mulMinPlusWInto is the witness-carrying min-plus kernel: the algebra
-// behind every APSP squaring, previously the one frequent semiring without
-// a specialisation. It reproduces MinPlusW exactly: products take the right
-// operand's witness (falling back to the left), and minima break value ties
-// by MinPlusW.Less, so the result matches the generic path bit for bit.
-func mulMinPlusWInto(out, a, b *Dense[ring.ValW]) {
-	zero := ring.ValW{V: ring.Inf, W: ring.NoWitness}
-	mw := ring.MinPlusW{}
-	for i := range out.e {
-		out.e[i] = zero
-	}
-	for i := 0; i < a.rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k := 0; k < a.cols; k++ {
-			aik := arow[k]
-			if ring.IsInf(aik.V) {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				if ring.IsInf(bv.V) {
-					continue
-				}
-				w := bv.W
-				if w == ring.NoWitness {
-					w = aik.W
-				}
-				cand := ring.ValW{V: aik.V + bv.V, W: w}
-				if mw.Less(cand, orow[j]) {
-					orow[j] = cand
-				}
-			}
-		}
-	}
-}
+// boolRowScratch pools the per-call b-row occupancy vector of
+// MulBoolScalarInto.
+var boolRowScratch = sync.Pool{New: func() any { return new([]bool) }}
 
 // DistanceProductWitness computes the min-plus product a⋆b together with a
 // witness matrix: w[i][j] is a k achieving out[i][j] = a[i][k] + b[k][j]

@@ -52,24 +52,44 @@ func strassenRec[T any](r ring.Ring[T], a, b *Dense[T], cutoff int) *Dense[T] {
 	if n <= cutoff || n%2 != 0 {
 		return Mul[T](r, a, b)
 	}
+	pairs := strassenSplit(r, a, b)
+	var m [7]*Dense[T]
+	for i, p := range pairs {
+		m[i] = strassenRec(r, p[0], p[1], cutoff)
+	}
+	return strassenCombine(r, m, n)
+}
+
+// strassenSplit forms the seven operand pairs of one Strassen step: the
+// quadrant sums and differences whose products m1..m7 recombine into a·b.
+// Factored out of strassenRec so ParStrassen can expand the recursion
+// breadth-first into an independent task list.
+func strassenSplit[T any](r ring.Ring[T], a, b *Dense[T]) [7][2]*Dense[T] {
+	n := a.rows
 	h := n / 2
 	a11, a12 := a.Sub(0, h, 0, h), a.Sub(0, h, h, n)
 	a21, a22 := a.Sub(h, n, 0, h), a.Sub(h, n, h, n)
 	b11, b12 := b.Sub(0, h, 0, h), b.Sub(0, h, h, n)
 	b21, b22 := b.Sub(h, n, 0, h), b.Sub(h, n, h, n)
+	return [7][2]*Dense[T]{
+		{Add[T](r, a11, a22), Add[T](r, b11, b22)},
+		{Add[T](r, a21, a22), b11},
+		{a11, Sub[T](r, b12, b22)},
+		{a22, Sub[T](r, b21, b11)},
+		{Add[T](r, a11, a12), b22},
+		{Sub[T](r, a21, a11), Add[T](r, b11, b12)},
+		{Sub[T](r, a12, a22), Add[T](r, b21, b22)},
+	}
+}
 
-	m1 := strassenRec(r, Add[T](r, a11, a22), Add[T](r, b11, b22), cutoff)
-	m2 := strassenRec(r, Add[T](r, a21, a22), b11, cutoff)
-	m3 := strassenRec(r, a11, Sub[T](r, b12, b22), cutoff)
-	m4 := strassenRec(r, a22, Sub[T](r, b21, b11), cutoff)
-	m5 := strassenRec(r, Add[T](r, a11, a12), b22, cutoff)
-	m6 := strassenRec(r, Sub[T](r, a21, a11), Add[T](r, b11, b12), cutoff)
-	m7 := strassenRec(r, Sub[T](r, a12, a22), Add[T](r, b21, b22), cutoff)
-
-	c11 := Add[T](r, Sub[T](r, Add[T](r, m1, m4), m5), m7)
-	c12 := Add[T](r, m3, m5)
-	c21 := Add[T](r, m2, m4)
-	c22 := Add[T](r, Add[T](r, Sub[T](r, m1, m2), m3), m6)
+// strassenCombine recombines the seven sub-products of one Strassen step
+// into the n×n result, in the fixed order strassenRec has always used.
+func strassenCombine[T any](r ring.Ring[T], m [7]*Dense[T], n int) *Dense[T] {
+	h := n / 2
+	c11 := Add[T](r, Sub[T](r, Add[T](r, m[0], m[3]), m[4]), m[6])
+	c12 := Add[T](r, m[2], m[4])
+	c21 := Add[T](r, m[1], m[3])
+	c22 := Add[T](r, Add[T](r, Sub[T](r, m[0], m[1]), m[2]), m[5])
 
 	out := New[T](n, n)
 	out.SetSub(0, 0, c11)

@@ -46,6 +46,28 @@ func (PackedBool) EncodedLen(count int) int { return (count + 63) / 64 }
 //cc:hotpath
 func (PackedBool) EncodeSlice(dst []Word, vals []bool) []Word {
 	dst, w := grow(dst, (len(vals)+63)/64)
+	PackBits(w, vals)
+	return dst
+}
+
+// DecodeSlice unpacks len(out) entries from the chunk at src[0].
+//
+//cc:hotpath
+func (PackedBool) DecodeSlice(out []bool, src []Word) {
+	UnpackBits(out, src)
+}
+
+// PackBits packs vals into dst, 64 entries per word, element i in bit i%64
+// of word i/64 — the one bit layout shared by the PackedBool transport,
+// graphs.Bitset, and the matrix.BitDense local kernels, so packed rows move
+// between the three without any re-shuffling. dst must hold at least
+// ⌈len(vals)/64⌉ words; the words covered by vals are fully overwritten
+// (trailing pad bits are cleared), words beyond them are untouched.
+//
+//cc:hotpath
+func PackBits(dst []Word, vals []bool) {
+	n := (len(vals) + 63) / 64
+	w := dst[:n]
 	for i := range w {
 		w[i] = 0
 	}
@@ -54,13 +76,13 @@ func (PackedBool) EncodeSlice(dst []Word, vals []bool) []Word {
 			w[i>>6] |= 1 << (uint(i) & 63)
 		}
 	}
-	return dst
 }
 
-// DecodeSlice unpacks len(out) entries from the chunk at src[0].
+// UnpackBits is the inverse of PackBits: it unpacks len(out) entries from
+// src's leading words.
 //
 //cc:hotpath
-func (PackedBool) DecodeSlice(out []bool, src []Word) {
+func UnpackBits(out []bool, src []Word) {
 	for i := range out {
 		out[i] = src[i>>6]&(1<<(uint(i)&63)) != 0
 	}

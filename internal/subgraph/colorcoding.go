@@ -79,14 +79,14 @@ func DetectKCycleColourful(net *clique.Network, engine ccmm.Engine, g *graphs.Gr
 					if err != nil {
 						return false, err
 					}
-					for v := 0; v < n; v++ {
+					net.ForEach(func(v int) {
 						av, rv := acc.Rows[v], r.Rows[v]
 						for j := 0; j < n; j++ {
 							if rv[j] != 0 {
 								av[j] = 1
 							}
 						}
-					}
+					})
 				}
 				if y == 0 {
 					break

@@ -47,6 +47,7 @@ type Clique struct {
 
 	nets    map[int]*clique.Network
 	bnet    *clique.BroadcastNetwork
+	lpool   *clique.LocalPool
 	matPool map[int][]*ccmm.RowMat[int64]
 	scratch map[int]*ccmm.Scratch
 	closed  bool
@@ -131,6 +132,9 @@ func (s *Clique) Close() error {
 	s.closed = true
 	for _, net := range s.nets {
 		net.Close()
+	}
+	if s.lpool != nil {
+		s.lpool.Close()
 	}
 	return nil
 }
@@ -220,6 +224,18 @@ func (s *Clique) networkFor(n int) *clique.Network {
 	net := clique.New(n, opts...)
 	s.nets[n] = net
 	return net
+}
+
+// localPool returns the session's local-compute worker pool (mu held),
+// built on first use. It is how broadcast-model runs — which have no
+// unicast network and hence no ForEach pool — fan local kernels out;
+// WithWorkers governs its size exactly as it governs the network pools, so
+// one option rules all of a session's parallelism.
+func (s *Clique) localPool() *clique.LocalPool {
+	if s.lpool == nil {
+		s.lpool = clique.NewLocalPool(s.cfg.workers)
+	}
+	return s.lpool
 }
 
 // scratchFor returns the session's persistent engine scratch for the given
