@@ -116,6 +116,16 @@ type Stats struct {
 	Rounds int64
 	// Words is the total number of words carried by links.
 	Words int64
+	// Faults ledgers every fault injected into the operation
+	// (WithFaultInjection); zero when no plan was armed.
+	Faults FaultStats
+	// Attempts is how many times the operation's product ran — 1 for a
+	// clean run, more when certification retried it, 0 for operations
+	// without a retryable product (graph algorithms).
+	Attempts int
+	// Certified reports whether the returned result passed certification
+	// (WithCertification).
+	Certified bool
 	// Routing reports how the density-aware planner executed the
 	// operation's product when its engine selection is Auto: "sparse"
 	// (the census routed it through the sparse tile engine), "dense"
@@ -132,7 +142,7 @@ type Stats struct {
 // statsFrom converts a simulator accounting snapshot into the public Stats
 // for an instance originally of size orig.
 func statsFrom(st clique.Stats, orig int) Stats {
-	out := Stats{N: st.N, Rounds: st.Rounds, Words: st.Words}
+	out := Stats{N: st.N, Rounds: st.Rounds, Words: st.Words, Faults: st.Faults}
 	if st.N != orig {
 		out.PaddedFrom = orig
 	}
@@ -191,11 +201,14 @@ type config struct {
 	maxCycle        int
 	roundLimit      int64
 	ctx             context.Context
+	fault           *clique.FaultPlan
+	certifyProbes   int
+	certifyRetries  int // -1 = unset (resolved per operation)
 }
 
 // defaultConfig is the base every session and one-shot call starts from.
 func defaultConfig() config {
-	return config{engine: Auto, sparseThreshold: ccmm.DefaultSparseThreshold}
+	return config{engine: Auto, sparseThreshold: ccmm.DefaultSparseThreshold, certifyRetries: -1}
 }
 
 func newConfig(opts []Option) config {
@@ -282,16 +295,9 @@ func WithContext(ctx context.Context) CallOption {
 }
 
 // abortError reports whether a recovered panic value is one of the
-// simulator's controlled aborts.
-func abortError(r any) (error, bool) {
-	switch e := r.(type) {
-	case *clique.RoundLimitError:
-		return e, true
-	case *clique.CanceledError:
-		return e, true
-	}
-	return nil, false
-}
+// simulator's controlled aborts — round limit, cancellation, or injected
+// fault.
+func abortError(r any) (error, bool) { return clique.AsAbort(r) }
 
 // sizeClass describes an algorithm's clique-size requirement.
 type sizeClass int

@@ -1,0 +1,566 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	cc "github.com/algebraic-clique/algclique"
+	"github.com/algebraic-clique/algclique/internal/serve"
+)
+
+// The chaos experiment is the fault plane's acceptance campaign: a few
+// hundred seeded fault scenarios swept across engines, transports, and
+// algebras, plus a faulted wave through the service plane, gated on the
+// fault plane's whole contract:
+//
+//   - typed or correct (hard): every scenario either recovers to a
+//     bit-correct, certification-vouched product or fails with a typed
+//     fault-plane error (*cc.FaultError, *cc.CertificationError,
+//     *serve.SessionPanicError) — never a silently wrong answer;
+//   - zero hangs (hard): the whole campaign runs under a watchdog; a
+//     scenario that stalls fails the run instead of wedging CI;
+//   - zero lost admitted requests (hard): the serve wave's ledger must
+//     account for every admitted request through poisoned sessions and
+//     shutdown, and no poisoned session may be re-pooled;
+//   - disarmed overhead (gated vs BENCH_matmul.json): with no fault plan
+//     armed, the session hot path must charge exactly the baseline's
+//     rounds and words and stay within chaosOverheadTol (+ small absolute
+//     slack) of its allocs/op; an armed-but-inert plan must leave the
+//     schedule untouched and add at most chaosInertAllocSlack allocs/op.
+//     Wall-clock ratios (disarmed vs baseline, armed-inert vs disarmed)
+//     are recorded for the trajectory but not gated — per the repo's
+//     bench philosophy, regressions on this path surface in allocs and
+//     message volume first, and those are deterministic.
+//
+// The sweep is replayable end to end: every fault draw is keyed by the
+// scenario's plan seed, so a failure line names a reproducible run.
+
+const (
+	chaosBaselinePath = "BENCH_chaos.json"
+	chaosWatchdog     = 10 * time.Minute
+	// chaosOverheadTol bounds the disarmed clean path: allocs/op versus
+	// the committed matmul baseline (rounds and words must match exactly).
+	chaosOverheadTol = 0.05
+	// chaosInertAllocSlack is the absolute allocs/op headroom the
+	// armed-but-inert path gets over disarmed: the injector, its option
+	// closure, and the per-call arming are a handful of constant
+	// allocations, and anything beyond (say, a per-link or per-send
+	// allocation creeping into the sweep) must fail the gate. The
+	// armed-inert wall-clock ratio is recorded but not gated — it hovers
+	// at 1.0, inside scheduler noise, so allocs and the exact schedule
+	// are the signals that can actually hold a gate.
+	chaosInertAllocSlack = 16
+	chaosN               = 12 // session-sweep instance size: small, so 200+ scenarios stay fast
+	// chaosCertify = n makes the semiring spot-checks exhaustive (every
+	// entry of every row re-derived — a corrupted min-plus or Boolean
+	// product cannot slip past a partial sample) and gives ring products a
+	// ≤ 2⁻¹² Freivalds false-accept; the draw is seed-derived, so a
+	// campaign that passes once passes identically on every replay.
+	chaosCertify = chaosN
+)
+
+// chaosScenario is one seeded fault configuration on one engine/transport/
+// algebra cell of the sweep.
+type chaosScenario struct {
+	id     string
+	engine string
+	wire   bool
+	op     string // matmul | bool | distance
+	plan   cc.FaultPlan
+}
+
+type chaosReport struct {
+	Experiment string `json:"experiment"`
+	Note       string `json:"note"`
+	Session    struct {
+		Scenarios int `json:"scenarios"`
+		Clean     int `json:"clean"`
+		Recovered int `json:"recovered"`
+		Typed     int `json:"typed_failures"`
+		Retries   int `json:"extra_attempts"`
+	} `json:"session_sweep"`
+	Serve struct {
+		Requests  int   `json:"requests"`
+		Poisoned  int   `json:"poison_requests"`
+		Completed int64 `json:"completed"`
+		Failed    int64 `json:"failed_typed"`
+		Discards  int64 `json:"sessions_discarded"`
+	} `json:"serve_wave"`
+	Overhead []chaosOverheadRow `json:"disarmed_overhead"`
+}
+
+// chaosOverheadRow compares one disarmed hot-path configuration against
+// the committed matmul baseline and against its own armed-but-inert twin.
+type chaosOverheadRow struct {
+	Kind   string `json:"kind"`
+	N      int    `json:"n"`
+	Rounds int64  `json:"rounds"`
+	Words  int64  `json:"words"`
+	// AllocsOp is the disarmed measurement; BaseAllocsOp the committed
+	// baseline it is gated against; InertAllocsOp the armed-but-inert
+	// path's, gated against AllocsOp + chaosInertAllocSlack.
+	AllocsOp      uint64 `json:"allocs_op"`
+	BaseAllocsOp  uint64 `json:"base_allocs_op"`
+	InertAllocsOp uint64 `json:"inert_allocs_op"`
+	// NsRatioVsBase is disarmed ns/op over the committed baseline's —
+	// recorded for the trajectory, not gated (hardware varies).
+	NsRatioVsBase float64 `json:"ns_ratio_vs_base"`
+	// ArmedInertRatio is armed-but-inert ns/op over disarmed ns/op,
+	// interleaved in the same process: the cost of the fault plane's
+	// per-send/per-flush checks when a (no-op) plan is armed. Recorded,
+	// not gated — it sits at 1.0 and scheduler noise swamps any tolerance
+	// tight enough to mean something; the deterministic twin gates
+	// (schedule and allocs) carry the regression signal.
+	ArmedInertRatio float64 `json:"armed_inert_ratio"`
+}
+
+// chaosMatrix enumerates the session sweep: engines × transports ×
+// algebras × fault kinds × seeds. The fast engine has no min-plus cell
+// (min-plus is not a ring).
+func chaosMatrix() []chaosScenario {
+	kinds := []struct {
+		name string
+		plan func(seed uint64) cc.FaultPlan
+	}{
+		{"corrupt", func(s uint64) cc.FaultPlan { return cc.FaultPlan{Seed: s, CorruptProb: 0.05, MaxFaults: 4} }},
+		{"drop", func(s uint64) cc.FaultPlan { return cc.FaultPlan{Seed: s, DropProb: 0.05, MaxFaults: 4} }},
+		{"duplicate", func(s uint64) cc.FaultPlan { return cc.FaultPlan{Seed: s, DupProb: 0.05, MaxFaults: 4} }},
+		{"straggle", func(s uint64) cc.FaultPlan { return cc.FaultPlan{Seed: s, StraggleProb: 0.3, StraggleSkew: 2} }},
+		{"crash", func(s uint64) cc.FaultPlan { return cc.FaultPlan{Seed: s, CrashAtRound: 1, CrashNode: int(s % chaosN)} }},
+		{"storm", func(s uint64) cc.FaultPlan {
+			return cc.FaultPlan{Seed: s, CorruptProb: 0.02, DropProb: 0.02, DupProb: 0.02, StraggleProb: 0.1, MaxFaults: 6}
+		}},
+	}
+	cells := []struct {
+		engine string
+		ops    []string
+	}{
+		{"naive", []string{"matmul", "bool", "distance"}},
+		{"semiring3d", []string{"matmul", "bool", "distance"}},
+		{"fast", []string{"matmul", "bool"}},
+	}
+	var out []chaosScenario
+	for _, cell := range cells {
+		for _, wire := range []bool{false, true} {
+			for _, op := range cell.ops {
+				for _, k := range kinds {
+					for seed := uint64(1); seed <= 2; seed++ {
+						transport := "direct"
+						if wire {
+							transport = "wire"
+						}
+						out = append(out, chaosScenario{
+							id:     fmt.Sprintf("%s/%s/%s/%s/seed=%d", cell.engine, transport, op, k.name, seed),
+							engine: cell.engine,
+							wire:   wire,
+							op:     op,
+							plan:   k.plan(seed*1000 + uint64(len(out))),
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func chaosEngineOpt(engine string) cc.SessionOption {
+	switch engine {
+	case "naive":
+		return cc.WithEngine(cc.Naive)
+	case "semiring3d":
+		return cc.WithEngine(cc.Semiring3D)
+	case "fast":
+		return cc.WithEngine(cc.Fast)
+	}
+	check(fmt.Errorf("chaos: unknown engine %q", engine))
+	return nil
+}
+
+// chaosTyped reports whether an error is one of the fault plane's typed
+// surfaces.
+func chaosTypedErr(err error) bool {
+	var fe *cc.FaultError
+	var ce *cc.CertificationError
+	return errors.As(err, &fe) || errors.As(err, &ce)
+}
+
+// refChaosProduct is the triple-loop reference for the sweep's three
+// algebras, computed once per algebra over the shared operands.
+func refChaosProduct(op string, a, b [][]int64) [][]int64 {
+	n := len(a)
+	out := make([][]int64, n)
+	for i := range out {
+		out[i] = make([]int64, n)
+		for j := 0; j < n; j++ {
+			switch op {
+			case "matmul":
+				var s int64
+				for k := 0; k < n; k++ {
+					s += a[i][k] * b[k][j]
+				}
+				out[i][j] = s
+			case "bool":
+				var s int64
+				for k := 0; k < n; k++ {
+					if a[i][k] != 0 && b[k][j] != 0 {
+						s = 1
+						break
+					}
+				}
+				out[i][j] = s
+			case "distance":
+				best := cc.Inf
+				for k := 0; k < n; k++ {
+					if cc.IsInf(a[i][k]) || cc.IsInf(b[k][j]) {
+						continue
+					}
+					if d := a[i][k] + b[k][j]; d < best {
+						best = d
+					}
+				}
+				out[i][j] = best
+			}
+		}
+	}
+	return out
+}
+
+func chaosEq(a, b [][]int64) bool {
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// chaosSessionSweep runs the engines × transports × algebras × kinds ×
+// seeds matrix, reusing one warm session per (engine, transport) so the
+// sweep also exercises arm/disarm hygiene across consecutive faulted,
+// crashed, and clean operations on the same network.
+func chaosSessionSweep(rep *chaosReport) {
+	scenarios := chaosMatrix()
+	boolify := func(m [][]int64) [][]int64 {
+		out := make([][]int64, len(m))
+		for i, row := range m {
+			out[i] = make([]int64, len(row))
+			for j, v := range row {
+				out[i][j] = v % 2
+			}
+		}
+		return out
+	}
+	a, b := randSquare(chaosN, 81), randSquare(chaosN, 82)
+	ab, bb := boolify(a), boolify(b)
+	want := map[string][][]int64{
+		"matmul":   refChaosProduct("matmul", a, b),
+		"bool":     refChaosProduct("bool", ab, bb),
+		"distance": refChaosProduct("distance", a, b),
+	}
+
+	sessions := map[string]*cc.Clique{}
+	sessionFor := func(sc chaosScenario) *cc.Clique {
+		key := fmt.Sprintf("%s/%v", sc.engine, sc.wire)
+		if s, ok := sessions[key]; ok {
+			return s
+		}
+		opts := []cc.SessionOption{chaosEngineOpt(sc.engine)}
+		if sc.wire {
+			opts = append(opts, cc.WithWireTransport())
+		}
+		s, err := cc.NewClique(chaosN, opts...)
+		check(err)
+		sessions[key] = s
+		return s
+	}
+	defer func() {
+		for _, s := range sessions {
+			s.Close()
+		}
+	}()
+
+	for _, sc := range scenarios {
+		sess := sessionFor(sc)
+		opts := []cc.CallOption{cc.WithFaultInjection(sc.plan), cc.WithCertification(chaosCertify)}
+		var prod [][]int64
+		var stats cc.Stats
+		var err error
+		switch sc.op {
+		case "matmul":
+			prod, stats, err = sess.MatMul(a, b, opts...)
+		case "bool":
+			prod, stats, err = sess.MatMulBool(ab, bb, opts...)
+		case "distance":
+			prod, stats, err = sess.DistanceProduct(a, b, opts...)
+		}
+		switch {
+		case err != nil:
+			if !chaosTypedErr(err) {
+				check(fmt.Errorf("chaos: %s: untyped failure: %v", sc.id, err))
+			}
+			rep.Session.Typed++
+		case !chaosEq(prod, want[sc.op]):
+			check(fmt.Errorf("chaos: %s: silently wrong product (faults fired: %d, certified: %v)",
+				sc.id, stats.Faults.Fired(), stats.Certified))
+		case !stats.Certified:
+			check(fmt.Errorf("chaos: %s: success without certification", sc.id))
+		case stats.Faults.Corrupted+stats.Faults.Dropped+stats.Faults.Duplicated > 0:
+			rep.Session.Recovered++
+		default:
+			rep.Session.Clean++
+		}
+		if stats.Attempts > 1 {
+			rep.Session.Retries += stats.Attempts - 1
+		}
+	}
+	rep.Session.Scenarios = len(scenarios)
+}
+
+// chaosServeWave drives a faulted request mix — clean, chaos-certified,
+// and session-poisoning — through the service plane and audits the
+// crash-safety ledger.
+func chaosServeWave(rep *chaosReport) {
+	s := serve.New(serve.Config{MaxBatch: 4, MaxWait: 2 * time.Millisecond})
+	const waveN, waveReqs = 10, 48
+	a, b := randSquare(waveN, 91), randSquare(waveN, 92)
+	want := refChaosProduct("matmul", a, b)
+
+	var wg sync.WaitGroup
+	results := make([]serve.Result, waveReqs)
+	poisons := 0
+	for i := 0; i < waveReqs; i++ {
+		req := serve.Request{Tenant: fmt.Sprintf("t%d", i%4), Op: serve.OpMatMul, A: a, B: b}
+		switch {
+		case i%8 == 5:
+			// A buggy run: untyped panic mid-operation, poisoning its session.
+			req.Fault = &cc.FaultPlan{Seed: uint64(100 + i), PanicAtFlush: 1}
+			poisons++
+		case i%3 == 0:
+			req.Fault = &cc.FaultPlan{Seed: uint64(200 + i), CorruptProb: 0.02, DropProb: 0.01, MaxFaults: 4}
+			req.Certify = chaosCertify
+		}
+		wg.Add(1)
+		go func(i int, req serve.Request) {
+			defer wg.Done()
+			results[i] = s.Do(context.Background(), req)
+		}(i, req)
+	}
+	wg.Wait()
+
+	for i, res := range results {
+		if res.Err != nil {
+			var spe *serve.SessionPanicError
+			if !chaosTypedErr(res.Err) && !errors.As(res.Err, &spe) {
+				check(fmt.Errorf("chaos: serve request %d: untyped failure: %v", i, res.Err))
+			}
+			rep.Serve.Failed++
+			continue
+		}
+		if !chaosEq(res.Matrix, want) {
+			check(fmt.Errorf("chaos: serve request %d: silently wrong product", i))
+		}
+		rep.Serve.Completed++
+	}
+
+	var admitted, completed, failed, expired int64
+	for _, ts := range s.Tenants() {
+		admitted += ts.Admitted
+		completed += ts.Completed
+		failed += ts.Failed
+		expired += ts.Expired
+	}
+	if admitted != int64(waveReqs) || completed+failed+expired != admitted {
+		check(fmt.Errorf("chaos: serve wave lost admitted requests: admitted %d, completed %d, failed %d, expired %d",
+			admitted, completed, failed, expired))
+	}
+	pool := s.Pool()
+	if pool.Discards < int64(poisons) {
+		check(fmt.Errorf("chaos: %d poison requests but only %d sessions discarded", poisons, pool.Discards))
+	}
+	if int64(pool.Idle+pool.InUse) != pool.Misses-pool.Discards {
+		check(fmt.Errorf("chaos: a poisoned session was re-pooled: %+v", pool))
+	}
+	check(s.Shutdown(context.Background()))
+	rep.Serve.Requests = waveReqs
+	rep.Serve.Poisoned = poisons
+	rep.Serve.Discards = pool.Discards
+}
+
+// chaosOverhead gates the disarmed clean path against the committed
+// matmul baseline: identical rounds and words (the fault plane must not
+// perturb the schedule when nothing is armed), allocs/op within
+// chaosOverheadTol, and the armed-but-inert twin bounded by the same
+// schedule plus chaosInertAllocSlack allocs/op.
+func chaosOverhead(rep *chaosReport) {
+	raw, err := os.ReadFile(benchBaselinePath)
+	if err != nil {
+		fmt.Printf("   no %s; disarmed-overhead gate skipped\n", benchBaselinePath)
+		return
+	}
+	var committed benchFile
+	check(json.Unmarshal(raw, &committed))
+	if committed.After == nil {
+		fmt.Printf("   %s has no baseline snapshot; disarmed-overhead gate skipped\n", benchBaselinePath)
+		return
+	}
+
+	mm := func(s *cc.Clique, a, b [][]int64) (cc.Stats, error) {
+		_, st, err := s.MatMul(a, b)
+		return st, err
+	}
+	dp := func(s *cc.Clique, a, b [][]int64) (cc.Stats, error) {
+		_, st, err := s.DistanceProduct(a, b)
+		return st, err
+	}
+	// The inert plan never injects (every probability zero), so arming it
+	// prices exactly the fault plane's per-send and per-flush checks.
+	inert := cc.FaultPlan{Seed: 1}
+	kinds := []struct {
+		kind string
+		base map[string]benchProductStats
+		mul  func(s *cc.Clique, a, b [][]int64) (cc.Stats, error)
+		inrt func(s *cc.Clique, a, b [][]int64) (cc.Stats, error)
+	}{
+		{"matmul", committed.After.SessionMatMul, mm,
+			func(s *cc.Clique, a, b [][]int64) (cc.Stats, error) {
+				_, st, err := s.MatMul(a, b, cc.WithFaultInjection(inert))
+				return st, err
+			}},
+		{"distance-product", committed.After.SessionDistanceProduct, dp,
+			func(s *cc.Clique, a, b [][]int64) (cc.Stats, error) {
+				_, st, err := s.DistanceProduct(a, b, cc.WithFaultInjection(inert))
+				return st, err
+			}},
+	}
+	var fails []string
+	for _, k := range kinds {
+		for _, n := range []int{27, 64, 100} {
+			base, ok := k.base[fmt.Sprintf("%d", n)]
+			if !ok {
+				continue
+			}
+			disarmed := measureSession(n, k.mul)
+			armedInert := measureSession(n, k.inrt)
+			row := chaosOverheadRow{
+				Kind: k.kind, N: n,
+				Rounds: disarmed.Rounds, Words: disarmed.Words,
+				AllocsOp: disarmed.AllocsOp, BaseAllocsOp: base.AllocsOp,
+				InertAllocsOp:   armedInert.AllocsOp,
+				NsRatioVsBase:   disarmed.NsOp / base.NsOp,
+				ArmedInertRatio: measureInertRatio(n, k.mul, k.inrt),
+			}
+			rep.Overhead = append(rep.Overhead, row)
+			if disarmed.Rounds != base.Rounds || disarmed.Words != base.Words {
+				fails = append(fails, fmt.Sprintf("%s n=%d: disarmed schedule changed: %d rounds / %d words, baseline %d / %d",
+					k.kind, n, disarmed.Rounds, disarmed.Words, base.Rounds, base.Words))
+			}
+			if float64(disarmed.AllocsOp) > float64(base.AllocsOp)*(1+chaosOverheadTol)+64 {
+				fails = append(fails, fmt.Sprintf("%s n=%d: disarmed allocs/op %d > baseline %d (+%.0f%%)",
+					k.kind, n, disarmed.AllocsOp, base.AllocsOp, chaosOverheadTol*100))
+			}
+			if armedInert.Rounds != disarmed.Rounds || armedInert.Words != disarmed.Words {
+				fails = append(fails, fmt.Sprintf("%s n=%d: an inert plan perturbed the schedule: %d rounds / %d words armed, %d / %d disarmed",
+					k.kind, n, armedInert.Rounds, armedInert.Words, disarmed.Rounds, disarmed.Words))
+			}
+			if armedInert.AllocsOp > disarmed.AllocsOp+chaosInertAllocSlack {
+				fails = append(fails, fmt.Sprintf("%s n=%d: armed-inert path allocates %d/op vs %d disarmed (slack %d)",
+					k.kind, n, armedInert.AllocsOp, disarmed.AllocsOp, chaosInertAllocSlack))
+			}
+		}
+	}
+	if len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "   OVERHEAD:", f)
+		}
+		check(fmt.Errorf("chaos: %d disarmed-overhead violation(s) versus %s", len(fails), benchBaselinePath))
+	}
+}
+
+// measureInertRatio times the disarmed and armed-but-inert paths
+// interleaved on the same session — the measureTransport recipe: slow
+// machine phases hit both sides alike, per-side minima filter one-sided
+// noise, and their quotient is the one hardware-relative wall-clock
+// figure stable enough to gate.
+func measureInertRatio(n int, disarmed, inrt func(s *cc.Clique, a, b [][]int64) (cc.Stats, error)) float64 {
+	a, b := randSquare(n, 71), randSquare(n, 72)
+	runtime.GC()
+	s, err := cc.NewClique(n)
+	check(err)
+	defer s.Close()
+	for i := 0; i < benchWarmups; i++ {
+		_, err = disarmed(s, a, b)
+		check(err)
+		_, err = inrt(s, a, b)
+		check(err)
+	}
+	time1 := func(mul func(s *cc.Clique, a, b [][]int64) (cc.Stats, error)) float64 {
+		t0 := time.Now()
+		for i := 0; i < 2*benchOps; i++ {
+			_, err := mul(s, a, b)
+			check(err)
+		}
+		return float64(time.Since(t0).Nanoseconds())
+	}
+	var dns, ins float64
+	for rep := 0; rep < benchReps; rep++ {
+		d, i := time1(disarmed), time1(inrt)
+		if rep == 0 || d < dns {
+			dns = d
+		}
+		if rep == 0 || i < ins {
+			ins = i
+		}
+	}
+	return ins / dns
+}
+
+// chaosBench is the `ccbench chaos` experiment entry point.
+func chaosBench() {
+	// Zero hangs is a gate, not a hope: if any scenario wedges, the
+	// watchdog fails the whole campaign loudly instead of letting CI time
+	// out 50 minutes later.
+	watchdog := time.AfterFunc(chaosWatchdog, func() {
+		fmt.Fprintln(os.Stderr, "chaos: campaign watchdog fired — a scenario hung")
+		os.Exit(1)
+	})
+	defer watchdog.Stop()
+
+	rep := &chaosReport{
+		Experiment: "fault-plane-chaos",
+		Note: "seeded fault campaign: engines × transports × algebras × fault kinds, plus a poisoned serve wave; " +
+			"gated on typed-or-correct answers, zero hangs, zero lost admitted requests, no re-pooled poisoned " +
+			"sessions, and disarmed clean-path overhead (schedule identical to baseline, allocs within 5%, armed-inert " +
+			"within a constant alloc slack)",
+	}
+	chaosSessionSweep(rep)
+	fmt.Printf("   session sweep: %d scenarios — %d clean, %d recovered via certification, %d typed failures, %d extra attempts\n",
+		rep.Session.Scenarios, rep.Session.Clean, rep.Session.Recovered, rep.Session.Typed, rep.Session.Retries)
+	if rep.Session.Recovered == 0 {
+		check(fmt.Errorf("chaos: no scenario recovered through certification; the sweep is not exercising the retry path"))
+	}
+	chaosServeWave(rep)
+	fmt.Printf("   serve wave: %d requests (%d poisoning) — %d completed, %d typed failures, %d sessions discarded\n",
+		rep.Serve.Requests, rep.Serve.Poisoned, rep.Serve.Completed, rep.Serve.Failed, rep.Serve.Discards)
+	chaosOverhead(rep)
+	for _, row := range rep.Overhead {
+		fmt.Printf("   disarmed %s n=%d: schedule unchanged (%d rounds / %d words), allocs %d vs %d baseline, armed-inert %.1f%%\n",
+			row.Kind, row.N, row.Rounds, row.Words, row.AllocsOp, row.BaseAllocsOp, (row.ArmedInertRatio-1)*100)
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	check(err)
+	raw = append(raw, '\n')
+	check(os.WriteFile(chaosBaselinePath, raw, 0o644))
+	fmt.Printf("   wrote %s\n", chaosBaselinePath)
+	total := rep.Session.Scenarios + rep.Serve.Requests
+	fmt.Printf("   campaign: %d seeded scenarios, all typed-or-correct, zero hangs, zero lost requests\n", total)
+}

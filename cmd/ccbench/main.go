@@ -48,6 +48,7 @@ func main() {
 		{"matmul", "X6 multiply-and-message hot path: bulk codecs, scratch pools, packed booleans (JSON, gated)", matmulBench},
 		{"sparse", "X7 density-aware planner: sparse tile engine vs dense plan on GNP (JSON, gated)", sparseBench},
 		{"serve", "X8 service plane: 2000 concurrent mixed queries over 6 tenants (JSON, gated)", serveBench},
+		{"chaos", "X9 fault plane: 240 seeded chaos scenarios, typed-or-correct gate + disarmed overhead (JSON, gated)", chaosBench},
 		{"table1", "Table 1 summary at n = 64", table1},
 	}
 	if len(os.Args) < 2 || os.Args[1] == "list" {

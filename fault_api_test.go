@@ -1,0 +1,373 @@
+package algclique
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/algebraic-clique/algclique/internal/ccmm"
+	"github.com/algebraic-clique/algclique/internal/clique"
+)
+
+// mustMatMulClean computes the fault-free reference product on a throwaway
+// session.
+func mustMatMulClean(t *testing.T, a, b Mat) Mat {
+	t.Helper()
+	want, _, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// TestFaultInjectionCertifiedRecovery is the headline contract: under a
+// seeded corruption storm with certification armed, MatMul either returns
+// the bit-correct product (certified, possibly after retries) or a typed
+// error — across many seeds, never a silently wrong answer.
+func TestFaultInjectionCertifiedRecovery(t *testing.T) {
+	n := 10
+	a, b := randMatT(1, n), randMatT(2, n)
+	want := mustMatMulClean(t, a, b)
+	s, err := NewClique(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	recovered, failed := 0, 0
+	for seed := uint64(1); seed <= 20; seed++ {
+		got, st, err := s.MatMul(a, b,
+			WithFaultInjection(FaultPlan{Seed: seed, CorruptProb: 0.01, DropProb: 0.005, MaxFaults: 8}),
+			WithCertification(10))
+		if err != nil {
+			failed++
+			var fe *FaultError
+			var ce *CertificationError
+			if !errors.As(err, &fe) && !errors.As(err, &ce) {
+				t.Fatalf("seed %d: untyped failure %v (%T)", seed, err, err)
+			}
+			continue
+		}
+		if !st.Certified {
+			t.Fatalf("seed %d: success without certification", seed)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: certified product is wrong", seed)
+		}
+		if st.Faults.Fired() > 0 && st.Attempts > 1 {
+			recovered++
+		}
+	}
+	if recovered == 0 {
+		t.Error("no seed exercised a certified retry; lower MaxFaults or adjust probabilities")
+	}
+	t.Logf("recovered=%d failed-typed=%d", recovered, failed)
+}
+
+// TestFaultsWithoutCertificationTaintResult pins the taint rule: a product
+// that completes while data faults fired, with no certification to vouch
+// for it, returns *FaultError rather than a possibly-wrong matrix.
+func TestFaultsWithoutCertificationTaintResult(t *testing.T) {
+	n := 9
+	a, b := randMatT(3, n), randMatT(4, n)
+	s, err := NewClique(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	_, st, err := s.MatMul(a, b,
+		WithFaultInjection(FaultPlan{Seed: 7, CorruptProb: 1, MaxFaults: 1}))
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v (%T), want *FaultError", err, err)
+	}
+	if fe.Kind != FaultDisrupt && fe.Kind != FaultCorrupt {
+		t.Errorf("unexpected kind %v", fe.Kind)
+	}
+	if st.Faults.Corrupted == 0 {
+		t.Errorf("ledger recorded no corruption: %+v", st.Faults)
+	}
+	if st.Attempts != 1 {
+		t.Errorf("uncertified fault should not retry, got %d attempts", st.Attempts)
+	}
+}
+
+// TestStraggleOnlyFaultsDoNotTaint: straggles stretch rounds but cannot
+// corrupt data, so the result stays trustworthy without certification.
+func TestStraggleOnlyFaultsDoNotTaint(t *testing.T) {
+	n := 9
+	a, b := randMatT(5, n), randMatT(6, n)
+	want := mustMatMulClean(t, a, b)
+	s, err := NewClique(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	_, clean, err := s.MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := s.MatMul(a, b,
+		WithFaultInjection(FaultPlan{Seed: 11, StraggleProb: 1, StraggleSkew: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("straggled product differs from clean product")
+	}
+	if st.Faults.Straggles == 0 || st.Faults.SkewRounds == 0 {
+		t.Fatalf("no straggles ledgered: %+v", st.Faults)
+	}
+	if st.Rounds != clean.Rounds+st.Faults.SkewRounds {
+		t.Errorf("rounds %d != clean %d + skew %d", st.Rounds, clean.Rounds, st.Faults.SkewRounds)
+	}
+}
+
+// TestCrashSurfacesTypedAndIsNotRetried: a fail-stopped node is permanent
+// on the network, so even a generous retry budget must not spin on it.
+func TestCrashSurfacesTypedAndIsNotRetried(t *testing.T) {
+	n := 9
+	a, b := randMatT(8, n), randMatT(9, n)
+	s, err := NewClique(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	_, st, err := s.MatMul(a, b,
+		WithFaultInjection(FaultPlan{Seed: 1, CrashAtRound: 1, CrashNode: 2}),
+		WithCertification(4), WithCertificationRetries(5))
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v (%T), want *FaultError", err, err)
+	}
+	if fe.Kind != FaultCrash || fe.Node != 2 {
+		t.Errorf("got kind=%v node=%d, want crash of node 2", fe.Kind, fe.Node)
+	}
+	if st.Attempts != 1 {
+		t.Errorf("crash retried: %d attempts", st.Attempts)
+	}
+	if st.Faults.Crashes != 1 {
+		t.Errorf("ledger: %+v", st.Faults)
+	}
+
+	// The session itself stays healthy: the injector is disarmed after the
+	// operation, so the next call runs clean.
+	if _, _, err := s.MatMul(a, b); err != nil {
+		t.Fatalf("session poisoned after crash op: %v", err)
+	}
+}
+
+// TestTransportVerificationFlagsCorruptedDirectPlane is the satellite
+// regression test: WithTransportVerification dual-runs every product, and
+// a corrupted direct-plane payload must surface as ErrTransportDiverged
+// (the wire shadow is un-faulted, so the planes cannot agree).
+func TestTransportVerificationFlagsCorruptedDirectPlane(t *testing.T) {
+	n := 10
+	a, b := randMatT(12, n), randMatT(13, n)
+	s, err := NewClique(n, WithTransportVerification())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	_, _, err = s.MatMul(a, b,
+		WithFaultInjection(FaultPlan{Seed: 5, CorruptProb: 1}))
+	if err == nil {
+		t.Fatal("corrupted direct plane passed transport verification")
+	}
+	if !errors.Is(err, ccmm.ErrTransportDiverged) {
+		t.Fatalf("err = %v, want ErrTransportDiverged", err)
+	}
+}
+
+// TestFaultInjectionRejectedOnBroadcast: the fault plane hooks the unicast
+// simulator's flush path; broadcast-model operations must refuse a plan
+// rather than silently ignore it.
+func TestFaultInjectionRejectedOnBroadcast(t *testing.T) {
+	n := 9
+	a, b := randMatT(14, n), randMatT(15, n)
+	s, err := NewClique(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	_, _, err = s.MatMulBroadcast(a, b,
+		WithFaultInjection(FaultPlan{Seed: 1, DropProb: 0.5}))
+	if err == nil {
+		t.Fatal("broadcast op accepted a fault plan")
+	}
+}
+
+// TestCertificationOnCleanRun: certification on an un-faulted session
+// accepts the product, marks it certified, and charges its probes to the
+// operation's ledger.
+func TestCertificationOnCleanRun(t *testing.T) {
+	n := 10
+	a, b := randMatT(16, n), randMatT(17, n)
+	want := mustMatMulClean(t, a, b)
+	s, err := NewClique(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	_, plain, err := s.MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := s.MatMul(a, b, WithCertification(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("certified product differs")
+	}
+	if !st.Certified || st.Attempts != 1 {
+		t.Errorf("certified=%v attempts=%d, want true/1", st.Certified, st.Attempts)
+	}
+	if st.Rounds <= plain.Rounds {
+		t.Errorf("certification charged no rounds: %d vs %d", st.Rounds, plain.Rounds)
+	}
+}
+
+// TestCertifiedDistanceAndBoolProducts covers the semiring (spot-check)
+// certification paths end to end.
+func TestCertifiedDistanceAndBoolProducts(t *testing.T) {
+	n := 9
+	a, b := randMatT(18, n), randMatT(19, n)
+	bool01 := func(m Mat) Mat {
+		out := make(Mat, len(m))
+		for i, row := range m {
+			out[i] = make([]int64, len(row))
+			for j, v := range row {
+				if v > 0 {
+					out[i][j] = 1
+				}
+			}
+		}
+		return out
+	}
+	ba, bb := bool01(a), bool01(b)
+
+	s, err := NewClique(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if _, st, err := s.DistanceProduct(a, b, WithCertification(n)); err != nil || !st.Certified {
+		t.Fatalf("distance product: err=%v certified=%v", err, st.Certified)
+	}
+	if _, st, err := s.MatMulBool(ba, bb, WithCertification(n)); err != nil || !st.Certified {
+		t.Fatalf("bool product: err=%v certified=%v", err, st.Certified)
+	}
+}
+
+// TestBatchPerItemFaultPlans: fault plans are per-item call options — a
+// faulted item fails typed while its batch siblings run clean, and the
+// injector never leaks into the next item.
+func TestBatchPerItemFaultPlans(t *testing.T) {
+	n := 9
+	a, b := randMatT(20, n), randMatT(21, n)
+	want := mustMatMulClean(t, a, b)
+	s, err := NewClique(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	items := []BatchItem{
+		{A: a, B: b},
+		{A: a, B: b, Opts: []CallOption{
+			WithFaultInjection(FaultPlan{Seed: 2, CorruptProb: 1, MaxFaults: 1})}},
+		{A: a, B: b},
+	}
+	prods, stats, err := s.MatMulBatch(items)
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v (%T), want *FaultError from item 1", err, err)
+	}
+	if len(prods) != 1 {
+		t.Fatalf("%d results before the failing item, want 1", len(prods))
+	}
+	if !reflect.DeepEqual(prods[0], want) {
+		t.Fatal("clean item 0 computed a wrong product")
+	}
+	if stats[0].Faults.Fired() != 0 {
+		t.Errorf("clean item ledgered faults: %+v", stats[0].Faults)
+	}
+
+	// Batch entry points recover per item too: with certification the
+	// faulted item retries inside the batch.
+	items[1].Opts = append(items[1].Opts, WithCertification(8), WithCertificationRetries(6))
+	prods, stats, err = s.MatMulBatch(items)
+	if err == nil {
+		if len(prods) != 3 {
+			t.Fatalf("%d results, want 3", len(prods))
+		}
+		if !reflect.DeepEqual(prods[1], want) {
+			t.Fatal("certified faulted item is wrong")
+		}
+		if !stats[1].Certified {
+			t.Error("faulted item not marked certified")
+		}
+	} else if !errors.As(err, &fe) {
+		var ce *CertificationError
+		if !errors.As(err, &ce) {
+			t.Fatalf("batch retry failed untyped: %v", err)
+		}
+	}
+}
+
+// TestFaultPlanDeterministicAcrossSessions: the same plan on the same
+// operation fires the same faults — the replayability contract chaos
+// campaigns depend on.
+func TestFaultPlanDeterministicAcrossSessions(t *testing.T) {
+	n := 10
+	a, b := randMatT(22, n), randMatT(23, n)
+	run := func() (Stats, error) {
+		s, err := NewClique(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		_, st, err := s.MatMul(a, b,
+			WithFaultInjection(FaultPlan{Seed: 99, CorruptProb: 0.02, DropProb: 0.01, MaxFaults: 4}),
+			WithCertification(8))
+		return st, err
+	}
+	st1, err1 := run()
+	st2, err2 := run()
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("outcomes differ: %v vs %v", err1, err2)
+	}
+	if st1.Faults != st2.Faults || st1.Attempts != st2.Attempts || st1.Rounds != st2.Rounds {
+		t.Fatalf("replay diverged: %+v/%d/%d vs %+v/%d/%d",
+			st1.Faults, st1.Attempts, st1.Rounds, st2.Faults, st2.Attempts, st2.Rounds)
+	}
+}
+
+// TestRoundLimitStillTypedThroughFaultPath: the retry harness must not
+// swallow or retry a round-budget abort.
+func TestRoundLimitStillTypedThroughFaultPath(t *testing.T) {
+	n := 27
+	a, b := randMatT(24, n), randMatT(25, n)
+	s, err := NewClique(n, WithEngine(Semiring3D))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	_, st, err := s.MatMul(a, b, WithRoundLimit(3),
+		WithFaultInjection(FaultPlan{Seed: 1, CorruptProb: 0.01}),
+		WithCertification(4))
+	var lim *clique.RoundLimitError
+	if !errors.As(err, &lim) {
+		t.Fatalf("err = %v (%T), want *RoundLimitError", err, err)
+	}
+	if st.Attempts != 1 {
+		t.Errorf("round-limit abort retried: %d attempts", st.Attempts)
+	}
+}

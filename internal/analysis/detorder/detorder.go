@@ -16,6 +16,10 @@
 //     Shuffle, Perm, …), which read the shared global source; explicitly
 //     seeded rand.New(rand.NewPCG(seed, …)) generators remain legal and
 //     are how colour-coding and witness sampling stay reproducible
+//   - FaultPlan composite literals without an explicit Seed field: the
+//     fault plane's injected schedule is a pure function of the seed, so
+//     an implicit zero seed hides the choice that makes a chaos run
+//     replayable (Seed: 0 spelled out is legal — the choice is visible)
 package detorder
 
 import (
@@ -53,9 +57,57 @@ func run(pass *framework.Pass) error {
 			}
 		case *ast.CallExpr:
 			checkCall(pass, node)
+		case *ast.CompositeLit:
+			checkFaultPlan(pass, node)
 		}
 	})
 	return nil
+}
+
+// checkFaultPlan flags FaultPlan composite literals that do not set Seed
+// explicitly. The rule is structural (any struct named FaultPlan with a
+// Seed field), so it covers both clique.FaultPlan and the root package's
+// alias without importing either — and stays testable on fixtures.
+func checkFaultPlan(pass *framework.Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	named, ok := types.Unalias(tv.Type).(*types.Named)
+	if !ok || named.Obj().Name() != "FaultPlan" {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok || !hasField(st, "Seed") {
+		return
+	}
+	if len(lit.Elts) > 0 {
+		if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); !keyed {
+			return // positional literal: every field, Seed included, is spelled out
+		}
+		for _, el := range lit.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Seed" {
+				return
+			}
+		}
+	}
+	pass.Reportf(lit.Pos(),
+		"FaultPlan literal without an explicit Seed: fault schedules are deterministic in their seed, so spell it out (Seed: 0 included) to keep the injected run replayable")
+}
+
+// hasField reports whether the struct declares a field with the given
+// name.
+func hasField(st *types.Struct, name string) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return true
+		}
+	}
+	return false
 }
 
 // checkCall flags package-level calls into time's clock and math/rand's

@@ -48,3 +48,31 @@ func seededRand(n int) int {
 	r := rand.New(rand.NewSource(7))
 	return r.Intn(n)
 }
+
+// FaultPlan mirrors the simulator's fault schedule: plan literals must
+// spell out their Seed.
+type FaultPlan struct {
+	Seed        uint64
+	CorruptProb float64
+	DropProb    float64
+}
+
+// otherPlan has no Seed field, so the rule does not apply to it.
+type otherPlan struct {
+	CorruptProb float64
+}
+
+func plans() []FaultPlan {
+	return []FaultPlan{
+		{Seed: 1, CorruptProb: 0.5},
+		{Seed: 0, DropProb: 0.5}, // an explicit zero seed is a visible choice
+		{CorruptProb: 0.5},       // want "FaultPlan literal without an explicit Seed"
+		{},                       // want "FaultPlan literal without an explicit Seed"
+		FaultPlan{7, 0.5, 0},     // positional: every field is spelled out
+		*&FaultPlan{DropProb: 1}, // want "FaultPlan literal without an explicit Seed"
+	}
+}
+
+func unrelated() otherPlan {
+	return otherPlan{CorruptProb: 1}
+}

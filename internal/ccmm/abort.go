@@ -1,0 +1,32 @@
+package ccmm
+
+import "github.com/algebraic-clique/algclique/internal/clique"
+
+// The simulator aborts a run by panicking from charge — a round budget
+// tripping, a context cancelling, a crashed node sending — because the
+// abort condition surfaces deep inside an engine's schedule, under ForEach
+// fan-outs, where no error return path exists. That panic is an internal
+// control-flow mechanism, not an API: every exported product entry point
+// in this package converts it to a typed error return with catchAbort, so
+// callers (and the session layer above) see *clique.RoundLimitError,
+// *clique.CanceledError, or *clique.FaultError as ordinary errors that
+// errors.As can match. Anything else recovered is a genuine bug and is
+// re-panicked unchanged.
+
+// catchAbort converts a controlled simulator abort unwinding the deferred
+// function into a typed error assignment; use as
+//
+//	defer catchAbort(&err)
+//
+// on entry points with a named error result.
+func catchAbort(err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	e, ok := clique.AsAbort(r)
+	if !ok {
+		panic(r)
+	}
+	*err = e
+}

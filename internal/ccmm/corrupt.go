@@ -1,0 +1,81 @@
+package ccmm
+
+import (
+	"github.com/algebraic-clique/algclique/internal/clique"
+	"github.com/algebraic-clique/algclique/internal/ring"
+)
+
+// PayloadCorrupters are the fault injector's direct-plane corrupters for
+// every payload type the engines ship by reference (see
+// clique.PayloadCorrupter): dense rows of algebra elements, packed word
+// chunks, and the sparse engine's tuple streams. The simulator stays
+// agnostic of payload types; the layer that boxes them registers how to
+// perturb them. Each corrupter flips bits in (or toggles) exactly one
+// element, chosen by the injector's draw, and only Val halves of tuples
+// are touched — a garbled value models a bit flip in transit, while a
+// garbled index would mostly model a different bug (misrouted memory) and
+// routinely escalate to out-of-range panics instead of wrong data.
+var PayloadCorrupters = []clique.PayloadCorrupter{
+	corruptInt64Row,
+	corruptBoolRow,
+	corruptWordRow,
+	corruptValWRow,
+	corruptTupleInt64Row,
+	corruptTupleBoolRow,
+}
+
+func corruptInt64Row(p clique.Payload, h uint64) bool {
+	s, ok := p.(*[]int64)
+	if !ok || len(*s) == 0 {
+		return false
+	}
+	(*s)[h%uint64(len(*s))] ^= int64(1) << ((h >> 32) & 63)
+	return true
+}
+
+func corruptBoolRow(p clique.Payload, h uint64) bool {
+	s, ok := p.(*[]bool)
+	if !ok || len(*s) == 0 {
+		return false
+	}
+	i := h % uint64(len(*s))
+	(*s)[i] = !(*s)[i]
+	return true
+}
+
+func corruptWordRow(p clique.Payload, h uint64) bool {
+	s, ok := p.(*[]clique.Word)
+	if !ok || len(*s) == 0 {
+		return false
+	}
+	(*s)[h%uint64(len(*s))] ^= 1 << ((h >> 32) & 63)
+	return true
+}
+
+func corruptValWRow(p clique.Payload, h uint64) bool {
+	s, ok := p.(*[]ring.ValW)
+	if !ok || len(*s) == 0 {
+		return false
+	}
+	(*s)[h%uint64(len(*s))].V ^= int64(1) << ((h >> 32) & 63)
+	return true
+}
+
+func corruptTupleInt64Row(p clique.Payload, h uint64) bool {
+	s, ok := p.(*[]ring.Tuple[int64])
+	if !ok || len(*s) == 0 {
+		return false
+	}
+	(*s)[h%uint64(len(*s))].Val ^= int64(1) << ((h >> 32) & 63)
+	return true
+}
+
+func corruptTupleBoolRow(p clique.Payload, h uint64) bool {
+	s, ok := p.(*[]ring.Tuple[bool])
+	if !ok || len(*s) == 0 {
+		return false
+	}
+	i := h % uint64(len(*s))
+	(*s)[i].Val = !(*s)[i].Val
+	return true
+}

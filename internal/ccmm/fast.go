@@ -33,7 +33,8 @@ func FastBilinear[T any](net *clique.Network, rg ring.Ring[T], codec ring.Codec[
 // analytically from EncodedLen; the wire plane sends every row through one
 // bulk EncodeSlice/DecodeSlice; TransportVerify runs both and diffs them.
 // A nil sc uses a transient scratch.
-func FastBilinearScratch[T any](net *clique.Network, sc *Scratch, rg ring.Ring[T], codec ring.Codec[T], scheme *bilinear.Scheme, s, t *RowMat[T]) (*RowMat[T], error) {
+func FastBilinearScratch[T any](net *clique.Network, sc *Scratch, rg ring.Ring[T], codec ring.Codec[T], scheme *bilinear.Scheme, s, t *RowMat[T]) (p *RowMat[T], err error) {
+	defer catchAbort(&err)
 	switch net.Transport() {
 	case clique.TransportWire:
 		return fastBilinearWire[T](net, sc, rg, codec, scheme, s, t)

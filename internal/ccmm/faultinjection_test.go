@@ -11,8 +11,10 @@ import (
 )
 
 // TestRoundBudgetAbortsRunawayAlgorithm injects a round budget below what
-// the 3D algorithm needs and checks the typed abort surfaces mid-flight —
-// the mechanism tests use to catch complexity regressions.
+// the 3D algorithm needs and checks the typed abort surfaces as an
+// ordinary error return — the abort still travels as a panic inside the
+// engine's schedule, but the entry point converts it, so callers never
+// need a recover dance.
 func TestRoundBudgetAbortsRunawayAlgorithm(t *testing.T) {
 	rng := rand.New(rand.NewPCG(1, 1))
 	r := ring.Int64{}
@@ -20,21 +22,17 @@ func TestRoundBudgetAbortsRunawayAlgorithm(t *testing.T) {
 	a, b := randIntMat(rng, n, 10), randIntMat(rng, n, 10)
 	net := clique.New(n, clique.WithRoundLimit(5)) // 3D needs ~20 here
 
-	defer func() {
-		rec := recover()
-		if rec == nil {
-			t.Fatal("expected round-limit panic")
-		}
-		var lim *clique.RoundLimitError
-		err, ok := rec.(error)
-		if !ok || !errors.As(err, &lim) {
-			t.Fatalf("panic value %v (%T), want *RoundLimitError", rec, rec)
-		}
-		if lim.Limit != 5 || lim.Rounds <= 5 {
-			t.Errorf("unexpected limit error: %+v", lim)
-		}
-	}()
-	_, _ = ccmm.Semiring3D[int64](net, r, r, ccmm.Distribute(a), ccmm.Distribute(b))
+	_, err := ccmm.Semiring3D[int64](net, r, r, ccmm.Distribute(a), ccmm.Distribute(b))
+	if err == nil {
+		t.Fatal("expected a round-limit error")
+	}
+	var lim *clique.RoundLimitError
+	if !errors.As(err, &lim) {
+		t.Fatalf("err = %v (%T), want *RoundLimitError", err, err)
+	}
+	if lim.Limit != 5 || lim.Rounds <= 5 {
+		t.Errorf("unexpected limit error: %+v", lim)
+	}
 }
 
 // TestRoundBudgetPermitsCompliantAlgorithm pins the complement: a generous

@@ -22,7 +22,8 @@ func NaiveGather[T any](net *clique.Network, sr ring.Semiring[T], codec ring.Cod
 // operand's rows in place; the wire plane ships each row through one bulk
 // EncodeSlice (encode and decode parallelised over the worker pool) into
 // pooled per-node buffers. A nil sc uses a transient scratch.
-func NaiveGatherScratch[T any](net *clique.Network, sc *Scratch, sr ring.Semiring[T], codec ring.Codec[T], s, t *RowMat[T]) (*RowMat[T], error) {
+func NaiveGatherScratch[T any](net *clique.Network, sc *Scratch, sr ring.Semiring[T], codec ring.Codec[T], s, t *RowMat[T]) (p *RowMat[T], err error) {
+	defer catchAbort(&err)
 	switch net.Transport() {
 	case clique.TransportWire:
 		return naiveGatherWire[T](net, sc, sr, codec, s, t)

@@ -109,7 +109,8 @@ func MulRingScratch[T any](net *clique.Network, p *Plan, sc *Scratch, rg ring.Ri
 
 // MulRingRouted is MulRingScratch reporting how the density-aware planner
 // routed the product (see Route).
-func MulRingRouted[T any](net *clique.Network, p *Plan, sc *Scratch, rg ring.Ring[T], codec ring.Codec[T], s, t *RowMat[T]) (*RowMat[T], Route, error) {
+func MulRingRouted[T any](net *clique.Network, p *Plan, sc *Scratch, rg ring.Ring[T], codec ring.Codec[T], s, t *RowMat[T]) (m *RowMat[T], rt Route, err error) {
+	defer catchAbort(&err)
 	if err := p.check(net); err != nil {
 		return nil, Route{}, err
 	}
@@ -190,7 +191,8 @@ func (p *Plan) MulBoolScratch(net *clique.Network, sc *Scratch, s, t *RowMat[int
 // MulBoolRouted is MulBoolScratch reporting the density-aware route. The
 // sparse path multiplies over the Boolean semiring with bit-packed tuple
 // values (ring.TupleCodec over ring.PackedBool).
-func (p *Plan) MulBoolRouted(net *clique.Network, sc *Scratch, s, t *RowMat[int64]) (*RowMat[int64], Route, error) {
+func (p *Plan) MulBoolRouted(net *clique.Network, sc *Scratch, s, t *RowMat[int64]) (m *RowMat[int64], rt Route, err error) {
+	defer catchAbort(&err)
 	if err := p.check(net); err != nil {
 		return nil, Route{}, err
 	}
@@ -272,7 +274,8 @@ func (p *Plan) MulMinPlusScratch(net *clique.Network, sc *Scratch, s, t *RowMat[
 
 // MulMinPlusRouted is MulMinPlusScratch reporting the density-aware route;
 // a min-plus entry is nonzero when it is finite.
-func (p *Plan) MulMinPlusRouted(net *clique.Network, sc *Scratch, s, t *RowMat[int64]) (*RowMat[int64], Route, error) {
+func (p *Plan) MulMinPlusRouted(net *clique.Network, sc *Scratch, s, t *RowMat[int64]) (m *RowMat[int64], rt Route, err error) {
+	defer catchAbort(&err)
 	if err := p.check(net); err != nil {
 		return nil, Route{}, err
 	}

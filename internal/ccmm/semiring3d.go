@@ -38,7 +38,8 @@ func Semiring3D[T any](net *clique.Network, sr ring.Semiring[T], codec ring.Code
 // codec (ring.PackedBool) is honoured on both planes, since every cost and
 // offset is an EncodedLen sum of whole chunks. A nil sc uses a transient
 // scratch.
-func Semiring3DScratch[T any](net *clique.Network, sc *Scratch, sr ring.Semiring[T], codec ring.Codec[T], s, t *RowMat[T]) (*RowMat[T], error) {
+func Semiring3DScratch[T any](net *clique.Network, sc *Scratch, sr ring.Semiring[T], codec ring.Codec[T], s, t *RowMat[T]) (p *RowMat[T], err error) {
+	defer catchAbort(&err)
 	switch net.Transport() {
 	case clique.TransportWire:
 		return semiring3DWire[T](net, sc, sr, codec, s, t)

@@ -76,7 +76,8 @@ func SparseMul[T any](net *clique.Network, sr ring.Semiring[T], codec ring.Codec
 
 // SparseMulScratch is SparseMul with caller-owned scratch pools,
 // dispatched on the network's transport like every other engine.
-func SparseMulScratch[T any](net *clique.Network, sc *Scratch, sr ring.Semiring[T], codec ring.Codec[T], s, t *RowMat[T]) (*RowMat[T], error) {
+func SparseMulScratch[T any](net *clique.Network, sc *Scratch, sr ring.Semiring[T], codec ring.Codec[T], s, t *RowMat[T]) (p *RowMat[T], err error) {
+	defer catchAbort(&err)
 	n := net.N()
 	if err := s.validate(n); err != nil {
 		return nil, err

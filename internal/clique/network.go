@@ -82,6 +82,9 @@ type Stats struct {
 	Words   int64
 	Flushes int64
 	Phases  []PhaseStat
+	// Faults ledgers every fault the armed injector fired (zero when no
+	// injector is armed — see SetFaultInjector).
+	Faults FaultStats
 }
 
 // Option configures a Network.
@@ -121,6 +124,7 @@ type Network struct {
 	phases     []PhaseStat
 	workers    int
 	roundLimit int64
+	fault      *FaultInjector
 	transport  Transport
 	sparseTh   float64 // planner sparse-threshold override (armed per op)
 	sparseThOn bool
@@ -168,13 +172,26 @@ func (c *Network) Words() int64 { return c.words }
 func (c *Network) Stats() Stats {
 	ph := make([]PhaseStat, len(c.phases))
 	copy(ph, c.phases)
-	return Stats{N: c.n, Rounds: c.rounds, Words: c.words, Flushes: c.flushes, Phases: ph}
+	st := Stats{N: c.n, Rounds: c.rounds, Words: c.words, Flushes: c.flushes, Phases: ph}
+	if c.fault != nil {
+		st.Faults = c.fault.Stats()
+	}
+	return st
 }
 
 // SetRoundLimit rearms (or, with limit ≤ 0, disarms) the round budget for
 // the next run. Unlike the WithRoundLimit construction option it can be
 // changed between runs on a reused network.
 func (c *Network) SetRoundLimit(limit int64) { c.roundLimit = limit }
+
+// SetFaultInjector arms (or, with nil, disarms) a fault injector for
+// subsequent runs: like the round limit it survives Reset, so sessions arm
+// it per operation. A disarmed network pays one nil check per Send/Flush
+// and behaves — and accounts — exactly as before the fault plane existed.
+func (c *Network) SetFaultInjector(fi *FaultInjector) { c.fault = fi }
+
+// FaultInjector returns the armed injector, if any.
+func (c *Network) FaultInjector() *FaultInjector { return c.fault }
 
 // SetSparseThreshold arms a density-aware planning threshold for
 // algorithms running on this network: like SetRoundLimit it survives
@@ -238,6 +255,34 @@ func trimPayloads(b []Payload) []Payload {
 // dropped. The walk is proportional to the traffic actually pending or
 // spiked, not to the n² links.
 func (c *Network) Reset() {
+	c.DropPending()
+	if c.spiked {
+		// A past delivery exceeded the high-water mark; sweep the mail
+		// buffers once to release it.
+		for _, mail := range c.mails {
+			if mail == nil {
+				continue
+			}
+			for i := range mail.bufs {
+				if cap(mail.bufs[i]) > linkRetainCap {
+					mail.bufs[i] = nil
+				}
+			}
+		}
+		c.spiked = false
+	}
+	c.rounds, c.words, c.flushes = 0, 0, 0
+	c.phases = c.phases[:0]
+	c.ctx = nil
+}
+
+// DropPending discards all queued-but-undelivered traffic and invalidates
+// outstanding Mail without touching the accounting. It is the recovery
+// primitive for re-running an operation whose previous attempt aborted
+// mid-schedule (an injected fault, a round limit): the stale half-exchange
+// must not leak into the retry's first Flush, but the aborted attempt's
+// cost legitimately stays on the ledger. Reset builds on it.
+func (c *Network) DropPending() {
 	n := c.n
 	for src, list := range c.touched {
 		qrow := c.queues[src]
@@ -263,24 +308,6 @@ func (c *Network) Reset() {
 		mail.releasePayloads()
 		mail.id = 0 // no stamp matches: everything reads as undelivered
 	}
-	if c.spiked {
-		// A past delivery exceeded the high-water mark; sweep the mail
-		// buffers once to release it.
-		for _, mail := range c.mails {
-			if mail == nil {
-				continue
-			}
-			for i := range mail.bufs {
-				if cap(mail.bufs[i]) > linkRetainCap {
-					mail.bufs[i] = nil
-				}
-			}
-		}
-		c.spiked = false
-	}
-	c.rounds, c.words, c.flushes = 0, 0, 0
-	c.phases = c.phases[:0]
-	c.ctx = nil
 }
 
 // Trim releases all recycled queue, mailbox, and payload capacity
@@ -314,6 +341,9 @@ func (c *Network) charge(rounds, words int64) {
 		p := &c.phases[len(c.phases)-1]
 		p.Rounds += rounds
 		p.Words += words
+	}
+	if c.fault != nil {
+		c.fault.noteRounds(c.rounds)
 	}
 	if c.roundLimit > 0 && c.rounds > c.roundLimit {
 		panic(&RoundLimitError{Limit: c.roundLimit, Rounds: c.rounds})
@@ -354,6 +384,9 @@ func (c *Network) touch(src, dst int) {
 func (c *Network) Send(src, dst int, w Word) {
 	c.checkNode(src)
 	c.checkNode(dst)
+	if c.fault != nil {
+		c.fault.checkSend(src, c.rounds)
+	}
 	if len(c.queues[src][dst]) == 0 {
 		c.touch(src, dst)
 	}
@@ -366,6 +399,9 @@ func (c *Network) Send(src, dst int, w Word) {
 func (c *Network) SendVec(src, dst int, ws []Word) {
 	c.checkNode(src)
 	c.checkNode(dst)
+	if c.fault != nil {
+		c.fault.checkSend(src, c.rounds)
+	}
 	if len(ws) == 0 {
 		return
 	}
@@ -387,6 +423,9 @@ func (c *Network) SendVec(src, dst int, ws []Word) {
 func (c *Network) SendOwnedVec(src, dst int, ws []Word) {
 	c.checkNode(src)
 	c.checkNode(dst)
+	if c.fault != nil {
+		c.fault.checkSend(src, c.rounds)
+	}
 	if len(ws) == 0 {
 		return
 	}
@@ -486,6 +525,9 @@ func (c *Network) Flush() *Mail {
 //cc:hotpath
 func (c *Network) FlushAnalytic(maxLoad, totalWords int64) *Mail {
 	n := c.n
+	if c.fault != nil {
+		c.fault.checkFlush(c.flushes + 1)
+	}
 	mail := c.mails[c.flushSeq&1]
 	if mail == nil {
 		mail = newMail(n)
@@ -501,6 +543,10 @@ func (c *Network) FlushAnalytic(maxLoad, totalWords int64) *Mail {
 	seq := c.flushSeq + 1
 	mail.id = seq
 	total := totalWords
+	// Evaluated once per flush: an armed injector whose plan cannot touch
+	// deliveries right now (inert probabilities, exhausted MaxFaults)
+	// costs nothing on the per-link walk below.
+	faultLinks := c.fault != nil && c.fault.linkActive()
 	for src := 0; src < n; src++ {
 		list := c.touched[src]
 		if len(list) == 0 {
@@ -558,11 +604,21 @@ func (c *Network) FlushAnalytic(maxLoad, totalWords int64) *Mail {
 				}
 				total += load
 			}
+			// Fault application point: perturb what was just delivered on
+			// this link. The charge above reflects what was *sent*, so the
+			// ledger stays deterministic; only delivered data changes.
+			if faultLinks && src != dst &&
+				(mail.wstamp[ri] == seq || (mail.pstamp != nil && mail.pstamp[ri] == seq)) {
+				c.fault.link(mail, src, dst, ri, seq)
+			}
 		}
 		c.touched[src] = list[:0]
 	}
 	c.flushSeq = seq
 	c.flushes++
+	if c.fault != nil {
+		maxLoad += c.fault.straggle(seq)
+	}
 	c.charge(maxLoad, total)
 	return mail
 }
@@ -619,9 +675,39 @@ func (c *Network) BroadcastWord(vals []Word) []Word {
 
 // poolTask is one unit of ForEach work handed to a persistent worker.
 type poolTask struct {
-	f  func(v int)
-	v  int
-	wg *sync.WaitGroup
+	f   func(v int)
+	v   int
+	wg  *sync.WaitGroup
+	pan *panicCell
+}
+
+// panicCell carries the first panic of a fan-out back to the goroutine
+// that waits on it. Without it a panicking task — a decode tripping over
+// fault-garbled words, an injected chaos panic — would kill the whole
+// process from a pool goroutine instead of unwinding the caller, and no
+// recovery layer above could ever see it.
+type panicCell struct {
+	mu  sync.Mutex
+	val any
+	set bool
+}
+
+func (p *panicCell) capture(v any) {
+	p.mu.Lock()
+	if !p.set {
+		p.set, p.val = true, v
+	}
+	p.mu.Unlock()
+}
+
+// rethrow re-raises the captured panic, if any, on the calling goroutine.
+func (p *panicCell) rethrow() {
+	p.mu.Lock()
+	v, set := p.val, p.set
+	p.mu.Unlock()
+	if set {
+		panic(v)
+	}
 }
 
 // workerPool is a set of persistent goroutines fed over a channel, so a
@@ -631,13 +717,25 @@ type workerPool struct {
 	stop  sync.Once
 }
 
+// runTask executes one task, capturing a panic into the fan-out's cell so
+// the waiter can re-raise it; wg.Done always runs, so a panicking task can
+// never deadlock its fan-out.
+func runTask(t poolTask) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.pan.capture(r)
+		}
+		t.wg.Done()
+	}()
+	t.f(t.v)
+}
+
 func newWorkerPool(workers int) *workerPool {
 	p := &workerPool{tasks: make(chan poolTask, workers)}
 	for w := 0; w < workers; w++ {
 		go func() {
 			for t := range p.tasks {
-				t.f(t.v)
-				t.wg.Done()
+				runTask(t)
 			}
 		}()
 	}
@@ -668,11 +766,13 @@ func (c *Network) ForEach(f func(v int)) {
 		runtime.AddCleanup(c, func(p *workerPool) { p.shutdown() }, c.pool)
 	}
 	var wg sync.WaitGroup
+	var pan panicCell
 	wg.Add(c.n)
 	for v := 0; v < c.n; v++ {
-		c.pool.tasks <- poolTask{f: f, v: v, wg: &wg}
+		c.pool.tasks <- poolTask{f: f, v: v, wg: &wg, pan: &pan}
 	}
 	wg.Wait()
+	pan.rethrow()
 }
 
 // RunLocal runs f(0), …, f(tasks-1) concurrently on the same persistent
@@ -700,11 +800,13 @@ func (c *Network) RunLocal(tasks int, f func(task int)) {
 		runtime.AddCleanup(c, func(p *workerPool) { p.shutdown() }, c.pool)
 	}
 	var wg sync.WaitGroup
+	var pan panicCell
 	wg.Add(tasks)
 	for t := 0; t < tasks; t++ {
-		c.pool.tasks <- poolTask{f: f, v: t, wg: &wg}
+		c.pool.tasks <- poolTask{f: f, v: t, wg: &wg, pan: &pan}
 	}
 	wg.Wait()
+	pan.rethrow()
 }
 
 // Close releases the persistent worker pool. The network remains usable —
@@ -748,11 +850,13 @@ func (p *LocalPool) RunLocal(tasks int, f func(task int)) {
 		runtime.AddCleanup(p, func(wp *workerPool) { wp.shutdown() }, p.pool)
 	}
 	var wg sync.WaitGroup
+	var pan panicCell
 	wg.Add(tasks)
 	for t := 0; t < tasks; t++ {
-		p.pool.tasks <- poolTask{f: f, v: t, wg: &wg}
+		p.pool.tasks <- poolTask{f: f, v: t, wg: &wg, pan: &pan}
 	}
 	wg.Wait()
+	pan.rethrow()
 }
 
 // Close releases the pool's workers; the pool remains usable (a later

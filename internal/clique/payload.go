@@ -92,6 +92,9 @@ func (c *Network) ensurePayloads() {
 func (c *Network) SendPayload(src, dst int, words int64, p Payload) {
 	c.checkNode(src)
 	c.checkNode(dst)
+	if c.fault != nil {
+		c.fault.checkSend(src, c.rounds)
+	}
 	c.ensurePayloads()
 	i := src*c.n + dst
 	if len(c.pqueues[i]) == 0 && c.ploads[i] == 0 {
@@ -113,6 +116,9 @@ func (c *Network) SendPayload(src, dst int, words int64, p Payload) {
 func (c *Network) ChargeLink(src, dst int, words int64) {
 	c.checkNode(src)
 	c.checkNode(dst)
+	if c.fault != nil {
+		c.fault.checkSend(src, c.rounds)
+	}
 	if words <= 0 {
 		return
 	}

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Backoff tunes DoWithBackoff. The zero value is usable: a 1ms first
+// delay doubling to a 250ms cap, 8 attempts, half of each delay
+// jittered.
+type Backoff struct {
+	// Base is the delay after the first rejection; it doubles per retry.
+	Base time.Duration
+	// Max caps the grown delay. The server's Retry-After hint may exceed
+	// it: the server knows when capacity frees up, so the hint wins.
+	Max time.Duration
+	// Attempts caps total submissions (not retries); the last rejection
+	// is returned as-is.
+	Attempts int
+	// Jitter in (0, 1] is the fraction of each delay randomised: the
+	// sleep is drawn uniformly from [delay·(1−Jitter), delay], so
+	// concurrent clients rejected together do not resubmit together.
+	// Zero means the default (0.5); negative disables jitter.
+	Jitter float64
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 250 * time.Millisecond
+	}
+	if b.Attempts <= 0 {
+		b.Attempts = 8
+	}
+	if b.Jitter == 0 {
+		b.Jitter = 0.5
+	}
+	if b.Jitter > 1 {
+		b.Jitter = 1
+	}
+	return b
+}
+
+// DoWithBackoff submits a request, retrying admission rejections
+// (*OverloadError) with jittered exponential backoff. The server's
+// RetryAfter hint is honored as a lower bound on each delay, and the
+// context bounds the whole exchange: a deadline or cancellation during a
+// backoff sleep surfaces immediately as the context's error. Everything
+// that is not an overload — validation failures, ErrDraining (permanent:
+// retrying only burns the deadline), or the operation's own result — is
+// returned as-is from the attempt that produced it.
+func DoWithBackoff(ctx context.Context, s *Server, req Request, b Backoff) Result {
+	b = b.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	delay := b.Base
+	for attempt := 1; ; attempt++ {
+		res := s.Do(ctx, req)
+		var over *OverloadError
+		if res.Err == nil || !errors.As(res.Err, &over) || attempt >= b.Attempts {
+			return res
+		}
+		wait := delay
+		if over.RetryAfter > wait {
+			wait = over.RetryAfter
+		}
+		if b.Jitter > 0 {
+			if span := time.Duration(float64(wait) * b.Jitter); span > 0 {
+				wait -= time.Duration(rand.Int63n(int64(span) + 1))
+			}
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return Result{Err: ctx.Err()}
+		}
+		if delay *= 2; delay > b.Max {
+			delay = b.Max
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	cc "github.com/algebraic-clique/algclique"
+)
+
+// TestPoisonedSessionNeverRepooled reproduces the crash-safety hole this
+// suite exists to close: a request whose operation panics on its session
+// (an injected untyped panic, standing in for a buggy run) used to kill
+// the dispatcher and leave the session eligible for re-pooling. The
+// contract now: the guilty request is answered with *SessionPanicError,
+// its co-batched requests are re-served on fresh sessions, the poisoned
+// sessions are discarded — never re-pooled — and the dispatcher survives
+// to serve the next batch.
+func TestPoisonedSessionNeverRepooled(t *testing.T) {
+	s := New(Config{MaxBatch: 4, MaxWait: time.Second})
+	defer s.Shutdown(context.Background())
+	ctx := context.Background()
+
+	a, b := testMat(8, 1), testMat(8, 2)
+	want := naiveMul(a, b)
+
+	var wg sync.WaitGroup
+	results := make([]Result, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := Request{Tenant: "t", Op: OpMatMul, A: a, B: b}
+			if i == 0 {
+				// The first flush of the product panics mid-operation.
+				req.Fault = &cc.FaultPlan{Seed: 7, PanicAtFlush: 1}
+			}
+			results[i] = s.Do(ctx, req)
+		}(i)
+	}
+	wg.Wait()
+
+	var spe *SessionPanicError
+	if !errors.As(results[0].Err, &spe) {
+		t.Fatalf("poison request err = %v, want *SessionPanicError", results[0].Err)
+	}
+	if spe.Op != OpMatMul {
+		t.Fatalf("SessionPanicError.Op = %q, want %q", spe.Op, OpMatMul)
+	}
+	for i := 1; i < 4; i++ {
+		if results[i].Err != nil {
+			t.Fatalf("co-batched request %d failed: %v", i, results[i].Err)
+		}
+		if !matEq(results[i].Matrix, want) {
+			t.Fatalf("co-batched request %d got a wrong product after retry", i)
+		}
+	}
+
+	// Two sessions were poisoned (the coalesced batch's, then the solo
+	// retry that isolated the guilty request); both must be gone from the
+	// pool, not cached.
+	st := s.Pool()
+	if st.Discards != 2 {
+		t.Fatalf("pool discards = %d, want 2: %+v", st.Discards, st)
+	}
+	if int64(st.Idle+st.InUse) != st.Misses-st.Discards {
+		t.Fatalf("pool caches %d sessions of %d built with %d discarded — a poisoned session was re-pooled: %+v",
+			st.Idle+st.InUse, st.Misses, st.Discards, st)
+	}
+
+	// The dispatcher survived: the same queue serves the next request.
+	res := s.Do(ctx, Request{Tenant: "t", Op: OpMatMul, A: a, B: b})
+	if res.Err != nil {
+		t.Fatalf("request after poisoning failed: %v", res.Err)
+	}
+	if !matEq(res.Matrix, want) {
+		t.Fatal("request after poisoning got a wrong product")
+	}
+
+	ts := s.Tenants()["t"]
+	if ts.Admitted != 5 || ts.Completed != 4 || ts.Failed != 1 {
+		t.Fatalf("tenant ledger = %+v, want 5 admitted / 4 completed / 1 failed", ts)
+	}
+}
+
+// TestPoisonedGraphOpSession is the graph-op (non-batchable) arm of the
+// poisoning contract: the panicking request gets the typed error, its
+// session is discarded, and the requests behind it in the same drained
+// batch are served on a fresh session.
+func TestPoisonedGraphOpSession(t *testing.T) {
+	s := New(Config{MaxBatch: 4, MaxWait: time.Second})
+	defer s.Shutdown(context.Background())
+	ctx := context.Background()
+
+	// A triangle plus an isolated path: exactly one triangle.
+	n := 8
+	adj := make([][]int64, n)
+	for i := range adj {
+		adj[i] = make([]int64, n)
+	}
+	edge := func(i, j int) { adj[i][j], adj[j][i] = 1, 1 }
+	edge(0, 1)
+	edge(1, 2)
+	edge(2, 0)
+	edge(4, 5)
+
+	var wg sync.WaitGroup
+	results := make([]Result, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := Request{Tenant: "g", Op: OpTriangles, A: adj}
+			if i == 0 {
+				req.Fault = &cc.FaultPlan{Seed: 3, PanicAtFlush: 1}
+			}
+			results[i] = s.Do(ctx, req)
+		}(i)
+	}
+	wg.Wait()
+
+	var spe *SessionPanicError
+	poisoned, served := 0, 0
+	for _, res := range results {
+		switch {
+		case errors.As(res.Err, &spe):
+			poisoned++
+			if spe.Op != OpTriangles {
+				t.Fatalf("SessionPanicError.Op = %q, want %q", spe.Op, OpTriangles)
+			}
+		case res.Err != nil:
+			t.Fatalf("graph request failed with unexpected error: %v", res.Err)
+		default:
+			served++
+			if res.Count != 1 {
+				t.Fatalf("triangles = %d, want 1", res.Count)
+			}
+		}
+	}
+	if poisoned != 1 || served != 2 {
+		t.Fatalf("poisoned %d / served %d, want 1 / 2", poisoned, served)
+	}
+
+	st := s.Pool()
+	if st.Discards != 1 {
+		t.Fatalf("pool discards = %d, want 1: %+v", st.Discards, st)
+	}
+	if int64(st.Idle+st.InUse) != st.Misses-st.Discards {
+		t.Fatalf("a poisoned session was re-pooled: %+v", st)
+	}
+}
+
+// TestServeChaosCertifiedRequests drives faulted, certified requests
+// through the service plane: every answer is either bit-correct (the
+// session's retry budget recovered it, certification vouching) or a typed
+// fault-plane error — never a silently wrong product, and no admitted
+// request is lost.
+func TestServeChaosCertifiedRequests(t *testing.T) {
+	s := New(Config{MaxBatch: 4, MaxWait: 20 * time.Millisecond})
+	defer s.Shutdown(context.Background())
+	ctx := context.Background()
+
+	a, b := testMat(8, 3), testMat(8, 4)
+	want := naiveMul(a, b)
+
+	var wg sync.WaitGroup
+	results := make([]Result, 12)
+	for i := 0; i < len(results); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = s.Do(ctx, Request{
+				Tenant:  "chaos",
+				Op:      OpMatMul,
+				A:       a,
+				B:       b,
+				Fault:   &cc.FaultPlan{Seed: uint64(i + 1), CorruptProb: 0.01, DropProb: 0.005, MaxFaults: 6},
+				Certify: 10,
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	recovered := 0
+	for i, res := range results {
+		if res.Err != nil {
+			var fe *cc.FaultError
+			var ce *cc.CertificationError
+			if !errors.As(res.Err, &fe) && !errors.As(res.Err, &ce) {
+				t.Fatalf("request %d: untyped chaos error %v", i, res.Err)
+			}
+			continue
+		}
+		if !matEq(res.Matrix, want) {
+			t.Fatalf("request %d: chaos produced a silently wrong product", i)
+		}
+		if !res.Stats.Certified {
+			t.Fatalf("request %d: returned product was not certified", i)
+		}
+		recovered++
+	}
+	if recovered == 0 {
+		t.Fatal("no chaos request recovered; the plans are too hot for the test to mean anything")
+	}
+
+	ts := s.Tenants()["chaos"]
+	if ts.Completed+ts.Failed != int64(len(results)) {
+		t.Fatalf("ledger lost requests: %+v of %d", ts, len(results))
+	}
+}
+
+// TestPoolDiscard exercises the pool's discard path directly: the session
+// leaves the accounting entirely and the footprint estimate returns to
+// its pre-checkout level.
+func TestPoolDiscard(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+
+	sess, hit, err := p.Get(8)
+	if err != nil || hit {
+		t.Fatalf("Get = (%v, %v), want a fresh session", hit, err)
+	}
+	p.Discard(sess)
+	st := p.Stats()
+	if st.Discards != 1 || st.Idle != 0 || st.InUse != 0 {
+		t.Fatalf("after Discard: %+v, want 1 discard and an empty pool", st)
+	}
+	if st.FootprintBytes != 0 {
+		t.Fatalf("footprint = %d after discarding the only session", st.FootprintBytes)
+	}
+
+	// Discarding a session the pool does not know is a safe no-op on the
+	// accounting (the session is still closed).
+	other, _ := cc.NewClique(4)
+	p.Discard(other)
+	if st := p.Stats(); st.Discards != 1 {
+		t.Fatalf("unknown-session Discard changed the ledger: %+v", st)
+	}
+
+	// A Put after Discard must not resurrect the entry.
+	p.Put(sess)
+	if st := p.Stats(); st.Idle != 0 {
+		t.Fatalf("Put after Discard re-pooled the session: %+v", st)
+	}
+}
+
+// TestDoWithBackoff covers the client helper's three exits: immediate
+// success, budget exhaustion against a saturated queue, and an expiring
+// context cutting a backoff sleep short.
+func TestDoWithBackoff(t *testing.T) {
+	ctx := context.Background()
+	a, b := testMat(8, 1), testMat(8, 2)
+
+	// Success needs no retries (a default server with no pressure).
+	clean := New(Config{})
+	res := DoWithBackoff(ctx, clean, Request{Tenant: "ok", Op: OpMatMulBool, A: mod2(a), B: mod2(b)}, Backoff{})
+	if res.Err != nil {
+		t.Fatalf("clean DoWithBackoff failed: %v", res.Err)
+	}
+	clean.Shutdown(ctx)
+
+	// MaxBatch 2 with a long window keeps the occupant queued; QueueCap 1
+	// makes the queue saturate under it.
+	s := New(Config{QueueCap: 1, TenantQueueCap: 1, MaxBatch: 2, MaxWait: 10 * time.Second})
+	defer s.Shutdown(context.Background())
+
+	// Saturate the matmul queue: the occupant sits in the coalescing
+	// window until Shutdown drains it.
+	occupied := make(chan Result, 1)
+	go func() {
+		occupied <- s.Do(ctx, Request{Tenant: "hog", Op: OpMatMul, A: a, B: b})
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Tenants()["hog"].Admitted < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("occupant never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	res = DoWithBackoff(ctx, s, Request{Tenant: "late", Op: OpMatMul, A: a, B: b},
+		Backoff{Base: time.Millisecond, Max: 4 * time.Millisecond, Attempts: 3})
+	var over *OverloadError
+	if !errors.As(res.Err, &over) {
+		t.Fatalf("backoff against a full queue = %v, want *OverloadError", res.Err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Millisecond {
+		t.Fatalf("three attempts finished in %v; the helper never backed off", elapsed)
+	}
+
+	// A context expiring during the backoff sleep surfaces promptly.
+	shortCtx, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
+	defer cancel()
+	res = DoWithBackoff(shortCtx, s, Request{Tenant: "late", Op: OpMatMul, A: a, B: b},
+		Backoff{Base: 10 * time.Second, Max: 10 * time.Second, Attempts: 5})
+	if !errors.Is(res.Err, context.DeadlineExceeded) {
+		t.Fatalf("backoff past the deadline = %v, want context.DeadlineExceeded", res.Err)
+	}
+
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if res := <-occupied; res.Err != nil {
+		t.Fatalf("occupant was lost in the drain: %v", res.Err)
+	}
+}
+
+// mod2 reduces a test matrix to 0/1 entries for the Boolean ops.
+func mod2(m [][]int64) [][]int64 {
+	out := make([][]int64, len(m))
+	for i, row := range m {
+		out[i] = make([]int64, len(row))
+		for j, v := range row {
+			out[i][j] = v % 2
+		}
+	}
+	return out
+}

@@ -45,18 +45,19 @@ type poolEntry struct {
 // session.Trim serialises against in-flight operations via the session's
 // own mutex, and the pool only Trims idle (checked-in) sessions.
 type Pool struct {
-	mu      sync.Mutex
-	budget  int64
-	opts    []cc.SessionOption
-	idle    map[int][]*poolEntry
-	inUse   map[*cc.Clique]*poolEntry
-	seq     uint64
-	resid   int64 // estimated bytes of all cached sessions (idle + in use)
-	closed  bool
-	hits    int64
-	misses  int64
-	evicted int64
-	trims   int64
+	mu       sync.Mutex
+	budget   int64
+	opts     []cc.SessionOption
+	idle     map[int][]*poolEntry
+	inUse    map[*cc.Clique]*poolEntry
+	seq      uint64
+	resid    int64 // estimated bytes of all cached sessions (idle + in use)
+	closed   bool
+	hits     int64
+	misses   int64
+	evicted  int64
+	trims    int64
+	discards int64
 }
 
 // PoolStats is a snapshot of the pool's accounting.
@@ -67,6 +68,10 @@ type PoolStats struct {
 	// Evictions counts sessions closed under memory pressure; Trims
 	// counts idle sessions trimmed under pressure (tier one).
 	Evictions, Trims int64
+	// Discards counts checked-out sessions the serving layer declared
+	// poisoned (an operation panicked on them) and Discard closed instead
+	// of re-caching.
+	Discards int64
 	// Idle and InUse count currently cached sessions.
 	Idle, InUse int
 	// FootprintBytes is the pool's estimated resident footprint;
@@ -154,6 +159,27 @@ func (p *Pool) Put(sess *cc.Clique) {
 	p.mu.Unlock()
 }
 
+// Discard removes a checked-out session from the pool permanently and
+// closes it — the anti-Put, for sessions poisoned by a panic escaping an
+// operation: their internal state cannot be trusted, so they must never
+// serve another request. Discarding a session the pool does not know
+// still closes it but leaves the accounting untouched.
+func (p *Pool) Discard(sess *cc.Clique) {
+	if sess == nil {
+		return
+	}
+	p.mu.Lock()
+	e, known := p.inUse[sess]
+	if known {
+		delete(p.inUse, sess)
+		// In-use entries are never in the trimmed state (Get clears it).
+		p.resid -= sessionBytes(e.n)
+		p.discards++
+	}
+	p.mu.Unlock()
+	sess.Close()
+}
+
 // Shrink enforces the budget now: Trim idle sessions LRU-first, then
 // evict. Serving paths shrink on every Get/Put; a janitor goroutine may
 // also call this periodically.
@@ -234,7 +260,8 @@ func (p *Pool) Stats() PoolStats {
 	return PoolStats{
 		Hits: p.hits, Misses: p.misses,
 		Evictions: p.evicted, Trims: p.trims,
-		Idle: idle, InUse: len(p.inUse),
+		Discards: p.discards,
+		Idle:     idle, InUse: len(p.inUse),
 		FootprintBytes: p.resid, BudgetBytes: p.budget,
 	}
 }

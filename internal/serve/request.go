@@ -61,9 +61,39 @@ type Request struct {
 	A, B   [][]int64
 	Seed   uint64
 
+	// Fault, when set, arms a seeded chaos plan on the request's session
+	// operation (cc.WithFaultInjection): the op recovers to a certified
+	// bit-correct result or fails with a typed fault-plane error. Plans
+	// are per request; co-batched requests each get their own injector.
+	Fault *cc.FaultPlan
+	// Certify > 0 arms result certification with that many probes
+	// (cc.WithCertification), which also gives a faulted product its
+	// retry budget.
+	Certify int
+
 	ctx      context.Context
 	enqueued time.Time
 	done     chan Result
+	// answered is the dispatcher's single-delivery latch: every admitted
+	// request is answered exactly once, even when the serving path
+	// panics. Only the owning queue's dispatcher touches it.
+	answered bool
+}
+
+// callOptions assembles the session CallOptions a request carries into
+// its batch item or graph call.
+func (r *Request) callOptions() []cc.CallOption {
+	opts := []cc.CallOption{cc.WithContext(r.ctx)}
+	if r.Seed != 0 {
+		opts = append(opts, cc.WithSeed(r.Seed))
+	}
+	if r.Fault != nil {
+		opts = append(opts, cc.WithFaultInjection(*r.Fault))
+	}
+	if r.Certify > 0 {
+		opts = append(opts, cc.WithCertification(r.Certify))
+	}
+	return opts
 }
 
 // Result is the service's answer to one request.

@@ -273,16 +273,47 @@ func (s *Server) coalesce(q *queue) {
 	}
 }
 
+// SessionPanicError is the answer to a request whose operation panicked
+// on its serving session. The panic is contained at the dispatcher; the
+// session is poisoned — discarded from the pool, never serving another
+// request — and only the guilty request pays for it.
+type SessionPanicError struct {
+	// Op is the operation that panicked.
+	Op Op
+	// Panic is the recovered panic value.
+	Panic any
+}
+
+func (e *SessionPanicError) Error() string {
+	return fmt.Sprintf("serve: %s panicked on its session (session discarded): %v", e.Op, e.Panic)
+}
+
 // serveBatch answers one drained batch: expired requests immediately,
-// everything else on a warm session — coalesced into one session batch
+// everything else on warm sessions — coalesced into one session batch
 // call for the batchable ops, one call per request for the graph ops.
+// The deferred guard is the dispatcher's last resort: the session-call
+// panics are recovered at the call sites below, so anything reaching it
+// is a bug in the serving path itself — it must still neither kill the
+// dispatcher nor strand an admitted request.
 func (s *Server) serveBatch(q *queue, batch []*Request) {
 	start := time.Now()
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		for _, req := range batch {
+			if !req.answered {
+				s.respond(q, req, start, Result{Err: fmt.Errorf("serve: internal panic serving batch: %v", r)})
+			}
+		}
+	}()
 	live := make([]*Request, 0, len(batch))
 	for _, req := range batch {
 		if err := req.ctx.Err(); err != nil {
 			wait := start.Sub(req.enqueued)
 			s.ledger.expired(req.Tenant, wait)
+			req.answered = true
 			req.done <- Result{Err: err, QueueWait: wait}
 			continue
 		}
@@ -291,21 +322,11 @@ func (s *Server) serveBatch(q *queue, batch []*Request) {
 	if len(live) == 0 {
 		return
 	}
-	sess, _, err := s.pool.Get(q.key.n)
-	if err != nil {
-		for _, req := range live {
-			s.respond(q, req, start, Result{Err: err})
-		}
-		return
-	}
 	if q.key.op.batchable() {
-		s.serveProducts(q, sess, live, start)
+		s.serveProducts(q, live, start)
 	} else {
-		for _, req := range live {
-			s.respond(q, req, start, runGraphOp(sess, req))
-		}
+		s.serveGraphOps(q, live, start)
 	}
-	s.pool.Put(sess)
 	if dur := time.Since(start); len(live) > 0 {
 		q.observe(dur / time.Duration(len(live)))
 	}
@@ -318,76 +339,173 @@ func (s *Server) respond(q *queue, req *Request, start time.Time, res Result) {
 	res.QueueWait = start.Sub(req.enqueued)
 	res.Service = now.Sub(start)
 	s.ledger.served(req.Tenant, &res)
+	req.answered = true
 	req.done <- res
 }
 
 // serveProducts coalesces product requests into the session batch entry
-// points, each item under its own request context. A batch call stops at
-// its first failing item; the failing request is answered with its error
-// and the batch resumes with the rest, so one cancelled or over-limit
-// request cannot fail its co-batchers.
-func (s *Server) serveProducts(q *queue, sess *cc.Clique, reqs []*Request, start time.Time) {
+// points, each item under its own request context and per-request fault
+// and certification options. A batch call stops at its first failing
+// item; the failing request is answered with its error and the batch
+// resumes with the rest, so one cancelled or over-limit request cannot
+// fail its co-batchers.
+//
+// A panic escaping a session call poisons the session: it is discarded —
+// never re-pooled — and the unanswered requests re-run one per batch on a
+// fresh session until the guilty one panics alone and is answered with
+// *SessionPanicError. (A batch panic unwinds before the session can
+// report which item it was on, and any results computed earlier in that
+// call are lost with it; the ops are deterministic, so re-running the
+// survivors just re-derives the same answers.)
+func (s *Server) serveProducts(q *queue, reqs []*Request, start time.Time) {
 	remaining := reqs
+	solo := false
 	for len(remaining) > 0 {
-		items := make([]cc.BatchItem, len(remaining))
-		for i, req := range remaining {
-			items[i] = cc.BatchItem{A: req.A, B: req.B, Opts: []cc.CallOption{cc.WithContext(req.ctx)}}
-		}
-		var prods []cc.Mat
-		var stats []cc.Stats
-		var err error
-		switch q.key.op {
-		case OpMatMul:
-			prods, stats, err = sess.MatMulBatch(items)
-		case OpMatMulBool:
-			prods, stats, err = sess.MatMulBoolBatch(items)
-		case OpDistanceProduct:
-			prods, stats, err = sess.DistanceProductBatch(items)
-		default:
-			err = fmt.Errorf("serve: op %q is not batchable", q.key.op)
-		}
-		for i := range prods {
-			s.respond(q, remaining[i], start, Result{Matrix: prods[i], Stats: stats[i]})
-		}
-		if err == nil {
-			return
-		}
-		k := len(prods) // the failing item's index
-		if k >= len(remaining) {
-			// A batch-level failure before any item ran (engine
-			// misconfiguration): every request gets the error.
-			k = 0
+		sess, _, err := s.pool.Get(q.key.n)
+		if err != nil {
 			for _, req := range remaining {
 				s.respond(q, req, start, Result{Err: err})
 			}
 			return
 		}
-		s.respond(q, remaining[k], start, Result{Err: err})
-		remaining = remaining[k+1:]
+		poisoned := false
+		for len(remaining) > 0 {
+			batch := remaining
+			if solo {
+				batch = remaining[:1]
+			}
+			items := make([]cc.BatchItem, len(batch))
+			for i, req := range batch {
+				items[i] = cc.BatchItem{A: req.A, B: req.B, Opts: req.callOptions()}
+			}
+			prods, stats, err, panicked := runProducts(sess, q.key.op, items)
+			for i := range prods {
+				s.respond(q, batch[i], start, Result{Matrix: prods[i], Stats: stats[i]})
+			}
+			remaining = remaining[len(prods):]
+			switch {
+			case panicked:
+				poisoned = true
+				if len(batch) == 1 {
+					// Isolated on its own session, the panicking request
+					// is the guilty one: typed error, no more retries.
+					s.respond(q, remaining[0], start, Result{Err: err})
+					remaining = remaining[1:]
+					solo = false // survivors may coalesce again
+				} else {
+					// An unattributable batch panic: isolate the guilty
+					// request by re-running one per batch.
+					solo = true
+				}
+			case err == nil:
+				// Every item of this batch was served; a solo run keeps
+				// draining the rest on the same session.
+			case len(prods) < len(batch):
+				// The failing item: its error is its answer; resume with
+				// the rest.
+				s.respond(q, remaining[0], start, Result{Err: err})
+				remaining = remaining[1:]
+			default:
+				// A batch-level failure with nothing to pin it on (engine
+				// misconfiguration): everything left gets the error.
+				for _, req := range remaining {
+					s.respond(q, req, start, Result{Err: err})
+				}
+				remaining = nil
+			}
+			if poisoned {
+				break
+			}
+		}
+		if poisoned {
+			s.pool.Discard(sess)
+		} else {
+			s.pool.Put(sess)
+		}
 	}
 }
 
-// runGraphOp executes one non-batchable request on a session.
-func runGraphOp(sess *cc.Clique, req *Request) Result {
-	opts := []cc.CallOption{cc.WithContext(req.ctx)}
-	if req.Seed != 0 {
-		opts = append(opts, cc.WithSeed(req.Seed))
+// runProducts makes one session batch call, converting an escaping panic
+// — a poisoned session — into a typed error and a poisoned signal. This
+// recover (and its twin in runGraphOp) is what keeps a dispatcher alive
+// across a panicking run.
+func runProducts(sess *cc.Clique, op Op, items []cc.BatchItem) (prods []cc.Mat, stats []cc.Stats, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			prods, stats = nil, nil
+			err = &SessionPanicError{Op: op, Panic: r}
+			panicked = true
+		}
+	}()
+	switch op {
+	case OpMatMul:
+		prods, stats, err = sess.MatMulBatch(items)
+	case OpMatMulBool:
+		prods, stats, err = sess.MatMulBoolBatch(items)
+	case OpDistanceProduct:
+		prods, stats, err = sess.DistanceProductBatch(items)
+	default:
+		err = fmt.Errorf("serve: op %q is not batchable", op)
 	}
+	return
+}
+
+// serveGraphOps runs the non-batchable requests one session call each,
+// sharing one warm session until a call panics; the poisoned session is
+// discarded and the rest of the drained batch continues on a fresh one.
+func (s *Server) serveGraphOps(q *queue, reqs []*Request, start time.Time) {
+	remaining := reqs
+	for len(remaining) > 0 {
+		sess, _, err := s.pool.Get(q.key.n)
+		if err != nil {
+			for _, req := range remaining {
+				s.respond(q, req, start, Result{Err: err})
+			}
+			return
+		}
+		poisoned := false
+		for len(remaining) > 0 {
+			res, panicked := runGraphOp(sess, remaining[0])
+			s.respond(q, remaining[0], start, res)
+			remaining = remaining[1:]
+			if panicked {
+				poisoned = true
+				break
+			}
+		}
+		if poisoned {
+			s.pool.Discard(sess)
+		} else {
+			s.pool.Put(sess)
+		}
+	}
+}
+
+// runGraphOp executes one non-batchable request on a session, converting
+// an escaping panic into *SessionPanicError and a poisoned signal.
+func runGraphOp(sess *cc.Clique, req *Request) (res Result, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{Err: &SessionPanicError{Op: req.Op, Panic: r}}
+			panicked = true
+		}
+	}()
+	opts := req.callOptions()
 	switch req.Op {
 	case OpAPSP:
-		res, stats, err := sess.APSP(weightedOf(req.A), opts...)
+		apsp, stats, err := sess.APSP(weightedOf(req.A), opts...)
 		if err != nil {
-			return Result{Err: err, Stats: stats}
+			return Result{Err: err, Stats: stats}, false
 		}
-		return Result{Matrix: res.Dist, Stats: stats}
+		return Result{Matrix: apsp.Dist, Stats: stats}, false
 	case OpTriangles:
 		count, stats, err := sess.CountTriangles(graphOf(req.A), opts...)
-		return Result{Count: count, Stats: stats, Err: err}
+		return Result{Count: count, Stats: stats, Err: err}, false
 	case OpSparseSquare:
 		sq, stats, err := sess.SquareAdjacencySparse(graphOf(req.A), opts...)
-		return Result{Matrix: sq, Stats: stats, Err: err}
+		return Result{Matrix: sq, Stats: stats, Err: err}, false
 	}
-	return Result{Err: fmt.Errorf("serve: unknown op %q", req.Op)}
+	return Result{Err: fmt.Errorf("serve: unknown op %q", req.Op)}, false
 }
 
 // Shutdown drains the server gracefully: admission seals immediately (new

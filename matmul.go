@@ -13,25 +13,8 @@ import (
 // fast bilinear algorithm — O(n^{1-2/log₂7}) ≈ O(n^{0.29}) rounds with the
 // Strassen scheme (Theorem 1; the paper's O(n^{0.158}) uses the
 // impracticable Le Gall scheme, see DESIGN.md).
-func (s *Clique) MatMul(a, b Mat, opts ...CallOption) (prod Mat, stats Stats, err error) {
-	orig, err := squareSize(a, b)
-	if err != nil {
-		return nil, Stats{}, err
-	}
-	r, err := s.begin("MatMul", orig, ringSize, opts)
-	if err != nil {
-		return nil, Stats{}, err
-	}
-	defer r.end(&stats, &err)
-	p, route, merr := r.plan.MulIntRouted(r.net, r.sc, r.borrow(a, 0), r.borrow(b, 0))
-	r.route = route
-	if merr != nil {
-		err = merr
-		return
-	}
-	prod = truncateRows(p, orig)
-	r.recycle(p)
-	return
+func (s *Clique) MatMul(a, b Mat, opts ...CallOption) (Mat, Stats, error) {
+	return s.product(matMulSpec, a, b, opts)
 }
 
 // MatMul is the one-shot form of Clique.MatMul: it simulates the product on
@@ -53,28 +36,11 @@ func MatMul(a, b Mat, opts ...Option) (Mat, Stats, error) {
 // (tiny instances below 8 nodes use the naive engine); for bounded entries
 // the ring-embedded fast product is used by the small-weight APSP entry
 // points.
-func (s *Clique) DistanceProduct(a, b Mat, opts ...CallOption) (prod Mat, stats Stats, err error) {
-	orig, err := squareSize(a, b)
-	if err != nil {
-		return nil, Stats{}, err
-	}
+func (s *Clique) DistanceProduct(a, b Mat, opts ...CallOption) (Mat, Stats, error) {
 	if s.cfg.engine == Fast {
 		return nil, Stats{}, fmt.Errorf("algclique: min-plus is not a ring; use Auto, Semiring3D or Naive: %w", ccmm.ErrSize)
 	}
-	r, err := s.begin("DistanceProduct", orig, anySize, opts)
-	if err != nil {
-		return nil, Stats{}, err
-	}
-	defer r.end(&stats, &err)
-	p, route, merr := r.plan.MulMinPlusRouted(r.net, r.sc, r.borrow(a, Inf), r.borrow(b, Inf))
-	r.route = route
-	if merr != nil {
-		err = merr
-		return
-	}
-	prod = truncateRows(p, orig)
-	r.recycle(p)
-	return
+	return s.product(distanceProductSpec, a, b, opts)
 }
 
 // DistanceProduct is the one-shot form of Clique.DistanceProduct.
@@ -90,24 +56,23 @@ func DistanceProduct(a, b Mat, opts ...Option) (Mat, Stats, error) {
 
 // MatMulBool computes the Boolean matrix product of 0/1 matrices
 // (reachability composition), over the integers on the fast engine.
-func (s *Clique) MatMulBool(a, b Mat, opts ...CallOption) (prod Mat, stats Stats, err error) {
+func (s *Clique) MatMulBool(a, b Mat, opts ...CallOption) (Mat, Stats, error) {
+	return s.product(matMulBoolSpec, a, b, opts)
+}
+
+// product is the shared entry for the three matrix products: one
+// per-operation harness around runProduct's retry/certification loop.
+func (s *Clique) product(spec batchSpec, a, b Mat, opts []CallOption) (prod Mat, stats Stats, err error) {
 	orig, err := squareSize(a, b)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	r, err := s.begin("MatMulBool", orig, ringSize, opts)
+	r, err := s.begin(spec.op, orig, spec.class, opts)
 	if err != nil {
 		return nil, Stats{}, err
 	}
 	defer r.end(&stats, &err)
-	p, route, merr := r.plan.MulBoolRouted(r.net, r.sc, r.borrow(a, 0), r.borrow(b, 0))
-	r.route = route
-	if merr != nil {
-		err = merr
-		return
-	}
-	prod = truncateRows(p, orig)
-	r.recycle(p)
+	prod, err = r.runProduct(r.cfg, spec, a, b)
 	return
 }
 

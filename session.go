@@ -306,6 +306,10 @@ type opRun struct {
 	orig     int           // original instance size
 	route    ccmm.Route    // density-aware routing decision, when one ran
 	borrowed []*ccmm.RowMat[int64]
+
+	fi        *clique.FaultInjector // armed fault injector, when a plan is set
+	attempts  int                   // product attempts (retry loop)
+	certified bool                  // result passed certification
 }
 
 // acquire locks the session and merges the per-call config; on error the
@@ -360,7 +364,21 @@ func (r *opRun) arm() {
 	r.sim.SetTransport(r.cfg.transport)
 	if r.net != nil {
 		r.net.SetSparseThreshold(r.cfg.sparseThreshold)
+		r.armFault(r.cfg)
 	}
+}
+
+// armFault builds and arms the operation's fault injector from its merged
+// config — or disarms a stale one: the injector survives Reset like the
+// round limit, so every operation must set it, including to nil (a panic
+// escaping a faulted run skips end's disarm, and the next operation must
+// not inherit its chaos).
+func (r *opRun) armFault(cfg config) {
+	r.fi = nil
+	if cfg.fault != nil {
+		r.fi = clique.NewFaultInjector(*cfg.fault, ccmm.PayloadCorrupters...)
+	}
+	r.net.SetFaultInjector(r.fi)
 }
 
 // begin starts an operation whose clique size follows from the algorithm's
@@ -393,8 +411,23 @@ func (r *opRun) end(stats *Stats, err *error) {
 	}
 	*stats = statsFrom(r.sim.Stats(), r.orig)
 	stats.Routing = r.route.Decision()
+	stats.Attempts = r.attempts
+	stats.Certified = r.certified
+	// Taint backstop for operations without their own retry loop (graph
+	// algorithms, attempts == 0): a run that "succeeded" while data faults
+	// fired, with nothing vouching for the result, must not return a
+	// silently wrong answer. Products police themselves per attempt in
+	// runProduct (a retried attempt may be clean while the cumulative
+	// ledger is not).
+	if *err == nil && r.attempts == 0 && r.fi != nil && dataFaults(r.fi.Stats()) > 0 {
+		*err = &clique.FaultError{Kind: clique.FaultDisrupt, Node: -1,
+			Round: stats.Rounds, Injected: r.fi.Stats()}
+	}
 	r.sim.SetContext(nil)
 	r.sim.SetRoundLimit(0)
+	if r.net != nil {
+		r.net.SetFaultInjector(nil)
+	}
 	for _, m := range r.borrowed {
 		s.putMat(m)
 	}
@@ -433,6 +466,10 @@ func (s *Clique) beginBroadcast(op string, orig int, opts []CallOption) (*opRun,
 	if err != nil {
 		return nil, err
 	}
+	if cfg.fault != nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("algclique: fault injection requires the unicast simulator; %s runs on the broadcast model", op)
+	}
 	if s.bnet == nil {
 		s.bnet = clique.NewBroadcast(s.n)
 	}
@@ -452,29 +489,166 @@ type BatchItem struct {
 }
 
 // batchSpec ties a batched entry point to its product kind: the ledger
-// name, the clique-size class, the padding zero of its algebra, and the
-// routed plan product it executes.
+// name, the clique-size class, the padding zero of its algebra, the
+// routed plan product it executes, and the certification check matching
+// its algebra (Freivalds for rings, spot-checks for semirings).
 type batchSpec struct {
-	op    string
-	class sizeClass
-	zero  int64
-	mul   func(r *opRun, a, b *ccmm.RowMat[int64]) (*ccmm.RowMat[int64], ccmm.Route, error)
+	op      string
+	class   sizeClass
+	zero    int64
+	mul     func(r *opRun, a, b *ccmm.RowMat[int64]) (*ccmm.RowMat[int64], ccmm.Route, error)
+	certify func(r *opRun, a, b, c *ccmm.RowMat[int64], k int, seed uint64) (bool, error)
 }
 
 var matMulSpec = batchSpec{op: "MatMul", class: ringSize, zero: 0,
 	mul: func(r *opRun, a, b *ccmm.RowMat[int64]) (*ccmm.RowMat[int64], ccmm.Route, error) {
 		return r.plan.MulIntRouted(r.net, r.sc, a, b)
+	},
+	certify: func(r *opRun, a, b, c *ccmm.RowMat[int64], k int, seed uint64) (bool, error) {
+		return ccmm.CertifyIntProduct(r.net, a, b, c, k, seed)
 	}}
 
 var matMulBoolSpec = batchSpec{op: "MatMulBool", class: ringSize, zero: 0,
 	mul: func(r *opRun, a, b *ccmm.RowMat[int64]) (*ccmm.RowMat[int64], ccmm.Route, error) {
 		return r.plan.MulBoolRouted(r.net, r.sc, a, b)
+	},
+	certify: func(r *opRun, a, b, c *ccmm.RowMat[int64], k int, seed uint64) (bool, error) {
+		return ccmm.CertifyBoolProduct(r.net, a, b, c, k, seed)
 	}}
 
 var distanceProductSpec = batchSpec{op: "DistanceProduct", class: anySize, zero: Inf,
 	mul: func(r *opRun, a, b *ccmm.RowMat[int64]) (*ccmm.RowMat[int64], ccmm.Route, error) {
 		return r.plan.MulMinPlusRouted(r.net, r.sc, a, b)
+	},
+	certify: func(r *opRun, a, b, c *ccmm.RowMat[int64], k int, seed uint64) (bool, error) {
+		return ccmm.CertifyMinPlusProduct(r.net, a, b, c, k, seed)
 	}}
+
+// runProduct executes one product under the fault plane's contract: run,
+// certify when armed, and retry — fresh fault draws, fresh probe seed,
+// pending traffic dropped, operands re-padded — while the budget lasts.
+// It returns the truncated product or a typed error; a completed product
+// that data faults touched is only returned when certification vouched
+// for it.
+func (r *opRun) runProduct(cfg config, spec batchSpec, a, b Mat) (Mat, error) {
+	retries := cfg.certifyRetries
+	if retries < 0 {
+		if cfg.certifyProbes > 0 {
+			retries = DefaultCertificationRetries
+		} else {
+			retries = 0
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		r.attempts = attempt + 1
+		if attempt > 0 {
+			// Clear any half-delivered traffic of the failed attempt; the
+			// accounting (cumulative across attempts — retries are not
+			// free) and the fault ledger stay.
+			r.net.DropPending()
+			if r.fi != nil {
+				r.fi.Advance()
+			}
+		}
+		var before int64
+		if r.fi != nil {
+			before = dataFaults(r.fi.Stats())
+		}
+		// Re-pad per attempt: cheap insurance that every attempt starts
+		// from pristine operands whatever the previous one garbled.
+		pa, pb := r.borrow(a, spec.zero), r.borrow(b, spec.zero)
+		p, err := r.attemptProduct(spec, pa, pb, before)
+		if err == nil && cfg.certifyProbes > 0 {
+			ok, cerr := spec.certify(r, pa, pb, p, cfg.certifyProbes, certSeed(cfg.seed, attempt))
+			switch {
+			case cerr != nil:
+				err = cerr
+			case !ok:
+				err = &CertificationError{Op: r.op, Attempts: attempt + 1,
+					Probes: cfg.certifyProbes, Injected: r.faults()}
+			default:
+				r.certified = true
+			}
+		}
+		if err == nil && !r.certified && r.fi != nil && dataFaults(r.fi.Stats()) > before {
+			// The product completed, but data faults fired during the
+			// attempt and nothing vouched for the result.
+			err = &clique.FaultError{Kind: clique.FaultDisrupt, Node: -1,
+				Round: r.net.Stats().Rounds, Injected: r.fi.Stats()}
+		}
+		if err == nil {
+			prod := truncateRows(p, r.orig)
+			r.recycle(p)
+			return prod, nil
+		}
+		r.recycle(p)
+		if attempt >= retries || !r.retryable(err, before) {
+			return nil, err
+		}
+	}
+}
+
+// attemptProduct runs the spec's product once, converting a raw panic that
+// is collateral damage of injected data faults (a decode or kernel
+// tripping over garbled bytes) into a typed *FaultError. Injected panics
+// (FaultPlan.PanicAtFlush) and genuine bugs propagate raw — the former
+// exists precisely to exercise the recovery layers above.
+func (r *opRun) attemptProduct(spec batchSpec, pa, pb *ccmm.RowMat[int64], before int64) (p *ccmm.RowMat[int64], err error) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if e, ok := clique.AsAbort(rec); ok {
+			err = e
+			return
+		}
+		if r.fi != nil && !r.fi.PanicInjected() && dataFaults(r.fi.Stats()) > before {
+			err = &clique.FaultError{Kind: clique.FaultDisrupt, Node: -1,
+				Round: r.net.Stats().Rounds, Injected: r.fi.Stats()}
+			return
+		}
+		panic(rec)
+	}()
+	p, route, err := spec.mul(r, pa, pb)
+	r.route = route
+	return p, err
+}
+
+// retryable decides whether a failed attempt is worth re-running: only
+// failures injected faults explain. Round budgets and cancellations are
+// global to the operation, a crashed node stays crashed on the same
+// network, and an engine error on a fault-free attempt would just
+// reproduce.
+func (r *opRun) retryable(err error, before int64) bool {
+	if r.fi == nil || r.fi.Crashed() {
+		return false
+	}
+	var rl *clique.RoundLimitError
+	var cancel *clique.CanceledError
+	if errors.As(err, &rl) || errors.As(err, &cancel) {
+		return false
+	}
+	var fe *clique.FaultError
+	if errors.As(err, &fe) {
+		return fe.Kind != clique.FaultCrash
+	}
+	var ce *CertificationError
+	if errors.As(err, &ce) {
+		return true
+	}
+	// Any other error (transport divergence, a sparse bound failing) is
+	// fault-induced only if faults actually fired during the attempt.
+	return dataFaults(r.fi.Stats()) > before
+}
+
+// faults snapshots the run's fault ledger (zero when disarmed).
+func (r *opRun) faults() clique.FaultStats {
+	if r.fi == nil {
+		return clique.FaultStats{}
+	}
+	return r.fi.Stats()
+}
 
 // beginBatch is begin for a whole batch: one lock acquisition, one merged
 // config, one memoised plan/scratch resolution, and one arming of the
@@ -504,6 +678,9 @@ func (r *opRun) endBatch() {
 	}
 	r.sim.SetContext(nil)
 	r.sim.SetRoundLimit(0)
+	if r.net != nil {
+		r.net.SetFaultInjector(nil)
+	}
 	s.mu.Unlock()
 }
 
@@ -527,7 +704,9 @@ func (r *opRun) runItem(spec batchSpec, it *BatchItem) (prod Mat, st Stats, err 
 	r.sim.Reset()
 	r.sim.SetRoundLimit(cfg.roundLimit)
 	r.sim.SetContext(cfg.ctx)
+	r.armFault(cfg) // per-item injector: each item gets a fresh fault ledger
 	r.route = ccmm.Route{}
+	r.attempts, r.certified = 0, false
 	defer func() {
 		if rec := recover(); rec != nil {
 			e, ok := abortError(rec)
@@ -538,20 +717,16 @@ func (r *opRun) runItem(spec batchSpec, it *BatchItem) (prod Mat, st Stats, err 
 		}
 		st = statsFrom(r.sim.Stats(), r.orig)
 		st.Routing = r.route.Decision()
+		st.Attempts = r.attempts
+		st.Certified = r.certified
 		for _, m := range r.borrowed {
 			r.s.putMat(m)
 		}
 		r.borrowed = r.borrowed[:0]
 		r.s.record(r.op, st)
 	}()
-	p, route, merr := spec.mul(r, r.borrow(it.A, spec.zero), r.borrow(it.B, spec.zero))
-	r.route = route
-	if merr != nil {
-		return nil, st, merr
-	}
-	prod = truncateRows(p, orig)
-	r.recycle(p)
-	return prod, st, nil
+	prod, err = r.runProduct(cfg, spec, it.A, it.B)
+	return prod, st, err
 }
 
 // runBatch runs every item of a batch inside one per-operation harness,
