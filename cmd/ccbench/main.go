@@ -49,6 +49,7 @@ func main() {
 		{"sparse", "X7 density-aware planner: sparse tile engine vs dense plan on GNP (JSON, gated)", sparseBench},
 		{"serve", "X8 service plane: 2000 concurrent mixed queries over 6 tenants (JSON, gated)", serveBench},
 		{"chaos", "X9 fault plane: 240 seeded chaos scenarios, typed-or-correct gate + disarmed overhead (JSON, gated)", chaosBench},
+		{"csr", "X10 CSR operand plane: GNP(1e4–1e5) adjacency squares, zero-dense-allocation + peak-memory gate (JSON, gated)", csrBench},
 		{"table1", "Table 1 summary at n = 64", table1},
 	}
 	if len(os.Args) < 2 || os.Args[1] == "list" {

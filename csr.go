@@ -1,0 +1,477 @@
+package algclique
+
+import (
+	"fmt"
+	"math/bits"
+	"reflect"
+
+	"github.com/algebraic-clique/algclique/internal/ccmm"
+	"github.com/algebraic-clique/algclique/internal/matrix"
+)
+
+// This file is the session surface of the CSR operand plane: matrix
+// products and iterated-product algorithms whose operands, intermediates,
+// and (density permitting) results are compressed sparse rows, so a
+// product on a ρ-nonzero instance costs Θ(n + ρ + traffic) memory however
+// large n² is. The density-aware planner stays in charge: each product
+// runs its census on the row-pointer differences (free — no dense scan
+// exists to do), routes sparse when the predicted sparse schedule wins,
+// and otherwise densifies through the session's pooled buffers — except
+// above the densification cap, where falling back would allocate exactly
+// the Θ(n²) state the CSR plane exists to avoid, and the product errors
+// with ErrSparseTooDense instead.
+
+// CSR is an n×n sparse matrix in compressed-sparse-row form: row v's
+// entries are Col[RowPtr[v]:RowPtr[v+1]] (strictly increasing column
+// indices) paired with Val[RowPtr[v]:RowPtr[v+1]]. Entries not stored are
+// the operation's zero — 0 for integer and Boolean products, Inf for
+// min-plus — and a nil Val means every stored entry is the operation's
+// one (1 for integer/Boolean, weight 0 for min-plus): the adjacency
+// encoding, stored structure only.
+type CSR struct {
+	N      int
+	RowPtr []int64
+	Col    []int32
+	Val    []int64
+}
+
+// NNZ returns the stored-entry count.
+func (m *CSR) NNZ() int64 {
+	if len(m.RowPtr) == 0 {
+		return 0
+	}
+	return m.RowPtr[m.N]
+}
+
+// internal views the public CSR as the engine's operand type — zero-copy,
+// the backing arrays are shared.
+func (m *CSR) internal() *matrix.CSR[int64] {
+	return &matrix.CSR[int64]{N: m.N, RowPtr: m.RowPtr, Col: m.Col, Val: m.Val}
+}
+
+// CSRFromMat compresses a dense matrix, keeping entries different from
+// zero (pass 0 for integer/Boolean matrices, Inf for distance matrices).
+func CSRFromMat(rows Mat, zero int64) (*CSR, error) {
+	n, err := squareSize(rows, rows)
+	if err != nil {
+		return nil, err
+	}
+	out := &CSR{N: n, RowPtr: make([]int64, n+1)}
+	for v, row := range rows {
+		for j, x := range row {
+			if x != zero {
+				out.Col = append(out.Col, int32(j))
+				out.Val = append(out.Val, x)
+			}
+		}
+		out.RowPtr[v+1] = int64(len(out.Col))
+	}
+	return out, nil
+}
+
+// Dense expands the matrix, filling unstored entries with zero and
+// stored-but-valueless entries (nil Val) with one.
+func (m *CSR) Dense(zero, one int64) Mat {
+	out := make(Mat, m.N)
+	for v := 0; v < m.N; v++ {
+		row := make([]int64, m.N)
+		if zero != 0 {
+			for j := range row {
+				row[j] = zero
+			}
+		}
+		lo, hi := m.RowPtr[v], m.RowPtr[v+1]
+		for i := lo; i < hi; i++ {
+			if m.Val == nil {
+				row[m.Col[i]] = one
+			} else {
+				row[m.Col[i]] = m.Val[i]
+			}
+		}
+		out[v] = row
+	}
+	return out
+}
+
+// CSRProduct is the result of a CSR product: exactly one field is set.
+// Sparse is the product when it stayed on the CSR plane; Dense is the
+// expanded result when the planner routed (or fell back) to a dense
+// engine because the operands or the fill-in were too dense — the values
+// are bit-identical between the two forms, only the representation
+// follows the density.
+type CSRProduct struct {
+	Sparse *CSR
+	Dense  Mat
+}
+
+// IsSparse reports whether the product stayed on the CSR plane.
+func (p CSRProduct) IsSparse() bool { return p.Sparse != nil }
+
+// csrPairSize validates a CSR operand pair's sizes against each other.
+func csrPairSize(a, b *CSR) (int, error) {
+	if a.N != b.N {
+		return 0, fmt.Errorf("algclique: CSR operand sizes %d and %d differ: %w", a.N, b.N, ccmm.ErrSize)
+	}
+	return a.N, nil
+}
+
+// padCSRTo views a CSR operand on a padded clique of size n: the padding
+// rows are empty, so the padded product restricted to the original block
+// is unchanged. Zero-copy when no padding is needed; otherwise only the
+// row-pointer array is rebuilt (the entry arrays are shared).
+func padCSRTo(m *CSR, n int) *matrix.CSR[int64] {
+	if m.N == n {
+		return m.internal()
+	}
+	rp := make([]int64, n+1)
+	copy(rp, m.RowPtr)
+	for v := m.N + 1; v <= n; v++ {
+		rp[v] = m.RowPtr[m.N]
+	}
+	return &matrix.CSR[int64]{N: n, RowPtr: rp, Col: m.Col, Val: m.Val}
+}
+
+// truncCSR clips an engine result on a padded clique back to the original
+// instance. Padding rows are empty and padded columns unreachable except
+// through entries this clips away (the self-loops iterated algorithms
+// seed), so dropping the tail of each array is exact.
+func truncCSR(m *matrix.CSR[int64], orig int) *CSR {
+	if m.N == orig {
+		return &CSR{N: m.N, RowPtr: m.RowPtr, Col: m.Col, Val: m.Val}
+	}
+	nnz := m.RowPtr[orig]
+	out := &CSR{N: orig, RowPtr: m.RowPtr[:orig+1], Col: m.Col[:nnz]}
+	if m.Val != nil {
+		out.Val = m.Val[:nnz]
+	}
+	return out
+}
+
+// publicProduct converts an engine product to the public form, clipping
+// padding and pooling a densified result's buffer after the copy out.
+func (r *opRun) publicProduct(p ccmm.CSRProduct[int64]) CSRProduct {
+	if p.Sparse != nil {
+		return CSRProduct{Sparse: truncCSR(p.Sparse, r.orig)}
+	}
+	out := CSRProduct{Dense: truncateRows(p.Dense, r.orig)}
+	r.recycle(p.Dense)
+	return out
+}
+
+// csrSpec ties a CSR product entry point to its routed plan product.
+type csrSpec struct {
+	op    string
+	class sizeClass
+	mul   func(r *opRun, a, b *matrix.CSR[int64]) (ccmm.CSRProduct[int64], ccmm.Route, error)
+}
+
+var matMulCSRSpec = csrSpec{op: "MatMulCSR", class: ringSize,
+	mul: func(r *opRun, a, b *matrix.CSR[int64]) (ccmm.CSRProduct[int64], ccmm.Route, error) {
+		return r.plan.MulIntCSRRouted(r.net, r.sc, a, b)
+	}}
+
+var matMulBoolCSRSpec = csrSpec{op: "MatMulBoolCSR", class: ringSize,
+	mul: func(r *opRun, a, b *matrix.CSR[int64]) (ccmm.CSRProduct[int64], ccmm.Route, error) {
+		return r.plan.MulBoolCSRRouted(r.net, r.sc, a, b)
+	}}
+
+var distanceProductCSRSpec = csrSpec{op: "DistanceProductCSR", class: anySize,
+	mul: func(r *opRun, a, b *matrix.CSR[int64]) (ccmm.CSRProduct[int64], ccmm.Route, error) {
+		return r.plan.MulMinPlusCSRRouted(r.net, r.sc, a, b)
+	}}
+
+// csrProduct is the shared harness for the one-product CSR entry points.
+func (s *Clique) csrProduct(spec csrSpec, a, b *CSR, opts []CallOption) (prod CSRProduct, stats Stats, err error) {
+	orig, err := csrPairSize(a, b)
+	if err != nil {
+		return CSRProduct{}, Stats{}, err
+	}
+	r, err := s.begin(spec.op, orig, spec.class, opts)
+	if err != nil {
+		return CSRProduct{}, Stats{}, err
+	}
+	defer r.end(&stats, &err)
+	p, route, perr := spec.mul(r, padCSRTo(a, r.n), padCSRTo(b, r.n))
+	r.route = route
+	if perr != nil {
+		err = perr
+		return
+	}
+	prod = r.publicProduct(p)
+	return
+}
+
+// MatMulCSR multiplies two n×n integer matrices given as compressed
+// sparse rows, never materialising a dense operand unless the density
+// census routes the product to a dense engine (Stats.Routing reports the
+// decision; above the densification cap a too-dense product returns
+// ErrSparseTooDense instead). The result is sparse whenever the product
+// ran on the CSR plane.
+func (s *Clique) MatMulCSR(a, b *CSR, opts ...CallOption) (CSRProduct, Stats, error) {
+	return s.csrProduct(matMulCSRSpec, a, b, opts)
+}
+
+// MatMulCSR is the one-shot form of Clique.MatMulCSR.
+func MatMulCSR(a, b *CSR, opts ...Option) (CSRProduct, Stats, error) {
+	s, err := oneShot(a.N, opts)
+	if err != nil {
+		return CSRProduct{}, Stats{}, err
+	}
+	defer s.Close()
+	return s.MatMulCSR(a, b)
+}
+
+// MatMulBoolCSR computes the Boolean product of CSR matrices. Stored
+// entries are read as true whatever their value (store only true entries;
+// a nil Val is the usual adjacency encoding), and a sparse result comes
+// back value-free — every stored entry is 1.
+func (s *Clique) MatMulBoolCSR(a, b *CSR, opts ...CallOption) (CSRProduct, Stats, error) {
+	return s.csrProduct(matMulBoolCSRSpec, a, b, opts)
+}
+
+// MatMulBoolCSR is the one-shot form of Clique.MatMulBoolCSR.
+func MatMulBoolCSR(a, b *CSR, opts ...Option) (CSRProduct, Stats, error) {
+	s, err := oneShot(a.N, opts)
+	if err != nil {
+		return CSRProduct{}, Stats{}, err
+	}
+	defer s.Close()
+	return s.MatMulBoolCSR(a, b)
+}
+
+// DistanceProductCSR computes the min-plus product of CSR distance
+// matrices: unstored entries are +∞, so a sparse distance matrix stores
+// exactly its finite entries, and a nil Val means every stored edge has
+// weight 0.
+func (s *Clique) DistanceProductCSR(a, b *CSR, opts ...CallOption) (CSRProduct, Stats, error) {
+	if s.cfg.engine == Fast {
+		return CSRProduct{}, Stats{}, fmt.Errorf("algclique: min-plus is not a ring; use Auto, Semiring3D or Naive: %w", ccmm.ErrSize)
+	}
+	return s.csrProduct(distanceProductCSRSpec, a, b, opts)
+}
+
+// DistanceProductCSR is the one-shot form of Clique.DistanceProductCSR.
+func DistanceProductCSR(a, b *CSR, opts ...Option) (CSRProduct, Stats, error) {
+	s, err := oneShot(a.N, opts)
+	if err != nil {
+		return CSRProduct{}, Stats{}, err
+	}
+	defer s.Close()
+	return s.DistanceProductCSR(a, b)
+}
+
+// SquareAdjacencyCSR computes A² (2-walk counts) of a CSR adjacency
+// matrix — the CSR-native form of SquareAdjacencySparse, with the Auto
+// census in charge instead of a forced engine: sparse adjacencies square
+// on the CSR plane in O(1) rounds without ever allocating a dense row,
+// dense ones densify through the planner (below the cap). A nil Val is
+// the natural encoding.
+func (s *Clique) SquareAdjacencyCSR(a *CSR, opts ...CallOption) (prod CSRProduct, stats Stats, err error) {
+	r, err := s.begin("SquareAdjacencyCSR", a.N, ringSize, opts)
+	if err != nil {
+		return CSRProduct{}, Stats{}, err
+	}
+	defer r.end(&stats, &err)
+	pa := padCSRTo(a, r.n)
+	p, route, perr := r.plan.MulIntCSRRouted(r.net, r.sc, pa, pa)
+	r.route = route
+	if perr != nil {
+		err = perr
+		return
+	}
+	prod = r.publicProduct(p)
+	return
+}
+
+// SquareAdjacencyCSR is the one-shot form of Clique.SquareAdjacencyCSR.
+func SquareAdjacencyCSR(a *CSR, opts ...Option) (CSRProduct, Stats, error) {
+	s, err := oneShot(a.N, opts)
+	if err != nil {
+		return CSRProduct{}, Stats{}, err
+	}
+	defer s.Close()
+	return s.SquareAdjacencyCSR(a)
+}
+
+// withDiagonal merges the identity's entries into a CSR view: every row
+// gains a (v, v, diag) entry unless it already stores column v, in which
+// case the stored entry wins. It is how the iterated-squaring loops seed
+// their reflexive base case without a dense pass.
+func withDiagonal(m *matrix.CSR[int64], n int, diag int64, keepVal bool) *matrix.CSR[int64] {
+	out := &matrix.CSR[int64]{N: n, RowPtr: make([]int64, n+1)}
+	out.Col = make([]int32, 0, int64(n)+m.RowPtr[n])
+	if keepVal {
+		out.Val = make([]int64, 0, int64(n)+m.RowPtr[n])
+	}
+	push := func(c int32, v int64) {
+		out.Col = append(out.Col, c)
+		if keepVal {
+			out.Val = append(out.Val, v)
+		}
+	}
+	for v := 0; v < n; v++ {
+		cols, vals := m.Row(v)
+		placed := false
+		for i, c := range cols {
+			if !placed && int(c) >= v {
+				if int(c) == v {
+					push(c, diag) // the diagonal of an iterated square is the one element
+					placed = true
+					continue
+				}
+				push(int32(v), diag)
+				placed = true
+			}
+			if vals == nil {
+				push(c, 1)
+			} else {
+				push(c, vals[i])
+			}
+		}
+		if !placed {
+			push(int32(v), diag)
+		}
+		out.RowPtr[v+1] = int64(len(out.Col))
+	}
+	return out
+}
+
+// squaringIters is the iterated-squaring depth: distances and
+// reachability stabilise after ⌈log₂ n⌉ squarings.
+func squaringIters(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// iterateSquaring drives an iterated-squaring loop that stays CSR until
+// fill-in forces densification: each squaring runs through the routed CSR
+// product, and the first dense result switches the loop to the dense
+// product for its remaining iterations. Either representation exits early
+// at a fixed point.
+func (r *opRun) iterateSquaring(d *matrix.CSR[int64], iters int,
+	mulCSR func(d *matrix.CSR[int64]) (ccmm.CSRProduct[int64], ccmm.Route, error),
+	mulDense func(d *ccmm.RowMat[int64]) (*ccmm.RowMat[int64], ccmm.Route, error)) (ccmm.CSRProduct[int64], error) {
+	var dd *ccmm.RowMat[int64]
+	for i := 0; i < iters; i++ {
+		if dd == nil {
+			p, route, err := mulCSR(d)
+			r.route = route
+			if err != nil {
+				return ccmm.CSRProduct[int64]{}, err
+			}
+			if p.Sparse != nil {
+				if reflect.DeepEqual(p.Sparse, d) {
+					break
+				}
+				d = p.Sparse
+				continue
+			}
+			dd = p.Dense // fill-in densified the iterate; stay dense from here
+			continue
+		}
+		next, route, err := mulDense(dd)
+		r.route = route
+		if err != nil {
+			return ccmm.CSRProduct[int64]{}, err
+		}
+		if reflect.DeepEqual(next.Rows, dd.Rows) {
+			r.recycle(next)
+			break
+		}
+		r.recycle(dd)
+		dd = next
+	}
+	if dd != nil {
+		return ccmm.CSRProduct[int64]{Dense: dd}, nil
+	}
+	// The iterate may still be the caller's seeded view; products are
+	// always fresh, so this aliases no pooled state.
+	return ccmm.CSRProduct[int64]{Sparse: d}, nil
+}
+
+// APSPCSR computes all-pairs shortest-path distances of a nonnegatively
+// weighted digraph given as a CSR matrix (stored entries are edge
+// weights; nil Val means all edges have weight 0), by min-plus iterated
+// squaring that stays CSR across iterations until fill-in forces
+// densification. Unstored result entries are +∞ — unreachable pairs cost
+// nothing, so on graphs whose components are small the whole computation
+// is sublinear in n². Distances only; use APSP for routing tables.
+func (s *Clique) APSPCSR(a *CSR, opts ...CallOption) (prod CSRProduct, stats Stats, err error) {
+	if s.cfg.engine == Fast {
+		return CSRProduct{}, Stats{}, fmt.Errorf("algclique: min-plus is not a ring; use Auto, Semiring3D or Naive: %w", ccmm.ErrSize)
+	}
+	r, err := s.begin("APSPCSR", a.N, anySize, opts)
+	if err != nil {
+		return CSRProduct{}, Stats{}, err
+	}
+	defer r.end(&stats, &err)
+	d := withDiagonal(padCSRTo(a, r.n), r.n, 0, true)
+	p, serr := r.iterateSquaring(d, squaringIters(a.N),
+		func(d *matrix.CSR[int64]) (ccmm.CSRProduct[int64], ccmm.Route, error) {
+			return r.plan.MulMinPlusCSRRouted(r.net, r.sc, d, d)
+		},
+		func(d *ccmm.RowMat[int64]) (*ccmm.RowMat[int64], ccmm.Route, error) {
+			return r.plan.MulMinPlusRouted(r.net, r.sc, d, d)
+		},
+	)
+	if serr != nil {
+		err = serr
+		return
+	}
+	prod = r.publicProduct(p)
+	return
+}
+
+// APSPCSR is the one-shot form of Clique.APSPCSR.
+func APSPCSR(a *CSR, opts ...Option) (CSRProduct, Stats, error) {
+	s, err := oneShot(a.N, opts)
+	if err != nil {
+		return CSRProduct{}, Stats{}, err
+	}
+	defer s.Close()
+	return s.APSPCSR(a)
+}
+
+// TransitiveClosureCSR computes the reflexive-transitive closure of a CSR
+// adjacency matrix (values ignored; stored entries are edges) by Boolean
+// iterated squaring — the adjacency-powers pattern of the girth machinery
+// — staying CSR across iterations until fill-in forces densification. A
+// sparse result is value-free; a dense one is a 0/1 matrix.
+func (s *Clique) TransitiveClosureCSR(a *CSR, opts ...CallOption) (prod CSRProduct, stats Stats, err error) {
+	r, err := s.begin("TransitiveClosureCSR", a.N, ringSize, opts)
+	if err != nil {
+		return CSRProduct{}, Stats{}, err
+	}
+	defer r.end(&stats, &err)
+	seed := padCSRTo(a, r.n)
+	// A Boolean iterate is structure-only: drop any values up front so
+	// successive iterates (which come back value-free) compare equal at
+	// the fixed point.
+	d := withDiagonal(&matrix.CSR[int64]{N: r.n, RowPtr: seed.RowPtr, Col: seed.Col}, r.n, 1, false)
+	p, serr := r.iterateSquaring(d, squaringIters(a.N),
+		func(d *matrix.CSR[int64]) (ccmm.CSRProduct[int64], ccmm.Route, error) {
+			return r.plan.MulBoolCSRRouted(r.net, r.sc, d, d)
+		},
+		func(d *ccmm.RowMat[int64]) (*ccmm.RowMat[int64], ccmm.Route, error) {
+			return r.plan.MulBoolRouted(r.net, r.sc, d, d)
+		},
+	)
+	if serr != nil {
+		err = serr
+		return
+	}
+	prod = r.publicProduct(p)
+	return
+}
+
+// TransitiveClosureCSR is the one-shot form of Clique.TransitiveClosureCSR.
+func TransitiveClosureCSR(a *CSR, opts ...Option) (CSRProduct, Stats, error) {
+	s, err := oneShot(a.N, opts)
+	if err != nil {
+		return CSRProduct{}, Stats{}, err
+	}
+	defer s.Close()
+	return s.TransitiveClosureCSR(a)
+}

@@ -1,0 +1,289 @@
+package algclique_test
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"github.com/algebraic-clique/algclique"
+)
+
+// sparseMatFor draws an n×n integer matrix with roughly perRow nonzeros
+// per row.
+func sparseMatFor(rng *rand.Rand, n, perRow int, maxVal int64) algclique.Mat {
+	m := make(algclique.Mat, n)
+	for v := range m {
+		m[v] = make([]int64, n)
+		for k := 0; k < perRow; k++ {
+			m[v][rng.IntN(n)] = 1 + rng.Int64N(maxVal)
+		}
+	}
+	return m
+}
+
+// expandProduct flattens either arm of a CSR product into a dense matrix
+// for comparison against the dense API.
+func expandProduct(p algclique.CSRProduct, zero, one int64) algclique.Mat {
+	if p.IsSparse() {
+		return p.Sparse.Dense(zero, one)
+	}
+	return p.Dense
+}
+
+// TestCSRAPIMatMul: MatMulCSR matches MatMul entry for entry, stays
+// sparse on sparse inputs, and round-trips through CSRFromMat.
+func TestCSRAPIMatMul(t *testing.T) {
+	for _, n := range []int{5, 16, 33, 64} {
+		rng := rand.New(rand.NewPCG(uint64(n), 3))
+		a := sparseMatFor(rng, n, 2, 9)
+		b := sparseMatFor(rng, n, 2, 9)
+		ca, err := algclique.CSRFromMat(a, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := algclique.CSRFromMat(b, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := algclique.MatMul(a, b)
+		if err != nil {
+			t.Fatalf("n=%d dense: %v", n, err)
+		}
+		got, stats, err := algclique.MatMulCSR(ca, cb)
+		if err != nil {
+			t.Fatalf("n=%d CSR: %v", n, err)
+		}
+		if !reflect.DeepEqual(expandProduct(got, 0, 1), want) {
+			t.Fatalf("n=%d: CSR product differs from dense MatMul", n)
+		}
+		if stats.Rounds <= 0 {
+			t.Fatalf("n=%d: no rounds recorded", n)
+		}
+	}
+}
+
+// TestCSRAPIDenseInputFallsBack: a dense operand routes to a dense
+// engine and comes back as a dense matrix, bit-identical to MatMul.
+func TestCSRAPIDenseInputFallsBack(t *testing.T) {
+	const n = 48
+	a := make(algclique.Mat, n)
+	for v := range a {
+		a[v] = make([]int64, n)
+		for j := range a[v] {
+			a[v][j] = int64(1 + (v+j)%5)
+		}
+	}
+	ca, err := algclique.CSRFromMat(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := algclique.MatMulCSR(ca, ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IsSparse() {
+		t.Fatal("dense operands stayed sparse; want dense fallback")
+	}
+	want, _, err := algclique.MatMul(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Dense, want) {
+		t.Fatal("densified CSR product differs from MatMul")
+	}
+}
+
+// TestCSRAPISquareAdjacency: SquareAdjacencyCSR on a nil-Val adjacency
+// equals SquareAdjacencySparse (2-walk counts) on the same graph.
+func TestCSRAPISquareAdjacency(t *testing.T) {
+	const n = 100 // large enough that the Auto census prefers the CSR plane
+	rng := rand.New(rand.NewPCG(7, 8))
+	g := algclique.NewGraph(n, false)
+	am := make(algclique.Mat, n)
+	for v := range am {
+		am[v] = make([]int64, n)
+	}
+	for i := 0; i < 2*n; i++ {
+		u, v := rng.IntN(n), rng.IntN(n)
+		if u != v {
+			g.AddEdge(u, v)
+			am[u][v], am[v][u] = 1, 1
+		}
+	}
+	want, _, err := algclique.SquareAdjacencySparse(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj, err := algclique.CSRFromMat(am, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj.Val = nil // adjacency encoding: structure only
+	got, stats, err := algclique.SquareAdjacencyCSR(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsSparse() {
+		t.Fatal("sparse adjacency square densified")
+	}
+	if stats.Rounds <= 0 || stats.Words <= 0 {
+		t.Fatalf("stats = %d rounds / %d words; the deferred ledger capture is broken", stats.Rounds, stats.Words)
+	}
+	if !reflect.DeepEqual(expandProduct(got, 0, 1), want) {
+		t.Fatal("SquareAdjacencyCSR differs from SquareAdjacencySparse")
+	}
+}
+
+// TestCSRAPIDistanceProduct: DistanceProductCSR with unstored = Inf
+// matches DistanceProduct on the expanded matrices.
+func TestCSRAPIDistanceProduct(t *testing.T) {
+	const n = 24
+	rng := rand.New(rand.NewPCG(9, 10))
+	d := make(algclique.Mat, n)
+	for v := range d {
+		d[v] = make([]int64, n)
+		for j := range d[v] {
+			if rng.IntN(6) == 0 {
+				d[v][j] = 1 + rng.Int64N(20)
+			} else {
+				d[v][j] = algclique.Inf
+			}
+		}
+	}
+	cd, err := algclique.CSRFromMat(d, algclique.Inf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := algclique.DistanceProduct(d, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := algclique.DistanceProductCSR(cd, cd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(expandProduct(got, algclique.Inf, 0), want) {
+		t.Fatal("DistanceProductCSR differs from DistanceProduct")
+	}
+}
+
+// TestCSRAPIAPSP: APSPCSR distances equal the dense APSP distances on a
+// sparse weighted digraph, and stay sparse when the graph is disconnected
+// enough.
+func TestCSRAPIAPSP(t *testing.T) {
+	const n = 30
+	rng := rand.New(rand.NewPCG(11, 12))
+	g := algclique.NewWeighted(n, true)
+	wm := make(algclique.Mat, n)
+	for v := range wm {
+		wm[v] = make([]int64, n)
+		for j := range wm[v] {
+			wm[v][j] = algclique.Inf
+		}
+	}
+	for i := 0; i < n; i++ {
+		u, v := rng.IntN(n), rng.IntN(n)
+		if u != v {
+			w := 1 + rng.Int64N(9)
+			g.SetEdge(u, v, w)
+			wm[u][v] = w
+		}
+	}
+	want, _, err := algclique.APSP(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The CSR operand stores the finite off-diagonal entries of the
+	// weight matrix.
+	cw, err := algclique.CSRFromMat(wm, algclique.Inf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := algclique.APSPCSR(cw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := expandProduct(got, algclique.Inf, 0)
+	if !reflect.DeepEqual(dist, want.Dist) {
+		t.Fatal("APSPCSR distances differ from APSP")
+	}
+}
+
+// TestCSRAPITransitiveClosure: TransitiveClosureCSR equals the dense
+// TransitiveClosure reachability matrix.
+func TestCSRAPITransitiveClosure(t *testing.T) {
+	const n = 26
+	rng := rand.New(rand.NewPCG(13, 14))
+	g := algclique.NewGraph(n, true)
+	am := make(algclique.Mat, n)
+	for v := range am {
+		am[v] = make([]int64, n)
+	}
+	for i := 0; i < n; i++ {
+		u, v := rng.IntN(n), rng.IntN(n)
+		if u != v {
+			g.AddEdge(u, v)
+			am[u][v] = 1
+		}
+	}
+	want, _, err := algclique.TransitiveClosure(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj, err := algclique.CSRFromMat(am, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := algclique.TransitiveClosureCSR(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(expandProduct(got, 0, 1), want) {
+		t.Fatal("TransitiveClosureCSR differs from TransitiveClosure")
+	}
+}
+
+// TestCSRAPISessionLedger: CSR operations record in the session ledger
+// like any other operation, and operand size mismatches error.
+func TestCSRAPISessionLedger(t *testing.T) {
+	const n = 16
+	s, err := algclique.NewClique(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewPCG(17, 18))
+	a, err := algclique.CSRFromMat(sparseMatFor(rng, n, 2, 5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.MatMulCSR(a, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.MatMulBoolCSR(a, a); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if len(st.Ops) != 2 || st.Ops[0].Op != "MatMulCSR" || st.Ops[1].Op != "MatMulBoolCSR" {
+		t.Fatalf("ledger = %+v, want MatMulCSR then MatMulBoolCSR", st.Ops)
+	}
+	if st.Rounds <= 0 {
+		t.Fatalf("session ledger rounds = %d", st.Rounds)
+	}
+
+	small, err := algclique.CSRFromMat(sparseMatFor(rng, n-1, 1, 5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.MatMulCSR(small, small); err == nil {
+		t.Fatal("size-mismatched CSR operand accepted")
+	}
+	if _, err := algclique.CSRFromMat(algclique.Mat{{1, 2}, {3}}, 0); err == nil {
+		t.Fatal("ragged matrix accepted by CSRFromMat")
+	}
+	b := *a
+	b.N = n - 1
+	if _, _, err := s.MatMulCSR(a, &b); err == nil {
+		t.Fatal("operand pair size mismatch accepted")
+	}
+}

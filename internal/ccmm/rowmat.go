@@ -16,6 +16,7 @@ package ccmm
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"github.com/algebraic-clique/algclique/internal/matrix"
 )
@@ -23,6 +24,17 @@ import (
 // ErrSize reports an input whose dimensions are incompatible with the
 // requested algorithm on the given clique.
 var ErrSize = errors.New("incompatible size for congested-clique matrix multiplication")
+
+// denseAllocs counts every NewRowMat call process-wide. Dense row matrices
+// are the one Θ(n²) object the engines materialise, so the counter is the
+// instrumentation the CSR operand plane's memory gate rests on: a product
+// that claims to have stayed CSR end-to-end must leave it unchanged
+// (ccbench's csr experiment hard-fails otherwise).
+var denseAllocs atomic.Int64
+
+// DenseAllocs returns the number of dense row matrices allocated by this
+// process so far (see NewRowMat).
+func DenseAllocs() int64 { return denseAllocs.Load() }
 
 // RowMat is an n×n matrix distributed over an n-node clique: node v owns
 // Rows[v].
@@ -32,6 +44,7 @@ type RowMat[T any] struct {
 
 // NewRowMat returns a distributed matrix with n zero-value rows of length n.
 func NewRowMat[T any](n int) *RowMat[T] {
+	denseAllocs.Add(1)
 	rows := make([][]T, n)
 	for i := range rows {
 		rows[i] = make([]T, n)

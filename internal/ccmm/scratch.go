@@ -189,6 +189,14 @@ type typedScratch[T any] struct {
 	// Naive engine state.
 	rows []([]T) // per-node decoded right-operand rows
 
+	// CSR engine state: per-node tables of borrowed windows into the
+	// arena buffers above (bufs/bufs2/bufs3). Window entries are
+	// reassigned every product, never appended into; the tables
+	// themselves keep their capacity.
+	slots  []([][]T) // per-node received combined-chunk windows
+	slots2 []([][]T) // per-node forwarded A-part windows
+	slots3 []([][]T) // per-node outgoing gather-chunk windows
+
 	// Free row matrices for algebra conversions (witness tagging, Boolean
 	// packing).
 	mats []*RowMat[T]
@@ -232,6 +240,31 @@ func nodeBuf[T any](s []([]T), v, k int) []T {
 		s[v] = b
 	}
 	return b[:k]
+}
+
+// growSlotRows pre-sizes a per-node window-table slice to k nodes
+// (single-threaded).
+func growSlotRows[T any](s *[]([][]T), k int) {
+	for len(*s) < k {
+		*s = append(*s, nil)
+	}
+}
+
+// nodeSlots returns node v's window table with exactly k nil entries,
+// growing it in place; the table is stored back at length k so later
+// single-threaded walks over s[v] see exactly the entries of this use.
+// Safe from v's ForEach worker once the outer slice is pre-sized.
+func nodeSlots[T any](s []([][]T), v, k int) [][]T {
+	t := s[v]
+	if cap(t) < k {
+		t = make([][]T, k)
+	}
+	t = t[:k]
+	for i := range t {
+		t[i] = nil
+	}
+	s[v] = t
+	return t
 }
 
 // growSlots pre-sizes a matrix-slot slice to k entries (single-threaded).

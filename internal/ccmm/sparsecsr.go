@@ -1,0 +1,902 @@
+package ccmm
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+
+	"github.com/algebraic-clique/algclique/internal/clique"
+	"github.com/algebraic-clique/algclique/internal/matrix"
+	"github.com/algebraic-clique/algclique/internal/ring"
+)
+
+// This file is the CSR operand plane: the sparse tile engine of sparse.go
+// re-expressed over matrix.CSR operands, so a product on a ρ-nonzero input
+// costs Θ(n + traffic) memory instead of the Θ(n²) a RowMat forces. Node v
+// logically owns row v of each operand, exactly the RowMat convention, but
+// rows are CSR windows (column indices + values) rather than dense slices.
+//
+// The phase structure is sparse.go's — transpose, census, spread, forward,
+// gather, accumulate — with three scale-driven changes:
+//
+//   - The census is free. A CSR row's nonzero count is a RowPtr difference,
+//     so the per-row counts feeding the census broadcast cost no scan; the
+//     broadcast round itself (sparseCensus, shared verbatim) is unchanged.
+//   - No n×n anything. The dense engine stages messages in d×d payload and
+//     view matrices and receives through all-sources probes; here every
+//     node packs its outgoing chunks contiguously into one per-node arena,
+//     per-message windows live in per-node slot tables sized to the node's
+//     own traffic, and receivers walk Mail.Each/EachPayload, whose cost is
+//     proportional to the traffic actually delivered (the sparse-link
+//     network makes the same guarantee underneath).
+//   - Exchanges bypass the routing layer (whose Exchange* entries take n×n
+//     message matrices) and send directly: per-link loads are already
+//     balanced by the tile allocation itself — a side-f tile splits its
+//     weight-w workload into ≤ 2f chunks of ~√w·4 elements each — so the
+//     two-phase Lenzen rebalancing has nothing to win here.
+//
+// The result comes back as a fresh CSR (canonical: strictly increasing
+// columns, no stored semiring zeros), bit-identical to compressing the
+// dense engines' product, because the accumulation order per output cell is
+// a permutation of the dense engine's and every shipped algebra's ⊕ is
+// order-independent. Both transports run, sharing one ledger:
+// TransportVerify executes the product on each and diffs results and
+// accounting, exactly like the dense engines.
+
+// csrDensifyCap is the largest clique on which the density-aware CSR
+// planner may fall back to a dense engine (which materialises Θ(n²)
+// operands and product). Beyond it a too-dense product fails with
+// ErrTooDense instead of silently allocating what the CSR plane exists to
+// avoid; callers at that scale asked for sparse-or-nothing.
+const csrDensifyCap = 8192
+
+// CSRProduct is the result union of the density-aware CSR entry points:
+// exactly one field is set. Sparse products stay CSR; products the planner
+// routed (or fell back) to a dense engine come back as the dense row
+// matrix that engine produced.
+type CSRProduct[T any] struct {
+	Sparse *matrix.CSR[T]
+	Dense  *RowMat[T]
+}
+
+// IsSparse reports whether the product stayed on the CSR path.
+func (p CSRProduct[T]) IsSparse() bool { return p.Sparse != nil }
+
+// csrCheck validates a CSR operand against the clique size.
+func csrCheck[T any](m *matrix.CSR[T], n int) error {
+	if m.N != n {
+		return fmt.Errorf("ccmm: %d×%d CSR operand on an %d-node clique: %w", m.N, m.N, n, ErrSize)
+	}
+	return m.Validate()
+}
+
+// SparseMulCSR computes P = S·T over an arbitrary semiring with the sparse
+// tile engine, end-to-end on CSR operands: the same round structure and
+// density bound as SparseMul (Σ ca(y)·rb(y) < 2n², ErrTooDense otherwise),
+// but Θ(n + ρ) memory — no dense n×n buffer is ever allocated, which the
+// DenseAllocs counter asserts. Requires n ≥ 8. A nil Val on an operand
+// means every stored entry is the semiring one (the adjacency convention).
+func SparseMulCSR[T any](net *clique.Network, sc *Scratch, sr ring.Semiring[T], codec ring.Codec[T], s, t *matrix.CSR[T]) (p *matrix.CSR[T], err error) {
+	defer catchAbort(&err)
+	n := net.N()
+	if err := csrCheck(s, n); err != nil {
+		return nil, err
+	}
+	if err := csrCheck(t, n); err != nil {
+		return nil, err
+	}
+	if n < minSparseN {
+		return nil, fmt.Errorf("ccmm: sparse engine needs n ≥ %d for the Lemma 12 packing, got %d: %w", minSparseN, n, ErrSize)
+	}
+	switch net.Transport() {
+	case clique.TransportWire:
+		return csrWire[T](net, sc, sr, codec, s, t)
+	case clique.TransportVerify:
+		return runVerifiedCSR(net, func(net2 *clique.Network, wire bool) (*matrix.CSR[T], error) {
+			if wire {
+				return csrWire[T](net2, nil, sr, codec, s, t)
+			}
+			return csrDirect[T](net2, sc, sr, codec, s, t)
+		})
+	default:
+		return csrDirect[T](net, sc, sr, codec, s, t)
+	}
+}
+
+// runVerifiedCSR is runVerified for CSR products: direct on the caller's
+// network, wire on a shadow clique (which inherits sparse-link mode by
+// size), comparing the structural arrays entry for entry plus the ledger.
+func runVerifiedCSR[T any](net *clique.Network, run func(net *clique.Network, wire bool) (*matrix.CSR[T], error)) (*matrix.CSR[T], error) {
+	before := net.Stats()
+	p, err := run(net, false)
+	if err != nil {
+		return nil, err
+	}
+	shadow := clique.New(net.N(), clique.WithTransport(clique.TransportWire))
+	defer shadow.Close()
+	q, err := run(shadow, true)
+	if err != nil {
+		return nil, fmt.Errorf("ccmm: wire shadow run failed: %w", err)
+	}
+	if err := diffLedger(before, net.Stats(), shadow.Stats()); err != nil {
+		return nil, err
+	}
+	if !reflect.DeepEqual(p, q) {
+		return nil, fmt.Errorf("%w: products differ", ErrTransportDiverged)
+	}
+	return p, nil
+}
+
+// sortedIndex returns the position of y in an ascending list that contains
+// it (the per-node tile lists rowYs/colYs are built ascending).
+func sortedIndex(list []int32, y int32) int {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if list[mid] < y {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// csrSpreadChunks builds every tile owner's spread traffic: node y packs
+// its a(y)-chunks (and, for destinations in both tile ranges, the combined
+// A-then-B chunk) contiguously into the per-node arena tts.bufs3[y], with
+// one window per destination in the slot table tts.slots3[y] — row-range
+// destinations at [0, F), column-only destinations at [F, 2F). The arena is
+// immutable until the product ends: in the direct plane, receivers (and
+// their forwardees) hold windows into it through the gather.
+func csrSpreadChunks[T any](net *clique.Network, sp *sparseState, tts *typedScratch[ring.Tuple[T]], t *matrix.CSR[T], one T) {
+	net.ForEach(func(y int) {
+		tl := sp.tiles[y]
+		if !tl.Allocated {
+			nodeSlots(tts.slots3, y, 0)
+			return
+		}
+		aL := tts.bufs[y][:sp.ca[y]]
+		cols, vals := t.Row(y)
+		bL := ring.AppendTuples(nodeBuf(tts.bufs2, y, sp.rb[y])[:0], cols, vals, one)
+		tts.bufs2[y] = bL
+		arena := nodeBuf(tts.bufs3, y, sp.ca[y]+sp.rb[y])
+		ws := nodeSlots(tts.slots3, y, 2*tl.F)
+		off := 0
+		for i := 0; i < tl.F; i++ {
+			dst := tl.Row + i
+			lo, hi := chunkBounds(sp.ca[y], tl.F, i)
+			start := off
+			off += copy(arena[off:], aL[lo:hi])
+			if j := dst - tl.Col; j >= 0 && j < tl.F {
+				blo, bhi := chunkBounds(sp.rb[y], tl.F, j)
+				off += copy(arena[off:], bL[blo:bhi])
+			}
+			if off > start {
+				ws[i] = arena[start:off]
+			}
+		}
+		for j := 0; j < tl.F; j++ {
+			dst := tl.Col + j
+			if i := dst - tl.Row; i >= 0 && i < tl.F {
+				continue // combined with the A-part above
+			}
+			blo, bhi := chunkBounds(sp.rb[y], tl.F, j)
+			if bhi > blo {
+				start := off
+				off += copy(arena[off:], bL[blo:bhi])
+				ws[tl.F+j] = arena[start:off]
+			}
+		}
+	})
+}
+
+// csrGatherRuns sorts node b's emitted (x, (z, v)) pairs by output row
+// (stable, so the deterministic emit order survives within a row), projects
+// the (z, v) halves into arena — which must have length len(pairs) — and
+// records one window per distinct output row in tts.slots3[b] with the row
+// indices in xts.bufs[b]. The spread slots the table previously held are
+// dead by gather time (receivers copied their windows out at spread
+// receive), so the table is reused.
+func csrGatherRuns[T any](tts *typedScratch[ring.Tuple[T]], xts *typedScratch[int32], b int, pairs []ring.Tuple[ring.Tuple[T]], arena []ring.Tuple[T]) {
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].Idx < pairs[j].Idx })
+	runs := 0
+	for i := 0; i < len(pairs); {
+		j := i + 1
+		for j < len(pairs) && pairs[j].Idx == pairs[i].Idx {
+			j++
+		}
+		runs++
+		i = j
+	}
+	gs := nodeSlots(tts.slots3, b, runs)
+	xs := nodeBuf(xts.bufs, b, runs)
+	r := 0
+	for i := 0; i < len(pairs); {
+		j := i + 1
+		for j < len(pairs) && pairs[j].Idx == pairs[i].Idx {
+			j++
+		}
+		for k := i; k < j; k++ {
+			arena[k] = pairs[k].Val
+		}
+		gs[r] = arena[i:j]
+		xs[r] = pairs[i].Idx
+		r++
+		i = j
+	}
+	xts.bufs[b] = xs
+}
+
+// csrFold sorts node x's received (z, v) tuples by column (stable), folds
+// equal-column runs with the semiring addition, and drops sums equal to the
+// semiring zero — keeping the output canonical, so it is bit-identical to
+// compressing a dense engine's product row. Returns the folded prefix of
+// acc.
+func csrFold[T any](sr ring.Semiring[T], zero T, acc []ring.Tuple[T]) []ring.Tuple[T] {
+	sort.SliceStable(acc, func(i, j int) bool { return acc[i].Idx < acc[j].Idx })
+	out := acc[:0]
+	for i := 0; i < len(acc); {
+		v := acc[i].Val
+		j := i + 1
+		for ; j < len(acc) && acc[j].Idx == acc[i].Idx; j++ {
+			v = sr.Add(v, acc[j].Val)
+		}
+		if !sr.Equal(v, zero) {
+			out = append(out, ring.Tuple[T]{Idx: acc[i].Idx, Val: v})
+		}
+		i = j
+	}
+	return out
+}
+
+// csrAssemble builds the fresh output CSR from the per-node folded rows
+// left in tts.bufs2 (lengths in sp.ca): a single-threaded RowPtr prefix sum
+// and a parallel flat copy. Outputs are never pooled.
+func csrAssemble[T any](net *clique.Network, sp *sparseState, tts *typedScratch[ring.Tuple[T]], n int) *matrix.CSR[T] {
+	out := matrix.NewCSR[T](n)
+	var nnz int64
+	for x := 0; x < n; x++ {
+		nnz += int64(sp.ca[x])
+		out.RowPtr[x+1] = nnz
+	}
+	out.Col = make([]int32, nnz)
+	out.Val = make([]T, nnz)
+	net.ForEach(func(x int) {
+		lo := out.RowPtr[x]
+		for i, tp := range tts.bufs2[x][:sp.ca[x]] {
+			out.Col[lo+int64(i)] = tp.Idx
+			out.Val[lo+int64(i)] = tp.Val
+		}
+	})
+	return out
+}
+
+// csrDirect is the data plane: tuple windows into per-node arenas travel by
+// reference as payloads, their wire cost charged analytically from the same
+// TupleCodec EncodedLen sums the wire plane pays for real.
+func csrDirect[T any](net *clique.Network, sc *Scratch, sr ring.Semiring[T], codec ring.Codec[T], s, t *matrix.CSR[T]) (*matrix.CSR[T], error) {
+	n := net.N()
+	if sc == nil {
+		sc = NewScratch()
+	}
+	bc := ring.AsBulk[T](codec)
+	tc := ring.TupleCodec[T]{Val: bc}
+	tts := typedFrom[ring.Tuple[T]](sc)
+	pts := typedFrom[ring.Tuple[ring.Tuple[T]]](sc)
+	xts := typedFrom[int32](sc)
+	sp := sc.sparse()
+	zero, one := sr.Zero(), sr.One()
+	growBufs(&tts.bufs, n)
+	growBufs(&tts.bufs2, n)
+	growBufs(&tts.bufs3, n)
+	growBufs(&pts.bufs, n)
+	growBufs(&xts.bufs, n)
+	growSlotRows(&tts.slots, n)
+	growSlotRows(&tts.slots2, n)
+	growSlotRows(&tts.slots3, n)
+	sp.ca = growInts(sp.ca, n)
+	sp.rb = growInts(sp.rb, n)
+
+	// Phase 1: transpose — each stored S[x][y] rides to column owner y as a
+	// pointer into the operand's value array (a shared one-cell for nil-Val
+	// operands), charged EncodedLen(1) analytic words. rb is free on CSR.
+	net.Phase("mmcsr/transpose")
+	net.ForEach(func(v int) { sp.rb[v] = t.RowNNZ(v) })
+	oneWords := int64(bc.EncodedLen(1))
+	ones := []T{one}
+	for x := 0; x < n; x++ {
+		lo, hi := s.RowPtr[x], s.RowPtr[x+1]
+		for i := lo; i < hi; i++ {
+			if s.Val != nil {
+				net.SendPayload(x, int(s.Col[i]), oneWords, &s.Val[i])
+			} else {
+				net.SendPayload(x, int(s.Col[i]), oneWords, &ones[0])
+			}
+		}
+	}
+	mailT := net.Flush()
+	net.ForEach(func(y int) {
+		aL := tts.bufs[y][:0]
+		mailT.EachPayload(y, func(src int, ps []clique.Payload) {
+			aL = append(aL, ring.Tuple[T]{Idx: int32(src), Val: *(ps[0].(*T))})
+		})
+		tts.bufs[y] = aL
+		sp.ca[y] = len(aL)
+	})
+
+	// Phase 2: census + tile tables (shared with the dense sparse engine;
+	// the density bound is enforced here).
+	if err := sparseCensus(net, sp, n); err != nil {
+		return nil, err
+	}
+
+	// Phase 3: spread — arenas and windows, then one payload per window.
+	net.Phase("mmcsr/spread")
+	csrSpreadChunks[T](net, sp, tts, t, one)
+	for y := 0; y < n; y++ {
+		tl := sp.tiles[y]
+		if !tl.Allocated {
+			continue
+		}
+		ws := tts.slots3[y]
+		for i := 0; i < tl.F; i++ {
+			if len(ws[i]) > 0 {
+				net.SendPayload(y, tl.Row+i, int64(tc.EncodedLen(len(ws[i]))), &ws[i])
+			}
+		}
+		for j := 0; j < tl.F; j++ {
+			if w := ws[tl.F+j]; len(w) > 0 {
+				net.SendPayload(y, tl.Col+j, int64(tc.EncodedLen(len(w))), &ws[tl.F+j])
+			}
+		}
+	}
+	mailS := net.Flush()
+	net.ForEach(func(p int) {
+		rl := sp.rowYs[sp.rowOff[p]:sp.rowOff[p+1]]
+		cl := sp.colYs[sp.colOff[p]:sp.colOff[p+1]]
+		wa := nodeSlots(tts.slots, p, len(rl))
+		wb := nodeSlots(tts.slots2, p, len(cl))
+		mailS.EachPayload(p, func(src int, ps []clique.Payload) {
+			win := *(ps[0].(*[]ring.Tuple[T]))
+			ka, kb := spreadCounts(sp.tiles[src], sp.ca[src], sp.rb[src], p)
+			if ka > 0 {
+				wa[sortedIndex(rl, int32(src))] = win[:ka]
+			}
+			if kb > 0 {
+				wb[sortedIndex(cl, int32(src))] = win[ka : ka+kb]
+			}
+		})
+	})
+
+	// Phase 4: forward — a re-sends each tile's A-window (a slice into the
+	// tile owner's arena, so no copy) to the tile's column nodes.
+	net.Phase("mmcsr/forward")
+	for a := 0; a < n; a++ {
+		rl := sp.rowYs[sp.rowOff[a]:sp.rowOff[a+1]]
+		wa := tts.slots[a]
+		for i, y := range rl {
+			chunk := wa[i]
+			if len(chunk) == 0 {
+				continue
+			}
+			tl := sp.tiles[y]
+			words := int64(tc.EncodedLen(len(chunk)))
+			for j := 0; j < tl.F; j++ {
+				net.SendPayload(a, tl.Col+j, words, &wa[i])
+			}
+		}
+	}
+	mailF := net.Flush()
+
+	// Phase 5: gather — b forms the partial products and routes each run of
+	// (z, value) tuples to its output row owner. Tiles are disjoint, so the
+	// forward chunk from a is the one for the unique tile containing (a, b).
+	net.Phase("mmcsr/gather")
+	net.ForEach(func(b int) {
+		cl := sp.colYs[sp.colOff[b]:sp.colOff[b+1]]
+		wb := tts.slots2[b]
+		pairs := pts.bufs[b][:0]
+		for j, y := range cl {
+			bchunk := wb[j]
+			if len(bchunk) == 0 {
+				continue
+			}
+			tl := sp.tiles[y]
+			for a := tl.Row; a < tl.Row+tl.F; a++ {
+				ps := mailF.PayloadsFrom(b, a)
+				if len(ps) == 0 {
+					continue
+				}
+				for _, at := range *(ps[0].(*[]ring.Tuple[T])) {
+					for _, bt := range bchunk {
+						pairs = append(pairs, ring.Tuple[ring.Tuple[T]]{Idx: at.Idx, Val: ring.Tuple[T]{Idx: bt.Idx, Val: sr.Mul(at.Val, bt.Val)}})
+					}
+				}
+			}
+		}
+		pts.bufs[b] = pairs
+		csrGatherRuns[T](tts, xts, b, pairs, nodeBuf(tts.bufs, b, len(pairs)))
+	})
+	for b := 0; b < n; b++ {
+		gs := tts.slots3[b]
+		xs := xts.bufs[b]
+		for r := range gs {
+			net.SendPayload(b, int(xs[r]), int64(tc.EncodedLen(len(gs[r]))), &gs[r])
+		}
+	}
+	mailG := net.Flush()
+
+	// Phase 6: accumulate — x concatenates its received runs (copies; the
+	// senders' arenas are read-only), folds, and the rows assemble locally.
+	net.Phase("mmcsr/accumulate")
+	net.ForEach(func(x int) {
+		acc := tts.bufs2[x][:0]
+		mailG.EachPayload(x, func(src int, ps []clique.Payload) {
+			acc = append(acc, *(ps[0].(*[]ring.Tuple[T]))...)
+		})
+		out := csrFold(sr, zero, acc)
+		tts.bufs2[x] = out
+		sp.ca[x] = len(out)
+	})
+	return csrAssemble[T](net, sp, tts, n), nil
+}
+
+// csrWire is the encoded plane: the same schedule with every chunk encoded
+// through ring.TupleCodec and moved as words, decoded into per-node receive
+// arenas on arrival.
+func csrWire[T any](net *clique.Network, sc *Scratch, sr ring.Semiring[T], codec ring.Codec[T], s, t *matrix.CSR[T]) (*matrix.CSR[T], error) {
+	n := net.N()
+	if sc == nil {
+		sc = NewScratch()
+	}
+	bc := ring.AsBulk[T](codec)
+	tc := ring.TupleCodec[T]{Val: bc}
+	ts := typedFrom[T](sc)
+	tts := typedFrom[ring.Tuple[T]](sc)
+	pts := typedFrom[ring.Tuple[ring.Tuple[T]]](sc)
+	xts := typedFrom[int32](sc)
+	sp := sc.sparse()
+	zero, one := sr.Zero(), sr.One()
+	growBufs(&ts.bufs, n)
+	growBufs(&tts.bufs, n)
+	growBufs(&tts.bufs2, n)
+	growBufs(&tts.bufs3, n)
+	growBufs(&pts.bufs, n)
+	growBufs(&xts.bufs, n)
+	growSlotRows(&tts.slots, n)
+	growSlotRows(&tts.slots2, n)
+	growSlotRows(&tts.slots3, n)
+	sp.ca = growInts(sp.ca, n)
+	sp.rb = growInts(sp.rb, n)
+	var wbuf []clique.Word // shared by the single-threaded send loops
+	var vbuf []T
+
+	// Phase 1: transpose.
+	net.Phase("mmcsr/transpose")
+	net.ForEach(func(v int) { sp.rb[v] = t.RowNNZ(v) })
+	var cell [1]T
+	for x := 0; x < n; x++ {
+		lo, hi := s.RowPtr[x], s.RowPtr[x+1]
+		for i := lo; i < hi; i++ {
+			if s.Val != nil {
+				cell[0] = s.Val[i]
+			} else {
+				cell[0] = one
+			}
+			wbuf = bc.EncodeSlice(wbuf[:0], cell[:])
+			net.SendVec(x, int(s.Col[i]), wbuf)
+		}
+	}
+	mailT := net.Flush()
+	net.ForEach(func(y int) {
+		aL := tts.bufs[y][:0]
+		var got [1]T
+		mailT.Each(y, func(src int, ws []clique.Word) {
+			bc.DecodeSlice(got[:], ws)
+			aL = append(aL, ring.Tuple[T]{Idx: int32(src), Val: got[0]})
+		})
+		tts.bufs[y] = aL
+		sp.ca[y] = len(aL)
+	})
+
+	// Phase 2: census + tile tables.
+	if err := sparseCensus(net, sp, n); err != nil {
+		return nil, err
+	}
+
+	// Phase 3: spread.
+	net.Phase("mmcsr/spread")
+	csrSpreadChunks[T](net, sp, tts, t, one)
+	for y := 0; y < n; y++ {
+		tl := sp.tiles[y]
+		if !tl.Allocated {
+			continue
+		}
+		ws := tts.slots3[y]
+		for i := 0; i < tl.F; i++ {
+			if w := ws[i]; len(w) > 0 {
+				wbuf, vbuf = tc.EncodeSlice(wbuf[:0], w, vbuf)
+				net.SendVec(y, tl.Row+i, wbuf)
+			}
+		}
+		for j := 0; j < tl.F; j++ {
+			if w := ws[tl.F+j]; len(w) > 0 {
+				wbuf, vbuf = tc.EncodeSlice(wbuf[:0], w, vbuf)
+				net.SendVec(y, tl.Col+j, wbuf)
+			}
+		}
+	}
+	mailS := net.Flush()
+	// Decode into per-node receive arenas (the transpose lists in tts.bufs
+	// are dead — csrSpreadChunks copied them into the send arenas).
+	net.ForEach(func(p int) {
+		rl := sp.rowYs[sp.rowOff[p]:sp.rowOff[p+1]]
+		cl := sp.colYs[sp.colOff[p]:sp.colOff[p+1]]
+		wa := nodeSlots(tts.slots, p, len(rl))
+		wb := nodeSlots(tts.slots2, p, len(cl))
+		total := 0
+		for _, y := range rl {
+			ka, kb := spreadCounts(sp.tiles[y], sp.ca[y], sp.rb[y], p)
+			total += ka + kb
+		}
+		for _, y := range cl {
+			tl := sp.tiles[y]
+			if i := p - tl.Row; i >= 0 && i < tl.F {
+				continue
+			}
+			_, kb := spreadCounts(tl, sp.ca[y], sp.rb[y], p)
+			total += kb
+		}
+		flat := nodeBuf(tts.bufs, p, total)
+		vb := ts.bufs[p]
+		off := 0
+		for i, y := range rl {
+			ka, kb := spreadCounts(sp.tiles[y], sp.ca[y], sp.rb[y], p)
+			k := ka + kb
+			if k == 0 {
+				continue
+			}
+			chunk := flat[off : off+k]
+			vb = tc.DecodeSlice(chunk, mailS.From(p, int(y)), vb)
+			if ka > 0 {
+				wa[i] = chunk[:ka]
+			}
+			if kb > 0 {
+				wb[sortedIndex(cl, y)] = chunk[ka:]
+			}
+			off += k
+		}
+		for j, y := range cl {
+			tl := sp.tiles[y]
+			if i := p - tl.Row; i >= 0 && i < tl.F {
+				continue
+			}
+			_, kb := spreadCounts(tl, sp.ca[y], sp.rb[y], p)
+			if kb == 0 {
+				continue
+			}
+			chunk := flat[off : off+kb]
+			vb = tc.DecodeSlice(chunk, mailS.From(p, int(y)), vb)
+			wb[j] = chunk
+			off += kb
+		}
+		ts.bufs[p] = vb
+	})
+
+	// Phase 4: forward.
+	net.Phase("mmcsr/forward")
+	for a := 0; a < n; a++ {
+		rl := sp.rowYs[sp.rowOff[a]:sp.rowOff[a+1]]
+		wa := tts.slots[a]
+		for i, y := range rl {
+			chunk := wa[i]
+			if len(chunk) == 0 {
+				continue
+			}
+			tl := sp.tiles[y]
+			wbuf, vbuf = tc.EncodeSlice(wbuf[:0], chunk, vbuf)
+			for j := 0; j < tl.F; j++ {
+				net.SendVec(a, tl.Col+j, wbuf)
+			}
+		}
+	}
+	mailF := net.Flush()
+
+	// Phase 5: gather.
+	net.Phase("mmcsr/gather")
+	net.ForEach(func(b int) {
+		cl := sp.colYs[sp.colOff[b]:sp.colOff[b+1]]
+		wb := tts.slots2[b]
+		pairs := pts.bufs[b][:0]
+		vb := ts.bufs[b]
+		for j, y := range cl {
+			bchunk := wb[j]
+			if len(bchunk) == 0 {
+				continue
+			}
+			tl := sp.tiles[y]
+			for a := tl.Row; a < tl.Row+tl.F; a++ {
+				lo, hi := chunkBounds(sp.ca[y], tl.F, a-tl.Row)
+				if hi == lo {
+					continue
+				}
+				ach := nodeBuf(tts.bufs2, b, hi-lo)
+				vb = tc.DecodeSlice(ach, mailF.From(b, a), vb)
+				for _, at := range ach {
+					for _, bt := range bchunk {
+						pairs = append(pairs, ring.Tuple[ring.Tuple[T]]{Idx: at.Idx, Val: ring.Tuple[T]{Idx: bt.Idx, Val: sr.Mul(at.Val, bt.Val)}})
+					}
+				}
+			}
+		}
+		pts.bufs[b] = pairs
+		ts.bufs[b] = vb
+		// The spread send arena in bufs3 is dead on the wire plane (its
+		// chunks were encoded and copied into the link queues), so it hosts
+		// the outgoing run tuples.
+		csrGatherRuns[T](tts, xts, b, pairs, nodeBuf(tts.bufs3, b, len(pairs)))
+	})
+	for b := 0; b < n; b++ {
+		gs := tts.slots3[b]
+		for r := range gs {
+			wbuf, vbuf = tc.EncodeSlice(wbuf[:0], gs[r], vbuf)
+			net.SendVec(b, int(xts.bufs[b][r]), wbuf)
+		}
+	}
+	mailG := net.Flush()
+
+	// Phase 6: accumulate. The receive pattern is data-dependent, so counts
+	// come from the self-delimiting chunks (CountFor), not the census.
+	net.Phase("mmcsr/accumulate")
+	errs := make([]error, n)
+	net.ForEach(func(x int) {
+		total := 0
+		mailG.Each(x, func(src int, ws []clique.Word) {
+			k := tc.CountFor(len(ws))
+			if k < 0 {
+				errs[x] = fmt.Errorf("ccmm: malformed %d-word tuple chunk in CSR gather: %w", len(ws), ErrSize)
+				return
+			}
+			total += k
+		})
+		if errs[x] != nil {
+			return
+		}
+		acc := nodeBuf(tts.bufs2, x, total)
+		vb := ts.bufs[x]
+		off := 0
+		mailG.Each(x, func(src int, ws []clique.Word) {
+			k := tc.CountFor(len(ws))
+			vb = tc.DecodeSlice(acc[off:off+k], ws, vb)
+			off += k
+		})
+		ts.bufs[x] = vb
+		out := csrFold(sr, zero, acc)
+		tts.bufs2[x] = out
+		sp.ca[x] = len(out)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return csrAssemble[T](net, sp, tts, n), nil
+}
+
+// csrCensus is the planner's census over CSR operands. Unlike nnzCensus it
+// scans nothing: a CSR row's nonzero count is a RowPtr difference, so the
+// round costs exactly its broadcast — the "census is free" property the
+// CSR plane is built around.
+func csrCensus[T any](net *clique.Network, sc *Scratch, s, t *matrix.CSR[T]) (rhoA, rhoB int64) {
+	n := net.N()
+	net.Phase("mmplan/census")
+	sp := sc.sparse()
+	sp.ca = growInts(sp.ca, n)
+	sp.rb = growInts(sp.rb, n)
+	net.ForEach(func(v int) {
+		sp.ca[v] = s.RowNNZ(v)
+		sp.rb[v] = t.RowNNZ(v)
+	})
+	sp.nnz = growInts(sp.nnz, n)
+	for v := 0; v < n; v++ {
+		sp.nnz[v] = clique.Word(sp.ca[v])<<32 | clique.Word(sp.rb[v])
+	}
+	got := net.BroadcastWord(sp.nnz)
+	for v := 0; v < n; v++ {
+		rhoA += int64(got[v] >> 32)
+		rhoB += int64(got[v] & 0xffffffff)
+	}
+	return rhoA, rhoB
+}
+
+// csrExpand densifies a CSR operand into a pooled row matrix (fallback
+// paths only — NewRowMat underneath is exactly what the dense-allocation
+// gate watches, so a product that claims to have stayed CSR and didn't is
+// caught even here).
+func csrExpand[T any](net *clique.Network, ts *typedScratch[T], zero, one T, m *matrix.CSR[T]) *RowMat[T] {
+	out := ts.getMat(m.N)
+	net.ForEach(func(v int) {
+		row := out.Rows[v]
+		for j := range row {
+			row[j] = zero
+		}
+		cols, vals := m.Row(v)
+		for i, c := range cols {
+			if vals == nil {
+				row[c] = one
+			} else {
+				row[c] = vals[i]
+			}
+		}
+	})
+	return out
+}
+
+// densifyPair expands both operands for a dense-engine fallback; release
+// returns the pooled matrices (engine results are fresh, never aliased).
+func densifyPair[T any](net *clique.Network, sc *Scratch, zero, one T, s, t *matrix.CSR[T]) (sd, td *RowMat[T], release func()) {
+	ts := typedFrom[T](sc)
+	sd = csrExpand(net, ts, zero, one, s)
+	td = csrExpand(net, ts, zero, one, t)
+	return sd, td, func() { ts.putMat(sd); ts.putMat(td) }
+}
+
+// csrRoute is the density-aware dispatcher for CSR operands, the CSR twin
+// of routeProduct: census (free on CSR), predictor comparison, sparse run
+// with transparent ErrTooDense fallback, dense fallback gated by
+// csrDensifyCap — beyond it a too-dense product errors rather than
+// allocating Θ(n²).
+func csrRoute[T any](net *clique.Network, p *Plan, sc *Scratch, s, t *matrix.CSR[T], denseEngine Engine, densePred float64, tupleWords int,
+	runSparse func(sc *Scratch) (*matrix.CSR[T], error),
+	runDense func(sc *Scratch) (*RowMat[T], error)) (CSRProduct[T], Route, error) {
+	n := net.N()
+	if sc == nil {
+		sc = NewScratch()
+	}
+	if err := csrCheck(s, n); err != nil {
+		return CSRProduct[T]{}, Route{}, err
+	}
+	if err := csrCheck(t, n); err != nil {
+		return CSRProduct[T]{}, Route{}, err
+	}
+	dense := func(rt Route) (CSRProduct[T], Route, error) {
+		if n > csrDensifyCap {
+			return CSRProduct[T]{}, rt, fmt.Errorf("ccmm: dense fallback at n = %d would allocate n² state (densify cap %d): %w", n, csrDensifyCap, ErrTooDense)
+		}
+		m, err := runDense(sc)
+		if err != nil {
+			return CSRProduct[T]{}, rt, err
+		}
+		return CSRProduct[T]{Dense: m}, rt, nil
+	}
+	if p.Requested == EngineSparse {
+		m, err := runSparse(sc)
+		if err != nil {
+			return CSRProduct[T]{}, Route{Engine: EngineSparse}, err
+		}
+		return CSRProduct[T]{Sparse: m}, Route{Engine: EngineSparse}, nil
+	}
+	if n < minSparseN || !p.censusApplies(net) {
+		return dense(Route{Engine: denseEngine})
+	}
+	rhoA, rhoB := csrCensus[T](net, sc, s, t)
+	rt := Route{Census: true, RhoA: rhoA, RhoB: rhoB, Engine: denseEngine}
+	if chooseSparse(n, rhoA, rhoB, tupleWords, densePred, p.thresholdOn(net)) {
+		m, err := runSparse(sc)
+		if err == nil {
+			rt.Engine = EngineSparse
+			return CSRProduct[T]{Sparse: m}, rt, nil
+		}
+		if !errors.Is(err, ErrTooDense) {
+			return CSRProduct[T]{}, rt, err
+		}
+		rt.Fallback = true // the exact Σ ca·rb census rejected the operands
+	}
+	return dense(rt)
+}
+
+// MulIntCSRRouted multiplies CSR operands over the integer ring with the
+// density-aware planner, reporting the route taken.
+func (p *Plan) MulIntCSRRouted(net *clique.Network, sc *Scratch, s, t *matrix.CSR[int64]) (m CSRProduct[int64], rt Route, err error) {
+	defer catchAbort(&err)
+	if err := p.check(net); err != nil {
+		return CSRProduct[int64]{}, Route{}, err
+	}
+	r := ring.Int64{}
+	bc := ring.AsBulk[int64](r)
+	wd := float64(bc.EncodedLen(p.N)) / float64(p.N)
+	return csrRoute[int64](net, p, sc, s, t, p.RingEngine,
+		p.predictDenseRounds(p.RingEngine, wd), ring.TupleCodec[int64]{Val: bc}.EncodedLen(1),
+		func(sc *Scratch) (*matrix.CSR[int64], error) {
+			return SparseMulCSR[int64](net, sc, r, r, s, t)
+		},
+		func(sc *Scratch) (*RowMat[int64], error) {
+			sd, td, release := densifyPair(net, sc, r.Zero(), r.One(), s, t)
+			defer release()
+			return mulRingConcrete[int64](net, p, sc, r, r, sd, td)
+		})
+}
+
+// MulIntCSR is MulIntCSRRouted without the route report.
+func (p *Plan) MulIntCSR(net *clique.Network, sc *Scratch, s, t *matrix.CSR[int64]) (CSRProduct[int64], error) {
+	m, _, err := p.MulIntCSRRouted(net, sc, s, t)
+	return m, err
+}
+
+// MulBoolCSRRouted computes the Boolean product of CSR operands. Stored
+// entries are treated as true regardless of value — Boolean CSR operands
+// must store only true entries (the canonical form; a nil Val is the usual
+// adjacency encoding) — so the Boolean view shares the structure arrays
+// with no conversion pass, and the sparse tuple streams carry bit-packed
+// values. Sparse results come back value-free (nil Val: every stored entry
+// is 1).
+func (p *Plan) MulBoolCSRRouted(net *clique.Network, sc *Scratch, s, t *matrix.CSR[int64]) (m CSRProduct[int64], rt Route, err error) {
+	defer catchAbort(&err)
+	if err := p.check(net); err != nil {
+		return CSRProduct[int64]{}, Route{}, err
+	}
+	sb := &matrix.CSR[bool]{N: s.N, RowPtr: s.RowPtr, Col: s.Col}
+	tb := &matrix.CSR[bool]{N: t.N, RowPtr: t.RowPtr, Col: t.Col}
+	wdPacked := float64(ring.PackedBool{}.EncodedLen(p.N)) / float64(p.N)
+	var densePred float64
+	switch p.RingEngine {
+	case EngineFast:
+		densePred = p.predictDenseRounds(EngineFast, 1)
+	case Engine3D:
+		densePred = p.predictDenseRounds(Engine3D, wdPacked)
+	default:
+		densePred = p.predictDenseRounds(EngineNaive, wdPacked)
+	}
+	return csrRoute[int64](net, p, sc, s, t, p.RingEngine, densePred,
+		ring.TupleCodec[bool]{Val: ring.PackedBool{}}.EncodedLen(1),
+		func(sc *Scratch) (*matrix.CSR[int64], error) {
+			pb, err := SparseMulCSR[bool](net, sc, ring.Bool{}, ring.PackedBool{}, sb, tb)
+			if err != nil {
+				return nil, err
+			}
+			return &matrix.CSR[int64]{N: pb.N, RowPtr: pb.RowPtr, Col: pb.Col}, nil
+		},
+		func(sc *Scratch) (*RowMat[int64], error) {
+			sd, td, release := densifyPair(net, sc, int64(0), int64(1), s, t)
+			defer release()
+			return p.mulBoolDense(net, sc, sd, td)
+		})
+}
+
+// MulBoolCSR is MulBoolCSRRouted without the route report.
+func (p *Plan) MulBoolCSR(net *clique.Network, sc *Scratch, s, t *matrix.CSR[int64]) (CSRProduct[int64], error) {
+	m, _, err := p.MulBoolCSRRouted(net, sc, s, t)
+	return m, err
+}
+
+// MulMinPlusCSRRouted computes the distance product of CSR operands:
+// unstored entries are the min-plus zero (+∞), so a CSR distance matrix
+// stores exactly the finite entries, and a nil Val means every stored edge
+// has weight 0 (the min-plus one).
+func (p *Plan) MulMinPlusCSRRouted(net *clique.Network, sc *Scratch, s, t *matrix.CSR[int64]) (m CSRProduct[int64], rt Route, err error) {
+	defer catchAbort(&err)
+	if err := p.check(net); err != nil {
+		return CSRProduct[int64]{}, Route{}, err
+	}
+	mp := ring.MinPlus{}
+	bc := ring.AsBulk[int64](mp)
+	wd := float64(bc.EncodedLen(p.N)) / float64(p.N)
+	return csrRoute[int64](net, p, sc, s, t, p.SemiringEngine,
+		p.predictDenseRounds(p.SemiringEngine, wd), ring.TupleCodec[int64]{Val: bc}.EncodedLen(1),
+		func(sc *Scratch) (*matrix.CSR[int64], error) {
+			return SparseMulCSR[int64](net, sc, mp, mp, s, t)
+		},
+		func(sc *Scratch) (*RowMat[int64], error) {
+			sd, td, release := densifyPair(net, sc, mp.Zero(), mp.One(), s, t)
+			defer release()
+			return p.mulMinPlusDense(net, sc, sd, td)
+		})
+}
+
+// MulMinPlusCSR is MulMinPlusCSRRouted without the route report.
+func (p *Plan) MulMinPlusCSR(net *clique.Network, sc *Scratch, s, t *matrix.CSR[int64]) (CSRProduct[int64], error) {
+	m, _, err := p.MulMinPlusCSRRouted(net, sc, s, t)
+	return m, err
+}

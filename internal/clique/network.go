@@ -109,27 +109,30 @@ func WithRoundLimit(limit int64) Option {
 // Network is a simulated congested clique. It is not safe for concurrent
 // use except as documented on ForEach and Send.
 type Network struct {
-	n          int
-	queues     [][][]Word  // queues[src][dst], dst == src used for free local delivery
-	pqueues    [][]Payload // data-plane payload queues, flat [src*n+dst] (lazy)
-	ploads     []int64     // analytic word load per link, flat [src*n+dst] (lazy)
-	touched    [][]int     // per-source destinations with traffic or load since last Flush
-	tstamp     []uint64    // per-link touch generation backing the touched lists
-	flushSeq   uint64      // monotone flush generation; never reset (stamps depend on it)
-	spiked     bool        // a delivery exceeded linkRetainCap since the last sweep
-	mails      [2]*Mail    // double-buffered delivery state, alternated by Flush
-	rounds     int64
-	words      int64
-	flushes    int64
-	phases     []PhaseStat
-	workers    int
-	roundLimit int64
-	fault      *FaultInjector
-	transport  Transport
-	sparseTh   float64 // planner sparse-threshold override (armed per op)
-	sparseThOn bool
-	ctx        context.Context
-	pool       *workerPool
+	n           int
+	queues      [][][]Word       // queues[src][dst], dst == src used for free local delivery
+	pqueues     [][]Payload      // data-plane payload queues, flat [src*n+dst] (lazy)
+	ploads      []int64          // analytic word load per link, flat [src*n+dst] (lazy)
+	touched     [][]int          // per-source destinations with traffic or load since last Flush
+	tstamp      []uint64         // per-link touch generation backing the touched lists
+	sparseLinks bool             // sparse-link mode: per-link state on demand, no Θ(n²) arrays
+	slinks      []map[int]*slink // sparse mode: per-source link state, materialised on first send
+	stouched    [][]int          // sparse mode: per-source touched destinations (replaces touched)
+	flushSeq    uint64           // monotone flush generation; never reset (stamps depend on it)
+	spiked      bool             // a delivery exceeded linkRetainCap since the last sweep
+	mails       [2]*Mail         // double-buffered delivery state, alternated by Flush
+	rounds      int64
+	words       int64
+	flushes     int64
+	phases      []PhaseStat
+	workers     int
+	roundLimit  int64
+	fault       *FaultInjector
+	transport   Transport
+	sparseTh    float64 // planner sparse-threshold override (armed per op)
+	sparseThOn  bool
+	ctx         context.Context
+	pool        *workerPool
 }
 
 // New returns a network of n ≥ 1 nodes.
@@ -139,13 +142,24 @@ func New(n int, opts ...Option) *Network {
 	}
 	c := &Network{
 		n:       n,
-		queues:  newQueues(n),
-		touched: make([][]int, n),
-		tstamp:  make([]uint64, n*n),
 		workers: runtime.GOMAXPROCS(0),
 	}
 	for _, o := range opts {
 		o(c)
+	}
+	if n >= sparseLinkFloor {
+		c.sparseLinks = true
+	}
+	if c.sparseLinks {
+		// Sparse-link mode: all per-link state materialises on demand, so
+		// construction (and every later walk) is proportional to the nodes
+		// and the traffic, never to the n² links. See sparselinks.go.
+		c.slinks = make([]map[int]*slink, n)
+		c.stouched = make([][]int, n)
+	} else {
+		c.queues = newQueues(n)
+		c.touched = make([][]int, n)
+		c.tstamp = make([]uint64, n*n)
 	}
 	return c
 }
@@ -283,6 +297,18 @@ func (c *Network) Reset() {
 // must not leak into the retry's first Flush, but the aborted attempt's
 // cost legitimately stays on the ledger. Reset builds on it.
 func (c *Network) DropPending() {
+	if c.sparseLinks {
+		c.dropPendingSparse()
+		c.flushSeq++ // see the dense branch's comment below
+		for _, mail := range c.mails {
+			if mail == nil {
+				continue
+			}
+			mail.releaseSparse()
+			mail.id = 0 // no stamp matches: everything reads as undelivered
+		}
+		return
+	}
 	n := c.n
 	for src, list := range c.touched {
 		qrow := c.queues[src]
@@ -315,6 +341,13 @@ func (c *Network) DropPending() {
 // the aggressive form of Reset's high-water trimming, for callers parking
 // a network they may not use again soon; accounting is untouched.
 func (c *Network) Trim() {
+	if c.sparseLinks {
+		c.slinks = make([]map[int]*slink, c.n)
+		c.stouched = make([][]int, c.n)
+		c.mails = [2]*Mail{}
+		c.flushSeq++ // invalidate the discarded links' touch stamps (see Reset)
+		return
+	}
 	c.queues = newQueues(c.n)
 	c.mails = [2]*Mail{}
 	c.pqueues = nil
@@ -387,6 +420,11 @@ func (c *Network) Send(src, dst int, w Word) {
 	if c.fault != nil {
 		c.fault.checkSend(src, c.rounds)
 	}
+	if c.sparseLinks {
+		sl := c.slinkFor(src, dst)
+		sl.q = append(sl.q, w)
+		return
+	}
 	if len(c.queues[src][dst]) == 0 {
 		c.touch(src, dst)
 	}
@@ -403,6 +441,11 @@ func (c *Network) SendVec(src, dst int, ws []Word) {
 		c.fault.checkSend(src, c.rounds)
 	}
 	if len(ws) == 0 {
+		return
+	}
+	if c.sparseLinks {
+		sl := c.slinkFor(src, dst)
+		sl.q = append(sl.q, ws...)
 		return
 	}
 	if len(c.queues[src][dst]) == 0 {
@@ -427,6 +470,15 @@ func (c *Network) SendOwnedVec(src, dst int, ws []Word) {
 		c.fault.checkSend(src, c.rounds)
 	}
 	if len(ws) == 0 {
+		return
+	}
+	if c.sparseLinks {
+		sl := c.slinkFor(src, dst)
+		if len(sl.q) > 0 {
+			sl.q = append(sl.q, ws...)
+		} else {
+			sl.q = ws
+		}
 		return
 	}
 	if q := c.queues[src][dst]; len(q) > 0 {
@@ -455,6 +507,13 @@ type Mail struct {
 	pbufs  [][]Payload // flat [dst*n+src] persistent payload buffers (lazy)
 	pstamp []uint64    // generation each payload entry was written (lazy)
 	plinks []int       // entries of pbufs holding references from the last fill
+
+	// Sparse-link mode (see sparselinks.go): per-destination entry lists in
+	// ascending source order, stamp-gated per destination. A Mail has
+	// either the flat arrays above or the lists below, never both.
+	sbox   [][]mailEntry
+	sstamp []uint64
+	sdirty []int // destinations the last fill touched
 }
 
 func newMail(n int) *Mail {
@@ -465,6 +524,10 @@ func newMail(n int) *Mail {
 // when its two-flush lifetime ends (refill or Reset), so delivered data
 // is pinned no longer than the contract promises.
 func (m *Mail) releasePayloads() {
+	if m.sbox != nil {
+		m.releaseSparse()
+		return
+	}
 	for _, ri := range m.plinks {
 		m.pbufs[ri] = trimPayloads(m.pbufs[ri])
 	}
@@ -475,6 +538,12 @@ func (m *Mail) releasePayloads() {
 //
 //cc:hotpath
 func (m *Mail) From(dst, src int) []Word {
+	if m.sbox != nil {
+		if e := m.sparseEntry(dst, src); e != nil && len(e.ws) > 0 {
+			return e.ws
+		}
+		return nil
+	}
 	i := dst*m.n + src
 	if m.wstamp[i] != m.id {
 		return nil
@@ -487,6 +556,17 @@ func (m *Mail) From(dst, src int) []Word {
 //
 //cc:hotpath
 func (m *Mail) Each(dst int, f func(src int, words []Word)) {
+	if m.sbox != nil {
+		if m.sstamp[dst] != m.id {
+			return
+		}
+		for i := range m.sbox[dst] {
+			if e := &m.sbox[dst][i]; len(e.ws) > 0 {
+				f(e.src, e.ws)
+			}
+		}
+		return
+	}
 	base := dst * m.n
 	for src := 0; src < m.n; src++ {
 		if m.wstamp[base+src] == m.id && len(m.bufs[base+src]) > 0 {
@@ -524,6 +604,9 @@ func (c *Network) Flush() *Mail {
 //
 //cc:hotpath
 func (c *Network) FlushAnalytic(maxLoad, totalWords int64) *Mail {
+	if c.sparseLinks {
+		return c.flushSparse(maxLoad, totalWords)
+	}
 	n := c.n
 	if c.fault != nil {
 		c.fault.checkFlush(c.flushes + 1)
@@ -629,6 +712,19 @@ func (c *Network) FlushAnalytic(maxLoad, totalWords int64) *Mail {
 func (c *Network) PendingWords(src int) int {
 	c.checkNode(src)
 	total := 0
+	if c.sparseLinks {
+		// Anything pending was queued since the last flush, so the touched
+		// list covers it (queues drain at flush); walking it — not the link
+		// map — keeps the order deterministic.
+		for _, dst := range c.stouched[src] {
+			if dst == src {
+				continue
+			}
+			sl := c.slinks[src][dst]
+			total += len(sl.q) + int(sl.pload)
+		}
+		return total
+	}
 	for dst, q := range c.queues[src] {
 		if dst != src {
 			total += len(q)

@@ -95,6 +95,14 @@ func (c *Network) SendPayload(src, dst int, words int64, p Payload) {
 	if c.fault != nil {
 		c.fault.checkSend(src, c.rounds)
 	}
+	if c.sparseLinks {
+		sl := c.slinkFor(src, dst)
+		sl.pq = append(sl.pq, p)
+		if words > 0 {
+			sl.pload += words
+		}
+		return
+	}
 	c.ensurePayloads()
 	i := src*c.n + dst
 	if len(c.pqueues[i]) == 0 && c.ploads[i] == 0 {
@@ -120,6 +128,10 @@ func (c *Network) ChargeLink(src, dst int, words int64) {
 		c.fault.checkSend(src, c.rounds)
 	}
 	if words <= 0 {
+		return
+	}
+	if c.sparseLinks {
+		c.slinkFor(src, dst).pload += words
 		return
 	}
 	c.ensurePayloads()
@@ -148,12 +160,49 @@ func (c *Network) ChargeBroadcast(lens []int64) {
 	c.charge(maxLen, total)
 }
 
+// EachPayload calls f for every (src, payloads) pair delivered to dst, in
+// increasing source order — the payload-plane twin of Each. In sparse-link
+// mode the walk visits only the sources that actually delivered, so a
+// receiver's cost is proportional to its traffic, not to n; engines
+// running at sparse-link scale must use it instead of probing all n
+// sources with PayloadsFrom.
+//
+//cc:hotpath
+func (m *Mail) EachPayload(dst int, f func(src int, ps []Payload)) {
+	if m.sbox != nil {
+		if m.sstamp[dst] != m.id {
+			return
+		}
+		for i := range m.sbox[dst] {
+			if e := &m.sbox[dst][i]; len(e.ps) > 0 {
+				f(e.src, e.ps)
+			}
+		}
+		return
+	}
+	if m.pstamp == nil {
+		return
+	}
+	base := dst * m.n
+	for src := 0; src < m.n; src++ {
+		if m.pstamp[base+src] == m.id && len(m.pbufs[base+src]) > 0 {
+			f(src, m.pbufs[base+src])
+		}
+	}
+}
+
 // PayloadsFrom returns the payloads dst received from src in the last
 // Flush, in FIFO order (nil if none). Valid until the second-next Flush,
 // like the word vectors.
 //
 //cc:hotpath
 func (m *Mail) PayloadsFrom(dst, src int) []Payload {
+	if m.sbox != nil {
+		if e := m.sparseEntry(dst, src); e != nil && len(e.ps) > 0 {
+			return e.ps
+		}
+		return nil
+	}
 	if m.pstamp == nil {
 		return nil
 	}

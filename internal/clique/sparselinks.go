@@ -1,0 +1,234 @@
+package clique
+
+// This file is the simulator's sparse-link mode: the same synchronous
+// clique, with per-link state materialised only for links actually used.
+//
+// The dense-link representation is Θ(n²) at construction — queue rows,
+// touch stamps, and flat mailbox arrays all scale with the link count, not
+// the traffic. That is invisible at the sizes the dense engines run
+// (n ≤ a few thousand) and fatal at the sizes the CSR operand plane
+// targets: a GNP(10⁵, c/n) adjacency square moves Θ(n) traffic over a
+// network whose dense bookkeeping alone would need tens of gigabytes.
+// Above sparseLinkFloor nodes (or under WithSparseLinks, which tests use
+// to force the mode at small n), a network therefore keeps
+//
+//   - per-source maps of *slink (queue, payload queue, analytic load,
+//     touch generation) materialised on first send, and
+//   - per-destination mailbox entry lists, appended in ascending source
+//     order by the flush walk, so Mail.From resolves by binary search and
+//     Mail.Each walks exactly the delivering sources.
+//
+// Charging is unchanged: flushSparse computes the identical per-link load
+// maximum and word total the dense walk computes, so the ledger — rounds,
+// words, flushes, phase attribution — is bit-identical between the two
+// representations (TestSparseLinksLedgerParity pins this differentially).
+// The only unsupported feature is link-plane fault injection, which
+// mutates mailbox state by flat [dst·n+src] index; flushSparse rejects an
+// armed link-fault plan with a panic rather than silently not injecting.
+
+// sparseLinkFloor is the node count at which New switches to sparse links
+// automatically: below it the dense arrays are at most a few MB and the
+// flat-index paths are faster; above it Θ(n²) construction dominates any
+// plausible traffic.
+const sparseLinkFloor = 4096
+
+// WithSparseLinks forces sparse-link mode regardless of size, so tests
+// can differentially compare the two representations at small n.
+func WithSparseLinks() Option {
+	return func(c *Network) { c.sparseLinks = true }
+}
+
+// SparseLinks reports whether the network uses sparse-link state.
+func (c *Network) SparseLinks() bool { return c.sparseLinks }
+
+// slink is the per-used-link state: the dense mode's queues[src][dst],
+// pqueues/ploads entries, and touch stamp, materialised on first use.
+type slink struct {
+	q     []Word
+	pq    []Payload
+	pload int64
+	seq   uint64 // touch generation (the dense mode's tstamp entry)
+}
+
+// slinkFor returns (creating if needed) the link src→dst and registers it
+// with the upcoming flush. Per-source maps and touch lists keep concurrent
+// ForEach senders — each restricted to its own source — on disjoint state,
+// exactly like the dense mode's per-source rows.
+//
+//cc:hotpath
+func (c *Network) slinkFor(src, dst int) *slink {
+	m := c.slinks[src]
+	if m == nil {
+		m = make(map[int]*slink) //cc:hotalloc-ok(first send from this source)
+		c.slinks[src] = m
+	}
+	sl := m[dst]
+	if sl == nil {
+		sl = &slink{} //cc:hotalloc-ok(first use of this link; reused afterwards)
+		m[dst] = sl
+	}
+	if sl.seq != c.flushSeq+1 {
+		sl.seq = c.flushSeq + 1
+		c.stouched[src] = append(c.stouched[src], dst)
+	}
+	return sl
+}
+
+// mailEntry is one delivery (src, words, payloads) in a destination's
+// sparse mailbox. Entries are revived in place across flushes so their
+// word and payload buffers recycle like the dense mode's flat arrays.
+type mailEntry struct {
+	src int
+	ws  []Word
+	ps  []Payload
+}
+
+func newMailSparse(n int) *Mail {
+	return &Mail{n: n, sbox: make([][]mailEntry, n), sstamp: make([]uint64, n)}
+}
+
+// releaseSparse drops the payload references (and spiked word buffers)
+// the sparse mailboxes hold, walking only the destinations the last fill
+// touched. The entries themselves stay, capacity warm, gated stale by the
+// per-destination stamp until the next fill revives them.
+func (m *Mail) releaseSparse() {
+	for _, dst := range m.sdirty {
+		box := m.sbox[dst]
+		for i := range box {
+			box[i].ps = trimPayloads(box[i].ps)
+			if cap(box[i].ws) > linkRetainCap {
+				box[i].ws = nil
+			}
+		}
+	}
+	m.sdirty = m.sdirty[:0]
+}
+
+// sparseEntry resolves dst's delivery from src by binary search over the
+// mailbox (entries are in ascending source order by construction — the
+// flush walk visits sources in ascending order).
+//
+//cc:hotpath
+func (m *Mail) sparseEntry(dst, src int) *mailEntry {
+	if m.sstamp[dst] != m.id {
+		return nil
+	}
+	box := m.sbox[dst]
+	lo, hi := 0, len(box)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if box[mid].src < src {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(box) && box[lo].src == src {
+		return &box[lo]
+	}
+	return nil
+}
+
+// flushSparse is FlushAnalytic on sparse-link state: identical delivery
+// semantics and — critically — identical charging. The walk is over the
+// touched links only; each destination's mailbox receives its entries in
+// ascending source order because the outer loop ascends sources.
+//
+//cc:hotpath
+func (c *Network) flushSparse(maxLoad, totalWords int64) *Mail {
+	n := c.n
+	if c.fault != nil {
+		c.fault.checkFlush(c.flushes + 1)
+		if c.fault.linkActive() {
+			panic("clique: link-plane fault injection is not supported in sparse-link mode (see WithSparseLinks)")
+		}
+	}
+	mail := c.mails[c.flushSeq&1]
+	if mail == nil {
+		mail = newMailSparse(n) //cc:hotalloc-ok(lazy one-time mailbox init)
+		c.mails[c.flushSeq&1] = mail
+	}
+	// This mail's previous deliveries reach the end of their two-flush
+	// lifetime here; drop the references they pinned.
+	mail.releaseSparse()
+	seq := c.flushSeq + 1
+	mail.id = seq
+	total := totalWords
+	for src := 0; src < n; src++ {
+		list := c.stouched[src]
+		if len(list) == 0 {
+			continue
+		}
+		srcLinks := c.slinks[src]
+		for _, dst := range list {
+			sl := srcLinks[dst]
+			load := int64(len(sl.q)) + sl.pload
+			sl.pload = 0
+			if len(sl.q) > 0 || len(sl.pq) > 0 {
+				box := mail.sbox[dst]
+				if mail.sstamp[dst] != seq {
+					box = box[:0]
+					mail.sstamp[dst] = seq
+					mail.sdirty = append(mail.sdirty, dst) //cc:hotalloc-ok(dirty-list growth; steady state reuses the array)
+				}
+				var e *mailEntry
+				if len(box) < cap(box) {
+					box = box[:len(box)+1]
+					e = &box[len(box)-1] // revive: keep the buffers it held
+					e.src = src
+				} else {
+					box = append(box, mailEntry{src: src}) //cc:hotalloc-ok(mailbox growth; steady state revives entries)
+					e = &box[len(box)-1]
+				}
+				mail.sbox[dst] = box
+				e.ws = append(e.ws[:0], sl.q...) //cc:hotalloc-ok(capacity growth; steady state reuses the buffer)
+				if len(sl.q) > linkRetainCap {
+					sl.q = nil // spiked queue released now; the mail copy at the next release
+				} else {
+					sl.q = sl.q[:0]
+				}
+				if len(sl.pq) > 0 {
+					e.ps = append(e.ps[:0], sl.pq...) //cc:hotalloc-ok(capacity growth; steady state reuses the buffer)
+					for k := range sl.pq {
+						sl.pq[k] = nil // release the queued references
+					}
+					if cap(sl.pq) > payloadRetainCap {
+						sl.pq = nil
+					} else {
+						sl.pq = sl.pq[:0]
+					}
+				} else {
+					e.ps = trimPayloads(e.ps)
+				}
+			}
+			if src != dst && load > 0 {
+				if load > maxLoad {
+					maxLoad = load
+				}
+				total += load
+			}
+		}
+		c.stouched[src] = list[:0]
+	}
+	c.flushSeq = seq
+	c.flushes++
+	if c.fault != nil {
+		maxLoad += c.fault.straggle(seq)
+	}
+	c.charge(maxLoad, total)
+	return mail
+}
+
+// dropPendingSparse is DropPending's sparse-link walk.
+func (c *Network) dropPendingSparse() {
+	for src, list := range c.stouched {
+		srcLinks := c.slinks[src]
+		for _, dst := range list {
+			sl := srcLinks[dst]
+			sl.q = trimWords(sl.q)
+			sl.pq = trimPayloads(sl.pq)
+			sl.pload = 0
+		}
+		c.stouched[src] = list[:0]
+	}
+}

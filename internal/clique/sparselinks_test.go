@@ -1,0 +1,191 @@
+package clique_test
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"github.com/algebraic-clique/algclique/internal/clique"
+)
+
+// driveRandomTraffic runs a deterministic pseudo-random mixed-plane
+// schedule on a network: scripted sends, payload sends, analytic loads,
+// broadcasts, flushes, and a mid-run DropPending. It returns a digest of
+// everything delivered, so two networks can be compared exchange by
+// exchange.
+func driveRandomTraffic(t *testing.T, c *clique.Network, seed uint64) (digest []uint64, stats clique.Stats) {
+	t.Helper()
+	n := c.N()
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	c.Phase("traffic")
+	for step := 0; step < 8; step++ {
+		sends := rng.IntN(4 * n)
+		for k := 0; k < sends; k++ {
+			src, dst := rng.IntN(n), rng.IntN(n)
+			switch rng.IntN(4) {
+			case 0:
+				c.Send(src, dst, uint64(step)<<32|uint64(k))
+			case 1:
+				c.SendVec(src, dst, []clique.Word{uint64(src), uint64(dst), uint64(k)})
+			case 2:
+				v := []int64{int64(src) - int64(dst), int64(k)}
+				c.SendPayload(src, dst, 2, &v)
+			default:
+				c.ChargeLink(src, dst, int64(rng.IntN(5)))
+			}
+		}
+		if step == 5 {
+			// A half-built exchange is abandoned: the retry path every
+			// fault recovery takes. Nothing from it may leak below.
+			c.DropPending()
+			c.Send(1%n, 0, 0xabad1dea)
+		}
+		mail := c.FlushAnalytic(int64(rng.IntN(3)), int64(rng.IntN(7)))
+		for dst := 0; dst < n; dst++ {
+			mail.Each(dst, func(src int, ws []clique.Word) {
+				digest = append(digest, uint64(dst)<<40|uint64(src)<<20|uint64(len(ws)))
+				digest = append(digest, ws...)
+			})
+			for src := 0; src < n; src++ {
+				for _, p := range mail.PayloadsFrom(dst, src) {
+					v := *p.(*[]int64)
+					digest = append(digest, uint64(dst), uint64(src), uint64(len(v)))
+					for _, x := range v {
+						digest = append(digest, uint64(x))
+					}
+				}
+			}
+		}
+		if step == 2 {
+			bv := make([]clique.Word, n)
+			for v := range bv {
+				bv[v] = uint64(v * v)
+			}
+			out := c.BroadcastWord(bv)
+			digest = append(digest, out...)
+		}
+	}
+	return digest, c.Stats()
+}
+
+// TestSparseLinksLedgerParity is the representation-equivalence test: the
+// same scripted traffic on a dense-link and a forced-sparse-link network
+// must deliver identical data and charge an identical ledger.
+func TestSparseLinksLedgerParity(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			dense := clique.New(n)
+			sparse := clique.New(n, clique.WithSparseLinks())
+			if dense.SparseLinks() || !sparse.SparseLinks() {
+				t.Fatal("sparse-link mode selection wrong")
+			}
+			dd, ds := driveRandomTraffic(t, dense, seed)
+			sd, ss := driveRandomTraffic(t, sparse, seed)
+			if !reflect.DeepEqual(dd, sd) {
+				t.Fatalf("n=%d seed=%d: delivered data diverged (dense %d entries, sparse %d)", n, seed, len(dd), len(sd))
+			}
+			if !reflect.DeepEqual(ds, ss) {
+				t.Fatalf("n=%d seed=%d: ledger diverged: dense %+v, sparse %+v", n, seed, ds, ss)
+			}
+		}
+	}
+}
+
+// TestSparseLinksReuse pins Reset/reuse behaviour: a reused sparse-link
+// network charges the same as a fresh one, and stale mail is invalidated.
+func TestSparseLinksReuse(t *testing.T) {
+	c := clique.New(6, clique.WithSparseLinks())
+	run := func() (clique.Stats, []uint64) {
+		d, s := driveRandomTraffic(t, c, 7)
+		return s, d
+	}
+	s1, d1 := run()
+	c.Reset()
+	s2, d2 := run()
+	if !reflect.DeepEqual(s1, s2) || !reflect.DeepEqual(d1, d2) {
+		t.Fatal("reused sparse-link network diverged from its first run")
+	}
+	c.Trim()
+	c.Reset()
+	s3, d3 := run()
+	if !reflect.DeepEqual(s1, s3) || !reflect.DeepEqual(d1, d3) {
+		t.Fatal("trimmed sparse-link network diverged from its first run")
+	}
+}
+
+// TestSparseLinksMailLifetime checks the double-buffered Mail contract in
+// sparse mode: a delivery stays readable after the next flush and reads
+// as empty (not stale) after DropPending.
+func TestSparseLinksMailLifetime(t *testing.T) {
+	c := clique.New(4, clique.WithSparseLinks())
+	c.Send(0, 2, 42)
+	m1 := c.Flush()
+	c.Send(1, 2, 43)
+	m2 := c.Flush()
+	if got := m1.From(2, 0); len(got) != 1 || got[0] != 42 {
+		t.Fatalf("first mail unreadable after second flush: %v", got)
+	}
+	if got := m2.From(2, 1); len(got) != 1 || got[0] != 43 {
+		t.Fatalf("second mail wrong: %v", got)
+	}
+	if m2.From(2, 0) != nil {
+		t.Fatal("second mail shows first flush's delivery")
+	}
+	c.DropPending()
+	if m1.From(2, 0) != nil || m2.From(2, 1) != nil {
+		t.Fatal("mail readable after DropPending")
+	}
+}
+
+// TestSparseLinksPendingWords mirrors the dense PendingWords semantics.
+func TestSparseLinksPendingWords(t *testing.T) {
+	c := clique.New(5, clique.WithSparseLinks())
+	c.Send(3, 0, 1)
+	c.SendVec(3, 1, []clique.Word{2, 3})
+	c.ChargeLink(3, 4, 7)
+	c.Send(3, 3, 9) // self-delivery is free and uncounted
+	if got := c.PendingWords(3); got != 10 {
+		t.Fatalf("PendingWords = %d, want 10", got)
+	}
+	c.Flush()
+	if got := c.PendingWords(3); got != 0 {
+		t.Fatalf("PendingWords after flush = %d, want 0", got)
+	}
+}
+
+// TestSparseLinksAutoFloor checks the automatic switchover: construction
+// at the floor must not allocate Θ(n²) state (a 1M-node network's dense
+// bookkeeping would be ≥ 24 GB — the construction itself is the test).
+func TestSparseLinksAutoFloor(t *testing.T) {
+	if clique.New(4095).SparseLinks() {
+		t.Fatal("sparse links below the floor")
+	}
+	c := clique.New(1 << 20)
+	if !c.SparseLinks() {
+		t.Fatal("dense links at n = 1M")
+	}
+	c.Send(0, 999_999, 5)
+	if got := c.Flush().From(999_999, 0); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("delivery at n = 1M: %v", got)
+	}
+	if c.Rounds() != 1 || c.Words() != 1 {
+		t.Fatalf("ledger at n = 1M: %d rounds, %d words", c.Rounds(), c.Words())
+	}
+	c.Close()
+}
+
+// TestSparseLinksRejectLinkFaults pins the documented incompatibility:
+// link-plane fault injection indexes mailboxes by flat [dst·n+src], so a
+// sparse-link flush must refuse loudly rather than not inject.
+func TestSparseLinksRejectLinkFaults(t *testing.T) {
+	c := clique.New(4, clique.WithSparseLinks())
+	fi := clique.NewFaultInjector(clique.FaultPlan{Seed: 1, CorruptProb: 1.0})
+	c.SetFaultInjector(fi)
+	c.Send(0, 1, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("flush with link faults on sparse links did not panic")
+		}
+	}()
+	c.Flush()
+}

@@ -12,6 +12,27 @@ type Tuple[T any] struct {
 	Val T
 }
 
+// AppendTuples appends one CSR row window (parallel column-index and value
+// slices) onto dst as tuples. A nil vals slice means the row stores no
+// explicit values — every entry is the algebra's one element, the
+// convention adjacency matrices use — so the caller passes that element.
+// It is the bridge from CSR-native operands into the tuple streams the
+// sparse engine ships: no dense row ever materialises.
+//
+//cc:hotpath
+func AppendTuples[T any](dst []Tuple[T], cols []int32, vals []T, one T) []Tuple[T] {
+	if vals == nil {
+		for _, c := range cols {
+			dst = append(dst, Tuple[T]{Idx: c, Val: one})
+		}
+		return dst
+	}
+	for i, c := range cols {
+		dst = append(dst, Tuple[T]{Idx: c, Val: vals[i]})
+	}
+	return dst
+}
+
 // TupleCodec bulk-encodes tuple streams for the wire transport. A k-tuple
 // chunk is laid out as k index words followed by the value codec's
 // k-element chunk:

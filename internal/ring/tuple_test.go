@@ -65,6 +65,78 @@ func TestTupleCodecPackedLen(t *testing.T) {
 	}
 }
 
+// The index word must carry row ids from graphs far larger than 2¹⁶
+// nodes without truncation: CSR products at n = 10⁵⁺ ship tuple streams
+// whose Idx values exceed any 16-bit packing, and the codec's contract is
+// the full non-negative int32 range. Exercised across a value codec of
+// every width — 1-word int64, the 2-word ValW pair, and the sub-word
+// packed Boolean, whose bit-packing must never bleed into index words.
+func TestTupleCodecWideIndices(t *testing.T) {
+	idxs := []int32{0, 1<<16 - 1, 1 << 16, 100_000, 1_000_000, 1 << 30, 1<<31 - 1}
+	check := func(name string, decoded []int32) {
+		t.Helper()
+		for i, want := range idxs {
+			if decoded[i] != want {
+				t.Fatalf("%s: index %d decoded as %d, want %d", name, i, decoded[i], want)
+			}
+		}
+	}
+	{
+		tc := ring.NewTupleCodec[int64](ring.Int64{})
+		tups := make([]ring.Tuple[int64], len(idxs))
+		for i, x := range idxs {
+			tups[i] = ring.Tuple[int64]{Idx: x, Val: int64(i + 1)}
+		}
+		enc, vbuf := tc.EncodeSlice(nil, tups, nil)
+		out := make([]ring.Tuple[int64], len(idxs))
+		tc.DecodeSlice(out, enc, vbuf)
+		got := make([]int32, len(out))
+		for i := range out {
+			got[i] = out[i].Idx
+			if out[i].Val != int64(i+1) {
+				t.Fatalf("int64: value %d decoded as %d", i, out[i].Val)
+			}
+		}
+		check("int64", got)
+	}
+	{
+		tc := ring.NewTupleCodec[ring.ValW](ring.MinPlusW{})
+		tups := make([]ring.Tuple[ring.ValW], len(idxs))
+		for i, x := range idxs {
+			tups[i] = ring.Tuple[ring.ValW]{Idx: x, Val: ring.ValW{V: int64(x), W: int64(i)}}
+		}
+		enc, vbuf := tc.EncodeSlice(nil, tups, nil)
+		out := make([]ring.Tuple[ring.ValW], len(idxs))
+		tc.DecodeSlice(out, enc, vbuf)
+		got := make([]int32, len(out))
+		for i := range out {
+			got[i] = out[i].Idx
+			if out[i].Val != (ring.ValW{V: int64(idxs[i]), W: int64(i)}) {
+				t.Fatalf("min-plus-w: value %d decoded as %+v", i, out[i].Val)
+			}
+		}
+		check("min-plus-w", got)
+	}
+	{
+		tc := ring.NewTupleCodec[bool](ring.PackedBool{})
+		tups := make([]ring.Tuple[bool], len(idxs))
+		for i, x := range idxs {
+			tups[i] = ring.Tuple[bool]{Idx: x, Val: i%2 == 0}
+		}
+		enc, vbuf := tc.EncodeSlice(nil, tups, nil)
+		out := make([]ring.Tuple[bool], len(idxs))
+		tc.DecodeSlice(out, enc, vbuf)
+		got := make([]int32, len(out))
+		for i := range out {
+			got[i] = out[i].Idx
+			if out[i].Val != (i%2 == 0) {
+				t.Fatalf("packed-bool: value %d decoded as %v", i, out[i].Val)
+			}
+		}
+		check("packed-bool", got)
+	}
+}
+
 // CountFor must reject word counts no chunk length produces.
 func TestTupleCodecCountForMalformed(t *testing.T) {
 	tc := ring.NewTupleCodec[ring.ValW](ring.MinPlusW{})

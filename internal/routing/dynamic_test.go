@@ -51,6 +51,83 @@ func TestExchangeDynamicNoStaleEntries(t *testing.T) {
 	}
 }
 
+// ExchangeDynamic must clean up after ExchangeScratch on the same scratch:
+// the oblivious API legitimately leaves stale windows in the pooled
+// matrices, and a dynamic caller inheriting that scratch scans every
+// source — any pair the dynamic exchange did not address has to read
+// empty regardless of what the scratch-path traffic left behind.
+func TestExchangeDynamicAfterScratchExchange(t *testing.T) {
+	const n = 11
+	rng := rand.New(rand.NewPCG(23, 24))
+	for _, strategy := range []routing.Strategy{routing.Auto, routing.Direct, routing.TwoPhase} {
+		net := clique.New(n)
+		sc := routing.NewScratch()
+		// Two oblivious exchanges fill both double-buffered pooled
+		// matrices with full-length windows.
+		for i := 0; i < 2; i++ {
+			routing.ExchangeScratch(net, strategy, sc, randomMsgs(rng, n, 5))
+		}
+		// The dynamic exchange addresses a single pair; everything else
+		// must read as empty on the receive side.
+		msgs := emptyMsgs(n)
+		src, dst := rng.IntN(n), rng.IntN(n)
+		msgs[src][dst] = []clique.Word{42}
+		in := routing.ExchangeDynamic(net, strategy, sc, msgs)
+		for d := 0; d < n; d++ {
+			for s := 0; s < n; s++ {
+				if s == src && d == dst {
+					if len(in[d][s]) != 1 || in[d][s][0] != 42 {
+						t.Fatalf("strategy %v: addressed pair delivered %v", strategy, in[d][s])
+					}
+					continue
+				}
+				if len(in[d][s]) != 0 {
+					t.Fatalf("strategy %v: idle pair (%d→%d) reads %d words inherited from ExchangeScratch",
+						strategy, s, d, len(in[d][s]))
+				}
+			}
+		}
+		net.Close()
+	}
+}
+
+// Alternating schedules on one scratch: the direct schedule's mailbox
+// reassignment and the two-phase schedule's truncation pass clean up
+// different state, so flipping between them must not let one schedule's
+// leftovers surface as the other's idle reads.
+func TestExchangeDynamicStrategyFlip(t *testing.T) {
+	const n = 10
+	rng := rand.New(rand.NewPCG(29, 30))
+	net := clique.New(n)
+	defer net.Close()
+	sc := routing.NewScratch()
+	order := []routing.Strategy{
+		routing.TwoPhase, routing.Direct, routing.TwoPhase,
+		routing.Direct, routing.TwoPhase, routing.Direct,
+	}
+	for trial, strategy := range order {
+		var msgs [][][]clique.Word
+		if trial%2 == 0 {
+			msgs = randomMsgs(rng, n, 4)
+		} else {
+			// Sparse rounds: one busy pair, all others idle — the reads
+			// most likely to surface the previous schedule's state.
+			msgs = emptyMsgs(n)
+			msgs[rng.IntN(n)][rng.IntN(n)] = []clique.Word{clique.Word(trial)}
+		}
+		in := routing.ExchangeDynamic(net, strategy, sc, msgs)
+		assertDelivered(t, msgs, in)
+		for d := 0; d < n; d++ {
+			for s := 0; s < n; s++ {
+				if len(msgs[s][d]) == 0 && len(in[d][s]) != 0 {
+					t.Fatalf("trial %d (%v): idle pair (%d→%d) reads %d words from the previous schedule",
+						trial, strategy, s, d, len(in[d][s]))
+				}
+			}
+		}
+	}
+}
+
 // A nil scratch must behave identically (fresh nil-entry matrices).
 func TestExchangeDynamicNilScratch(t *testing.T) {
 	const n = 9
